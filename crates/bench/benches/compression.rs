@@ -1,0 +1,31 @@
+//! Criterion microbenchmarks for the compression phase (Table 3's time
+//! columns): pattern-utility ordering plus tuple coverage, per strategy
+//! and dataset regime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gogreen_core::{Compressor, Strategy};
+use gogreen_datagen::{DatasetPreset, PresetKind};
+use gogreen_miners::mine_hmine;
+
+fn bench_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(20);
+    for kind in [PresetKind::Connect4, PresetKind::Weather] {
+        let preset = DatasetPreset::new(kind, 0.01);
+        let db = preset.generate();
+        let fp = mine_hmine(&db, preset.xi_old());
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.suffix(), preset.name()),
+                &(&db, &fp),
+                |b, (db, fp)| {
+                    b.iter(|| Compressor::new(strategy).compress(db, fp));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Ablations beyond the paper (indexed in DESIGN.md §5):
+//!
+//! 1. **Utility function** — MCP vs MLP vs support-only vs length-only.
+//!    Separates MCP's two ingredients (exponential length term ×
+//!    support).
+//! 2. **`ξ_old` sensitivity** — the paper argues (§5) that a lower
+//!    initial support leaves more to recycle. Sweep `ξ_old` at a fixed
+//!    `ξ_new` and watch HM-MCP's time fall.
+//! 3. **Lemma 3.1** — RP-Mine with and without the single-group
+//!    shortcut.
+//! 4. **Incremental recycling** (§2 extension case 1) — an evolving
+//!    database mined after each update batch, recycling the previous
+//!    round's patterns, against from-scratch re-mining.
+
+use gogreen_core::incremental::IncrementalMiner;
+use gogreen_core::twostep::TwoStepMiner;
+use gogreen_core::rpmine::RpMine;
+use gogreen_core::{Compressor, RecyclingMiner, Strategy};
+use gogreen_data::{CountSink, MinSupport};
+use gogreen_datagen::{DatasetPreset, PresetKind};
+use gogreen_miners::mine_hmine;
+use serde::Serialize;
+use std::time::Instant;
+
+use crate::algo::AlgoFamily;
+
+/// One strategy's outcome in the utility ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct UtilityAblationRow {
+    /// Strategy label (MCP/MLP/SUP/LEN).
+    pub strategy: &'static str,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+    /// Compression seconds.
+    pub compress_s: f64,
+    /// HM-recycled mining seconds at the lowest sweep threshold.
+    pub mine_s: f64,
+}
+
+/// Utility-function ablation on one dataset.
+pub fn utility_ablation(dataset: PresetKind, scale: f64) -> Vec<UtilityAblationRow> {
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    [Strategy::Mcp, Strategy::Mlp, Strategy::SupportOnly, Strategy::LengthOnly]
+        .into_iter()
+        .map(|strategy| {
+            let (cdb, stats) = Compressor::new(strategy).compress_with_stats(&db, &fp_old);
+            let run = AlgoFamily::HMine.run_recycled(&cdb, xi_new);
+            UtilityAblationRow {
+                strategy: strategy.suffix(),
+                ratio: stats.ratio,
+                compress_s: stats.duration.as_secs_f64(),
+                mine_s: run.secs,
+            }
+        })
+        .collect()
+}
+
+/// One `ξ_old` setting's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct XiOldRow {
+    /// The initial threshold, as a multiple of the preset's `ξ_old`
+    /// percentage.
+    pub xi_old_pct: f64,
+    /// Patterns available for recycling.
+    pub recycled_patterns: usize,
+    /// Seconds of the `ξ_old` pre-mining run.
+    pub prep_s: f64,
+    /// HM-MCP seconds at the fixed `ξ_new`.
+    pub mine_s: f64,
+    /// Compression ratio.
+    pub ratio: f64,
+}
+
+/// `ξ_old` sensitivity: fixes `ξ_new` at the preset's lowest sweep point
+/// and recycles pattern sets mined at progressively lower `ξ_old`.
+pub fn xi_old_sensitivity(dataset: PresetKind, scale: f64) -> Vec<XiOldRow> {
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let sweep = preset.sweep();
+    let xi_new = *sweep.last().expect("non-empty sweep");
+    // ξ_old candidates: the preset's own ξ_old plus the upper sweep
+    // points (all still above ξ_new).
+    let mut candidates = vec![preset.xi_old()];
+    candidates.extend(sweep[..sweep.len() - 1].iter().copied());
+    candidates
+        .into_iter()
+        .map(|xi_old| {
+            let start = Instant::now();
+            let fp_old = mine_hmine(&db, xi_old);
+            let prep_s = start.elapsed().as_secs_f64();
+            let (cdb, stats) = Compressor::new(Strategy::Mcp).compress_with_stats(&db, &fp_old);
+            let run = AlgoFamily::HMine.run_recycled(&cdb, xi_new);
+            XiOldRow {
+                xi_old_pct: match xi_old {
+                    MinSupport::Relative(f) => f * 100.0,
+                    MinSupport::Absolute(n) => n as f64,
+                },
+                recycled_patterns: fp_old.len(),
+                prep_s,
+                mine_s: run.secs,
+                ratio: stats.ratio,
+            }
+        })
+        .collect()
+}
+
+/// Lemma 3.1 ablation outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct LemmaAblation {
+    /// RP-Mine seconds with the single-group shortcut.
+    pub with_shortcut_s: f64,
+    /// RP-Mine seconds without it.
+    pub without_shortcut_s: f64,
+    /// Patterns (identical in both runs).
+    pub patterns: u64,
+}
+
+/// Measures the single-group shortcut's contribution on a dense dataset
+/// (where whole groups dominate projections).
+pub fn lemma_ablation(dataset: PresetKind, scale: f64) -> LemmaAblation {
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+    let xi_new = preset.sweep()[preset.sweep().len() / 2];
+
+    let run = |shortcut: bool| -> (f64, u64) {
+        let miner = RpMine { single_group_shortcut: shortcut };
+        let mut sink = CountSink::new();
+        let start = Instant::now();
+        miner.mine_into(&cdb, xi_new, &mut sink);
+        (start.elapsed().as_secs_f64(), sink.count())
+    };
+    let (with_shortcut_s, n1) = run(true);
+    let (without_shortcut_s, n2) = run(false);
+    assert_eq!(n1, n2, "shortcut changed the result set");
+    LemmaAblation { with_shortcut_s, without_shortcut_s, patterns: n1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utility_ablation_covers_four_strategies() {
+        let rows = utility_ablation(PresetKind::Connect4, 0.001);
+        assert_eq!(rows.len(), 4);
+        let labels: Vec<_> = rows.iter().map(|r| r.strategy).collect();
+        assert_eq!(labels, vec!["MCP", "MLP", "SUP", "LEN"]);
+        assert!(rows.iter().all(|r| r.ratio > 0.0 && r.ratio <= 1.0));
+    }
+
+    #[test]
+    fn xi_old_rows_relax_downward() {
+        let rows = xi_old_sensitivity(PresetKind::Connect4, 0.001);
+        assert!(rows.len() >= 2);
+        // Lower ξ_old ⇒ at least as many recycled patterns.
+        assert!(rows.windows(2).all(|w| w[0].xi_old_pct >= w[1].xi_old_pct));
+        assert!(rows.windows(2).all(|w| w[0].recycled_patterns <= w[1].recycled_patterns));
+    }
+
+    #[test]
+    fn lemma_ablation_is_exact() {
+        let a = lemma_ablation(PresetKind::Connect4, 0.001);
+        assert!(a.patterns > 0);
+        assert!(a.with_shortcut_s >= 0.0 && a.without_shortcut_s >= 0.0);
+    }
+}
+
+/// One update batch's outcome in the incremental experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct IncrementalRow {
+    /// Tuples in the database after this batch.
+    pub tuples: usize,
+    /// Recycled (incremental) mining seconds.
+    pub recycled_s: f64,
+    /// From-scratch mining seconds.
+    pub scratch_s: f64,
+    /// Patterns found (identical by construction).
+    pub patterns: usize,
+}
+
+/// Incremental recycling across growing data: the database doubles in
+/// four batches; each round recycles the previous round's patterns.
+pub fn incremental_experiment(dataset: PresetKind, scale: f64) -> Vec<IncrementalRow> {
+    let preset = DatasetPreset::new(dataset, scale);
+    let full = preset.generate();
+    let all: Vec<_> = full.iter().cloned().collect();
+    let half = all.len() / 2;
+    let xi = preset.sweep()[1];
+    let mut inc = IncrementalMiner::new(gogreen_data::TransactionDb::from_transactions(
+        all[..half].to_vec(),
+    ));
+    let mut rows = Vec::new();
+    // Initial round, then four growth batches.
+    let batch = (all.len() - half) / 4;
+    let mut next = half;
+    loop {
+        let start = Instant::now();
+        let recycled = inc.mine(xi);
+        let recycled_s = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let scratch = mine_hmine(inc.db(), xi);
+        let scratch_s = start.elapsed().as_secs_f64();
+        assert!(recycled.same_patterns_as(&scratch), "incremental mismatch");
+        rows.push(IncrementalRow {
+            tuples: inc.db().len(),
+            recycled_s,
+            scratch_s,
+            patterns: recycled.len(),
+        });
+        if next >= all.len() {
+            break;
+        }
+        let end = (next + batch).min(all.len());
+        inc.insert(all[next..end].iter().cloned());
+        next = end;
+    }
+    rows
+}
+
+/// One threshold's outcome in the two-step experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct TwoStepRow {
+    /// Target `ξ` as a percentage.
+    pub target_pct: f64,
+    /// Intermediate threshold picked by the miner (absolute tuples).
+    pub intermediate_abs: u64,
+    /// Single-step H-Mine seconds.
+    pub single_s: f64,
+    /// Two-step total seconds (pre-pass + compression + mining).
+    pub two_step_s: f64,
+    /// The final (compressed) mining phase alone.
+    pub two_step_mine_s: f64,
+    /// Patterns found.
+    pub patterns: usize,
+}
+
+/// The paper's future-work experiment: answer single low-support
+/// requests by bootstrapping a high-support pre-pass.
+pub fn two_step_experiment(dataset: PresetKind, scale: f64) -> Vec<TwoStepRow> {
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    preset
+        .sweep()
+        .into_iter()
+        .map(|target| {
+            let (single, single_t) = TwoStepMiner::single_step(&db, target);
+            let (two, report) = TwoStepMiner::new().mine(&db, target);
+            assert!(two.same_patterns_as(&single), "two-step mismatch");
+            TwoStepRow {
+                target_pct: match target {
+                    MinSupport::Relative(f) => (f * 100.0 * 1e6).round() / 1e6,
+                    MinSupport::Absolute(n) => n as f64,
+                },
+                intermediate_abs: report.intermediate.to_absolute(db.len()),
+                single_s: single_t.as_secs_f64(),
+                two_step_s: report.total().as_secs_f64(),
+                two_step_mine_s: report.mining_time.as_secs_f64(),
+                patterns: single.len(),
+            }
+        })
+        .collect()
+}
+
+/// One thread count's outcome in the parallel-mining experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelRow {
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall seconds.
+    pub secs: f64,
+    /// Patterns found.
+    pub patterns: usize,
+}
+
+/// Parallel recycled mining (RP-Mine over first-level projections) at
+/// the lowest sweep threshold.
+pub fn parallel_experiment(dataset: PresetKind, scale: f64) -> Vec<ParallelRow> {
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    let mut reference: Option<usize> = None;
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let start = Instant::now();
+            let set = RpMine::default().mine_parallel(&cdb, xi_new, threads);
+            let secs = start.elapsed().as_secs_f64();
+            match reference {
+                None => reference = Some(set.len()),
+                Some(n) => assert_eq!(n, set.len(), "parallel count drift"),
+            }
+            ParallelRow { threads, secs, patterns: set.len() }
+        })
+        .collect()
+}

@@ -1,0 +1,112 @@
+//! Algorithm registry: the three baseline/recycling pairs the paper
+//! evaluates, with uniform timed entry points.
+//!
+//! Timings use a [`CountSink`], excluding pattern-output cost as the
+//! paper does (§5.2), and return the pattern count as a cross-algorithm
+//! checksum: every pair member must report the same count for the same
+//! input.
+
+use gogreen_core::{CompressedDb, RecyclingMiner};
+use gogreen_core::recycle_fp::RecycleFp;
+use gogreen_core::recycle_hm::RecycleHm;
+use gogreen_core::recycle_tp::RecycleTp;
+use gogreen_data::{CountSink, MinSupport, TransactionDb};
+use gogreen_miners::{FpGrowth, HMine, Miner, TreeProjection};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One baseline/recycling algorithm pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum AlgoFamily {
+    /// H-Mine / HM-MCP / HM-MLP.
+    HMine,
+    /// FP-tree / FP-MCP / FP-MLP.
+    FpTree,
+    /// Tree Projection / TP-MCP / TP-MLP.
+    TreeProjection,
+}
+
+/// Wall time and emitted-pattern count of one run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TimedRun {
+    /// Seconds of mining wall time.
+    pub secs: f64,
+    /// Patterns emitted.
+    pub patterns: u64,
+}
+
+impl AlgoFamily {
+    /// Name of the non-recycling baseline.
+    pub fn baseline_name(self) -> &'static str {
+        match self {
+            AlgoFamily::HMine => "H-Mine",
+            AlgoFamily::FpTree => "FP-tree",
+            AlgoFamily::TreeProjection => "TreeProjection",
+        }
+    }
+
+    /// Short tag used in recycled-variant names ("HM-MCP" etc.).
+    pub fn tag(self) -> &'static str {
+        match self {
+            AlgoFamily::HMine => "HM",
+            AlgoFamily::FpTree => "FP",
+            AlgoFamily::TreeProjection => "TP",
+        }
+    }
+
+    /// Times the baseline miner.
+    pub fn run_baseline(self, db: &TransactionDb, ms: MinSupport) -> TimedRun {
+        let mut sink = CountSink::new();
+        let start = Instant::now();
+        match self {
+            AlgoFamily::HMine => HMine.mine_into(db, ms, &mut sink),
+            AlgoFamily::FpTree => FpGrowth.mine_into(db, ms, &mut sink),
+            AlgoFamily::TreeProjection => TreeProjection.mine_into(db, ms, &mut sink),
+        }
+        TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
+    }
+
+    /// Times the recycling counterpart on a compressed database.
+    pub fn run_recycled(self, cdb: &CompressedDb, ms: MinSupport) -> TimedRun {
+        let mut sink = CountSink::new();
+        let start = Instant::now();
+        match self {
+            AlgoFamily::HMine => RecycleHm.mine_into(cdb, ms, &mut sink),
+            AlgoFamily::FpTree => RecycleFp.mine_into(cdb, ms, &mut sink),
+            AlgoFamily::TreeProjection => RecycleTp.mine_into(cdb, ms, &mut sink),
+        }
+        TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
+    }
+
+    /// All three families in the paper's presentation order.
+    pub fn all() -> [AlgoFamily; 3] {
+        [AlgoFamily::HMine, AlgoFamily::FpTree, AlgoFamily::TreeProjection]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_core::{Compressor, Strategy};
+    use gogreen_miners::mine_apriori;
+
+    #[test]
+    fn pairs_agree_on_pattern_counts() {
+        let db = TransactionDb::paper_example();
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(3));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        for family in AlgoFamily::all() {
+            let base = family.run_baseline(&db, MinSupport::Absolute(2));
+            let rec = family.run_recycled(&cdb, MinSupport::Absolute(2));
+            assert_eq!(base.patterns, rec.patterns, "{family:?}");
+            assert!(base.secs >= 0.0 && rec.secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<_> = AlgoFamily::all().iter().map(|f| f.baseline_name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().collect::<std::collections::BTreeSet<_>>().len() == 3);
+    }
+}

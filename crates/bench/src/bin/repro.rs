@@ -1,0 +1,358 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale S] [--results DIR] <command>
+//!
+//! commands:
+//!   all          Table 3 + Figures 9–24 + ablations
+//!   table3       dataset properties and compression statistics
+//!   figs         Figures 9–20 (in-memory sweeps)
+//!   fig <N>      one figure, N in 9..=24
+//!   memfigs      Figures 21–24 (memory-limited)
+//!   ablation     ablations (utility fn, ξ_old, Lemma 3.1) + extension
+//!                experiments (incremental, two-step, parallel)
+//! ```
+//!
+//! `--scale` multiplies the paper's tuple counts (default 0.05).
+
+use gogreen_bench::ablation;
+use gogreen_bench::figures::{run_figure, run_mem_figure, FigureResult, MemFigureResult};
+use gogreen_bench::report::{fmt_secs, fmt_speedup, render_table, Reporter};
+use gogreen_bench::table3::run_table3;
+use gogreen_bench::DEFAULT_SCALE;
+use gogreen_datagen::PresetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = DEFAULT_SCALE;
+    let mut results_dir = "results".to_owned();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale expects a positive number"));
+            }
+            "--results" => {
+                results_dir =
+                    it.next().unwrap_or_else(|| die("--results expects a directory"));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => rest.push(other.to_owned()),
+        }
+    }
+    if scale <= 0.0 {
+        die("--scale must be positive");
+    }
+    let reporter = Reporter::new(&results_dir);
+    let command = rest.first().map(String::as_str).unwrap_or("all");
+    match command {
+        "all" => {
+            cmd_table3(scale, &reporter);
+            for id in 9..=20 {
+                cmd_figure(id, scale, &reporter);
+            }
+            for id in 21..=24 {
+                cmd_mem_figure(id, scale, &reporter);
+            }
+            cmd_ablation(scale, &reporter);
+        }
+        "table3" => cmd_table3(scale, &reporter),
+        "figs" => {
+            for id in 9..=20 {
+                cmd_figure(id, scale, &reporter);
+            }
+        }
+        "memfigs" => {
+            for id in 21..=24 {
+                cmd_mem_figure(id, scale, &reporter);
+            }
+        }
+        "fig" => {
+            let id: u8 = rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("fig expects a number in 9..=24"));
+            match id {
+                9..=20 => cmd_figure(id, scale, &reporter),
+                21..=24 => cmd_mem_figure(id, scale, &reporter),
+                _ => die("figure id must be in 9..=24"),
+            }
+        }
+        "ablation" => cmd_ablation(scale, &reporter),
+        other => die(&format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn print_usage() {
+    println!(
+        "repro [--scale S] [--results DIR] <all|table3|figs|memfigs|fig N|ablation>\n\
+         Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
+         extension experiments (scale {DEFAULT_SCALE} by default)."
+    );
+}
+
+fn cmd_table3(scale: f64, reporter: &Reporter) {
+    println!("\n== Table 3: dataset properties and compression statistics (scale {scale}) ==\n");
+    let rows = run_table3(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.tuples.to_string(),
+                format!("{:.1}", r.avg_len),
+                r.items.to_string(),
+                format!("{}%", r.xi_old_pct),
+                format!("{} (paper {})", r.patterns, r.paper_patterns),
+                format!("{} (paper {})", r.max_len, r.paper_max_len),
+                fmt_secs(r.t_io_mcp),
+                fmt_secs(r.t_pipe_mcp),
+                fmt_secs(r.t_io_mlp),
+                fmt_secs(r.t_pipe_mlp),
+                format!("{:.3}", r.ratio_mcp),
+                format!("{:.3}", r.ratio_mlp),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "dataset", "tuples", "avg", "items", "ξ_old", "#patterns", "maxlen",
+                "MCP io", "MCP pipe", "MLP io", "MLP pipe", "R(MCP)", "R(MLP)",
+            ],
+            &table,
+        )
+    );
+    for r in &rows {
+        reporter.save_json("table3", r).expect("save table3");
+    }
+}
+
+fn cmd_figure(id: u8, scale: f64, reporter: &Reporter) {
+    let res: FigureResult = run_figure(id, scale);
+    let base = res.spec.family.baseline_name();
+    let tag = res.spec.family.tag();
+    println!(
+        "\n== Figure {id}: {base} vs {tag}-MCP vs {tag}-MLP on {} (scale {scale}{}) ==",
+        dataset_name(res.spec.dataset),
+        if res.spec.log_y { ", log-y in the paper" } else { "" }
+    );
+    println!(
+        "   ξ_old={}%: {} recycled patterns, mined in {}; compression MCP {} (R={:.3}) MLP {} (R={:.3})\n",
+        res.xi_old_pct,
+        res.recycled_patterns,
+        fmt_secs(res.prep_mine_s),
+        fmt_secs(res.mcp_compression.secs),
+        res.mcp_compression.ratio,
+        fmt_secs(res.mlp_compression.secs),
+        res.mlp_compression.ratio,
+    );
+    let table: Vec<Vec<String>> = res
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.xi_new_pct),
+                r.patterns.to_string(),
+                fmt_secs(r.baseline_s),
+                fmt_secs(r.mcp_s),
+                fmt_secs(r.mlp_s),
+                fmt_speedup(r.baseline_s, r.mcp_s),
+                fmt_speedup(r.baseline_s, r.mlp_s),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["ξ_new", "patterns", base, &format!("{tag}-MCP"), &format!("{tag}-MLP"),
+              "MCP speedup", "MLP speedup"],
+            &table,
+        )
+    );
+    reporter.save_json(&format!("fig{id}"), &res).expect("save figure");
+}
+
+fn cmd_mem_figure(id: u8, scale: f64, reporter: &Reporter) {
+    let res: MemFigureResult = run_mem_figure(id, scale);
+    println!(
+        "\n== Figure {id}: memory-limited H-Mine vs HM-MCP on {} (scale {scale}, budgets 4/8 MiB × scale) ==\n",
+        dataset_name(res.dataset)
+    );
+    let table: Vec<Vec<String>> = res
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}MiB", r.budget_mib),
+                format!("{}%", r.xi_new_pct),
+                r.patterns.to_string(),
+                fmt_secs(r.hmine_s),
+                fmt_secs(r.hm_mcp_s),
+                fmt_speedup(r.hmine_s, r.hm_mcp_s),
+                r.hmine_spills.to_string(),
+                r.hm_mcp_spills.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["budget", "ξ_new", "patterns", "H-Mine", "HM-MCP", "speedup",
+              "HM spills", "MCP spills"],
+            &table,
+        )
+    );
+    reporter.save_json(&format!("fig{id}"), &res).expect("save mem figure");
+}
+
+fn cmd_ablation(scale: f64, reporter: &Reporter) {
+    println!("\n== Ablation 1: utility functions (connect4, lowest ξ_new of the sweep) ==\n");
+    let rows = ablation::utility_ablation(PresetKind::Connect4, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.strategy.to_owned(),
+                format!("{:.3}", r.ratio),
+                fmt_secs(r.compress_s),
+                fmt_secs(r.mine_s),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["strategy", "ratio", "compress", "HM mine"], &table));
+    for r in &rows {
+        reporter.save_json("ablation_utility", r).expect("save ablation");
+    }
+
+    println!("\n== Ablation 2: ξ_old sensitivity (connect4, fixed lowest ξ_new) ==\n");
+    let rows = ablation::xi_old_sensitivity(PresetKind::Connect4, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.xi_old_pct),
+                r.recycled_patterns.to_string(),
+                fmt_secs(r.prep_s),
+                format!("{:.3}", r.ratio),
+                fmt_secs(r.mine_s),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["ξ_old", "patterns", "prep", "ratio", "HM-MCP mine"], &table)
+    );
+    for r in &rows {
+        reporter.save_json("ablation_xi_old", r).expect("save ablation");
+    }
+
+    println!("\n== Extension: incremental recycling across update batches (connect4) ==\n");
+    let rows = ablation::incremental_experiment(PresetKind::Connect4, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.tuples.to_string(),
+                r.patterns.to_string(),
+                fmt_secs(r.recycled_s),
+                fmt_secs(r.scratch_s),
+                fmt_speedup(r.scratch_s, r.recycled_s),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["tuples", "patterns", "incremental", "from scratch", "speedup"], &table)
+    );
+    for r in &rows {
+        reporter.save_json("ext_incremental", r).expect("save extension");
+    }
+
+    println!("\n== Extension: two-step mining, the paper's stated future work (connect4) ==\n");
+    let rows = ablation::two_step_experiment(PresetKind::Connect4, scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.target_pct),
+                r.intermediate_abs.to_string(),
+                r.patterns.to_string(),
+                fmt_secs(r.single_s),
+                fmt_secs(r.two_step_s),
+                fmt_secs(r.two_step_mine_s),
+                fmt_speedup(r.single_s, r.two_step_s),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["target ξ", "ξ_mid", "patterns", "single-step", "two-step", "(mine)", "speedup"],
+            &table,
+        )
+    );
+    for r in &rows {
+        reporter.save_json("ext_twostep", r).expect("save extension");
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n== Extension: parallel recycled mining (weather, RP-Mine, lowest ξ_new; {cores} core(s) available) ==\n"
+    );
+    let rows = ablation::parallel_experiment(PresetKind::Weather, scale);
+    let base = rows[0].secs;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                r.patterns.to_string(),
+                fmt_secs(r.secs),
+                fmt_speedup(base, r.secs),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["threads", "patterns", "time", "vs 1 thread"], &table));
+    for r in &rows {
+        reporter.save_json("ext_parallel", r).expect("save extension");
+    }
+
+    println!("\n== Ablation 3: Lemma 3.1 single-group shortcut (connect4, RP-Mine) ==\n");
+    let a = ablation::lemma_ablation(PresetKind::Connect4, scale);
+    print!(
+        "{}",
+        render_table(
+            &["with shortcut", "without", "speedup", "patterns"],
+            &[vec![
+                fmt_secs(a.with_shortcut_s),
+                fmt_secs(a.without_shortcut_s),
+                fmt_speedup(a.without_shortcut_s, a.with_shortcut_s),
+                a.patterns.to_string(),
+            ]],
+        )
+    );
+    reporter.save_json("ablation_lemma", &a).expect("save ablation");
+}
+
+fn dataset_name(kind: PresetKind) -> &'static str {
+    match kind {
+        PresetKind::Weather => "weather",
+        PresetKind::Forest => "forest",
+        PresetKind::Connect4 => "connect4",
+        PresetKind::Pumsb => "pumsb",
+    }
+}

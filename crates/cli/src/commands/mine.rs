@@ -1,0 +1,95 @@
+//! `gogreen mine <db.txt> --support <ξ> …` — mine frequent patterns,
+//! optionally with pushed constraints, writing `items : support` lines.
+
+use crate::args::{parse_items, parse_support, Args};
+use crate::commands::{load_db, show_support};
+use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
+use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
+use gogreen_miners::{
+    mine_apriori, mine_fpgrowth, mine_treeproj, HMine, NaiveProjection,
+};
+use std::time::Instant;
+
+pub fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.positional(0, "database path")?;
+    let db = load_db(path)?;
+    let support = parse_support(args.required("support")?)?;
+    let algo = args.opt("algo").unwrap_or("hmine");
+
+    // Pushable constraints.
+    let mut cs = ConstraintSet::support_only(support);
+    if let Some(k) = args.opt("max-length") {
+        let k: usize = k.parse().map_err(|_| format!("invalid --max-length {k:?}"))?;
+        cs = cs.with(Constraint::MaxLength(k));
+    }
+    if let Some(list) = args.opt("items") {
+        let items: Vec<Item> = parse_items(list)?.into_iter().map(Item).collect();
+        cs = cs.with(Constraint::SubsetOf(items));
+    }
+    let attrs = ItemAttributes::new();
+    let pushdown = Pushdown::from_constraints(&cs, &attrs);
+
+    let start = Instant::now();
+    let mut patterns = mine(&db, support, algo, &pushdown, &attrs)?;
+    let elapsed = start.elapsed();
+    // Optional condensed-representation post-filters.
+    match args.opt("filter") {
+        Some("closed") => patterns = patterns.closed_only(),
+        Some("maximal") => patterns = patterns.maximal_only(),
+        Some(other) => return Err(format!("unknown --filter {other:?} (closed|maximal)")),
+        None => {}
+    }
+
+    println!(
+        "{path}: {} patterns at {} in {elapsed:.2?} [{algo}]",
+        patterns.len(),
+        show_support(support, db.len()),
+    );
+    match args.opt("o") {
+        Some(out) => {
+            gogreen_data::pattern_io::write_patterns_file(&patterns, out)
+                .map_err(|e| format!("writing {out}: {e}"))?;
+            println!("wrote {out}");
+        }
+        None => {
+            // Print the top patterns by support, longest first on ties.
+            let mut v = patterns.sorted();
+            v.sort_by(|a, b| b.support().cmp(&a.support()).then(b.len().cmp(&a.len())));
+            for p in v.iter().take(20) {
+                println!("  {p}");
+            }
+            if v.len() > 20 {
+                println!("  … {} more (use -o to save all)", v.len() - 20);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mine(
+    db: &TransactionDb,
+    support: MinSupport,
+    algo: &str,
+    pushdown: &Pushdown,
+    attrs: &ItemAttributes,
+) -> Result<PatternSet, String> {
+    let result = match algo {
+        "hmine" => {
+            let mut sink = CollectSink::new();
+            HMine.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
+            sink.into_set()
+        }
+        "naive" => {
+            let mut sink = CollectSink::new();
+            NaiveProjection.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
+            sink.into_set()
+        }
+        // The remaining miners post-filter pushed constraints.
+        "fp" => mine_fpgrowth(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
+        "tp" => mine_treeproj(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
+        "apriori" => mine_apriori(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
+        other => return Err(format!("unknown algo {other:?} (hmine|fp|tp|apriori|naive)")),
+    };
+    Ok(result)
+}

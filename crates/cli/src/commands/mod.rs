@@ -1,0 +1,31 @@
+//! One module per subcommand.
+
+pub mod compress;
+pub mod diff;
+pub mod generate;
+pub mod mine;
+pub mod recycle;
+pub mod session;
+pub mod stats;
+
+use gogreen_core::utility::Strategy;
+use gogreen_data::{MinSupport, TransactionDb};
+
+/// Loads a transaction database with a friendly error.
+pub fn load_db(path: &str) -> Result<TransactionDb, String> {
+    gogreen_data::io::read_file(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Parses a `--strategy` value (default MCP).
+pub fn parse_strategy(opt: Option<&str>) -> Result<Strategy, String> {
+    match opt.unwrap_or("mcp") {
+        "mcp" => Ok(Strategy::Mcp),
+        "mlp" => Ok(Strategy::Mlp),
+        other => Err(format!("unknown strategy {other:?} (mcp|mlp)")),
+    }
+}
+
+/// Renders a support back for messages.
+pub fn show_support(ms: MinSupport, db_len: usize) -> String {
+    format!("{ms} (≥ {} tuples)", ms.to_absolute(db_len))
+}

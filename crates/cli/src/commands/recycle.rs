@@ -1,0 +1,58 @@
+//! `gogreen recycle <db.txt> --patterns <fp.txt> --support <ξ>` — the
+//! paper's two-phase pipeline from the command line.
+
+use crate::args::{parse_support, Args};
+use crate::commands::{load_db, parse_strategy, show_support};
+use gogreen_core::recycle_fp::RecycleFp;
+use gogreen_core::recycle_hm::RecycleHm;
+use gogreen_core::recycle_tp::RecycleTp;
+use gogreen_core::rpmine::RpMine;
+use gogreen_core::{Compressor, RecyclingMiner};
+use std::time::Instant;
+
+pub fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.positional(0, "database path")?;
+    let db = load_db(path)?;
+    let fp_path = args.required("patterns")?;
+    let fp = gogreen_data::pattern_io::read_patterns_file(fp_path)
+        .map_err(|e| format!("reading {fp_path}: {e}"))?;
+    let support = parse_support(args.required("support")?)?;
+    let strategy = parse_strategy(args.opt("strategy"))?;
+    let miner: Box<dyn RecyclingMiner> = match args.opt("algo").unwrap_or("hm") {
+        "hm" => Box::new(RecycleHm),
+        "fp" => Box::new(RecycleFp),
+        "tp" => Box::new(RecycleTp),
+        "naive" => Box::new(RpMine::default()),
+        other => return Err(format!("unknown algo {other:?} (hm|fp|tp|naive)")),
+    };
+
+    let start = Instant::now();
+    let (cdb, stats) = Compressor::new(strategy).compress_with_stats(&db, &fp);
+    let compress_time = start.elapsed();
+    let start = Instant::now();
+    let patterns = miner.mine(&cdb, support);
+    let mine_time = start.elapsed();
+
+    println!(
+        "{path}: recycled {} patterns [{}-{}]",
+        fp.len(),
+        miner.name(),
+        strategy.suffix()
+    );
+    println!(
+        "  compression  {compress_time:.2?} (ratio {:.4}, {} groups covering {}/{})",
+        stats.ratio, stats.num_groups, stats.covered_tuples, stats.num_tuples
+    );
+    println!(
+        "  mining       {mine_time:.2?} → {} patterns at {}",
+        patterns.len(),
+        show_support(support, db.len()),
+    );
+    if let Some(out) = args.opt("o") {
+        gogreen_data::pattern_io::write_patterns_file(&patterns, out)
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}

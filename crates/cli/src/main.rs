@@ -1,0 +1,94 @@
+//! `gogreen` — the command-line face of the pattern-recycling miner.
+//!
+//! ```text
+//! gogreen stats    <db.txt>
+//! gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
+//! gogreen mine     <db.txt> --support <ξ> [--algo A] [--max-length K]
+//!                  [--items 1,2,3] [-o patterns.txt]
+//! gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
+//! gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
+//!                  [--algo A] [--strategy mcp|mlp] [-o patterns.txt]
+//! gogreen session  <db.txt>        # interactive REPL (reads stdin)
+//! ```
+//!
+//! Supports are `5%` (relative) or `120` (absolute tuples). See
+//! `gogreen help` for everything.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Dying quietly on a closed pipe (`gogreen … | head`) is correct CLI
+    // behaviour; Rust's default is a noisy panic from `println!`.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let broken_pipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.contains("Broken pipe"));
+        if broken_pipe {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match argv.split_first() {
+        Some((c, rest)) => (c.as_str(), rest.to_vec()),
+        None => {
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command {
+        "stats" => commands::stats::run(rest),
+        "generate" => commands::generate::run(rest),
+        "mine" => commands::mine::run(rest),
+        "compress" => commands::compress::run(rest),
+        "diff" => commands::diff::run(rest),
+        "recycle" => commands::recycle::run(rest),
+        "session" => commands::session::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try `gogreen help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gogreen: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "\
+gogreen — recycle and reuse frequent patterns (ICDE 2004)
+
+USAGE
+  gogreen stats    <db.txt>
+  gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
+  gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|apriori|naive]
+                   [--max-length K] [--items 1,2,3] [--filter closed|maximal]
+                   [-o patterns.txt]
+  gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
+  gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
+                   [--algo hm|fp|tp|naive] [--strategy mcp|mlp] [-o patterns.txt]
+  gogreen diff     <new.txt> <old.txt> [--limit N]
+  gogreen session  <db.txt>
+
+FORMATS
+  databases: one transaction per line, whitespace-separated item ids
+  patterns:  `items : support` per line (what `mine -o` writes)
+  supports:  `5%` (fraction of tuples) or `120` (absolute tuple count)
+
+The recycle command is the paper's two-phase pipeline: compress <db>
+with the recycled <fp.txt>, then mine the compressed database — exact,
+and usually much faster than mining from scratch."
+    );
+}

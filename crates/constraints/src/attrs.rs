@@ -1,0 +1,126 @@
+//! Item attribute tables for aggregate constraints.
+
+use gogreen_data::Item;
+
+/// Identifies one attribute column (e.g. *price*, *weight*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrId(pub u32);
+
+/// Per-item numeric attributes backing aggregate constraints such as
+/// `sum(X.price) ≤ v` or `avg(X.price) ≥ v`.
+///
+/// Columns are dense vectors indexed by item id; items beyond a column's
+/// length take that column's default value.
+#[derive(Debug, Clone, Default)]
+pub struct ItemAttributes {
+    columns: Vec<Column>,
+}
+
+#[derive(Debug, Clone)]
+struct Column {
+    values: Vec<f64>,
+    default: f64,
+}
+
+impl ItemAttributes {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a column with per-item `values` (indexed by item id) and a
+    /// `default` for items beyond the vector. Returns the column's id.
+    pub fn add_column(&mut self, values: Vec<f64>, default: f64) -> AttrId {
+        self.columns.push(Column { values, default });
+        AttrId(self.columns.len() as u32 - 1)
+    }
+
+    /// The value of `attr` for `item`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `attr` id.
+    pub fn value(&self, attr: AttrId, item: Item) -> f64 {
+        let col = &self.columns[attr.0 as usize];
+        col.values.get(item.index()).copied().unwrap_or(col.default)
+    }
+
+    /// Sum of `attr` over `items`.
+    pub fn sum(&self, attr: AttrId, items: &[Item]) -> f64 {
+        items.iter().map(|&it| self.value(attr, it)).sum()
+    }
+
+    /// Mean of `attr` over `items` (0 for the empty slice).
+    pub fn avg(&self, attr: AttrId, items: &[Item]) -> f64 {
+        if items.is_empty() {
+            0.0
+        } else {
+            self.sum(attr, items) / items.len() as f64
+        }
+    }
+
+    /// Minimum of `attr` over `items` (+∞ for the empty slice).
+    pub fn min(&self, attr: AttrId, items: &[Item]) -> f64 {
+        items.iter().map(|&it| self.value(attr, it)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// True when every value of `attr` is non-negative — the precondition
+    /// under which `sum ≤ v` is anti-monotone.
+    pub fn is_non_negative(&self, attr: AttrId) -> bool {
+        let col = &self.columns[attr.0 as usize];
+        col.default >= 0.0 && col.values.iter().all(|&v| v >= 0.0)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (ItemAttributes, AttrId) {
+        let mut t = ItemAttributes::new();
+        let price = t.add_column(vec![10.0, 20.0, 30.0], 5.0);
+        (t, price)
+    }
+
+    #[test]
+    fn value_with_default() {
+        let (t, price) = table();
+        assert_eq!(t.value(price, Item(1)), 20.0);
+        assert_eq!(t.value(price, Item(99)), 5.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let (t, price) = table();
+        let items = [Item(0), Item(2)];
+        assert_eq!(t.sum(price, &items), 40.0);
+        assert_eq!(t.avg(price, &items), 20.0);
+        assert_eq!(t.min(price, &items), 10.0);
+        assert_eq!(t.avg(price, &[]), 0.0);
+        assert_eq!(t.min(price, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn non_negative_check() {
+        let mut t = ItemAttributes::new();
+        let pos = t.add_column(vec![1.0, 0.0], 0.0);
+        let neg = t.add_column(vec![1.0, -2.0], 0.0);
+        assert!(t.is_non_negative(pos));
+        assert!(!t.is_non_negative(neg));
+    }
+
+    #[test]
+    fn multiple_columns_are_independent() {
+        let mut t = ItemAttributes::new();
+        let a = t.add_column(vec![1.0], 0.0);
+        let b = t.add_column(vec![100.0], 0.0);
+        assert_eq!(t.value(a, Item(0)), 1.0);
+        assert_eq!(t.value(b, Item(0)), 100.0);
+        assert_eq!(t.num_columns(), 2);
+    }
+}

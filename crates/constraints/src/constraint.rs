@@ -1,0 +1,302 @@
+//! Individual constraints and their classification.
+
+use crate::attrs::{AttrId, ItemAttributes};
+use gogreen_data::pattern::is_subset;
+use gogreen_data::Item;
+use std::cmp::Ordering;
+
+/// The four constraint classes of the constrained-mining literature
+/// (paper §2), plus `Hard` for predicates with none of the exploitable
+/// properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintClass {
+    /// Violated by a pattern ⇒ violated by every superset.
+    AntiMonotone,
+    /// Satisfied by a pattern ⇒ satisfied by every superset.
+    Monotone,
+    /// Expressible through set containment over explicit item sets.
+    Succinct,
+    /// Anti-/monotone under a suitable item ordering (e.g. `avg`).
+    Convertible,
+    /// No exploitable structure; evaluated as a post-filter.
+    Hard,
+}
+
+/// A single constraint on patterns (beyond minimum support, which
+/// [`crate::ConstraintSet`] carries separately).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constraint {
+    /// `|X| ≤ k` — anti-monotone.
+    MaxLength(usize),
+    /// `|X| ≥ k` — monotone.
+    MinLength(usize),
+    /// `sum(attr over X) ≤ v` — anti-monotone when the attribute is
+    /// non-negative, otherwise hard.
+    MaxSum {
+        /// The attribute column summed.
+        attr: AttrId,
+        /// The inclusive upper bound `v`.
+        bound: f64,
+    },
+    /// `sum(attr over X) ≥ v` — monotone when the attribute is
+    /// non-negative, otherwise hard.
+    MinSum {
+        /// The attribute column summed.
+        attr: AttrId,
+        /// The inclusive lower bound `v`.
+        bound: f64,
+    },
+    /// `X ⊆ S` — succinct and anti-monotone. Items sorted ascending.
+    SubsetOf(Vec<Item>),
+    /// `S ⊆ X` — succinct and monotone. Items sorted ascending.
+    ContainsAll(Vec<Item>),
+    /// `X ∩ S ≠ ∅` — succinct and monotone.
+    ContainsAny(Vec<Item>),
+    /// `avg(attr over X) ≥ v` — convertible.
+    AvgAtLeast {
+        /// The attribute column averaged.
+        attr: AttrId,
+        /// The inclusive lower bound `v`.
+        bound: f64,
+    },
+    /// `avg(attr over X) ≤ v` — convertible.
+    AvgAtMost {
+        /// The attribute column averaged.
+        attr: AttrId,
+        /// The inclusive upper bound `v`.
+        bound: f64,
+    },
+}
+
+/// Partial order between two constraints of the same kind: is `new`
+/// tighter (solution space shrinks), looser, or equal?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tightness {
+    /// Same solution space.
+    Equal,
+    /// `new` admits a subset of `old`'s solutions.
+    Tighter,
+    /// `new` admits a superset of `old`'s solutions.
+    Looser,
+    /// Different kinds or incomparable parameters.
+    Incomparable,
+}
+
+impl Constraint {
+    /// Normalizes item-set constraints (sorts their item lists). Called by
+    /// [`crate::ConstraintSet`] on insertion.
+    pub fn normalized(mut self) -> Self {
+        match &mut self {
+            Constraint::SubsetOf(s) | Constraint::ContainsAll(s) | Constraint::ContainsAny(s) => {
+                s.sort_unstable();
+                s.dedup();
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// The constraint's class, given the attribute table (sum constraints
+    /// are only anti-/monotone for non-negative attributes).
+    pub fn class(&self, attrs: &ItemAttributes) -> ConstraintClass {
+        match self {
+            Constraint::MaxLength(_) => ConstraintClass::AntiMonotone,
+            Constraint::MinLength(_) => ConstraintClass::Monotone,
+            Constraint::MaxSum { attr, .. } => {
+                if attrs.is_non_negative(*attr) {
+                    ConstraintClass::AntiMonotone
+                } else {
+                    ConstraintClass::Hard
+                }
+            }
+            Constraint::MinSum { attr, .. } => {
+                if attrs.is_non_negative(*attr) {
+                    ConstraintClass::Monotone
+                } else {
+                    ConstraintClass::Hard
+                }
+            }
+            Constraint::SubsetOf(_) | Constraint::ContainsAll(_) | Constraint::ContainsAny(_) => {
+                ConstraintClass::Succinct
+            }
+            Constraint::AvgAtLeast { .. } | Constraint::AvgAtMost { .. } => {
+                ConstraintClass::Convertible
+            }
+        }
+    }
+
+    /// Evaluates the constraint on a pattern (sorted ascending).
+    pub fn satisfied(&self, items: &[Item], attrs: &ItemAttributes) -> bool {
+        match self {
+            Constraint::MaxLength(k) => items.len() <= *k,
+            Constraint::MinLength(k) => items.len() >= *k,
+            Constraint::MaxSum { attr, bound } => attrs.sum(*attr, items) <= *bound,
+            Constraint::MinSum { attr, bound } => attrs.sum(*attr, items) >= *bound,
+            Constraint::SubsetOf(s) => is_subset(items, s),
+            Constraint::ContainsAll(s) => is_subset(s, items),
+            Constraint::ContainsAny(s) => {
+                items.iter().any(|it| s.binary_search(it).is_ok())
+            }
+            Constraint::AvgAtLeast { attr, bound } => attrs.avg(*attr, items) >= *bound,
+            Constraint::AvgAtMost { attr, bound } => attrs.avg(*attr, items) <= *bound,
+        }
+    }
+
+    /// Compares the solution spaces of two constraints of the same kind.
+    pub fn tightness_vs(&self, old: &Constraint) -> Tightness {
+        use Constraint::*;
+        fn from_ord(new_tighter: Ordering) -> Tightness {
+            match new_tighter {
+                Ordering::Less => Tightness::Tighter,
+                Ordering::Equal => Tightness::Equal,
+                Ordering::Greater => Tightness::Looser,
+            }
+        }
+        match (self, old) {
+            (MaxLength(a), MaxLength(b)) => from_ord(a.cmp(b)),
+            (MinLength(a), MinLength(b)) => from_ord(b.cmp(a)),
+            (MaxSum { attr: aa, bound: a }, MaxSum { attr: ab, bound: b }) if aa == ab => {
+                from_ord(a.partial_cmp(b).unwrap_or(Ordering::Equal))
+            }
+            (MinSum { attr: aa, bound: a }, MinSum { attr: ab, bound: b }) if aa == ab => {
+                from_ord(b.partial_cmp(a).unwrap_or(Ordering::Equal))
+            }
+            (AvgAtLeast { attr: aa, bound: a }, AvgAtLeast { attr: ab, bound: b }) if aa == ab => {
+                from_ord(b.partial_cmp(a).unwrap_or(Ordering::Equal))
+            }
+            (AvgAtMost { attr: aa, bound: a }, AvgAtMost { attr: ab, bound: b }) if aa == ab => {
+                from_ord(a.partial_cmp(b).unwrap_or(Ordering::Equal))
+            }
+            (SubsetOf(a), SubsetOf(b)) => set_tightness(a, b, true),
+            (ContainsAll(a), ContainsAll(b)) => set_tightness(a, b, false),
+            (ContainsAny(a), ContainsAny(b)) => set_tightness(a, b, true),
+            _ => Tightness::Incomparable,
+        }
+    }
+}
+
+/// Tightness of item-set constraints: for `X ⊆ S` / `X ∩ S ≠ ∅` a smaller
+/// `S` is tighter (`smaller_is_tighter = true`); for `S ⊆ X` a larger `S`
+/// is tighter.
+fn set_tightness(new: &[Item], old: &[Item], smaller_is_tighter: bool) -> Tightness {
+    let new_sub = is_subset(new, old);
+    let old_sub = is_subset(old, new);
+    match (new_sub, old_sub) {
+        (true, true) => Tightness::Equal,
+        (true, false) => {
+            if smaller_is_tighter {
+                Tightness::Tighter
+            } else {
+                Tightness::Looser
+            }
+        }
+        (false, true) => {
+            if smaller_is_tighter {
+                Tightness::Looser
+            } else {
+                Tightness::Tighter
+            }
+        }
+        (false, false) => Tightness::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn length_constraints() {
+        let attrs = ItemAttributes::new();
+        assert!(Constraint::MaxLength(2).satisfied(&items(&[1, 2]), &attrs));
+        assert!(!Constraint::MaxLength(1).satisfied(&items(&[1, 2]), &attrs));
+        assert!(Constraint::MinLength(2).satisfied(&items(&[1, 2]), &attrs));
+        assert!(!Constraint::MinLength(3).satisfied(&items(&[1, 2]), &attrs));
+    }
+
+    #[test]
+    fn sum_constraints_and_classes() {
+        let mut attrs = ItemAttributes::new();
+        let price = attrs.add_column(vec![10.0, 20.0, 30.0], 0.0);
+        let c = Constraint::MaxSum { attr: price, bound: 25.0 };
+        assert!(c.satisfied(&items(&[0]), &attrs));
+        assert!(!c.satisfied(&items(&[0, 1]), &attrs));
+        assert_eq!(c.class(&attrs), ConstraintClass::AntiMonotone);
+        let neg = attrs.add_column(vec![-1.0], 0.0);
+        assert_eq!(
+            Constraint::MaxSum { attr: neg, bound: 0.0 }.class(&attrs),
+            ConstraintClass::Hard
+        );
+    }
+
+    #[test]
+    fn succinct_constraints() {
+        let attrs = ItemAttributes::new();
+        let s = Constraint::SubsetOf(items(&[1, 2, 3]));
+        assert!(s.satisfied(&items(&[1, 3]), &attrs));
+        assert!(!s.satisfied(&items(&[1, 4]), &attrs));
+        let all = Constraint::ContainsAll(items(&[2]));
+        assert!(all.satisfied(&items(&[1, 2]), &attrs));
+        assert!(!all.satisfied(&items(&[1]), &attrs));
+        let any = Constraint::ContainsAny(items(&[5, 6]));
+        assert!(any.satisfied(&items(&[4, 5]), &attrs));
+        assert!(!any.satisfied(&items(&[4]), &attrs));
+    }
+
+    #[test]
+    fn avg_constraints() {
+        let mut attrs = ItemAttributes::new();
+        let price = attrs.add_column(vec![10.0, 30.0], 0.0);
+        let c = Constraint::AvgAtLeast { attr: price, bound: 15.0 };
+        assert!(c.satisfied(&items(&[0, 1]), &attrs)); // avg 20
+        assert!(!c.satisfied(&items(&[0]), &attrs)); // avg 10
+        assert_eq!(c.class(&attrs), ConstraintClass::Convertible);
+    }
+
+    #[test]
+    fn tightness_of_length_bounds() {
+        use Tightness::*;
+        assert_eq!(Constraint::MaxLength(2).tightness_vs(&Constraint::MaxLength(3)), Tighter);
+        assert_eq!(Constraint::MaxLength(3).tightness_vs(&Constraint::MaxLength(3)), Equal);
+        assert_eq!(Constraint::MinLength(2).tightness_vs(&Constraint::MinLength(3)), Looser);
+        assert_eq!(
+            Constraint::MaxLength(2).tightness_vs(&Constraint::MinLength(2)),
+            Incomparable
+        );
+    }
+
+    #[test]
+    fn tightness_of_item_sets() {
+        use Tightness::*;
+        let small = Constraint::SubsetOf(items(&[1, 2]));
+        let big = Constraint::SubsetOf(items(&[1, 2, 3]));
+        assert_eq!(small.tightness_vs(&big), Tighter);
+        assert_eq!(big.tightness_vs(&small), Looser);
+        let other = Constraint::SubsetOf(items(&[4]));
+        assert_eq!(small.tightness_vs(&other), Incomparable);
+        // ContainsAll: larger required set is tighter.
+        let need1 = Constraint::ContainsAll(items(&[1]));
+        let need12 = Constraint::ContainsAll(items(&[1, 2]));
+        assert_eq!(need12.tightness_vs(&need1), Tighter);
+    }
+
+    #[test]
+    fn normalized_sorts_sets() {
+        let c = Constraint::SubsetOf(items(&[3, 1, 3])).normalized();
+        assert_eq!(c, Constraint::SubsetOf(items(&[1, 3])));
+    }
+
+    #[test]
+    fn avg_tightness_direction() {
+        use Tightness::*;
+        let a = AttrId(0);
+        let lo = Constraint::AvgAtLeast { attr: a, bound: 10.0 };
+        let hi = Constraint::AvgAtLeast { attr: a, bound: 20.0 };
+        assert_eq!(hi.tightness_vs(&lo), Tighter);
+        assert_eq!(lo.tightness_vs(&hi), Looser);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Constrained frequent-pattern mining framework.
+//!
+//! The paper's problem statement (§2) mines under a *set of constraints*
+//! `C` that always includes a minimum-support threshold and may add
+//! further predicates drawn from the four classes the constrained-mining
+//! literature integrates into miners (Ng et al., Pei & Han):
+//!
+//! * **anti-monotone** — if a pattern violates it, so do all supersets
+//!   (e.g. `sup(X) ≥ ξ`, `|X| ≤ k`, `sum(price) ≤ v` for non-negative
+//!   prices). These prune the search space during mining.
+//! * **monotone** — if a pattern satisfies it, so do all supersets
+//!   (e.g. `|X| ≥ k`).
+//! * **succinct** — expressible as set operations on item subsets
+//!   (e.g. `X ⊆ S`, `X ∩ S ≠ ∅`).
+//! * **convertible** — become anti-/monotone under an item ordering
+//!   (e.g. `avg(price) ≥ v`).
+//!
+//! The recycling engine needs exactly two operations from this framework:
+//!
+//! 1. [`ConstraintSet::relation_to`] — decide whether a new constraint set
+//!    is a *tightening* or a *relaxation* of the previous round's. A
+//!    tightening is answered by [`filtering`](ConstraintSet::satisfied_by)
+//!    the old `FP`; a relaxation triggers compression + re-mining.
+//! 2. [`pushdown`] — derive prune predicates that projected-database
+//!    miners can consult while mining (anti-monotone and succinct classes
+//!    only; the rest are post-filters).
+
+pub mod attrs;
+pub mod constraint;
+pub mod pushdown;
+pub mod set;
+
+pub use attrs::{AttrId, ItemAttributes};
+pub use constraint::{Constraint, ConstraintClass};
+pub use pushdown::Pushdown;
+pub use set::{ConstraintSet, Relation};

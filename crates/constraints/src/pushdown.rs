@@ -1,0 +1,204 @@
+//! Pushing constraints into projected-database mining.
+//!
+//! Anti-monotone constraints can prune the depth-first search: once a
+//! prefix violates one, no extension can recover, so the whole subtree is
+//! skipped. Succinct `X ⊆ S` constraints go further and shrink the F-list
+//! itself. Monotone/convertible/hard constraints are left to
+//! post-filtering (integrating them more deeply is the province of the
+//! constrained miners the paper cites [12, 14], not of the recycling
+//! technique).
+
+use crate::attrs::ItemAttributes;
+use crate::constraint::{Constraint, ConstraintClass};
+use crate::set::ConstraintSet;
+use gogreen_data::{Item, SearchPrune};
+use gogreen_util::FxHashSet;
+
+/// Prune hooks derived from a [`ConstraintSet`], consulted by miners.
+#[derive(Debug, Clone)]
+pub struct Pushdown {
+    /// Longest prefix worth extending (from `MaxLength`), if bounded.
+    max_length: Option<usize>,
+    /// Per-item attribute budgets (from non-negative `MaxSum`).
+    sum_budgets: Vec<(crate::AttrId, f64)>,
+    /// Item whitelist (from `SubsetOf`), if any.
+    allowed: Option<FxHashSet<Item>>,
+}
+
+impl Pushdown {
+    /// Extracts the pushable parts of `cs`.
+    pub fn from_constraints(cs: &ConstraintSet, attrs: &ItemAttributes) -> Self {
+        let mut max_length = None;
+        let mut sum_budgets = Vec::new();
+        let mut allowed: Option<FxHashSet<Item>> = None;
+        for c in cs.others() {
+            match c {
+                Constraint::MaxLength(k) => {
+                    max_length = Some(max_length.map_or(*k, |m: usize| m.min(*k)));
+                }
+                Constraint::MaxSum { attr, bound }
+                    if c.class(attrs) == ConstraintClass::AntiMonotone =>
+                {
+                    sum_budgets.push((*attr, *bound));
+                }
+                Constraint::SubsetOf(s) => {
+                    let set: FxHashSet<Item> = s.iter().copied().collect();
+                    allowed = Some(match allowed {
+                        None => set,
+                        Some(prev) => prev.intersection(&set).copied().collect(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Pushdown { max_length, sum_budgets, allowed }
+    }
+
+    /// A pushdown that never prunes.
+    pub fn none() -> Self {
+        Pushdown { max_length: None, sum_budgets: Vec::new(), allowed: None }
+    }
+
+    /// True when `item` may appear in any output pattern (F-list filter).
+    pub fn item_allowed(&self, item: Item) -> bool {
+        self.allowed.as_ref().is_none_or(|s| s.contains(&item))
+    }
+
+    /// True when a prefix of length `len` may still be extended.
+    pub fn may_extend(&self, len: usize) -> bool {
+        self.max_length.is_none_or(|m| len < m)
+    }
+
+    /// True when a pattern (sorted items) passes all pushed anti-monotone
+    /// checks — used both as an in-search prune and a final guard.
+    pub fn prefix_ok(&self, items: &[Item], attrs: &ItemAttributes) -> bool {
+        if let Some(m) = self.max_length {
+            if items.len() > m {
+                return false;
+            }
+        }
+        if let Some(s) = &self.allowed {
+            if !items.iter().all(|it| s.contains(it)) {
+                return false;
+            }
+        }
+        self.sum_budgets.iter().all(|&(attr, bound)| attrs.sum(attr, items) <= bound)
+    }
+
+    /// True when nothing is pushed (miners can skip all hook calls).
+    pub fn is_empty(&self) -> bool {
+        self.max_length.is_none() && self.sum_budgets.is_empty() && self.allowed.is_none()
+    }
+
+    /// Adapts this pushdown bundle (plus the attribute table its sum
+    /// budgets refer to) into the [`SearchPrune`] hooks the miners
+    /// consume.
+    pub fn search<'a>(&'a self, attrs: &'a ItemAttributes) -> PrunedSearch<'a> {
+        PrunedSearch { pushdown: self, attrs }
+    }
+}
+
+/// [`SearchPrune`] view of a [`Pushdown`] bundle.
+#[derive(Debug, Clone, Copy)]
+pub struct PrunedSearch<'a> {
+    pushdown: &'a Pushdown,
+    attrs: &'a ItemAttributes,
+}
+
+impl SearchPrune for PrunedSearch<'_> {
+    fn item_allowed(&self, item: Item) -> bool {
+        self.pushdown.item_allowed(item)
+    }
+
+    fn may_extend(&self, len: usize) -> bool {
+        self.pushdown.may_extend(len)
+    }
+
+    fn prefix_ok(&self, items: &[Item]) -> bool {
+        // All pushed predicates are order-insensitive (length, item
+        // membership, non-negative sums), so DFS push order is fine.
+        if let Some(m) = self.pushdown.max_length {
+            if items.len() > m {
+                return false;
+            }
+        }
+        if let Some(s) = &self.pushdown.allowed {
+            if !items.iter().all(|it| s.contains(it)) {
+                return false;
+            }
+        }
+        self.pushdown
+            .sum_budgets
+            .iter()
+            .all(|&(attr, bound)| self.attrs.sum(attr, items) <= bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::MinSupport;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_pushes_nothing() {
+        let attrs = ItemAttributes::new();
+        let p = Pushdown::from_constraints(
+            &ConstraintSet::support_only(MinSupport::Absolute(1)),
+            &attrs,
+        );
+        assert!(p.is_empty());
+        assert!(p.item_allowed(Item(0)));
+        assert!(p.may_extend(1000));
+        assert!(p.prefix_ok(&items(&[1, 2, 3]), &attrs));
+    }
+
+    #[test]
+    fn max_length_pushes() {
+        let attrs = ItemAttributes::new();
+        let cs = ConstraintSet::support_only(MinSupport::Absolute(1))
+            .with(Constraint::MaxLength(2))
+            .with(Constraint::MaxLength(3));
+        let p = Pushdown::from_constraints(&cs, &attrs);
+        assert!(p.may_extend(1));
+        assert!(!p.may_extend(2));
+        assert!(p.prefix_ok(&items(&[1, 2]), &attrs));
+        assert!(!p.prefix_ok(&items(&[1, 2, 3]), &attrs));
+    }
+
+    #[test]
+    fn subset_of_whitelists_items() {
+        let attrs = ItemAttributes::new();
+        let cs = ConstraintSet::support_only(MinSupport::Absolute(1))
+            .with(Constraint::SubsetOf(items(&[1, 2, 3])))
+            .with(Constraint::SubsetOf(items(&[2, 3, 4])));
+        let p = Pushdown::from_constraints(&cs, &attrs);
+        assert!(p.item_allowed(Item(2)));
+        assert!(!p.item_allowed(Item(1))); // intersection {2,3}
+        assert!(!p.item_allowed(Item(4)));
+    }
+
+    #[test]
+    fn negative_sums_are_not_pushed() {
+        let mut attrs = ItemAttributes::new();
+        let neg = attrs.add_column(vec![-1.0, 2.0], 0.0);
+        let cs = ConstraintSet::support_only(MinSupport::Absolute(1))
+            .with(Constraint::MaxSum { attr: neg, bound: 1.0 });
+        let p = Pushdown::from_constraints(&cs, &attrs);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn sum_budget_prunes_prefix() {
+        let mut attrs = ItemAttributes::new();
+        let price = attrs.add_column(vec![10.0, 20.0, 30.0], 0.0);
+        let cs = ConstraintSet::support_only(MinSupport::Absolute(1))
+            .with(Constraint::MaxSum { attr: price, bound: 25.0 });
+        let p = Pushdown::from_constraints(&cs, &attrs);
+        assert!(p.prefix_ok(&items(&[0]), &attrs));
+        assert!(!p.prefix_ok(&items(&[0, 1]), &attrs));
+    }
+}

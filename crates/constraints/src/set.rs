@@ -1,0 +1,164 @@
+//! Constraint sets and the tighten/relax relation between mining rounds.
+
+use crate::attrs::ItemAttributes;
+use crate::constraint::{Constraint, Tightness};
+use gogreen_data::{MinSupport, Pattern};
+
+/// A full constraint specification for one mining round: the paper's `C`,
+/// always containing a minimum support plus optional further constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSet {
+    min_support: MinSupport,
+    others: Vec<Constraint>,
+}
+
+/// How a new constraint set relates to the previous round's — the dispatch
+/// point of the recycling engine (§2):
+///
+/// * `Tightened` → the new answer is a **filter** of the old `FP`.
+/// * `Relaxed` → the old `FP` cannot contain the new answer; recycle it as
+///   compression fodder and re-mine.
+/// * `Mixed`/`Incomparable` → treated like `Relaxed` (re-mine), with
+///   post-filtering for the non-support constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// Identical solution spaces.
+    Equal,
+    /// Every constraint is as tight or tighter.
+    Tightened,
+    /// Every constraint is as loose or looser.
+    Relaxed,
+    /// Some tighter, some looser.
+    Mixed,
+    /// Constraint kinds don't align.
+    Incomparable,
+}
+
+impl ConstraintSet {
+    /// A constraint set with only a minimum support.
+    pub fn support_only(min_support: MinSupport) -> Self {
+        ConstraintSet { min_support, others: Vec::new() }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn with(mut self, c: Constraint) -> Self {
+        self.others.push(c.normalized());
+        self
+    }
+
+    /// The minimum-support component.
+    pub fn min_support(&self) -> MinSupport {
+        self.min_support
+    }
+
+    /// Replaces the minimum support, keeping other constraints.
+    pub fn set_min_support(&mut self, ms: MinSupport) {
+        self.min_support = ms;
+    }
+
+    /// The non-support constraints.
+    pub fn others(&self) -> &[Constraint] {
+        &self.others
+    }
+
+    /// Evaluates all constraints on a mined pattern.
+    pub fn satisfied_by(&self, p: &Pattern, db_len: usize, attrs: &ItemAttributes) -> bool {
+        p.support() >= self.min_support.to_absolute(db_len)
+            && self.others.iter().all(|c| c.satisfied(p.items(), attrs))
+    }
+
+    /// Classifies this set against `old` for a database of `db_len`
+    /// tuples.
+    ///
+    /// The comparison is conservative: constraints are matched pairwise in
+    /// order, and any unmatched or incomparable pair degrades the result,
+    /// so a `Tightened`/`Relaxed` verdict is always sound (never claims a
+    /// smaller/larger solution space wrongly).
+    pub fn relation_to(&self, old: &ConstraintSet, db_len: usize) -> Relation {
+        if self.others.len() != old.others.len() {
+            return Relation::Incomparable;
+        }
+        let new_abs = self.min_support.to_absolute(db_len);
+        let old_abs = old.min_support.to_absolute(db_len);
+        let mut any_tighter = new_abs > old_abs;
+        let mut any_looser = new_abs < old_abs;
+        for (n, o) in self.others.iter().zip(&old.others) {
+            match n.tightness_vs(o) {
+                Tightness::Equal => {}
+                Tightness::Tighter => any_tighter = true,
+                Tightness::Looser => any_looser = true,
+                Tightness::Incomparable => return Relation::Incomparable,
+            }
+        }
+        match (any_tighter, any_looser) {
+            (false, false) => Relation::Equal,
+            (true, false) => Relation::Tightened,
+            (false, true) => Relation::Relaxed,
+            (true, true) => Relation::Mixed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::Item;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    #[test]
+    fn support_only_relations() {
+        let five = ConstraintSet::support_only(MinSupport::percent(5.0));
+        let three = ConstraintSet::support_only(MinSupport::percent(3.0));
+        assert_eq!(three.relation_to(&five, 1000), Relation::Relaxed);
+        assert_eq!(five.relation_to(&three, 1000), Relation::Tightened);
+        assert_eq!(five.relation_to(&five, 1000), Relation::Equal);
+    }
+
+    #[test]
+    fn mixed_when_support_drops_but_length_tightens() {
+        let old = ConstraintSet::support_only(MinSupport::Absolute(5))
+            .with(Constraint::MaxLength(5));
+        let new = ConstraintSet::support_only(MinSupport::Absolute(3))
+            .with(Constraint::MaxLength(3));
+        assert_eq!(new.relation_to(&old, 100), Relation::Mixed);
+    }
+
+    #[test]
+    fn incomparable_on_shape_mismatch() {
+        let old = ConstraintSet::support_only(MinSupport::Absolute(5));
+        let new = ConstraintSet::support_only(MinSupport::Absolute(5))
+            .with(Constraint::MaxLength(3));
+        assert_eq!(new.relation_to(&old, 100), Relation::Incomparable);
+        let old2 = ConstraintSet::support_only(MinSupport::Absolute(5))
+            .with(Constraint::MinLength(2));
+        assert_eq!(new.relation_to(&old2, 100), Relation::Incomparable);
+    }
+
+    #[test]
+    fn satisfied_by_checks_all_parts() {
+        let attrs = ItemAttributes::new();
+        let cs = ConstraintSet::support_only(MinSupport::Absolute(3))
+            .with(Constraint::MaxLength(2))
+            .with(Constraint::SubsetOf(items(&[1, 2, 3])));
+        let ok = Pattern::from_ids([1, 2], 4);
+        assert!(cs.satisfied_by(&ok, 100, &attrs));
+        let low_support = Pattern::from_ids([1, 2], 2);
+        assert!(!cs.satisfied_by(&low_support, 100, &attrs));
+        let too_long = Pattern::from_ids([1, 2, 3], 4);
+        assert!(!cs.satisfied_by(&too_long, 100, &attrs));
+        let outside = Pattern::from_ids([1, 4], 4);
+        assert!(!cs.satisfied_by(&outside, 100, &attrs));
+    }
+
+    #[test]
+    fn relaxed_subset_of() {
+        let old = ConstraintSet::support_only(MinSupport::Absolute(3))
+            .with(Constraint::SubsetOf(items(&[1, 2])));
+        let new = ConstraintSet::support_only(MinSupport::Absolute(3))
+            .with(Constraint::SubsetOf(items(&[1, 2, 3])));
+        assert_eq!(new.relation_to(&old, 100), Relation::Relaxed);
+    }
+}

@@ -1,0 +1,97 @@
+//! Semantic soundness of [`ConstraintSet::relation_to`]: when it claims
+//! `Tightened`, the new solution space really is a subset of the old one
+//! (and symmetrically for `Relaxed`) — checked by brute force over the
+//! power set of a small item universe.
+
+use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Relation};
+use gogreen_data::{Item, MinSupport, Pattern};
+use proptest::prelude::*;
+
+/// Enumerates all non-empty itemsets over items 0..n with a synthetic
+/// support (larger sets less frequent, deterministic).
+fn universe(n: u32, db_len: usize) -> Vec<Pattern> {
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let items: Vec<Item> =
+            (0..n).filter(|b| mask & (1 << b) != 0).map(Item).collect();
+        let support = (db_len / items.len()).max(1) as u64;
+        out.push(Pattern::new(items, support));
+    }
+    out
+}
+
+fn arb_constraint() -> impl proptest::strategy::Strategy<Value = Constraint> {
+    prop_oneof![
+        (1usize..5).prop_map(Constraint::MaxLength),
+        (1usize..5).prop_map(Constraint::MinLength),
+        prop::collection::btree_set(0u32..5, 1..4).prop_map(|s| {
+            Constraint::SubsetOf(s.into_iter().map(Item).collect())
+        }),
+        prop::collection::btree_set(0u32..5, 1..3).prop_map(|s| {
+            Constraint::ContainsAll(s.into_iter().map(Item).collect())
+        }),
+        prop::collection::btree_set(0u32..5, 1..4).prop_map(|s| {
+            Constraint::ContainsAny(s.into_iter().map(Item).collect())
+        }),
+    ]
+}
+
+fn arb_set() -> impl proptest::strategy::Strategy<Value = ConstraintSet> {
+    ((1u64..20), prop::collection::vec(arb_constraint(), 0..3)).prop_map(|(ms, cs)| {
+        let mut set = ConstraintSet::support_only(MinSupport::Absolute(ms));
+        for c in cs {
+            set = set.with(c);
+        }
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tightened_means_subset(a in arb_set(), b in arb_set()) {
+        let attrs = ItemAttributes::new();
+        let db_len = 40;
+        let all = universe(5, db_len);
+        let sols = |cs: &ConstraintSet| -> Vec<bool> {
+            all.iter().map(|p| cs.satisfied_by(p, db_len, &attrs)).collect()
+        };
+        match a.relation_to(&b, db_len) {
+            Relation::Tightened | Relation::Equal => {
+                // a's solutions ⊆ b's solutions.
+                let (sa, sb) = (sols(&a), sols(&b));
+                for (k, (&x, &y)) in sa.iter().zip(&sb).enumerate() {
+                    prop_assert!(!x || y, "pattern {} satisfies tightened but not old", all[k]);
+                }
+            }
+            Relation::Relaxed => {
+                let (sa, sb) = (sols(&a), sols(&b));
+                for (k, (&x, &y)) in sa.iter().zip(&sb).enumerate() {
+                    prop_assert!(!y || x, "pattern {} satisfies old but not relaxed", all[k]);
+                }
+            }
+            // Mixed/Incomparable make no subset claim.
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn relation_is_antisymmetric(a in arb_set(), b in arb_set()) {
+        let db_len = 40;
+        let ab = a.relation_to(&b, db_len);
+        let ba = b.relation_to(&a, db_len);
+        match ab {
+            Relation::Equal => prop_assert_eq!(ba, Relation::Equal),
+            Relation::Tightened => prop_assert_eq!(ba, Relation::Relaxed),
+            Relation::Relaxed => prop_assert_eq!(ba, Relation::Tightened),
+            Relation::Mixed => prop_assert_eq!(ba, Relation::Mixed),
+            Relation::Incomparable => prop_assert_eq!(ba, Relation::Incomparable),
+        }
+    }
+
+    #[test]
+    fn relation_to_self_is_equal(a in arb_set()) {
+        prop_assert_eq!(a.relation_to(&a, 40), Relation::Equal);
+    }
+}

@@ -1,0 +1,528 @@
+//! The compressed database (paper §3.1, Table 2).
+//!
+//! A [`CompressedDb`] partitions the tuples of the original database into
+//! *groups* — tuples covered by the same recycled pattern, stored as the
+//! pattern (once) plus each member's *outlying items* — and a residue of
+//! *plain* tuples no pattern covered. Compression is lossless:
+//! [`CompressedDb::reconstruct`] returns the original tuple multiset.
+//!
+//! For mining, the item-space structure is re-encoded against an F-list
+//! into a [`CompressedRankDb`], mirroring how plain databases become
+//! [`gogreen_data::projected::RankDb`]s.
+
+use gogreen_data::{FList, Item, Transaction, TransactionDb};
+use gogreen_util::HeapSize;
+
+/// One compression group: a pattern and its member tuples' outlying items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// The covering pattern, sorted ascending by item id. Never empty.
+    pattern: Box<[Item]>,
+    /// Outlying items (sorted ascending) of members that have any.
+    outliers: Vec<Box<[Item]>>,
+    /// Members whose tuple *is* the pattern (no outlying items).
+    bare: u32,
+}
+
+impl Group {
+    /// Creates a group. `pattern` and each outlier list must be sorted
+    /// ascending; outlier lists must be non-empty and disjoint from the
+    /// pattern.
+    pub fn new(pattern: Vec<Item>, outliers: Vec<Vec<Item>>, bare: u32) -> Self {
+        debug_assert!(!pattern.is_empty());
+        debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(outliers.iter().all(|o| {
+            !o.is_empty()
+                && o.windows(2).all(|w| w[0] < w[1])
+                && o.iter().all(|it| pattern.binary_search(it).is_err())
+        }));
+        Group {
+            pattern: pattern.into_boxed_slice(),
+            outliers: outliers.into_iter().map(Vec::into_boxed_slice).collect(),
+            bare,
+        }
+    }
+
+    /// The group pattern.
+    pub fn pattern(&self) -> &[Item] {
+        &self.pattern
+    }
+
+    /// Outlying-item lists of members that have any.
+    pub fn outliers(&self) -> &[Box<[Item]>] {
+        &self.outliers
+    }
+
+    /// Number of member tuples (the group count the miners exploit).
+    pub fn count(&self) -> u64 {
+        self.outliers.len() as u64 + u64::from(self.bare)
+    }
+
+    /// Members without outlying items.
+    pub fn bare(&self) -> u32 {
+        self.bare
+    }
+}
+
+/// A database compressed with recycled frequent patterns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CompressedDb {
+    groups: Vec<Group>,
+    plain: Vec<Transaction>,
+    original_items: usize,
+}
+
+/// Size/ratio summary of a compressed database.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdbStats {
+    /// Tuples represented (groups' members + plain).
+    pub num_tuples: usize,
+    /// Number of groups.
+    pub num_groups: usize,
+    /// Tuples covered by some group.
+    pub covered_tuples: usize,
+    /// Item occurrences stored: each group pattern once, plus all
+    /// outlying items, plus plain tuples.
+    pub compressed_size: usize,
+    /// Item occurrences of the original database.
+    pub original_size: usize,
+}
+
+impl CdbStats {
+    /// `S_c / S_o` — the paper's Table 3 ratio. Smaller is better
+    /// compression; 1.0 means nothing was compressed.
+    pub fn ratio(&self) -> f64 {
+        if self.original_size == 0 {
+            1.0
+        } else {
+            self.compressed_size as f64 / self.original_size as f64
+        }
+    }
+}
+
+impl CompressedDb {
+    /// Assembles a compressed database from parts. `original_items` is
+    /// the item-occurrence count of the uncompressed database (for the
+    /// compression ratio).
+    pub fn new(groups: Vec<Group>, plain: Vec<Transaction>, original_items: usize) -> Self {
+        CompressedDb { groups, plain, original_items }
+    }
+
+    /// Wraps a plain database with no compression at all (every tuple in
+    /// the plain residue). Recycling miners on such a "compressed"
+    /// database behave exactly like their non-recycling counterparts —
+    /// used as a correctness bridge in tests.
+    pub fn uncompressed(db: &TransactionDb) -> Self {
+        let original_items = db.iter().map(Transaction::len).sum();
+        CompressedDb { groups: Vec::new(), plain: db.iter().cloned().collect(), original_items }
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// The uncovered tuples.
+    pub fn plain(&self) -> &[Transaction] {
+        &self.plain
+    }
+
+    /// Total number of tuples represented (= original `|DB|`).
+    pub fn num_tuples(&self) -> usize {
+        self.groups.iter().map(|g| g.count() as usize).sum::<usize>() + self.plain.len()
+    }
+
+    /// Size/ratio summary.
+    pub fn stats(&self) -> CdbStats {
+        let covered: usize = self.groups.iter().map(|g| g.count() as usize).sum();
+        let compressed_size: usize = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.pattern.len() + g.outliers.iter().map(|o| o.len()).sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.plain.iter().map(Transaction::len).sum::<usize>();
+        CdbStats {
+            num_tuples: covered + self.plain.len(),
+            num_groups: self.groups.len(),
+            covered_tuples: covered,
+            compressed_size,
+            original_size: self.original_items,
+        }
+    }
+
+    /// Per-item supports, computed the compressed way (paper §3.1): each
+    /// group pattern item is counted once with the group count; outlying
+    /// and plain items per occurrence.
+    pub fn item_supports(&self) -> Vec<u64> {
+        let mut max_id: Option<u32> = None;
+        let mut consider = |items: &[Item]| {
+            if let Some(&last) = items.last() {
+                max_id = Some(max_id.map_or(last.id(), |m| m.max(last.id())));
+            }
+        };
+        for g in &self.groups {
+            consider(&g.pattern);
+            for o in &g.outliers {
+                consider(o);
+            }
+        }
+        for t in &self.plain {
+            consider(t.items());
+        }
+        let mut counts = vec![0u64; max_id.map_or(0, |m| m as usize + 1)];
+        for g in &self.groups {
+            let c = g.count();
+            for it in g.pattern.iter() {
+                counts[it.index()] += c;
+            }
+            for o in &g.outliers {
+                for it in o.iter() {
+                    counts[it.index()] += 1;
+                }
+            }
+        }
+        for t in &self.plain {
+            for it in t.items() {
+                counts[it.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Builds the F-list of the represented database at `min_support`
+    /// without decompressing.
+    pub fn flist(&self, min_support: u64) -> FList {
+        FList::from_counts(&self.item_supports(), min_support)
+    }
+
+    /// Decompresses back to the original tuple multiset (tuple order is
+    /// not preserved). Compression must be lossless; the property tests
+    /// assert `reconstruct()` equals the source database as a multiset.
+    pub fn reconstruct(&self) -> TransactionDb {
+        let mut out = Vec::with_capacity(self.num_tuples());
+        for g in &self.groups {
+            for o in &g.outliers {
+                let mut items = Vec::with_capacity(g.pattern.len() + o.len());
+                items.extend_from_slice(&g.pattern);
+                items.extend_from_slice(o);
+                out.push(Transaction::new(items));
+            }
+            for _ in 0..g.bare {
+                out.push(Transaction::new(g.pattern.to_vec()));
+            }
+        }
+        out.extend(self.plain.iter().cloned());
+        TransactionDb::from_transactions(out)
+    }
+
+    /// Re-encodes into rank space against `flist` for mining.
+    pub fn to_ranks(&self, flist: &FList) -> CompressedRankDb {
+        let mut groups = Vec::with_capacity(self.groups.len());
+        let mut plain: Vec<Vec<u32>> = Vec::with_capacity(self.plain.len());
+        for g in &self.groups {
+            let pattern = flist.encode(&g.pattern);
+            if pattern.is_empty() {
+                // Every pattern item infrequent: members degrade to plain
+                // tuples of their frequent outliers.
+                for o in &g.outliers {
+                    let enc = flist.encode(o);
+                    if !enc.is_empty() {
+                        plain.push(enc);
+                    }
+                }
+                continue;
+            }
+            let mut bare = u64::from(g.bare);
+            let mut outliers = Vec::with_capacity(g.outliers.len());
+            for o in &g.outliers {
+                let enc = flist.encode(o);
+                if enc.is_empty() {
+                    bare += 1;
+                } else {
+                    outliers.push(enc);
+                }
+            }
+            groups.push(CrGroup { pattern, outliers, bare });
+        }
+        for t in &self.plain {
+            let enc = flist.encode(t.items());
+            if !enc.is_empty() {
+                plain.push(enc);
+            }
+        }
+        CompressedRankDb { groups, plain, num_ranks: flist.len() }
+    }
+}
+
+impl HeapSize for CompressedDb {
+    fn heap_size(&self) -> usize {
+        let groups: usize = self
+            .groups
+            .iter()
+            .map(|g| {
+                g.pattern.len() * std::mem::size_of::<Item>()
+                    + g.outliers.iter().map(|o| o.heap_size()).sum::<usize>()
+                    + g.outliers.capacity() * std::mem::size_of::<Box<[Item]>>()
+            })
+            .sum();
+        groups + self.plain.heap_size() + self.groups.capacity() * std::mem::size_of::<Group>()
+    }
+}
+
+/// A group re-encoded into rank space (ascending ranks everywhere).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrGroup {
+    /// Pattern ranks, ascending. Never empty.
+    pub pattern: Vec<u32>,
+    /// Non-empty outlier rank lists.
+    pub outliers: Vec<Vec<u32>>,
+    /// Members with no frequent outlying items.
+    pub bare: u64,
+}
+
+impl CrGroup {
+    /// Member count.
+    pub fn count(&self) -> u64 {
+        self.outliers.len() as u64 + self.bare
+    }
+}
+
+/// A compressed database in rank space — the input of every recycling
+/// miner.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedRankDb {
+    /// Groups with non-empty patterns.
+    pub groups: Vec<CrGroup>,
+    /// Plain tuples (rank lists, ascending, non-empty).
+    pub plain: Vec<Vec<u32>>,
+    /// Rank-space size (F-list length).
+    pub num_ranks: usize,
+}
+
+impl CompressedRankDb {
+    /// Returns a copy keeping only ranks accepted by `keep` — the
+    /// succinct-constraint pushdown over a compressed database. Groups
+    /// whose pattern empties out degrade to plain tuples; supports of
+    /// surviving ranks are unchanged (tuples are never removed, only
+    /// shortened).
+    pub fn retain_ranks(&self, keep: impl Fn(u32) -> bool) -> CompressedRankDb {
+        let filter = |v: &Vec<u32>| -> Vec<u32> {
+            v.iter().copied().filter(|&r| keep(r)).collect()
+        };
+        let mut groups = Vec::with_capacity(self.groups.len());
+        let mut plain: Vec<Vec<u32>> = Vec::new();
+        for g in &self.groups {
+            let pattern = filter(&g.pattern);
+            if pattern.is_empty() {
+                for o in &g.outliers {
+                    let f = filter(o);
+                    if !f.is_empty() {
+                        plain.push(f);
+                    }
+                }
+                continue;
+            }
+            let mut bare = g.bare;
+            let mut outliers = Vec::with_capacity(g.outliers.len());
+            for o in &g.outliers {
+                let f = filter(o);
+                if f.is_empty() {
+                    bare += 1;
+                } else {
+                    outliers.push(f);
+                }
+            }
+            groups.push(CrGroup { pattern, outliers, bare });
+        }
+        for t in &self.plain {
+            let f = filter(t);
+            if !f.is_empty() {
+                plain.push(f);
+            }
+        }
+        CompressedRankDb { groups, plain, num_ranks: self.num_ranks }
+    }
+
+    /// Total item occurrences stored (patterns once + outliers + plain).
+    pub fn stored_occurrences(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| g.pattern.len() + g.outliers.iter().map(Vec::len).sum::<usize>())
+            .sum::<usize>()
+            + self.plain.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::Item;
+
+    fn items(ids: &[u32]) -> Vec<Item> {
+        ids.iter().map(|&i| Item(i)).collect()
+    }
+
+    /// The paper's Table 2: groups fgc (tuples 100, 200, 300) and ae
+    /// (tuples 400, 500).
+    fn paper_cdb() -> CompressedDb {
+        // fgc = {2,5,6}; outliers 100: a,d,e = {0,3,4}; 200: b,d = {1,3};
+        // 300: e = {4}.
+        let g1 = Group::new(
+            items(&[2, 5, 6]),
+            vec![items(&[0, 3, 4]), items(&[1, 3]), items(&[4])],
+            0,
+        );
+        // ae = {0,4}; outliers 400: c,i = {2,8}; 500: h = {7}.
+        let g2 = Group::new(items(&[0, 4]), vec![items(&[2, 8]), items(&[7])], 0);
+        CompressedDb::new(vec![g1, g2], vec![], 22)
+    }
+
+    #[test]
+    fn group_count_includes_bare() {
+        let g = Group::new(items(&[1, 2]), vec![items(&[3])], 2);
+        assert_eq!(g.count(), 3);
+        assert_eq!(g.bare(), 2);
+    }
+
+    #[test]
+    fn paper_cdb_reconstructs_table_1() {
+        let cdb = paper_cdb();
+        let rebuilt = cdb.reconstruct();
+        let original = TransactionDb::paper_example();
+        let mut a: Vec<_> = rebuilt.iter().cloned().collect();
+        let mut b: Vec<_> = original.iter().cloned().collect();
+        a.sort_by(|x, y| x.items().cmp(y.items()));
+        b.sort_by(|x, y| x.items().cmp(y.items()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn item_supports_match_original() {
+        let cdb = paper_cdb();
+        let original = TransactionDb::paper_example();
+        assert_eq!(cdb.item_supports(), original.item_supports());
+    }
+
+    #[test]
+    fn stats_count_compressed_units() {
+        let cdb = paper_cdb();
+        let s = cdb.stats();
+        assert_eq!(s.num_tuples, 5);
+        assert_eq!(s.num_groups, 2);
+        assert_eq!(s.covered_tuples, 5);
+        // fgc(3) + outliers(3+2+1) + ae(2) + outliers(2+1) = 14.
+        assert_eq!(s.compressed_size, 14);
+        assert_eq!(s.original_size, 22);
+        assert!((s.ratio() - 14.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncompressed_has_no_groups_and_ratio_one() {
+        let db = TransactionDb::paper_example();
+        let cdb = CompressedDb::uncompressed(&db);
+        assert!(cdb.groups().is_empty());
+        assert_eq!(cdb.num_tuples(), 5);
+        assert_eq!(cdb.stats().ratio(), 1.0);
+        assert_eq!(cdb.item_supports(), db.item_supports());
+    }
+
+    #[test]
+    fn to_ranks_reproduces_paper_table_2_fourth_column() {
+        // ξ_new = 2: ranks by (support, id): d:2→0; a,f,g:3→1,2,3;
+        // c,e:4→4,5 (c's id 2 < e's id 4). The paper's F-list order
+        // differs only in tie-breaks, which do not affect results.
+        let cdb = paper_cdb();
+        let fl = cdb.flist(2);
+        let r = cdb.to_ranks(&fl);
+        assert_eq!(r.groups.len(), 2);
+        // Group fgc -> ranks {f,g,c} = {2,3,4}.
+        assert_eq!(r.groups[0].pattern, vec![2, 3, 4]);
+        // Outliers: 100: d,a,e -> {0,1,5}; 200: d (b infrequent) -> {0};
+        // 300: e -> {5}.
+        assert_eq!(r.groups[0].outliers, vec![vec![0, 1, 5], vec![0], vec![5]]);
+        assert_eq!(r.groups[0].bare, 0);
+        // Group ae -> {1,5}; outliers 400: c -> {4}; 500: h infrequent ->
+        // bare.
+        assert_eq!(r.groups[1].pattern, vec![1, 5]);
+        assert_eq!(r.groups[1].outliers, vec![vec![4]]);
+        assert_eq!(r.groups[1].bare, 1);
+        assert!(r.plain.is_empty());
+        // fgc(3) + outliers(3+1+1) + ae(2) + outlier(1) = 11.
+        assert_eq!(r.stored_occurrences(), 11);
+    }
+
+    #[test]
+    fn retain_ranks_filters_and_degrades() {
+        let rdb = CompressedRankDb {
+            groups: vec![
+                CrGroup { pattern: vec![1, 3], outliers: vec![vec![0, 2], vec![2]], bare: 1 },
+                CrGroup { pattern: vec![0], outliers: vec![vec![2, 3]], bare: 0 },
+            ],
+            plain: vec![vec![0, 2], vec![1]],
+            num_ranks: 4,
+        };
+        // Drop rank 0 everywhere.
+        let f = rdb.retain_ranks(|r| r != 0);
+        assert_eq!(f.groups.len(), 1);
+        assert_eq!(f.groups[0].pattern, vec![1, 3]);
+        assert_eq!(f.groups[0].outliers, vec![vec![2], vec![2]]);
+        assert_eq!(f.groups[0].bare, 1);
+        // Second group's pattern emptied: its member became plain.
+        assert!(f.plain.contains(&vec![2, 3]));
+        // Plain tuple [0,2] -> [2]; [1] survives.
+        assert!(f.plain.contains(&vec![2]));
+        assert!(f.plain.contains(&vec![1]));
+        assert_eq!(f.plain.len(), 3);
+    }
+
+    #[test]
+    fn retain_ranks_can_empty_everything() {
+        let rdb = CompressedRankDb {
+            groups: vec![CrGroup { pattern: vec![0], outliers: vec![], bare: 3 }],
+            plain: vec![vec![0]],
+            num_ranks: 1,
+        };
+        let f = rdb.retain_ranks(|_| false);
+        assert!(f.groups.is_empty());
+        assert!(f.plain.is_empty());
+    }
+
+    #[test]
+    fn retain_ranks_member_with_empty_filtered_outliers_becomes_bare() {
+        let rdb = CompressedRankDb {
+            groups: vec![CrGroup { pattern: vec![1], outliers: vec![vec![0]], bare: 0 }],
+            plain: vec![],
+            num_ranks: 2,
+        };
+        let f = rdb.retain_ranks(|r| r == 1);
+        assert_eq!(f.groups.len(), 1);
+        assert!(f.groups[0].outliers.is_empty());
+        assert_eq!(f.groups[0].bare, 1);
+        assert_eq!(f.groups[0].count(), 1);
+    }
+
+    #[test]
+    fn to_ranks_degrades_infrequent_patterns_to_plain() {
+        // A group whose pattern is entirely infrequent at the new
+        // threshold: members must survive as plain tuples.
+        let g = Group::new(items(&[9]), vec![items(&[1, 2]), items(&[1])], 1);
+        let cdb = CompressedDb::new(vec![g], vec![], 7);
+        // Supports: 9 -> 3, 1 -> 2, 2 -> 1. At minsup 2: only item 1... and 9.
+        let fl = cdb.flist(2);
+        assert!(fl.is_frequent(Item(9)));
+        // Force-pick an flist where 9 is infrequent: minsup 4.
+        let fl4 = cdb.flist(4);
+        assert!(!fl4.is_frequent(Item(9)));
+        let r = cdb.to_ranks(&fl4);
+        assert!(r.groups.is_empty());
+        assert!(r.plain.is_empty()); // nothing else frequent either
+        // At minsup 2 with 9 frequent: group survives.
+        let r2 = cdb.to_ranks(&fl);
+        assert_eq!(r2.groups.len(), 1);
+        assert_eq!(r2.groups[0].count(), 3);
+        // Outlier {1,2} keeps 1 (2 infrequent); outlier {1} stays; bare 1.
+        assert_eq!(r2.groups[0].outliers.len(), 2);
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! Pattern recycling — the contribution of *"Go Green: Recycle and Reuse
+//! Frequent Patterns"* (ICDE 2004).
+//!
+//! The pipeline has two phases:
+//!
+//! 1. **Compression** ([`compress`]): pick, for every tuple, the
+//!    highest-utility pattern from a previous round's `FP` that the tuple
+//!    contains, and factor the tuple into `(group pattern, outlying
+//!    items)`. Utilities come from [`utility`]: the cost-minimizing MCP or
+//!    the storage-minimizing MLP.
+//! 2. **Mining the compressed database** ([`cdb`]): projected-database
+//!    miners run directly on the grouped representation, saving work in
+//!    support counting (group counts stand in for per-tuple scans) and in
+//!    projection construction (group heads are touched once). Four miners
+//!    are provided:
+//!    * [`rpmine::RpMine`] — the paper's naive Algorithm *Recycling*
+//!      (Fig. 3) with the Lemma 3.1 single-group shortcut;
+//!    * [`recycle_hm::RecycleHm`] — the RP-Struct adaptation of H-Mine
+//!      (Figs. 4–8);
+//!    * [`recycle_fp::RecycleFp`] — the FP-tree adaptation (§4.2);
+//!    * [`recycle_tp::RecycleTp`] — the Tree Projection adaptation (§4.2).
+//!
+//! On top of the pipeline sit the interactive pieces the paper motivates:
+//! [`session::MiningSession`] (iterative constraint refinement with
+//! automatic filter-vs-recycle dispatch), [`store::PatternStore`]
+//! (multi-user pattern sharing), [`incremental`] (the §2 extension to
+//! changed databases), and [`twostep`] (the paper's stated future work:
+//! bootstrap a single low-support request through its own high-support
+//! pre-pass).
+//!
+//! All recycling miners are *exact*: on any database, any recycled
+//! pattern set, and any new threshold, they produce the identical pattern
+//! set a from-scratch miner produces. The test suite enforces this
+//! against the Apriori oracle.
+
+pub mod cdb;
+pub mod compress;
+pub mod incremental;
+pub mod memory;
+pub mod recycle_fp;
+pub mod recycle_hm;
+pub mod recycle_tp;
+pub mod rpmine;
+pub mod session;
+pub mod store;
+pub mod twostep;
+pub mod utility;
+
+use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink};
+
+pub use cdb::CompressedDb;
+pub use compress::{CompressionStats, Compressor};
+pub use utility::Strategy;
+
+/// A frequent-pattern miner that operates on a [`CompressedDb`].
+///
+/// Implementations must be exact: the emitted set equals the complete
+/// frequent-pattern set of the *original* database at `min_support`.
+pub trait RecyclingMiner {
+    /// Short algorithm name for reports ("HM-MCP" is this name plus the
+    /// compression strategy).
+    fn name(&self) -> &'static str;
+
+    /// Mines the complete frequent-pattern set, emitting into `sink`.
+    fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink);
+
+    /// Convenience wrapper collecting into a [`PatternSet`].
+    fn mine(&self, cdb: &CompressedDb, min_support: MinSupport) -> PatternSet {
+        let mut sink = CollectSink::new();
+        self.mine_into(cdb, min_support, &mut sink);
+        sink.into_set()
+    }
+}

@@ -1,0 +1,119 @@
+//! Memory estimation for compressed-database mining structures.
+//!
+//! The paper's Algorithm *Recycling* (Figure 3, line 1) estimates the
+//! memory an in-memory structure would need *before* building it, and
+//! projects to disk when the estimate exceeds the budget (§3.3, §5.3).
+//! H-Mine-style structures make this estimate reliable — their size is a
+//! linear function of item occurrences — which is exactly why the paper's
+//! memory-limited experiments use the H-Mine pair only.
+//!
+//! The estimators here are formula-based (no structure is built); the
+//! unit tests cross-check them against the real arena sizes.
+
+use crate::cdb::CompressedRankDb;
+
+/// Bytes per outlier entry in the RP-Struct arena (the rank itself).
+const BYTES_PER_ENTRY: usize = 4;
+/// Bytes per tail: first-entry index + owning group in the arena, plus
+/// one working `(tail, position)` member reference during mining.
+const BYTES_PER_TAIL: usize = 16;
+/// Fixed bytes per group: count (8) plus the two `Vec` headers for
+/// pattern and tails.
+const BYTES_PER_GROUP: usize = 8 + 2 * std::mem::size_of::<Vec<u32>>();
+
+/// Estimated heap bytes of the RP-Struct that
+/// [`crate::recycle_hm::RecycleHm`] would build for `rdb`.
+pub fn estimate_rp_struct_bytes(rdb: &CompressedRankDb) -> usize {
+    let num_tails: usize =
+        rdb.groups.iter().map(|g| g.outliers.len()).sum::<usize>() + rdb.plain.len();
+    let outlier_items: usize = rdb
+        .groups
+        .iter()
+        .map(|g| g.outliers.iter().map(Vec::len).sum::<usize>())
+        .sum::<usize>()
+        + rdb.plain.iter().map(Vec::len).sum::<usize>();
+    // Each tail also stores one sentinel entry.
+    let entries = outlier_items + num_tails;
+    let group_bytes: usize = rdb
+        .groups
+        .iter()
+        .map(|g| BYTES_PER_GROUP + g.pattern.len() * 4 + g.outliers.len() * 4)
+        .sum();
+    entries * BYTES_PER_ENTRY + num_tails * BYTES_PER_TAIL + group_bytes
+}
+
+/// Estimated heap bytes of the plain H-Mine hyper-structure for a
+/// database with `occurrences` frequent-item occurrences in `tuples`
+/// tuples (item + hyperlink per entry, one sentinel per tuple).
+pub fn estimate_hmine_bytes(occurrences: usize, tuples: usize) -> usize {
+    (occurrences + tuples) * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdb::CompressedDb;
+    use crate::compress::Compressor;
+    use crate::recycle_hm::RpStruct;
+    use crate::utility::Strategy;
+    use gogreen_data::{MinSupport, TransactionDb};
+    use gogreen_miners::mine_apriori;
+
+    fn rdb_for(db: &TransactionDb, xi_old: u64, minsup: u64) -> CompressedRankDb {
+        let fp = mine_apriori(db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(db, &fp);
+        let flist = cdb.flist(minsup);
+        cdb.to_ranks(&flist)
+    }
+
+    #[test]
+    fn estimate_tracks_real_arena_size() {
+        let db = TransactionDb::paper_example();
+        let rdb = rdb_for(&db, 3, 2);
+        let est = estimate_rp_struct_bytes(&rdb);
+        let real = RpStruct::build(&rdb).arena_bytes();
+        // The estimate covers the arena plus the working member
+        // references mining allocates, so it must be at least the arena
+        // and within a small factor of it — tight enough for budget
+        // decisions.
+        assert!(est >= real, "est {est} below arena {real}");
+        assert!(est <= real * 4, "est {est} far above arena {real}");
+    }
+
+    #[test]
+    fn estimate_scales_with_data() {
+        let small = rdb_for(&TransactionDb::paper_example(), 3, 2);
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for k in 0..50 {
+            rows.push(vec![k % 7, 7 + (k % 5), 12 + (k % 3)]);
+        }
+        let big_db = TransactionDb::from_transactions(
+            rows.into_iter()
+                .map(gogreen_data::Transaction::from_ids)
+                .collect(),
+        );
+        let big = rdb_for(&big_db, 5, 2);
+        assert!(
+            estimate_rp_struct_bytes(&big) > estimate_rp_struct_bytes(&small),
+            "more data must estimate larger"
+        );
+    }
+
+    #[test]
+    fn uncompressed_estimate_counts_plain_tuples() {
+        let db = TransactionDb::paper_example();
+        let cdb = CompressedDb::uncompressed(&db);
+        let flist = cdb.flist(1);
+        let rdb = cdb.to_ranks(&flist);
+        let est = estimate_rp_struct_bytes(&rdb);
+        assert!(est > 0);
+        // 22 occurrences + 5 sentinels entries, 5 tails.
+        assert_eq!(est, (22 + 5) * BYTES_PER_ENTRY + 5 * BYTES_PER_TAIL);
+    }
+
+    #[test]
+    fn hmine_estimate_formula() {
+        assert_eq!(estimate_hmine_bytes(22, 5), 27 * 8);
+        assert_eq!(estimate_hmine_bytes(0, 0), 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! FP-recycle: the FP-tree adaptation to compressed databases (paper
+//! §4.2).
+//!
+//! The paper sketches the adaptation as "treat each group head as a
+//! special item in the upper part of each prefix-tree branch" and defers
+//! details to an unavailable technical report. Our realization keeps the
+//! group head literally *above* the tree: the compressed database becomes
+//! a forest of **conditional groups**, each a `(residual pattern, member
+//! count, FP-tree over the members' outlying items)` triple. The plain
+//! (uncovered) tuples form one conditional group with an empty pattern —
+//! for them this degenerates to ordinary FP-growth.
+//!
+//! Both compression savings survive in this shape:
+//!
+//! * **Counting**: a group's pattern items are counted once with the
+//!   group count; outlier supports are read off the per-group FP-tree
+//!   header tables.
+//! * **Projection**: on a pattern item, a group is projected in O(1) —
+//!   the pattern shrinks and the (shared, reference-counted) outlier
+//!   tree is kept with a raised *rank bound*, because discarded ranks
+//!   live at the bottom of every branch (trees are built in descending
+//!   rank order). Only projection through an *outlier* item pays for
+//!   conditional-pattern-base extraction, exactly as in FP-growth.
+
+use crate::cdb::{CompressedDb, CompressedRankDb};
+use crate::RecyclingMiner;
+use gogreen_data::{MinSupport, PatternSink};
+use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_miners::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
+use std::rc::Rc;
+
+/// The FP-recycle miner.
+#[derive(Debug, Default, Clone)]
+pub struct RecycleFp;
+
+const SRC_NONE: u32 = u32::MAX;
+const SRC_MIXED: u32 = u32::MAX - 1;
+
+/// One group in the current projection.
+struct CondGroup {
+    /// Residual pattern ranks (ascending). Empty for the plain partition.
+    pattern: Vec<u32>,
+    /// Members in this projection.
+    count: u64,
+    /// Outlier store; `None` when no member has relevant outliers.
+    tree: Option<Rc<FpTree>>,
+    /// Ranks ≤ `bound` in the tree are projected away (they sit below
+    /// every relevant prefix, so climbs never see them; header rows with
+    /// rank ≤ bound are skipped).
+    bound: i64,
+}
+
+struct Ctx {
+    scratch: ScratchCounts,
+    src: Vec<u32>,
+    minsup: u64,
+}
+
+impl RecyclingMiner for RecycleFp {
+    fn name(&self) -> &'static str {
+        "FP-recycle"
+    }
+
+    fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        let minsup = min_support.to_absolute(cdb.num_tuples());
+        let flist = cdb.flist(minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let rdb = cdb.to_ranks(&flist);
+        let mut ctx = Ctx {
+            scratch: ScratchCounts::new(flist.len()),
+            src: vec![SRC_NONE; flist.len()],
+            minsup,
+        };
+        let cgs = build_root(&rdb, &mut ctx);
+        let mut emitter = RankEmitter::new(&flist);
+        mine_node(&cgs, &mut ctx, &mut emitter, sink);
+    }
+}
+
+/// Builds the root conditional groups from the rank-space CDB.
+fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx) -> Vec<CondGroup> {
+    let mut cgs = Vec::with_capacity(rdb.groups.len() + 1);
+    for g in &rdb.groups {
+        let tree = if g.outliers.is_empty() {
+            None
+        } else {
+            for o in &g.outliers {
+                for &x in o {
+                    ctx.scratch.add(x, 1);
+                }
+            }
+            let freq = ctx.scratch.drain_frequent(1);
+            let mut b = FpTreeBuilder::new(&freq);
+            for o in &g.outliers {
+                b.insert_desc(o.iter().rev().copied(), 1);
+            }
+            Some(Rc::new(b.finish()))
+        };
+        cgs.push(CondGroup { pattern: g.pattern.clone(), count: g.count(), tree, bound: -1 });
+    }
+    if !rdb.plain.is_empty() {
+        for t in &rdb.plain {
+            for &x in t {
+                ctx.scratch.add(x, 1);
+            }
+        }
+        let freq = ctx.scratch.drain_frequent(1);
+        let mut b = FpTreeBuilder::new(&freq);
+        for t in &rdb.plain {
+            b.insert_desc(t.iter().rev().copied(), 1);
+        }
+        cgs.push(CondGroup {
+            pattern: Vec::new(),
+            count: rdb.plain.len() as u64,
+            tree: Some(Rc::new(b.finish())),
+            bound: -1,
+        });
+    }
+    cgs
+}
+
+/// Mines one node of the search: count, apply Lemma 3.1 if it fires,
+/// otherwise extend by every locally frequent rank.
+fn mine_node(
+    cgs: &[CondGroup],
+    ctx: &mut Ctx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    // Count: pattern items via group counts, outliers via tree headers.
+    for (ci, cg) in cgs.iter().enumerate() {
+        for &x in &cg.pattern {
+            ctx.scratch.add(x, cg.count);
+            let s = &mut ctx.src[x as usize];
+            *s = match *s {
+                SRC_NONE => ci as u32,
+                cur if cur == ci as u32 => cur,
+                _ => SRC_MIXED,
+            };
+        }
+        if let Some(tree) = &cg.tree {
+            for h in tree.headers() {
+                if (h.rank as i64) > cg.bound {
+                    ctx.scratch.add(h.rank, h.count);
+                    ctx.src[h.rank as usize] = SRC_MIXED;
+                }
+            }
+        }
+    }
+    let mut frequent: Vec<(u32, u64)> = ctx
+        .scratch
+        .touched()
+        .iter()
+        .map(|&x| (x, ctx.scratch.get(x)))
+        .filter(|&(_, c)| c >= ctx.minsup)
+        .collect();
+    frequent.sort_unstable_by_key(|&(x, _)| x);
+    let single_group = match frequent.split_first() {
+        Some((&(x0, _), rest)) => {
+            let g0 = ctx.src[x0 as usize];
+            (g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0))
+                .then_some(g0)
+        }
+        None => None,
+    };
+    for &x in ctx.scratch.touched() {
+        ctx.src[x as usize] = SRC_NONE;
+    }
+    ctx.scratch.clear();
+
+    if frequent.is_empty() {
+        return;
+    }
+    if single_group.is_some() && frequent.len() <= 62 {
+        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+        return;
+    }
+    let mut climb = Vec::with_capacity(16);
+    for &(r, c) in &frequent {
+        emitter.push(r);
+        emitter.emit(sink, c);
+        let children = project(cgs, r, &frequent, ctx, &mut climb);
+        if !children.is_empty() {
+            mine_node(&children, ctx, emitter, sink);
+        }
+        emitter.pop();
+    }
+}
+
+/// Projects every conditional group on rank `r`. `node_frequent` (sorted)
+/// pre-filters conditional bases: ranks infrequent at this node cannot
+/// become frequent deeper (anti-monotonicity).
+fn project(
+    cgs: &[CondGroup],
+    r: u32,
+    node_frequent: &[(u32, u64)],
+    ctx: &mut Ctx,
+    climb: &mut Vec<u32>,
+) -> Vec<CondGroup> {
+    let is_node_frequent =
+        |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
+    let mut out = Vec::new();
+    for cg in cgs {
+        match cg.pattern.binary_search(&r) {
+            Ok(pos) => {
+                // Pattern item: O(1) projection — every member follows,
+                // the shared tree is kept with a raised bound.
+                let pattern = cg.pattern[pos + 1..].to_vec();
+                let tree_relevant = cg
+                    .tree
+                    .as_ref()
+                    .is_some_and(|t| t.headers().last().is_some_and(|h| h.rank > r));
+                if pattern.is_empty() && !tree_relevant {
+                    continue;
+                }
+                out.push(CondGroup {
+                    pattern,
+                    count: cg.count,
+                    tree: if tree_relevant { cg.tree.clone() } else { None },
+                    bound: r as i64,
+                });
+            }
+            Err(ppos) => {
+                // Outlier item: extract r's conditional pattern base.
+                let Some(tree) = &cg.tree else { continue };
+                if (r as i64) <= cg.bound {
+                    continue;
+                }
+                let Some(hdr) = tree.header_for(r) else { continue };
+                let hdr = *hdr;
+                let pattern = cg.pattern[ppos..].to_vec();
+                let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+                let mut node = hdr.head;
+                while node != FP_NIL {
+                    let w = tree.count_of(node);
+                    tree.climb_into(node, climb);
+                    climb.retain(|&x| is_node_frequent(x));
+                    if !climb.is_empty() {
+                        for &x in climb.iter() {
+                            ctx.scratch.add(x, w);
+                        }
+                        base.push((climb.clone(), w));
+                    }
+                    node = tree.next_same_rank(node);
+                }
+                let freq = ctx.scratch.drain_frequent(1);
+                let new_tree = if freq.is_empty() {
+                    None
+                } else {
+                    let mut b = FpTreeBuilder::new(&freq);
+                    for (ranks, w) in &base {
+                        b.insert_desc(ranks.iter().rev().copied(), *w);
+                    }
+                    Some(Rc::new(b.finish()))
+                };
+                if pattern.is_empty() && new_tree.is_none() {
+                    continue;
+                }
+                out.push(CondGroup { pattern, count: hdr.count, tree: new_tree, bound: -1 });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use crate::rpmine::RpMine;
+    use crate::utility::Strategy;
+    use gogreen_data::TransactionDb;
+    use gogreen_miners::mine_apriori;
+
+    fn compressed(db: &TransactionDb, xi_old: u64, strategy: Strategy) -> CompressedDb {
+        let fp = mine_apriori(db, MinSupport::Absolute(xi_old));
+        Compressor::new(strategy).compress(db, &fp)
+    }
+
+    #[test]
+    fn exact_on_paper_example() {
+        let db = TransactionDb::paper_example();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            for xi_old in [3, 4] {
+                let cdb = compressed(&db, xi_old, strategy);
+                for minsup in 1..=5 {
+                    let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+                    let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+                    assert!(
+                        fp.same_patterns_as(&oracle),
+                        "{strategy:?} ξ_old={xi_old} ξ_new={minsup}: {} vs {}",
+                        fp.len(),
+                        oracle.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_cdb_is_plain_fpgrowth() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        let cdb = CompressedDb::uncompressed(&db);
+        for minsup in 1..=4 {
+            let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn shared_tree_bound_projection() {
+        // Deep pattern chains force repeated O(1) pattern projections of
+        // the same shared tree.
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 3, 4, 5, 6],
+            &[1, 2, 3, 4, 5, 7],
+            &[1, 2, 3, 4, 5],
+            &[1, 2, 3, 4, 5, 6, 7],
+            &[6, 7],
+        ]);
+        let cdb = compressed(&db, 4, Strategy::Mcp);
+        for minsup in 1..=4 {
+            let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_rpmine() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 8, 9],
+            &[1, 2, 8, 9],
+            &[2, 8, 9],
+            &[8, 9],
+            &[1, 2],
+            &[1, 2, 3],
+            &[2, 3, 8],
+            &[1, 3, 9],
+        ]);
+        let cdb = compressed(&db, 2, Strategy::Mlp);
+        for minsup in 1..=4 {
+            let a = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let b = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
+            assert!(a.same_patterns_as(&b), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn empty_cdb() {
+        let cdb = CompressedDb::uncompressed(&TransactionDb::new());
+        assert!(RecycleFp.mine(&cdb, MinSupport::Absolute(1)).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! TP-recycle: the Tree Projection adaptation to compressed databases
+//! (paper §4.2).
+//!
+//! As in the depth-first Tree Projection baseline, each lexicographic
+//! node materializes its projected transactions and fills a triangular
+//! matrix with the supports of all extension pairs in one pass. The
+//! compressed representation changes *what gets counted*:
+//!
+//! * pattern × pattern pairs of a group are bumped **once** with the
+//!   group's member count instead of once per member;
+//! * pattern × outlier and outlier × outlier pairs are bumped per member
+//!   tuple, but only over the (short) outlier lists;
+//! * projection moves group heads: on a pattern item the whole group
+//!   moves with a shortened pattern; on an outlier item only the members
+//!   containing it move, carrying the residual pattern.
+
+use crate::cdb::{CompressedDb, CompressedRankDb};
+use crate::RecyclingMiner;
+use gogreen_data::{MinSupport, PatternSink};
+use gogreen_miners::common::{for_each_subset, RankEmitter};
+use gogreen_miners::treeproj::PairMatrix;
+
+/// The TP-recycle miner.
+#[derive(Debug, Default, Clone)]
+pub struct RecycleTp;
+
+/// A group at one lexicographic node, in node-local extension indices.
+struct TpGroup {
+    /// Residual pattern (local indices, ascending; empty = plain
+    /// partition).
+    pattern: Vec<u32>,
+    /// Member outlier lists (local indices, ascending, non-empty).
+    members: Vec<Vec<u32>>,
+    /// Members with no relevant outliers.
+    bare: u64,
+}
+
+impl TpGroup {
+    fn count(&self) -> u64 {
+        self.members.len() as u64 + self.bare
+    }
+}
+
+impl RecyclingMiner for RecycleTp {
+    fn name(&self) -> &'static str {
+        "TP-recycle"
+    }
+
+    fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        let minsup = min_support.to_absolute(cdb.num_tuples());
+        let flist = cdb.flist(minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let rdb = cdb.to_ranks(&flist);
+        let (groups, exts) = root_node(&rdb, &flist);
+        let mut emitter = RankEmitter::new(&flist);
+        tp_node(&groups, &exts, minsup, &mut emitter, sink);
+    }
+}
+
+/// Builds the root node: local index = rank.
+fn root_node(rdb: &CompressedRankDb, flist: &gogreen_data::FList) -> (Vec<TpGroup>, Vec<(u32, u64)>) {
+    let exts: Vec<(u32, u64)> =
+        (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
+    let mut groups: Vec<TpGroup> = rdb
+        .groups
+        .iter()
+        .map(|g| TpGroup {
+            pattern: g.pattern.clone(),
+            members: g.outliers.clone(),
+            bare: g.bare,
+        })
+        .collect();
+    if !rdb.plain.is_empty() {
+        groups.push(TpGroup { pattern: Vec::new(), members: rdb.plain.clone(), bare: 0 });
+    }
+    (groups, exts)
+}
+
+/// Processes one lexicographic node.
+fn tp_node(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    minsup: u64,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    // Lemma 3.1 degenerate form: a single all-bare group means every
+    // extension is a pattern item with identical support.
+    if groups.len() == 1 && groups[0].members.is_empty() && exts.len() <= 62 {
+        for_each_subset(exts, &mut |locals, sup| {
+            // Local indices map to ranks through `exts`; `for_each_subset`
+            // hands back the elements' first components, which here are
+            // already the global ranks.
+            emitter.emit_with(sink, locals, sup)
+        });
+        return;
+    }
+    for &(rank, sup) in exts {
+        emitter.push(rank);
+        emitter.emit(sink, sup);
+        emitter.pop();
+    }
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    // One pass fills all pair supports, group-aware.
+    let mut matrix = PairMatrix::new(k);
+    for g in groups {
+        let c = g.count();
+        for (pi, &a) in g.pattern.iter().enumerate() {
+            for &b in &g.pattern[pi + 1..] {
+                matrix.bump_by(a, b, c);
+            }
+        }
+        for m in &g.members {
+            for (oi, &x) in m.iter().enumerate() {
+                // Outlier × outlier.
+                for &y in &m[oi + 1..] {
+                    matrix.bump(x, y);
+                }
+                // Pattern × outlier (ordered by local index).
+                for &p in &g.pattern {
+                    if p < x {
+                        matrix.bump(p, x);
+                    } else {
+                        matrix.bump(x, p);
+                    }
+                }
+            }
+        }
+    }
+    // Children, depth-first.
+    let mut remap = vec![u32::MAX; k];
+    for i in 0..k as u32 {
+        let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
+            .filter_map(|j| {
+                let c = matrix.get(i, j);
+                (c >= minsup).then(|| (exts[j as usize].0, c))
+            })
+            .collect();
+        if child_exts.is_empty() {
+            continue;
+        }
+        remap.iter_mut().for_each(|r| *r = u32::MAX);
+        let mut next_local = 0u32;
+        for j in (i + 1)..k as u32 {
+            if matrix.get(i, j) >= minsup {
+                remap[j as usize] = next_local;
+                next_local += 1;
+            }
+        }
+        let child_groups = project(groups, i, &remap);
+        emitter.push(exts[i as usize].0);
+        tp_node(&child_groups, &child_exts, minsup, emitter, sink);
+        emitter.pop();
+    }
+}
+
+/// Projects the node's groups on local extension `i`, remapping surviving
+/// indices through `remap`.
+fn project(groups: &[TpGroup], i: u32, remap: &[u32]) -> Vec<TpGroup> {
+    let map_list = |items: &[u32]| -> Vec<u32> {
+        items
+            .iter()
+            .filter_map(|&j| {
+                let l = remap[j as usize];
+                (l != u32::MAX).then_some(l)
+            })
+            .collect()
+    };
+    let mut out = Vec::new();
+    let mut plain_members: Vec<Vec<u32>> = Vec::new();
+    for g in groups {
+        match g.pattern.binary_search(&i) {
+            Ok(pos) => {
+                // Whole group follows.
+                let pattern = map_list(&g.pattern[pos + 1..]);
+                let mut bare = g.bare;
+                let mut members = Vec::new();
+                for m in &g.members {
+                    let cut = m.partition_point(|&x| x <= i);
+                    let rest = map_list(&m[cut..]);
+                    if rest.is_empty() {
+                        bare += 1;
+                    } else {
+                        members.push(rest);
+                    }
+                }
+                if pattern.is_empty() {
+                    plain_members.extend(members);
+                } else if bare > 0 || !members.is_empty() {
+                    out.push(TpGroup { pattern, members, bare });
+                }
+            }
+            Err(ppos) => {
+                // Only members containing i follow.
+                let pattern = map_list(&g.pattern[ppos..]);
+                let mut bare = 0u64;
+                let mut members = Vec::new();
+                for m in &g.members {
+                    if let Ok(opos) = m.binary_search(&i) {
+                        let rest = map_list(&m[opos + 1..]);
+                        if pattern.is_empty() {
+                            if !rest.is_empty() {
+                                plain_members.push(rest);
+                            }
+                        } else if rest.is_empty() {
+                            bare += 1;
+                        } else {
+                            members.push(rest);
+                        }
+                    }
+                }
+                if !pattern.is_empty() && (bare > 0 || !members.is_empty()) {
+                    out.push(TpGroup { pattern, members, bare });
+                }
+            }
+        }
+    }
+    if !plain_members.is_empty() {
+        out.push(TpGroup { pattern: Vec::new(), members: plain_members, bare: 0 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use crate::rpmine::RpMine;
+    use crate::utility::Strategy;
+    use gogreen_data::TransactionDb;
+    use gogreen_miners::mine_apriori;
+
+    fn compressed(db: &TransactionDb, xi_old: u64, strategy: Strategy) -> CompressedDb {
+        let fp = mine_apriori(db, MinSupport::Absolute(xi_old));
+        Compressor::new(strategy).compress(db, &fp)
+    }
+
+    #[test]
+    fn exact_on_paper_example() {
+        let db = TransactionDb::paper_example();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            for xi_old in [3, 4] {
+                let cdb = compressed(&db, xi_old, strategy);
+                for minsup in 1..=5 {
+                    let fp = RecycleTp.mine(&cdb, MinSupport::Absolute(minsup));
+                    let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+                    assert!(
+                        fp.same_patterns_as(&oracle),
+                        "{strategy:?} ξ_old={xi_old} ξ_new={minsup}: {} vs {}",
+                        fp.len(),
+                        oracle.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_cdb_is_plain_treeproj() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        let cdb = CompressedDb::uncompressed(&db);
+        for minsup in 1..=4 {
+            let fp = RecycleTp.mine(&cdb, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn all_bare_group_shortcut() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+            &[1, 2, 3],
+        ]);
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(4));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        let fp = RecycleTp.mine(&cdb, MinSupport::Absolute(2));
+        assert_eq!(fp.len(), 7);
+    }
+
+    #[test]
+    fn agrees_with_rpmine() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 8, 9],
+            &[1, 2, 8, 9],
+            &[2, 8, 9],
+            &[8, 9],
+            &[1, 2],
+            &[1, 2, 3],
+            &[2, 3, 8],
+            &[1, 3, 9],
+        ]);
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let cdb = compressed(&db, 2, strategy);
+            for minsup in 1..=4 {
+                let a = RecycleTp.mine(&cdb, MinSupport::Absolute(minsup));
+                let b = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
+                assert!(a.same_patterns_as(&b), "{strategy:?} minsup={minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cdb() {
+        let cdb = CompressedDb::uncompressed(&TransactionDb::new());
+        assert!(RecycleTp.mine(&cdb, MinSupport::Absolute(1)).is_empty());
+    }
+}

@@ -1,0 +1,517 @@
+//! RP-Mine: the paper's naive recycling algorithm (Figure 3).
+//!
+//! A direct realization of mining-by-projection over the compressed
+//! representation, exactly as the paper's Example 3 walks through:
+//!
+//! * **Counting** exploits groups: each group-pattern item is bumped once
+//!   with the group's member count instead of once per member tuple.
+//! * **Projection** touches each group head once: if the projected item is
+//!   in the pattern, the whole group moves into the projection with a
+//!   shortened pattern; otherwise only members whose outliers contain the
+//!   item move, carrying the residual pattern.
+//! * **Lemma 3.1 (single-group pattern generation)**: when every
+//!   occurrence of every locally frequent item lies in one group's
+//!   pattern, the complete pattern set of the sub-space is all
+//!   combinations of those items with the group's projected count — no
+//!   recursion needed.
+//!
+//! The smarter adaptations ([`crate::recycle_hm`], [`crate::recycle_fp`],
+//! [`crate::recycle_tp`]) implement the same semantics over cleverer data
+//! structures; RP-Mine doubles as their readable specification and as a
+//! differential-testing partner.
+
+use crate::cdb::{CompressedDb, CompressedRankDb, CrGroup};
+use crate::RecyclingMiner;
+use gogreen_data::{CollectSink, MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
+use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+
+/// Per-rank contribution source, for the Lemma 3.1 check.
+const SRC_NONE: u32 = u32::MAX;
+const SRC_MIXED: u32 = u32::MAX - 1;
+
+/// The naive recycling miner.
+#[derive(Debug, Clone)]
+pub struct RpMine {
+    /// Apply the Lemma 3.1 single-group shortcut (default true; the
+    /// ablation benches turn it off to measure its contribution).
+    pub single_group_shortcut: bool,
+}
+
+impl Default for RpMine {
+    fn default() -> Self {
+        RpMine { single_group_shortcut: true }
+    }
+}
+
+impl RecyclingMiner for RpMine {
+    fn name(&self) -> &'static str {
+        "RP-Mine"
+    }
+
+    fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        let minsup = min_support.to_absolute(cdb.num_tuples());
+        let flist = cdb.flist(minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let view = cdb.to_ranks(&flist);
+        let mut emitter = RankEmitter::new(&flist);
+        let mut ctx = Ctx {
+            scratch: ScratchCounts::new(flist.len()),
+            src: vec![SRC_NONE; flist.len()],
+            minsup,
+            shortcut: self.single_group_shortcut,
+        };
+        mine_rec(&view, &mut ctx, &NoPrune, &mut emitter, sink);
+    }
+}
+
+impl RpMine {
+    /// Constrained *recycling*: mines the compressed database while
+    /// consulting `prune` — disallowed items are stripped from group
+    /// patterns and outliers up front (supports of surviving items are
+    /// unchanged), violating prefixes abandon their subtrees, and the
+    /// length bound stops extension. Recycling and constraint pushdown
+    /// compose: the answer equals the unconstrained answer filtered by
+    /// the pushed predicates.
+    pub fn mine_pruned(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        prune: &dyn SearchPrune,
+        sink: &mut dyn PatternSink,
+    ) {
+        let minsup = min_support.to_absolute(cdb.num_tuples());
+        let flist = cdb.flist(minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let view = cdb
+            .to_ranks(&flist)
+            .retain_ranks(|r| prune.item_allowed(flist.item(r)));
+        let mut emitter = RankEmitter::new(&flist);
+        let mut ctx = Ctx {
+            scratch: ScratchCounts::new(flist.len()),
+            src: vec![SRC_NONE; flist.len()],
+            minsup,
+            // Subset enumeration would bypass the per-prefix checks;
+            // pruned mining always uses plain recursion.
+            shortcut: false,
+        };
+        mine_rec(&view, &mut ctx, prune, &mut emitter, sink);
+    }
+}
+
+struct Ctx {
+    scratch: ScratchCounts,
+    src: Vec<u32>,
+    minsup: u64,
+    shortcut: bool,
+}
+
+/// Counting outcome of one (projected) view.
+struct Counted {
+    /// Locally frequent `(rank, count)`, ascending.
+    frequent: Vec<(u32, u64)>,
+    /// `Some(group index)` when every occurrence of every frequent rank
+    /// lies in that single group's pattern (Lemma 3.1 applies).
+    single_group: Option<usize>,
+}
+
+/// Counts item supports of `view`, tracking contribution sources.
+fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
+    for (gi, g) in view.groups.iter().enumerate() {
+        let c = g.count();
+        for &r in &g.pattern {
+            ctx.scratch.add(r, c);
+            let s = &mut ctx.src[r as usize];
+            *s = match *s {
+                SRC_NONE => gi as u32,
+                cur if cur == gi as u32 => cur,
+                _ => SRC_MIXED,
+            };
+        }
+        for o in &g.outliers {
+            for &r in o {
+                ctx.scratch.add(r, 1);
+                ctx.src[r as usize] = SRC_MIXED;
+            }
+        }
+    }
+    for t in &view.plain {
+        for &r in t {
+            ctx.scratch.add(r, 1);
+            ctx.src[r as usize] = SRC_MIXED;
+        }
+    }
+    let mut frequent: Vec<(u32, u64)> = ctx
+        .scratch
+        .touched()
+        .iter()
+        .map(|&r| (r, ctx.scratch.get(r)))
+        .filter(|&(_, c)| c >= ctx.minsup)
+        .collect();
+    frequent.sort_unstable_by_key(|&(r, _)| r);
+    let single_group = match frequent.split_first() {
+        Some((&(r0, _), rest)) => {
+            let g0 = ctx.src[r0 as usize];
+            if g0 != SRC_MIXED && rest.iter().all(|&(r, _)| ctx.src[r as usize] == g0) {
+                Some(g0 as usize)
+            } else {
+                None
+            }
+        }
+        None => None,
+    };
+    for &r in ctx.scratch.touched() {
+        ctx.src[r as usize] = SRC_NONE;
+    }
+    ctx.scratch.clear();
+    Counted { frequent, single_group }
+}
+
+/// Materializes the `r`-projection of a compressed view.
+fn project(view: &CompressedRankDb, r: u32) -> CompressedRankDb {
+    let mut groups = Vec::new();
+    let mut plain = Vec::new();
+    for g in &view.groups {
+        match g.pattern.binary_search(&r) {
+            Ok(pos) => {
+                // Pattern item: every member joins the projection.
+                let pattern = g.pattern[pos + 1..].to_vec();
+                if pattern.is_empty() {
+                    for o in &g.outliers {
+                        let cut = o.partition_point(|&x| x <= r);
+                        if cut < o.len() {
+                            plain.push(o[cut..].to_vec());
+                        }
+                    }
+                } else {
+                    let mut bare = g.bare;
+                    let mut outliers = Vec::new();
+                    for o in &g.outliers {
+                        let cut = o.partition_point(|&x| x <= r);
+                        if cut < o.len() {
+                            outliers.push(o[cut..].to_vec());
+                        } else {
+                            bare += 1;
+                        }
+                    }
+                    groups.push(CrGroup { pattern, outliers, bare });
+                }
+            }
+            Err(ppos) => {
+                // Only members whose outliers contain r join, keeping the
+                // residual pattern (items after r).
+                let pattern = g.pattern[ppos..].to_vec();
+                let mut outliers = Vec::new();
+                let mut bare = 0u64;
+                for o in &g.outliers {
+                    if let Ok(opos) = o.binary_search(&r) {
+                        let rest = &o[opos + 1..];
+                        if pattern.is_empty() {
+                            if !rest.is_empty() {
+                                plain.push(rest.to_vec());
+                            }
+                        } else if rest.is_empty() {
+                            bare += 1;
+                        } else {
+                            outliers.push(rest.to_vec());
+                        }
+                    }
+                }
+                if !pattern.is_empty() && (bare > 0 || !outliers.is_empty()) {
+                    groups.push(CrGroup { pattern, outliers, bare });
+                }
+            }
+        }
+    }
+    for t in &view.plain {
+        if let Ok(pos) = t.binary_search(&r) {
+            if pos + 1 < t.len() {
+                plain.push(t[pos + 1..].to_vec());
+            }
+        }
+    }
+    CompressedRankDb { groups, plain, num_ranks: view.num_ranks }
+}
+
+/// Procedure RP-InMemory (paper Figure 3) with the Lemma 3.1 shortcut.
+fn mine_rec(
+    view: &CompressedRankDb,
+    ctx: &mut Ctx,
+    prune: &dyn SearchPrune,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let counted = count_view(view, ctx);
+    if counted.frequent.is_empty() {
+        return;
+    }
+    if ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
+        for_each_subset(&counted.frequent, &mut |ranks, sup| {
+            emitter.emit_with(sink, ranks, sup)
+        });
+        return;
+    }
+    for &(r, c) in &counted.frequent {
+        emitter.push(r);
+        if !prune.prefix_ok(emitter.prefix()) {
+            emitter.pop();
+            continue;
+        }
+        emitter.emit(sink, c);
+        if prune.may_extend(emitter.depth()) {
+            let sub = project(view, r);
+            if !sub.groups.is_empty() || !sub.plain.is_empty() {
+                mine_rec(&sub, ctx, prune, emitter, sink);
+            }
+        }
+        emitter.pop();
+    }
+}
+
+
+impl RpMine {
+    /// Parallel recycled mining: the root's frequent ranks are
+    /// partitioned round-robin across `threads` workers; each worker
+    /// mines its share of first-level projections over the shared
+    /// (read-only) compressed view, and the per-worker results are
+    /// merged. Exactness is unaffected — the first-level subtrees are
+    /// disjoint by construction.
+    ///
+    /// The paper is single-threaded; this is the extension a modern
+    /// multi-core deployment wants, and it composes with recycling
+    /// because the compressed view is immutable during mining.
+    pub fn mine_parallel(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        threads: usize,
+    ) -> PatternSet {
+        assert!(threads >= 1, "at least one thread");
+        let minsup = min_support.to_absolute(cdb.num_tuples());
+        let flist = cdb.flist(minsup);
+        let mut out = PatternSet::new();
+        if flist.is_empty() {
+            return out;
+        }
+        let view = cdb.to_ranks(&flist);
+        // Root counting (shared once).
+        let mut ctx = Ctx {
+            scratch: ScratchCounts::new(flist.len()),
+            src: vec![SRC_NONE; flist.len()],
+            minsup,
+            shortcut: self.single_group_shortcut,
+        };
+        let counted = count_view(&view, &mut ctx);
+        if counted.frequent.is_empty() {
+            return out;
+        }
+        if ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
+            let emitter = RankEmitter::new(&flist);
+            let mut sink = CollectSink::new();
+            for_each_subset(&counted.frequent, &mut |ranks, sup| {
+                emitter.emit_with(&mut sink, ranks, sup)
+            });
+            return sink.into_set();
+        }
+        // Root singletons on the calling thread.
+        for &(r, c) in &counted.frequent {
+            out.insert(gogreen_data::Pattern::new(vec![flist.item(r)], c));
+        }
+        let shortcut = self.single_group_shortcut;
+        let frequent = &counted.frequent;
+        let view_ref = &view;
+        let flist_ref = &flist;
+        let results: Vec<PatternSet> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut sink = CollectSink::new();
+                        let mut ctx = Ctx {
+                            scratch: ScratchCounts::new(flist_ref.len()),
+                            src: vec![SRC_NONE; flist_ref.len()],
+                            minsup,
+                            shortcut,
+                        };
+                        let mut emitter = RankEmitter::new(flist_ref);
+                        for (k, &(r, _)) in frequent.iter().enumerate() {
+                            if k % threads != w {
+                                continue;
+                            }
+                            emitter.push(r);
+                            let sub = project(view_ref, r);
+                            if !sub.groups.is_empty() || !sub.plain.is_empty() {
+                                mine_rec(&sub, &mut ctx, &NoPrune, &mut emitter, &mut sink);
+                            }
+                            emitter.pop();
+                        }
+                        sink.into_set()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for set in results {
+            for p in set.iter() {
+                out.insert(p.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::Compressor;
+    use crate::utility::Strategy;
+    use gogreen_data::{Item, TransactionDb};
+    use gogreen_miners::mine_apriori;
+
+    fn paper_setup(strategy: Strategy) -> CompressedDb {
+        let db = TransactionDb::paper_example();
+        let fp = mine_apriori(&db, MinSupport::Absolute(3));
+        Compressor::new(strategy).compress(&db, &fp)
+    }
+
+    #[test]
+    fn reproduces_paper_example_3() {
+        let cdb = paper_setup(Strategy::Mcp);
+        let fp = RpMine::default().mine(&cdb, MinSupport::Absolute(2));
+        let oracle = mine_apriori(&TransactionDb::paper_example(), MinSupport::Absolute(2));
+        assert!(fp.same_patterns_as(&oracle), "rp {} vs oracle {}", fp.len(), oracle.len());
+        // Example 3 step (1): all d-extensions, supports 2.
+        for ids in [&[3u32, 2][..], &[3, 5], &[3, 6], &[2, 3, 5], &[2, 3, 6], &[3, 5, 6], &[2, 3, 5, 6]] {
+            let items: Vec<Item> = ids.iter().map(|&i| Item(i)).collect();
+            let mut items = items;
+            items.sort_unstable();
+            assert_eq!(fp.support_of(&items), Some(2), "{ids:?}");
+        }
+    }
+
+    #[test]
+    fn exact_for_both_strategies_all_thresholds() {
+        let db = TransactionDb::paper_example();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let cdb = paper_setup(strategy);
+            for minsup in 1..=5 {
+                let fp = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
+                let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+                assert!(fp.same_patterns_as(&oracle), "{strategy:?} minsup={minsup}");
+            }
+        }
+    }
+
+    #[test]
+    fn uncompressed_cdb_equals_plain_mining() {
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 5],
+            &[2, 4],
+            &[2, 3],
+            &[1, 2, 4],
+            &[1, 3],
+            &[2, 3],
+            &[1, 3],
+            &[1, 2, 3, 5],
+            &[1, 2, 3],
+        ]);
+        let cdb = CompressedDb::uncompressed(&db);
+        for minsup in 1..=4 {
+            let fp = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn single_group_shortcut_fires_on_pure_projection() {
+        // One group, no outliers, no plain: the root itself is single-group.
+        let db = TransactionDb::from_rows(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(4));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        assert_eq!(cdb.groups().len(), 1);
+        assert_eq!(cdb.groups()[0].bare(), 4);
+        let fp = RpMine::default().mine(&cdb, MinSupport::Absolute(2));
+        assert_eq!(fp.len(), 7);
+        assert_eq!(fp.support_of(&[Item(1), Item(2), Item(3)]), Some(4));
+    }
+
+    #[test]
+    fn recycled_patterns_need_not_be_frequent_at_new_threshold() {
+        // Compress with patterns mined at support 1 (including rare ones):
+        // mining at higher thresholds must still be exact.
+        let db = TransactionDb::from_rows(&[&[1, 2, 3], &[1, 2], &[4, 5], &[1, 4, 5], &[2, 3]]);
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(1));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        for minsup in 1..=3 {
+            let fp = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn empty_cdb_yields_nothing() {
+        let cdb = CompressedDb::uncompressed(&TransactionDb::new());
+        assert!(RpMine::default().mine(&cdb, MinSupport::Absolute(1)).is_empty());
+    }
+
+    #[test]
+    fn projection_moves_whole_group_on_pattern_item() {
+        let view = CompressedRankDb {
+            groups: vec![CrGroup {
+                pattern: vec![1, 3],
+                outliers: vec![vec![0, 2], vec![2]],
+                bare: 1,
+            }],
+            plain: vec![vec![1, 2]],
+            num_ranks: 4,
+        };
+        let p = project(&view, 1);
+        // Group: pattern {3}, outliers filtered to {2},{2}; bare stays 1.
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].pattern, vec![3]);
+        assert_eq!(p.groups[0].outliers, vec![vec![2], vec![2]]);
+        assert_eq!(p.groups[0].bare, 1);
+        // Plain tuple [1,2] -> [2].
+        assert_eq!(p.plain, vec![vec![2]]);
+    }
+
+    #[test]
+    fn projection_takes_partial_group_on_outlier_item() {
+        let view = CompressedRankDb {
+            groups: vec![CrGroup {
+                pattern: vec![1, 3],
+                outliers: vec![vec![0, 2], vec![2], vec![0]],
+                bare: 2,
+            }],
+            plain: vec![],
+            num_ranks: 4,
+        };
+        // Project on rank 0 (outlier item): members 1 and 3 contain it.
+        let p = project(&view, 0);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(p.groups[0].pattern, vec![1, 3]);
+        assert_eq!(p.groups[0].outliers, vec![vec![2]]);
+        assert_eq!(p.groups[0].bare, 1); // member 3's outliers exhausted
+        assert!(p.plain.is_empty());
+    }
+
+    #[test]
+    fn projection_degrades_exhausted_pattern_to_plain() {
+        let view = CompressedRankDb {
+            groups: vec![CrGroup {
+                pattern: vec![1],
+                outliers: vec![vec![2, 3], vec![0]],
+                bare: 1,
+            }],
+            plain: vec![],
+            num_ranks: 4,
+        };
+        let p = project(&view, 1);
+        assert!(p.groups.is_empty());
+        assert_eq!(p.plain, vec![vec![2, 3]]);
+    }
+}

@@ -1,0 +1,355 @@
+//! Interactive mining sessions — the workflow the paper's introduction
+//! motivates.
+//!
+//! A user iterates: run, inspect, refine constraints, run again. The
+//! session keeps the previous round's full frequent set and dispatches
+//! each new round on the cheapest sound path (paper §2):
+//!
+//! * **same constraints** → cached result, no work;
+//! * **tightened constraints** → filter the previous set (the new
+//!   solution space is a subset);
+//! * **relaxed / mixed / incomparable** → the previous set cannot contain
+//!   the answer; *recycle* it: compress the database with it and mine the
+//!   compressed database with the configured recycling miner.
+//!
+//! Non-support constraints are applied as post-filters on the full
+//! frequent set (with anti-monotone parts available for pushdown through
+//! [`gogreen_constraints::Pushdown`] in callers that mine manually).
+
+use crate::compress::{CompressionStats, Compressor};
+use crate::recycle_fp::RecycleFp;
+use crate::recycle_hm::RecycleHm;
+use crate::recycle_tp::RecycleTp;
+use crate::rpmine::RpMine;
+use crate::utility::Strategy;
+use crate::RecyclingMiner;
+use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
+use gogreen_data::{PatternSet, TransactionDb};
+use gogreen_miners::{FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use std::time::Duration;
+
+/// Which algorithm family the session uses for fresh and recycled mining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// H-Mine / Recycle-HM (the paper's primary pair).
+    #[default]
+    HMine,
+    /// FP-growth / FP-recycle.
+    FpTree,
+    /// Tree Projection / TP-recycle.
+    TreeProjection,
+    /// Naive projected-database miner / RP-Mine.
+    Naive,
+}
+
+impl Engine {
+    fn fresh(self) -> Box<dyn Miner> {
+        match self {
+            Engine::HMine => Box::new(HMine),
+            Engine::FpTree => Box::new(FpGrowth),
+            Engine::TreeProjection => Box::new(TreeProjection),
+            Engine::Naive => Box::new(NaiveProjection),
+        }
+    }
+
+    fn recycling(self) -> Box<dyn RecyclingMiner> {
+        match self {
+            Engine::HMine => Box::new(RecycleHm),
+            Engine::FpTree => Box::new(RecycleFp),
+            Engine::TreeProjection => Box::new(RecycleTp),
+            Engine::Naive => Box::new(RpMine::default()),
+        }
+    }
+}
+
+/// How a round was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// No previous round: mined from scratch.
+    Fresh,
+    /// Identical constraints: cached result returned.
+    Cached,
+    /// Tightened constraints: previous set filtered.
+    Filtered,
+    /// Relaxed (or incomparable) constraints: previous patterns recycled
+    /// through compression.
+    Recycled,
+}
+
+/// Metrics of one session round.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Dispatch decision.
+    pub mode: RunMode,
+    /// Wall time of the mining (or filtering) step.
+    pub mining_time: Duration,
+    /// Compression metrics when `mode == Recycled`.
+    pub compression: Option<CompressionStats>,
+    /// Patterns returned after all constraints.
+    pub num_patterns: usize,
+    /// Size of the recycled pattern set when `mode == Recycled` — drawn
+    /// from the *richest* round seen so far, not necessarily the last
+    /// one (a user who tightened and then relaxed again recycles the
+    /// early, lower-threshold set).
+    pub fodder_patterns: Option<usize>,
+}
+
+/// An iterative constrained-mining session over one database.
+///
+/// ```
+/// use gogreen_core::session::{MiningSession, RunMode};
+/// use gogreen_constraints::ConstraintSet;
+/// use gogreen_data::{MinSupport, TransactionDb};
+///
+/// let mut session = MiningSession::new(TransactionDb::paper_example());
+/// let cs = |n| ConstraintSet::support_only(MinSupport::Absolute(n));
+///
+/// let (_, r1) = session.run_with_report(cs(3));
+/// assert_eq!(r1.mode, RunMode::Fresh);
+/// let (_, r2) = session.run_with_report(cs(2)); // relaxed → recycle
+/// assert_eq!(r2.mode, RunMode::Recycled);
+/// let (_, r3) = session.run_with_report(cs(4)); // tightened → filter
+/// assert_eq!(r3.mode, RunMode::Filtered);
+/// ```
+pub struct MiningSession {
+    db: TransactionDb,
+    attrs: ItemAttributes,
+    engine: Engine,
+    strategy: Strategy,
+    /// Previous round: constraints, the *full* frequent set at that
+    /// round's support, and the constraint-filtered answer.
+    last: Option<(ConstraintSet, PatternSet, PatternSet)>,
+    /// The richest full frequent set any round produced (lowest absolute
+    /// threshold) — the best recycling fodder (paper §5: lower `ξ_old`
+    /// recycles better).
+    richest: Option<(u64, PatternSet)>,
+}
+
+impl MiningSession {
+    /// Starts a session with the default engine (H-Mine) and strategy
+    /// (MCP).
+    pub fn new(db: TransactionDb) -> Self {
+        MiningSession {
+            db,
+            attrs: ItemAttributes::new(),
+            engine: Engine::default(),
+            strategy: Strategy::default(),
+            last: None,
+            richest: None,
+        }
+    }
+
+    /// Selects the algorithm family.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the compression strategy for recycled rounds.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Attaches item attributes for aggregate constraints.
+    pub fn with_attributes(mut self, attrs: ItemAttributes) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &TransactionDb {
+        &self.db
+    }
+
+    /// Runs one round under `constraints`, returning the result set.
+    pub fn run(&mut self, constraints: ConstraintSet) -> PatternSet {
+        self.run_with_report(constraints).0
+    }
+
+    /// Runs one round, also reporting how it was answered.
+    pub fn run_with_report(&mut self, constraints: ConstraintSet) -> (PatternSet, RoundReport) {
+        let db_len = self.db.len();
+        let started = std::time::Instant::now();
+        let (mode, full, compression, fodder_patterns) = match &self.last {
+            Some((prev_cs, prev_full, prev_answer)) => {
+                match constraints.relation_to(prev_cs, db_len) {
+                    Relation::Equal => {
+                        let report = RoundReport {
+                            mode: RunMode::Cached,
+                            mining_time: started.elapsed(),
+                            compression: None,
+                            num_patterns: prev_answer.len(),
+                            fodder_patterns: None,
+                        };
+                        return (prev_answer.clone(), report);
+                    }
+                    Relation::Tightened => {
+                        let minsup = constraints.min_support().to_absolute(db_len);
+                        let full = prev_full.filter(|p| p.support() >= minsup);
+                        (RunMode::Filtered, full, None, None)
+                    }
+                    _ => {
+                        // Relaxed, mixed, or incomparable: recycle the
+                        // richest set any round produced.
+                        let fodder = self
+                            .richest
+                            .as_ref()
+                            .map(|(_, set)| set)
+                            .unwrap_or(prev_full);
+                        let (cdb, stats) = Compressor::new(self.strategy)
+                            .compress_with_stats(&self.db, fodder);
+                        let n = fodder.len();
+                        let full = self
+                            .engine
+                            .recycling()
+                            .mine(&cdb, constraints.min_support());
+                        (RunMode::Recycled, full, Some(stats), Some(n))
+                    }
+                }
+            }
+            None => {
+                let full = self.engine.fresh().mine(&self.db, constraints.min_support());
+                (RunMode::Fresh, full, None, None)
+            }
+        };
+        let answer = if constraints.others().is_empty() {
+            full.clone()
+        } else {
+            full.filter(|p| constraints.satisfied_by(p, db_len, &self.attrs))
+        };
+        let report = RoundReport {
+            mode,
+            mining_time: started.elapsed(),
+            compression,
+            num_patterns: answer.len(),
+            fodder_patterns,
+        };
+        // Track the richest full set for future recycling.
+        let abs = constraints.min_support().to_absolute(db_len);
+        let richer = match &self.richest {
+            None => true,
+            Some((best_abs, best)) => abs < *best_abs || full.len() > best.len(),
+        };
+        if richer && mode != RunMode::Filtered {
+            // Filtered sets are subsets of an already-tracked run.
+            self.richest = Some((abs, full.clone()));
+        }
+        self.last = Some((constraints, full, answer.clone()));
+        (answer, report)
+    }
+
+    /// Forgets all previous rounds (the next run mines fresh).
+    pub fn reset(&mut self) {
+        self.last = None;
+        self.richest = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_constraints::Constraint;
+    use gogreen_data::{Item, MinSupport};
+    use gogreen_miners::mine_apriori;
+
+    fn cs(minsup: u64) -> ConstraintSet {
+        ConstraintSet::support_only(MinSupport::Absolute(minsup))
+    }
+
+    #[test]
+    fn fresh_then_relax_then_tighten() {
+        let db = TransactionDb::paper_example();
+        let mut session = MiningSession::new(db.clone());
+        let (r1, rep1) = session.run_with_report(cs(3));
+        assert_eq!(rep1.mode, RunMode::Fresh);
+        assert!(r1.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(3))));
+
+        // Relax 3 → 2: recycled, exact.
+        let (r2, rep2) = session.run_with_report(cs(2));
+        assert_eq!(rep2.mode, RunMode::Recycled);
+        assert!(rep2.compression.is_some());
+        assert!(r2.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(2))));
+
+        // Tighten 2 → 4: filtered, exact.
+        let (r3, rep3) = session.run_with_report(cs(4));
+        assert_eq!(rep3.mode, RunMode::Filtered);
+        assert!(r3.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(4))));
+    }
+
+    #[test]
+    fn repeated_constraints_hit_cache() {
+        let mut session = MiningSession::new(TransactionDb::paper_example());
+        let (a, _) = session.run_with_report(cs(3));
+        let (b, rep) = session.run_with_report(cs(3));
+        assert_eq!(rep.mode, RunMode::Cached);
+        assert!(a.same_patterns_as(&b));
+    }
+
+    #[test]
+    fn all_engines_agree_across_a_session() {
+        let db = TransactionDb::paper_example();
+        let oracle2 = mine_apriori(&db, MinSupport::Absolute(2));
+        for engine in [Engine::HMine, Engine::FpTree, Engine::TreeProjection, Engine::Naive] {
+            let mut s = MiningSession::new(db.clone()).with_engine(engine);
+            s.run(cs(4));
+            let relaxed = s.run(cs(2));
+            assert!(relaxed.same_patterns_as(&oracle2), "{engine:?}");
+        }
+    }
+
+    #[test]
+    fn non_support_constraints_filter_results() {
+        let db = TransactionDb::paper_example();
+        let mut s = MiningSession::new(db);
+        let constrained = s.run(
+            ConstraintSet::support_only(MinSupport::Absolute(3))
+                .with(Constraint::MaxLength(1)),
+        );
+        assert!(constrained.iter().all(|p| p.len() == 1));
+        assert_eq!(constrained.len(), 5); // a, c, e, f, g
+
+        // Relaxing both support and length recycles and re-filters.
+        let relaxed = s.run(
+            ConstraintSet::support_only(MinSupport::Absolute(2))
+                .with(Constraint::MaxLength(2)),
+        );
+        assert!(relaxed.iter().all(|p| p.len() <= 2));
+        assert!(relaxed.contains(&[Item(3), Item(5)])); // df:2
+    }
+
+    #[test]
+    fn reset_forces_fresh() {
+        let mut s = MiningSession::new(TransactionDb::paper_example());
+        s.run(cs(3));
+        s.reset();
+        let (_, rep) = s.run_with_report(cs(3));
+        assert_eq!(rep.mode, RunMode::Fresh);
+    }
+
+    #[test]
+    fn relaxation_recycles_the_richest_round() {
+        // 2 → 4 → 3: the third round relaxes relative to ξ=4, but the
+        // best fodder is the round-1 set mined at ξ=2.
+        let db = TransactionDb::paper_example();
+        let mut s = MiningSession::new(db.clone());
+        let (r1, _) = s.run_with_report(cs(2));
+        s.run(cs(4));
+        let (r3, rep3) = s.run_with_report(cs(3));
+        assert_eq!(rep3.mode, RunMode::Recycled);
+        assert_eq!(rep3.fodder_patterns, Some(r1.len()));
+        assert!(r3.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(3))));
+    }
+
+    #[test]
+    fn mixed_change_recycles_and_stays_exact() {
+        // Support relaxes while a max-length tightens: Mixed relation.
+        let db = TransactionDb::paper_example();
+        let mut s = MiningSession::new(db.clone());
+        s.run(cs(3).with(Constraint::MaxLength(3)));
+        let (out, rep) = s.run_with_report(cs(2).with(Constraint::MaxLength(2)));
+        assert_eq!(rep.mode, RunMode::Recycled);
+        let want = mine_apriori(&db, MinSupport::Absolute(2)).filter(|p| p.len() <= 2);
+        assert!(out.same_patterns_as(&want));
+    }
+}

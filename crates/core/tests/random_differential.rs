@@ -1,0 +1,107 @@
+//! Randomized differential testing: every recycling miner must produce
+//! exactly the oracle's pattern set for any database, any recycled
+//! pattern set (any `ξ_old`), any compression strategy, and any `ξ_new`.
+//!
+//! This is the central exactness guarantee of the whole system, so it
+//! gets the heaviest property coverage in the workspace.
+
+use gogreen_core::compress::Compressor;
+use gogreen_core::recycle_fp::RecycleFp;
+use gogreen_core::recycle_hm::RecycleHm;
+use gogreen_core::recycle_tp::RecycleTp;
+use gogreen_core::rpmine::RpMine;
+use gogreen_core::utility::Strategy;
+use gogreen_core::RecyclingMiner;
+use gogreen_data::{MinSupport, Transaction, TransactionDb};
+use gogreen_miners::mine_apriori;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// A random small database: up to 24 tuples over up to 12 items.
+fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::btree_set(0u32..12, 1..8), 1..24).prop_map(
+        |rows| {
+            TransactionDb::from_transactions(
+                rows.into_iter()
+                    .map(Transaction::from_ids)
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn rpmine_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6, mlp in any::<bool>()) {
+        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+        let got = RpMine::default().mine(&cdb, MinSupport::Absolute(xi_new));
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn recycle_hm_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6, mlp in any::<bool>()) {
+        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+        let got = RecycleHm.mine(&cdb, MinSupport::Absolute(xi_new));
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn recycle_fp_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6, mlp in any::<bool>()) {
+        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+        let got = RecycleFp.mine(&cdb, MinSupport::Absolute(xi_new));
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn recycle_tp_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6, mlp in any::<bool>()) {
+        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+        let got = RecycleTp.mine(&cdb, MinSupport::Absolute(xi_new));
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn compression_is_lossless(db in db_strategy(), xi_old in 1u64..6, mlp in any::<bool>()) {
+        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+        let mut a: Vec<_> = cdb.reconstruct().into_transactions();
+        let mut b: Vec<_> = db.iter().cloned().collect();
+        a.sort_by(|x, y| x.items().cmp(y.items()));
+        b.sort_by(|x, y| x.items().cmp(y.items()));
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel recycled mining partitions first-level subtrees across
+    /// workers; any thread count must produce the sequential answer.
+    #[test]
+    fn parallel_rpmine_is_exact(
+        db in db_strategy(),
+        xi_old in 1u64..6,
+        xi_new in 1u64..6,
+        threads in 1usize..5,
+    ) {
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        let got = RpMine::default().mine_parallel(&cdb, MinSupport::Absolute(xi_new), threads);
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        prop_assert!(got.same_patterns_as(&want), "threads={threads}: got {} want {}", got.len(), want.len());
+    }
+}

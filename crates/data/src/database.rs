@@ -1,0 +1,255 @@
+//! The transaction database `DB`.
+
+use crate::item::Item;
+use crate::transaction::Transaction;
+use gogreen_util::HeapSize;
+
+/// A transaction database: the `DB` of the paper's problem statement.
+///
+/// Tuples are stored in insertion order; tuple ids are their positions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransactionDb {
+    tuples: Vec<Transaction>,
+}
+
+/// Summary statistics of a database, as reported in the paper's Table 3
+/// (number of tuples, average tuple length, number of distinct items).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbStats {
+    /// Number of tuples.
+    pub num_tuples: usize,
+    /// Mean tuple length.
+    pub avg_len: f64,
+    /// Number of distinct items occurring at least once.
+    pub num_items: usize,
+    /// Largest item id occurring, if any.
+    pub max_item: Option<Item>,
+    /// Total number of item occurrences.
+    pub total_items: usize,
+}
+
+impl TransactionDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a database from transactions.
+    pub fn from_transactions(tuples: Vec<Transaction>) -> Self {
+        TransactionDb { tuples }
+    }
+
+    /// Convenience constructor from raw id rows (used pervasively in tests).
+    pub fn from_rows(rows: &[&[u32]]) -> Self {
+        TransactionDb {
+            tuples: rows.iter().map(|r| Transaction::from_ids(r.iter().copied())).collect(),
+        }
+    }
+
+    /// Appends a tuple, returning its id.
+    pub fn push(&mut self, t: Transaction) -> usize {
+        self.tuples.push(t);
+        self.tuples.len() - 1
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the database has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple with id `idx`.
+    #[inline]
+    pub fn tuple(&self, idx: usize) -> &Transaction {
+        &self.tuples[idx]
+    }
+
+    /// Iterator over tuples in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.tuples.iter()
+    }
+
+    /// All tuples as a slice.
+    pub fn tuples(&self) -> &[Transaction] {
+        &self.tuples
+    }
+
+    /// Consumes the database, yielding its tuples.
+    pub fn into_transactions(self) -> Vec<Transaction> {
+        self.tuples
+    }
+
+    /// Exact support of `pattern` (sorted ascending) by a full scan.
+    ///
+    /// This is the ground-truth counter used in tests and by the compression
+    /// verifier; miners never call it on hot paths.
+    pub fn support_of(&self, pattern: &[Item]) -> u64 {
+        self.tuples.iter().filter(|t| t.contains_all(pattern)).count() as u64
+    }
+
+    /// Computes summary statistics in one pass.
+    pub fn stats(&self) -> DbStats {
+        let mut max_item: Option<Item> = None;
+        let mut total_items = 0usize;
+        for t in &self.tuples {
+            total_items += t.len();
+            if let Some(&last) = t.items().last() {
+                max_item = Some(max_item.map_or(last, |m| m.max(last)));
+            }
+        }
+        let num_items = match max_item {
+            None => 0,
+            Some(m) => {
+                let mut seen = vec![false; m.index() + 1];
+                let mut n = 0usize;
+                for t in &self.tuples {
+                    for &it in t.items() {
+                        if !seen[it.index()] {
+                            seen[it.index()] = true;
+                            n += 1;
+                        }
+                    }
+                }
+                n
+            }
+        };
+        DbStats {
+            num_tuples: self.tuples.len(),
+            avg_len: if self.tuples.is_empty() {
+                0.0
+            } else {
+                total_items as f64 / self.tuples.len() as f64
+            },
+            num_items,
+            max_item,
+            total_items,
+        }
+    }
+
+    /// Counts per-item supports into a dense vector indexed by item id.
+    pub fn item_supports(&self) -> Vec<u64> {
+        let max = self.stats().max_item.map_or(0, |m| m.index() + 1);
+        let mut counts = vec![0u64; max];
+        for t in &self.tuples {
+            for &it in t.items() {
+                counts[it.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The example database of the paper's Table 1, used throughout the
+    /// paper's walk-through and throughout this repository's tests.
+    ///
+    /// Items are encoded `a=0, b=1, c=2, d=3, e=4, f=5, g=6, h=7, i=8`.
+    pub fn paper_example() -> Self {
+        const A: u32 = 0;
+        const B: u32 = 1;
+        const C: u32 = 2;
+        const D: u32 = 3;
+        const E: u32 = 4;
+        const F: u32 = 5;
+        const G: u32 = 6;
+        const H: u32 = 7;
+        const I: u32 = 8;
+        Self::from_rows(&[
+            &[A, C, D, E, F, G], // 100
+            &[B, C, D, F, G],    // 200
+            &[C, E, F, G],       // 300
+            &[A, C, E, I],       // 400
+            &[A, E, H],          // 500
+        ])
+    }
+}
+
+impl HeapSize for TransactionDb {
+    fn heap_size(&self) -> usize {
+        self.tuples.heap_size()
+    }
+}
+
+impl FromIterator<Transaction> for TransactionDb {
+    fn from_iter<T: IntoIterator<Item = Transaction>>(iter: T) -> Self {
+        TransactionDb { tuples: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionDb {
+    type Item = &'a Transaction;
+    type IntoIter = std::slice::Iter<'a, Transaction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_db_stats() {
+        let db = TransactionDb::new();
+        let s = db.stats();
+        assert_eq!(s.num_tuples, 0);
+        assert_eq!(s.avg_len, 0.0);
+        assert_eq!(s.num_items, 0);
+        assert_eq!(s.max_item, None);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let db = TransactionDb::paper_example();
+        let s = db.stats();
+        assert_eq!(s.num_tuples, 5);
+        assert_eq!(s.num_items, 9);
+        assert_eq!(s.total_items, 6 + 5 + 4 + 4 + 3);
+        assert!((s.avg_len - 22.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_of_matches_paper() {
+        let db = TransactionDb::paper_example();
+        // Supports from the paper: c:4, e:4, a:3, f:3, g:3, d:2.
+        assert_eq!(db.support_of(&[Item(2)]), 4); // c
+        assert_eq!(db.support_of(&[Item(4)]), 4); // e
+        assert_eq!(db.support_of(&[Item(0)]), 3); // a
+        assert_eq!(db.support_of(&[Item(3)]), 2); // d
+        // fgc (f=5, g=6, c=2 sorted -> [2,5,6]) has support 3.
+        assert_eq!(db.support_of(&[Item(2), Item(5), Item(6)]), 3);
+        // ae -> [0,4] support 3.
+        assert_eq!(db.support_of(&[Item(0), Item(4)]), 3);
+        assert_eq!(db.support_of(&[Item(1), Item(8)]), 0);
+    }
+
+    #[test]
+    fn item_supports_dense_vector() {
+        let db = TransactionDb::paper_example();
+        let sup = db.item_supports();
+        assert_eq!(sup.len(), 9);
+        assert_eq!(sup[2], 4);
+        assert_eq!(sup[3], 2);
+        assert_eq!(sup[7], 1);
+    }
+
+    #[test]
+    fn push_and_index() {
+        let mut db = TransactionDb::new();
+        let id = db.push(Transaction::from_ids([1, 2]));
+        assert_eq!(id, 0);
+        assert_eq!(db.tuple(0).len(), 2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let db: TransactionDb =
+            (0..3).map(|k| Transaction::from_ids([k, k + 1])).collect();
+        assert_eq!(db.len(), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the data substrate.
+
+use std::fmt;
+
+/// Errors arising while reading or writing transaction data.
+#[derive(Debug)]
+pub enum DataError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A token that is not a `u32` item id.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Parse { line, token } => {
+                write!(f, "line {line}: invalid item id {token:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_io() {
+        let e = DataError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = DataError::Parse { line: 3, token: "x7".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 3") && s.contains("x7"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Plain-text transaction interchange format.
+//!
+//! One transaction per line; items are whitespace-separated `u32` ids —
+//! the de-facto format of the FIMI repository datasets the paper uses
+//! (Connect-4, Pumsb). Blank lines and lines starting with `#` are
+//! ignored.
+
+use crate::database::TransactionDb;
+use crate::error::DataError;
+use crate::transaction::Transaction;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a database from any reader in the one-line-per-transaction format.
+pub fn read_transactions<R: Read>(reader: R) -> Result<TransactionDb, DataError> {
+    let mut db = TransactionDb::new();
+    let mut buf = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut line_no = 0usize;
+    // Workhorse line buffer: BufRead::lines would allocate per line.
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut ids = Vec::new();
+        for token in line.split_whitespace() {
+            let id: u32 = token
+                .parse()
+                .map_err(|_| DataError::Parse { line: line_no, token: token.to_owned() })?;
+            ids.push(id);
+        }
+        db.push(Transaction::from_ids(ids));
+    }
+    Ok(db)
+}
+
+/// Writes a database in the one-line-per-transaction format.
+pub fn write_transactions<W: Write>(db: &TransactionDb, writer: W) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    let mut line = String::new();
+    for t in db.iter() {
+        line.clear();
+        for (k, it) in t.items().iter().enumerate() {
+            if k > 0 {
+                line.push(' ');
+            }
+            line.push_str(&it.id().to_string());
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a database from a file path.
+pub fn read_file(path: impl AsRef<Path>) -> Result<TransactionDb, DataError> {
+    read_transactions(std::fs::File::open(path)?)
+}
+
+/// Writes a database to a file path, creating or truncating it.
+pub fn write_file(db: &TransactionDb, path: impl AsRef<Path>) -> Result<(), DataError> {
+    write_transactions(db, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let db = TransactionDb::paper_example();
+        let mut buf = Vec::new();
+        write_transactions(&db, &mut buf).unwrap();
+        let back = read_transactions(&buf[..]).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n1 2 3\n\n  \n4 5\n";
+        let db = read_transactions(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.tuple(0).len(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_is_canonicalized() {
+        let db = read_transactions("3 1 2 1\n".as_bytes()).unwrap();
+        assert_eq!(db.tuple(0).items(), &[crate::Item(1), crate::Item(2), crate::Item(3)]);
+    }
+
+    #[test]
+    fn bad_token_reports_line() {
+        let err = read_transactions("1 2\nx 3\n".as_bytes()).unwrap_err();
+        match err {
+            DataError::Parse { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_id_rejected() {
+        assert!(read_transactions("-1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("gogreen-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.txt");
+        let db = TransactionDb::paper_example();
+        write_file(&db, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,416 @@
+//! Patterns (frequent itemsets) and pattern collections.
+
+use crate::item::Item;
+use gogreen_util::{FxHashMap, HeapSize};
+use std::fmt;
+
+/// A pattern (itemset) together with its support — one element of the
+/// paper's `FP` set.
+///
+/// Items are sorted ascending by id, so the representation is canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    items: Box<[Item]>,
+    support: u64,
+}
+
+impl Pattern {
+    /// Builds a pattern, sorting and deduplicating its items.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty itemset: the paper defines patterns as non-empty
+    /// subsets of `I`.
+    pub fn new(mut items: Vec<Item>, support: u64) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        assert!(!items.is_empty(), "patterns are non-empty itemsets");
+        Pattern { items: items.into_boxed_slice(), support }
+    }
+
+    /// Builds from raw `u32` ids.
+    pub fn from_ids(ids: impl IntoIterator<Item = u32>, support: u64) -> Self {
+        Self::new(ids.into_iter().map(Item).collect(), support)
+    }
+
+    /// The items, sorted ascending.
+    #[inline]
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The pattern length `|X|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Patterns are never empty; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The support `X.C`.
+    #[inline]
+    pub fn support(&self) -> u64 {
+        self.support
+    }
+
+    /// True when `self`'s itemset is a subset of `other`'s.
+    pub fn is_subset_of(&self, other: &Pattern) -> bool {
+        is_subset(&self.items, &other.items)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, it) in self.items.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{it}")?;
+        }
+        write!(f, ":{}", self.support)
+    }
+}
+
+impl HeapSize for Pattern {
+    fn heap_size(&self) -> usize {
+        self.items.heap_size()
+    }
+}
+
+/// Subset test over two sorted item slices.
+pub fn is_subset(small: &[Item], big: &[Item]) -> bool {
+    if small.len() > big.len() {
+        return false;
+    }
+    let mut b = big.iter();
+    'outer: for s in small {
+        for x in b.by_ref() {
+            match x.cmp(s) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The complete set of frequent patterns produced by one mining run — the
+/// paper's `FP`.
+///
+/// Lookup by itemset is O(1); iteration order is insertion order. Use
+/// [`PatternSet::sorted`] for a canonical ordering when comparing runs.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+    index: FxHashMap<Box<[Item]>, usize>,
+}
+
+impl PatternSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a pattern. Re-inserting the same itemset replaces its
+    /// support (last write wins) and returns `false`.
+    pub fn insert(&mut self, p: Pattern) -> bool {
+        match self.index.get(p.items()) {
+            Some(&at) => {
+                self.patterns[at] = p;
+                false
+            }
+            None => {
+                self.index.insert(p.items.clone(), self.patterns.len());
+                self.patterns.push(p);
+                true
+            }
+        }
+    }
+
+    /// The support of `items` (sorted ascending), if present.
+    pub fn support_of(&self, items: &[Item]) -> Option<u64> {
+        self.index.get(items).map(|&at| self.patterns[at].support)
+    }
+
+    /// True when the itemset is present.
+    pub fn contains(&self, items: &[Item]) -> bool {
+        self.index.contains_key(items)
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no pattern has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Iterates patterns in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Pattern> {
+        self.patterns.iter()
+    }
+
+    /// Length of the longest pattern (0 when empty) — Table 3's
+    /// "maximal length" column.
+    pub fn max_len(&self) -> usize {
+        self.patterns.iter().map(Pattern::len).max().unwrap_or(0)
+    }
+
+    /// Returns the patterns sorted by `(items)` lexicographically — a
+    /// canonical order for equality comparisons across miners.
+    pub fn sorted(&self) -> Vec<Pattern> {
+        let mut v = self.patterns.clone();
+        v.sort_unstable_by(|a, b| a.items().cmp(b.items()));
+        v
+    }
+
+    /// Retains only patterns satisfying `keep` — the paper's answer to
+    /// *tightened* constraints (§2): filter the old `FP` instead of mining.
+    pub fn filter(&self, mut keep: impl FnMut(&Pattern) -> bool) -> PatternSet {
+        let mut out = PatternSet::new();
+        for p in &self.patterns {
+            if keep(p) {
+                out.insert(p.clone());
+            }
+        }
+        out
+    }
+
+    /// True when both sets contain exactly the same `(itemset, support)`
+    /// pairs.
+    pub fn same_patterns_as(&self, other: &PatternSet) -> bool {
+        self.len() == other.len()
+            && self
+                .patterns
+                .iter()
+                .all(|p| other.support_of(p.items()) == Some(p.support()))
+    }
+
+    /// Patterns of `self` whose itemset is absent from `other` — "what
+    /// appeared at the new threshold", the question an analyst asks
+    /// between session rounds.
+    pub fn difference(&self, other: &PatternSet) -> PatternSet {
+        self.filter(|p| !other.contains(p.items()))
+    }
+
+    /// Patterns present (by itemset) in both sets, keeping `self`'s
+    /// supports.
+    pub fn intersection(&self, other: &PatternSet) -> PatternSet {
+        self.filter(|p| other.contains(p.items()))
+    }
+
+    /// The *closed* patterns: those with no proper superset of equal
+    /// support in the set. Closed patterns are a lossless summary — every
+    /// frequent pattern's support is recoverable from its smallest closed
+    /// superset.
+    pub fn closed_only(&self) -> PatternSet {
+        self.filter(|p| {
+            !self.patterns.iter().any(|q| {
+                q.len() > p.len() && q.support() == p.support() && p.is_subset_of(q)
+            })
+        })
+    }
+
+    /// The *maximal* patterns: those with no proper superset in the set
+    /// at all — the frontier of the frequent border.
+    pub fn maximal_only(&self) -> PatternSet {
+        self.filter(|p| {
+            !self.patterns.iter().any(|q| q.len() > p.len() && p.is_subset_of(q))
+        })
+    }
+}
+
+impl FromIterator<Pattern> for PatternSet {
+    fn from_iter<T: IntoIterator<Item = Pattern>>(iter: T) -> Self {
+        let mut s = PatternSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternSet {
+    type Item = &'a Pattern;
+    type IntoIter = std::slice::Iter<'a, Pattern>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+impl HeapSize for PatternSet {
+    fn heap_size(&self) -> usize {
+        // Index keys share no storage with the patterns; count both.
+        self.patterns.heap_size()
+            + self
+                .index
+                .keys()
+                .map(|k| k.len() * std::mem::size_of::<Item>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ids: &[u32], sup: u64) -> Pattern {
+        Pattern::from_ids(ids.iter().copied(), sup)
+    }
+
+    #[test]
+    fn pattern_canonicalizes() {
+        assert_eq!(p(&[3, 1, 2], 5), p(&[1, 2, 3], 5));
+        assert_eq!(p(&[1, 1, 2], 5).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        Pattern::new(vec![], 1);
+    }
+
+    #[test]
+    fn subset_tests() {
+        assert!(p(&[1, 3], 1).is_subset_of(&p(&[1, 2, 3], 1)));
+        assert!(!p(&[1, 4], 1).is_subset_of(&p(&[1, 2, 3], 1)));
+        assert!(p(&[2], 1).is_subset_of(&p(&[2], 1)));
+        assert!(!p(&[1, 2, 3], 1).is_subset_of(&p(&[1, 2], 1)));
+    }
+
+    #[test]
+    fn set_insert_and_lookup() {
+        let mut s = PatternSet::new();
+        assert!(s.insert(p(&[1, 2], 7)));
+        assert!(s.contains(&[Item(1), Item(2)]));
+        assert_eq!(s.support_of(&[Item(1), Item(2)]), Some(7));
+        assert_eq!(s.support_of(&[Item(1)]), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_support() {
+        let mut s = PatternSet::new();
+        s.insert(p(&[1], 5));
+        assert!(!s.insert(p(&[1], 9)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.support_of(&[Item(1)]), Some(9));
+    }
+
+    #[test]
+    fn max_len_tracks_longest() {
+        let mut s = PatternSet::new();
+        assert_eq!(s.max_len(), 0);
+        s.insert(p(&[1], 5));
+        s.insert(p(&[1, 2, 3], 2));
+        assert_eq!(s.max_len(), 3);
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let s: PatternSet = [p(&[1], 5), p(&[2], 3), p(&[1, 2], 3)].into_iter().collect();
+        let hi = s.filter(|q| q.support() >= 4);
+        assert_eq!(hi.len(), 1);
+        assert!(hi.contains(&[Item(1)]));
+    }
+
+    #[test]
+    fn same_patterns_ignores_order() {
+        let a: PatternSet = [p(&[1], 5), p(&[2], 3)].into_iter().collect();
+        let b: PatternSet = [p(&[2], 3), p(&[1], 5)].into_iter().collect();
+        assert!(a.same_patterns_as(&b));
+        let c: PatternSet = [p(&[2], 3), p(&[1], 4)].into_iter().collect();
+        assert!(!a.same_patterns_as(&c));
+        let d: PatternSet = [p(&[2], 3)].into_iter().collect();
+        assert!(!a.same_patterns_as(&d));
+    }
+
+    #[test]
+    fn sorted_is_lexicographic() {
+        let s: PatternSet =
+            [p(&[2], 1), p(&[1, 3], 1), p(&[1], 1)].into_iter().collect();
+        let v = s.sorted();
+        assert_eq!(v[0].items(), &[Item(1)]);
+        assert_eq!(v[1].items(), &[Item(1), Item(3)]);
+        assert_eq!(v[2].items(), &[Item(2)]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(p(&[2, 1], 4).to_string(), "i1 i2:4");
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let a: PatternSet = [p(&[1], 5), p(&[2], 3), p(&[1, 2], 3)].into_iter().collect();
+        let b: PatternSet = [p(&[1], 9), p(&[3], 1)].into_iter().collect();
+        let d = a.difference(&b);
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&[Item(2)]) && d.contains(&[Item(1), Item(2)]));
+        let i = a.intersection(&b);
+        assert_eq!(i.len(), 1);
+        // Intersection keeps self's support, not other's.
+        assert_eq!(i.support_of(&[Item(1)]), Some(5));
+    }
+
+    #[test]
+    fn closed_patterns_drop_absorbed_subsets() {
+        // fgc:3 absorbs fg:3, fc:3, gc:3, f:3, g:3 (equal support);
+        // c:4 stays closed (higher support than fgc).
+        let s: PatternSet = [
+            p(&[5], 3),
+            p(&[6], 3),
+            p(&[2], 4),
+            p(&[5, 6], 3),
+            p(&[2, 5], 3),
+            p(&[2, 6], 3),
+            p(&[2, 5, 6], 3),
+        ]
+        .into_iter()
+        .collect();
+        let closed = s.closed_only();
+        assert_eq!(closed.len(), 2);
+        assert!(closed.contains(&[Item(2), Item(5), Item(6)]));
+        assert!(closed.contains(&[Item(2)]));
+    }
+
+    #[test]
+    fn maximal_patterns_keep_only_the_border() {
+        let s: PatternSet = [
+            p(&[1], 5),
+            p(&[2], 4),
+            p(&[1, 2], 3),
+            p(&[3], 2),
+        ]
+        .into_iter()
+        .collect();
+        let max = s.maximal_only();
+        assert_eq!(max.len(), 2);
+        assert!(max.contains(&[Item(1), Item(2)]));
+        assert!(max.contains(&[Item(3)]));
+    }
+
+    #[test]
+    fn closed_superset_of_maximal() {
+        let s: PatternSet = [
+            p(&[1], 5),
+            p(&[2], 4),
+            p(&[1, 2], 3),
+        ]
+        .into_iter()
+        .collect();
+        let closed = s.closed_only();
+        let maximal = s.maximal_only();
+        for m in maximal.iter() {
+            assert!(closed.contains(m.items()), "maximal {m} must be closed");
+        }
+    }
+}

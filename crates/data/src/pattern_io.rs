@@ -1,0 +1,143 @@
+//! Text interchange format for pattern sets.
+//!
+//! One pattern per line: whitespace-separated item ids, a `:` separator,
+//! and the support — e.g. `2 5 6 : 3` for the paper's `fgc:3`. Blank
+//! lines and `#` comments are ignored. This is how mined `FP` sets are
+//! persisted between sessions (the multi-user recycling story needs
+//! pattern sets that outlive the process that mined them).
+
+use crate::error::DataError;
+use crate::pattern::{Pattern, PatternSet};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Reads a pattern set in the `items : support` line format.
+pub fn read_patterns<R: Read>(reader: R) -> Result<PatternSet, DataError> {
+    let mut set = PatternSet::new();
+    let mut reader = BufReader::new(reader);
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (items_part, support_part) = line.split_once(':').ok_or_else(|| {
+            DataError::Parse { line: line_no, token: line.to_owned() }
+        })?;
+        let mut ids = Vec::new();
+        for token in items_part.split_whitespace() {
+            let id: u32 = token
+                .parse()
+                .map_err(|_| DataError::Parse { line: line_no, token: token.to_owned() })?;
+            ids.push(id);
+        }
+        if ids.is_empty() {
+            return Err(DataError::Parse { line: line_no, token: line.to_owned() });
+        }
+        let support: u64 = support_part.trim().parse().map_err(|_| DataError::Parse {
+            line: line_no,
+            token: support_part.trim().to_owned(),
+        })?;
+        set.insert(Pattern::from_ids(ids, support));
+    }
+    Ok(set)
+}
+
+/// Writes a pattern set in the `items : support` line format, in
+/// canonical (lexicographic) order so files diff cleanly.
+pub fn write_patterns<W: Write>(set: &PatternSet, writer: W) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    let mut line = String::new();
+    for p in set.sorted() {
+        line.clear();
+        for (k, it) in p.items().iter().enumerate() {
+            if k > 0 {
+                line.push(' ');
+            }
+            line.push_str(&it.id().to_string());
+        }
+        line.push_str(" : ");
+        line.push_str(&p.support().to_string());
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a pattern set from a file path.
+pub fn read_patterns_file(path: impl AsRef<Path>) -> Result<PatternSet, DataError> {
+    read_patterns(std::fs::File::open(path)?)
+}
+
+/// Writes a pattern set to a file path.
+pub fn write_patterns_file(set: &PatternSet, path: impl AsRef<Path>) -> Result<(), DataError> {
+    write_patterns(set, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Item;
+
+    fn sample() -> PatternSet {
+        [
+            Pattern::from_ids([2u32, 5, 6], 3),
+            Pattern::from_ids([0u32, 4], 3),
+            Pattern::from_ids([4u32], 4),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let set = sample();
+        let mut buf = Vec::new();
+        write_patterns(&set, &mut buf).unwrap();
+        let back = read_patterns(&buf[..]).unwrap();
+        assert!(back.same_patterns_as(&set));
+    }
+
+    #[test]
+    fn output_is_canonical_and_readable() {
+        let mut buf = Vec::new();
+        write_patterns(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["0 4 : 3", "2 5 6 : 3", "4 : 4"]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# mined at 5%\n\n1 2 : 7\n";
+        let set = read_patterns(text.as_bytes()).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.support_of(&[Item(1), Item(2)]), Some(7));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_patterns("1 2 7\n".as_bytes()).is_err()); // no colon
+        assert!(read_patterns(": 7\n".as_bytes()).is_err()); // no items
+        assert!(read_patterns("1 : x\n".as_bytes()).is_err()); // bad support
+        assert!(read_patterns("a : 7\n".as_bytes()).is_err()); // bad item
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gogreen-pio-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fp.txt");
+        write_patterns_file(&sample(), &path).unwrap();
+        let back = read_patterns_file(&path).unwrap();
+        assert!(back.same_patterns_as(&sample()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

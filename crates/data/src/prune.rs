@@ -1,0 +1,65 @@
+//! Search-pruning hooks for constrained mining.
+//!
+//! Anti-monotone and succinct constraints can be *pushed into* the
+//! depth-first search instead of post-filtering its output (the paper's
+//! §2 cites the constrained-mining line of work [12, 14] for this).
+//! [`SearchPrune`] is the hook surface: miners consult it at three
+//! points, and the constraints crate adapts its
+//! [`Pushdown`](https://docs.rs) bundle onto it.
+//!
+//! Soundness contract (anti-monotonicity): if `prefix_ok` returns false
+//! for a prefix, it must return false for every superset, and if
+//! `may_extend(n)` is false then no pattern longer than `n` is wanted.
+//! Under that contract a pruned search emits exactly the frequent
+//! patterns that satisfy the pushed predicates.
+
+use crate::item::Item;
+
+/// Prune hooks consulted during the pattern-growth search.
+pub trait SearchPrune {
+    /// May `item` appear in any output pattern? Items rejected here are
+    /// stripped from the search space entirely (succinct `X ⊆ S`).
+    fn item_allowed(&self, item: Item) -> bool;
+
+    /// May a prefix of length `len` be extended further
+    /// (anti-monotone `|X| ≤ k`)?
+    fn may_extend(&self, len: usize) -> bool;
+
+    /// Does the prefix (unsorted item list) satisfy every pushed
+    /// anti-monotone predicate? A `false` abandons the whole subtree.
+    fn prefix_ok(&self, items: &[Item]) -> bool;
+}
+
+/// The no-op pruner: unconstrained mining.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrune;
+
+impl SearchPrune for NoPrune {
+    #[inline]
+    fn item_allowed(&self, _: Item) -> bool {
+        true
+    }
+
+    #[inline]
+    fn may_extend(&self, _: usize) -> bool {
+        true
+    }
+
+    #[inline]
+    fn prefix_ok(&self, _: &[Item]) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prune_allows_everything() {
+        let p = NoPrune;
+        assert!(p.item_allowed(Item(0)));
+        assert!(p.may_extend(usize::MAX));
+        assert!(p.prefix_ok(&[Item(1), Item(2)]));
+    }
+}

@@ -1,0 +1,103 @@
+//! Minimum-support thresholds.
+
+use std::fmt;
+
+/// A minimum-support threshold `ξ`.
+///
+/// The paper specifies supports as percentages of the database size (e.g.
+/// `ξ_old = 5%`) but counts tuples; both forms convert to an absolute tuple
+/// count through [`MinSupport::to_absolute`]. A pattern is *frequent* when
+/// its support is **at least** the absolute threshold (we follow the common
+/// `sup(X) ≥ ξ` convention; the paper's "greater than" wording is absorbed
+/// into the threshold value itself).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MinSupport {
+    /// An absolute number of tuples. `Absolute(0)` is normalized to 1.
+    Absolute(u64),
+    /// A fraction of the database size in `[0, 1]`.
+    Relative(f64),
+}
+
+impl MinSupport {
+    /// Converts to an absolute tuple count for a database of `db_len`
+    /// tuples. Relative thresholds round up (`ceil`), so `Relative(0.05)`
+    /// over 100 tuples demands support ≥ 5; results are clamped to ≥ 1
+    /// because a support-0 threshold would make every subset of `I`
+    /// "frequent".
+    pub fn to_absolute(self, db_len: usize) -> u64 {
+        match self {
+            MinSupport::Absolute(n) => n.max(1),
+            MinSupport::Relative(f) => {
+                assert!((0.0..=1.0).contains(&f), "relative support {f} outside [0,1]");
+                ((f * db_len as f64).ceil() as u64).max(1)
+            }
+        }
+    }
+
+    /// True when `self` is a tighter (higher) threshold than `other` for a
+    /// database of `db_len` tuples.
+    pub fn is_tighter_than(self, other: MinSupport, db_len: usize) -> bool {
+        self.to_absolute(db_len) > other.to_absolute(db_len)
+    }
+
+    /// Percentage helper: `MinSupport::percent(5.0)` is `Relative(0.05)`.
+    pub fn percent(p: f64) -> Self {
+        MinSupport::Relative(p / 100.0)
+    }
+}
+
+impl fmt::Display for MinSupport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinSupport::Absolute(n) => write!(f, "{n} tuples"),
+            MinSupport::Relative(r) => write!(f, "{}%", r * 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absolute_clamps_to_one() {
+        assert_eq!(MinSupport::Absolute(0).to_absolute(100), 1);
+        assert_eq!(MinSupport::Absolute(7).to_absolute(100), 7);
+    }
+
+    #[test]
+    fn relative_rounds_up() {
+        assert_eq!(MinSupport::Relative(0.05).to_absolute(100), 5);
+        assert_eq!(MinSupport::Relative(0.05).to_absolute(101), 6);
+        assert_eq!(MinSupport::Relative(0.0).to_absolute(100), 1);
+        assert_eq!(MinSupport::Relative(1.0).to_absolute(100), 100);
+    }
+
+    #[test]
+    fn percent_constructor() {
+        assert_eq!(MinSupport::percent(5.0).to_absolute(1000), 50);
+    }
+
+    #[test]
+    fn tighter_comparison() {
+        let five = MinSupport::percent(5.0);
+        let three = MinSupport::percent(3.0);
+        assert!(five.is_tighter_than(three, 1000));
+        assert!(!three.is_tighter_than(five, 1000));
+        assert!(!five.is_tighter_than(five, 1000));
+        // Mixed forms compare through the absolute value.
+        assert!(MinSupport::Absolute(51).is_tighter_than(five, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn relative_out_of_range_panics() {
+        MinSupport::Relative(1.5).to_absolute(10);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MinSupport::Absolute(3).to_string(), "3 tuples");
+        assert_eq!(MinSupport::percent(5.0).to_string(), "5%");
+    }
+}

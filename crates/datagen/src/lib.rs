@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Synthetic transaction-database generators.
+//!
+//! The paper evaluates on four datasets we cannot redistribute: Weather
+//! and Forest (sparse) and Connect-4 and Pumsb (dense, FIMI). Following
+//! the substitution rule documented in `DESIGN.md` §4, this crate provides
+//! generators that reproduce the *shape* of each regime:
+//!
+//! * [`quest::QuestGenerator`] — the classic IBM Quest market-basket
+//!   model (Agrawal & Srikant): transactions assembled from a pool of
+//!   corrupted, correlated potential patterns.
+//! * [`regimes::RegimeGenerator`] — regime-structured positional data:
+//!   the analog of the paper's sparse *relational* datasets (Weather,
+//!   Forest), whose latent regimes (seasons, cover types) produce long
+//!   patterns at low supports.
+//! * [`dense::PositionalGenerator`] — attribute/value data in the style
+//!   of Connect-4 and Pumsb: every tuple has one item per *position*
+//!   (board square, census field), values drawn from skewed per-position
+//!   distributions. A configurable fraction of positions is dominated by
+//!   a single value, which is exactly what makes those datasets explode
+//!   with long high-support patterns.
+//! * [`zipf::Zipf`] — the skewed value sampler both generators use.
+//! * [`presets`] — calibrated, seeded stand-ins for the paper's four
+//!   datasets, scalable from smoke-test size to paper size.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod dense;
+pub mod presets;
+pub mod quest;
+pub mod regimes;
+pub mod zipf;
+
+pub use dense::PositionalGenerator;
+pub use presets::{DatasetPreset, PaperRow, PresetKind};
+pub use quest::QuestGenerator;
+pub use regimes::RegimeGenerator;
+pub use zipf::Zipf;

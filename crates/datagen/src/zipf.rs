@@ -1,0 +1,121 @@
+//! Zipf-distributed sampling over `0..n`.
+
+use rand::Rng;
+
+/// A Zipf sampler: value `k` (0-based) is drawn with probability
+/// proportional to `1 / (k+1)^s`.
+///
+/// Sampling inverts the cumulative table by binary search — O(log n) per
+/// draw, exact, no rejection.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(value ≤ k).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with exponent `s ≥ 0`. `s = 0` is
+    /// uniform; larger `s` concentrates mass on small values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of values in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects empty domains).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability of value `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let z = Zipf::new(10, 2.0);
+        assert!(z.probability(0) > 0.6);
+        assert!(z.probability(9) < 0.01);
+    }
+
+    #[test]
+    fn samples_cover_domain_and_respect_skew() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = Zipf::new(1, 3.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(100, 1.5);
+        let total: f64 = (0..100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Shared plumbing for rank-space miners.
+
+use gogreen_data::{FList, Item, PatternSink};
+
+/// Maintains the current prefix pattern during a depth-first search over
+/// the F-list, translating ranks back to items on emission.
+///
+/// Every projected-database miner in the workspace (baselines here, the
+/// recycling miners in `gogreen-core`) shares this emitter so that output
+/// behaviour — one emission per frequent pattern, items decoded from
+/// ranks — is identical across algorithms.
+pub struct RankEmitter<'a> {
+    flist: &'a FList,
+    /// Current prefix as items (unsorted: DFS push order).
+    prefix: Vec<Item>,
+}
+
+impl<'a> RankEmitter<'a> {
+    /// Creates an emitter with an empty prefix.
+    pub fn new(flist: &'a FList) -> Self {
+        RankEmitter { flist, prefix: Vec::with_capacity(16) }
+    }
+
+    /// The F-list being decoded against.
+    pub fn flist(&self) -> &FList {
+        self.flist
+    }
+
+    /// Pushes rank `r` onto the prefix.
+    pub fn push(&mut self, r: u32) {
+        self.prefix.push(self.flist.item(r));
+    }
+
+    /// Pushes an item directly (used when resuming from a spilled
+    /// partition whose pattern prefix is known in item space).
+    pub fn push_item(&mut self, item: Item) {
+        self.prefix.push(item);
+    }
+
+    /// Pops the most recent rank.
+    pub fn pop(&mut self) {
+        self.prefix.pop();
+    }
+
+    /// Current prefix depth.
+    pub fn depth(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// The current prefix items (DFS push order, not sorted).
+    pub fn prefix(&self) -> &[Item] {
+        &self.prefix
+    }
+
+    /// Emits the current prefix with `support`.
+    pub fn emit(&self, sink: &mut dyn PatternSink, support: u64) {
+        debug_assert!(!self.prefix.is_empty());
+        sink.emit(&self.prefix, support);
+    }
+
+    /// Emits `prefix + extra_ranks` (used by single-path/single-group
+    /// combination enumeration) without mutating the prefix.
+    pub fn emit_with(&self, sink: &mut dyn PatternSink, extra_ranks: &[u32], support: u64) {
+        let mut items = Vec::with_capacity(self.prefix.len() + extra_ranks.len());
+        items.extend_from_slice(&self.prefix);
+        items.extend(extra_ranks.iter().map(|&r| self.flist.item(r)));
+        sink.emit(&items, support);
+    }
+}
+
+/// Enumerates every non-empty subset of `elems` (ranks paired with a
+/// support), invoking `f(subset_ranks, support)` where `support` is the
+/// minimum support among chosen elements.
+///
+/// This drives both FP-growth's single-path shortcut and the paper's
+/// Lemma 3.1 (single-group pattern generation), where all elements share
+/// one support.
+pub fn for_each_subset(elems: &[(u32, u64)], f: &mut impl FnMut(&[u32], u64)) {
+    assert!(elems.len() <= 62, "subset enumeration over >62 elements");
+    let mut ranks = Vec::with_capacity(elems.len());
+    fn rec(
+        elems: &[(u32, u64)],
+        from: usize,
+        ranks: &mut Vec<u32>,
+        support: u64,
+        f: &mut impl FnMut(&[u32], u64),
+    ) {
+        for k in from..elems.len() {
+            let (r, s) = elems[k];
+            ranks.push(r);
+            let sup = support.min(s);
+            f(ranks, sup);
+            rec(elems, k + 1, ranks, sup, f);
+            ranks.pop();
+        }
+    }
+    rec(elems, 0, &mut ranks, u64::MAX, f);
+}
+
+/// A scratch counting vector with O(touched) reset.
+///
+/// Mining recounts supports at every recursion level; zeroing a dense
+/// vector each time would be O(num_ranks). `ScratchCounts` tracks which
+/// slots were touched and clears only those.
+#[derive(Debug)]
+pub struct ScratchCounts {
+    counts: Vec<u64>,
+    touched: Vec<u32>,
+}
+
+impl ScratchCounts {
+    /// Creates a counter over `n` rank slots.
+    pub fn new(n: usize) -> Self {
+        ScratchCounts { counts: vec![0; n], touched: Vec::new() }
+    }
+
+    /// Adds `w` to slot `r`.
+    #[inline]
+    pub fn add(&mut self, r: u32, w: u64) {
+        let slot = &mut self.counts[r as usize];
+        if *slot == 0 {
+            self.touched.push(r);
+        }
+        *slot += w;
+    }
+
+    /// Current count of slot `r`.
+    #[inline]
+    pub fn get(&self, r: u32) -> u64 {
+        self.counts[r as usize]
+    }
+
+    /// Ranks touched since the last clear, in touch order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Clears all touched slots.
+    pub fn clear(&mut self) {
+        for &r in &self.touched {
+            self.counts[r as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Collects `(rank, count)` of touched slots with `count >= min`,
+    /// sorted ascending by rank, then clears.
+    pub fn drain_frequent(&mut self, min: u64) -> Vec<(u32, u64)> {
+        let mut out: Vec<(u32, u64)> = self
+            .touched
+            .iter()
+            .map(|&r| (r, self.counts[r as usize]))
+            .filter(|&(_, c)| c >= min)
+            .collect();
+        out.sort_unstable_by_key(|&(r, _)| r);
+        self.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::{CollectSink, TransactionDb};
+
+    #[test]
+    fn emitter_decodes_ranks() {
+        let db = TransactionDb::paper_example();
+        let fl = FList::from_db(&db, 2);
+        let mut em = RankEmitter::new(&fl);
+        let mut sink = CollectSink::new();
+        em.push(0); // d
+        em.emit(&mut sink, 2);
+        em.push(2); // f
+        em.emit(&mut sink, 2);
+        em.pop();
+        assert_eq!(em.depth(), 1);
+        let set = sink.into_set();
+        assert_eq!(set.support_of(&[Item(3)]), Some(2));
+        assert_eq!(set.support_of(&[Item(3), Item(5)]), Some(2));
+    }
+
+    #[test]
+    fn emit_with_appends_without_mutation() {
+        let db = TransactionDb::paper_example();
+        let fl = FList::from_db(&db, 2);
+        let mut em = RankEmitter::new(&fl);
+        let mut sink = CollectSink::new();
+        em.push(0);
+        em.emit_with(&mut sink, &[2, 3], 2);
+        assert_eq!(em.depth(), 1);
+        let set = sink.into_set();
+        // d(0) + f(5) + g(6) -> items {3,5,6}
+        assert_eq!(set.support_of(&[Item(3), Item(5), Item(6)]), Some(2));
+    }
+
+    #[test]
+    fn subsets_of_three_elements() {
+        let elems = [(1u32, 5u64), (2, 4), (3, 6)];
+        let mut seen = Vec::new();
+        for_each_subset(&elems, &mut |ranks, sup| seen.push((ranks.to_vec(), sup)));
+        assert_eq!(seen.len(), 7);
+        assert!(seen.contains(&(vec![1], 5)));
+        assert!(seen.contains(&(vec![1, 2], 4)));
+        assert!(seen.contains(&(vec![1, 2, 3], 4)));
+        assert!(seen.contains(&(vec![2, 3], 4)));
+        assert!(seen.contains(&(vec![3], 6)));
+    }
+
+    #[test]
+    fn subsets_of_empty_is_nothing() {
+        let mut n = 0;
+        for_each_subset(&[], &mut |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn scratch_counts_touch_and_clear() {
+        let mut c = ScratchCounts::new(10);
+        c.add(3, 2);
+        c.add(3, 1);
+        c.add(7, 1);
+        assert_eq!(c.get(3), 3);
+        assert_eq!(c.touched(), &[3, 7]);
+        c.clear();
+        assert_eq!(c.get(3), 0);
+        assert!(c.touched().is_empty());
+    }
+
+    #[test]
+    fn drain_frequent_filters_and_sorts() {
+        let mut c = ScratchCounts::new(10);
+        c.add(9, 5);
+        c.add(1, 1);
+        c.add(4, 3);
+        let freq = c.drain_frequent(3);
+        assert_eq!(freq, vec![(4, 3), (9, 5)]);
+        assert_eq!(c.get(9), 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! H-Mine (Pei, Han, Lu, Nishio, Tang, Yang — ICDM 2001).
+//!
+//! H-Mine loads the frequent projection of the database into a
+//! *hyper-structure*: every tuple is an array of rank-encoded entries, and
+//! each entry carries one reusable hyperlink. A header table per search
+//! node threads tuples into per-item queues through those links, so
+//! projected databases are never materialized — "projection" is relinking
+//! a queue.
+//!
+//! The crucial invariant that lets a *single* link field per entry serve
+//! every recursion level: during the depth-first search, an entry `(t, x)`
+//! is live in at most one queue at a time. A tuple's membership in an
+//! ancestor level is held by an entry of a *smaller* rank than anything the
+//! descendant levels relink, and descendants' stale links are dead by the
+//! time the ancestor relinks `(t, x)` forward.
+//!
+//! This implementation replaces raw pointers with `u32` indices into entry
+//! arenas — same layout, memory-safe.
+
+use crate::common::{RankEmitter, ScratchCounts};
+use crate::Miner;
+use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
+
+/// Link/arena sentinel.
+const NIL: u32 = u32::MAX;
+/// Item marker for tuple-terminating sentinel entries.
+const SENT: u32 = u32::MAX;
+
+/// The H-Mine algorithm.
+#[derive(Debug, Default, Clone)]
+pub struct HMine;
+
+/// The hyper-structure: parallel arrays of entry items (ranks) and
+/// hyperlinks. Tuples are contiguous runs terminated by a [`SENT`] entry.
+pub(crate) struct HStruct {
+    item: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl HStruct {
+    /// Builds the arena from rank-encoded tuples, returning the structure
+    /// and the arena index of each tuple's first entry.
+    pub(crate) fn build<'a>(
+        tuples: impl Iterator<Item = &'a [u32]>,
+        size_hint: usize,
+    ) -> (Self, Vec<u32>) {
+        let mut item = Vec::with_capacity(size_hint);
+        let mut next = Vec::new();
+        let mut firsts = Vec::new();
+        for t in tuples {
+            debug_assert!(!t.is_empty() && t.windows(2).all(|w| w[0] < w[1]));
+            firsts.push(item.len() as u32);
+            item.extend_from_slice(t);
+            item.push(SENT);
+        }
+        next.resize(item.len(), NIL);
+        (HStruct { item, next }, firsts)
+    }
+
+    /// Bytes of heap owned by the arena — the quantity the paper's memory
+    /// estimator budgets (§3.3): H-Mine's footprint is proportional to the
+    /// number of frequent-item occurrences.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn arena_bytes(&self) -> usize {
+        (self.item.capacity() + self.next.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
+/// One header-table row: an item (rank), its support in the current
+/// projection, and the head of its tuple queue.
+struct Cell {
+    rank: u32,
+    count: u64,
+    head: u32,
+}
+
+struct Ctx {
+    hs: HStruct,
+    /// `active[rank] == depth` ⇔ rank belongs to the current level's
+    /// header table. Levels nest (child item sets ⊆ parent extension
+    /// sets), so a depth number plus restore-on-exit suffices.
+    active: Vec<u32>,
+    /// Header-cell index of each active rank at the current level.
+    cell_of: Vec<u32>,
+    scratch: ScratchCounts,
+    minsup: u64,
+}
+
+impl Miner for HMine {
+    fn name(&self) -> &'static str {
+        "H-Mine"
+    }
+
+    fn mine_into(&self, db: &TransactionDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        let minsup = min_support.to_absolute(db.len());
+        let flist = FList::from_db(db, minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let tuples: Vec<Vec<u32>> = db
+            .iter()
+            .map(|t| flist.encode(t.items()))
+            .filter(|t| !t.is_empty())
+            .collect();
+        self.mine_encoded(&tuples, &flist, &[], minsup, sink);
+    }
+}
+
+impl HMine {
+    /// Mines rank-encoded `tuples` against `flist` at the absolute
+    /// threshold `minsup`, emitting every pattern prefixed by
+    /// `prefix_items`.
+    ///
+    /// This is the resumable entry point the memory-limited driver uses:
+    /// a spilled `i`-projected partition is mined by passing the
+    /// partition's tuples with `prefix_items = [item(i)]`. Supports are
+    /// counted from the tuples themselves (a partition's local supports
+    /// differ from the F-list's global ones).
+    pub fn mine_encoded(
+        &self,
+        tuples: &[Vec<u32>],
+        flist: &gogreen_data::FList,
+        prefix_items: &[gogreen_data::Item],
+        minsup: u64,
+        sink: &mut dyn PatternSink,
+    ) {
+        self.mine_encoded_pruned(tuples, flist, prefix_items, minsup, &NoPrune, sink);
+    }
+
+    /// Constrained mining over a plain database: `prune` strips
+    /// disallowed items from the search space, abandons subtrees whose
+    /// prefix violates a pushed anti-monotone predicate, and bounds the
+    /// extension depth. The output equals unconstrained mining filtered
+    /// by the pushed checks.
+    pub fn mine_pruned<P: SearchPrune>(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        prune: &P,
+        sink: &mut dyn PatternSink,
+    ) {
+        let minsup = min_support.to_absolute(db.len());
+        let flist = FList::from_db(db, minsup);
+        if flist.is_empty() {
+            return;
+        }
+        let allowed: Vec<bool> =
+            (0..flist.len() as u32).map(|r| prune.item_allowed(flist.item(r))).collect();
+        let tuples: Vec<Vec<u32>> = db
+            .iter()
+            .map(|t| {
+                let mut enc = flist.encode(t.items());
+                enc.retain(|&r| allowed[r as usize]);
+                enc
+            })
+            .filter(|t| !t.is_empty())
+            .collect();
+        self.mine_encoded_pruned(&tuples, &flist, &[], minsup, prune, sink);
+    }
+
+    /// [`HMine::mine_encoded`] with pruning hooks (monomorphized; the
+    /// [`NoPrune`] instantiation compiles to the unpruned search).
+    pub fn mine_encoded_pruned<P: SearchPrune>(
+        &self,
+        tuples: &[Vec<u32>],
+        flist: &gogreen_data::FList,
+        prefix_items: &[gogreen_data::Item],
+        minsup: u64,
+        prune: &P,
+        sink: &mut dyn PatternSink,
+    ) {
+        let n = flist.len();
+        let mut scratch = ScratchCounts::new(n);
+        for t in tuples {
+            for &r in t {
+                scratch.add(r, 1);
+            }
+        }
+        let frequent = scratch.drain_frequent(minsup);
+        if frequent.is_empty() {
+            return;
+        }
+        let occurrences: usize = tuples.iter().map(Vec::len).sum();
+        let (hs, firsts) = HStruct::build(
+            tuples.iter().map(Vec::as_slice),
+            occurrences + tuples.len(),
+        );
+        let mut ctx = Ctx {
+            hs,
+            active: vec![0; n],
+            cell_of: vec![NIL; n],
+            scratch,
+            minsup,
+        };
+        let mut cells: Vec<Cell> = frequent
+            .iter()
+            .map(|&(r, c)| Cell { rank: r, count: c, head: NIL })
+            .collect();
+        for (i, c) in cells.iter().enumerate() {
+            ctx.active[c.rank as usize] = 1;
+            ctx.cell_of[c.rank as usize] = i as u32;
+        }
+        // Queue each tuple on its first *active* entry (a tuple may start
+        // with locally infrequent ranks).
+        for &first in &firsts {
+            let mut e = first as usize;
+            loop {
+                let r = ctx.hs.item[e];
+                if r == SENT {
+                    break;
+                }
+                if ctx.active[r as usize] == 1 {
+                    let ci = ctx.cell_of[r as usize] as usize;
+                    ctx.hs.next[e] = cells[ci].head;
+                    cells[ci].head = e as u32;
+                    break;
+                }
+                e += 1;
+            }
+        }
+        let mut emitter = RankEmitter::new(flist);
+        for &it in prefix_items {
+            emitter.push_item(it);
+        }
+        mine_level(&mut ctx, &mut cells, 1, prune, &mut emitter, sink);
+    }
+}
+
+/// Processes one header table: for each cell in ascending rank order, emit
+/// its pattern, count its locally frequent extensions, build and recurse
+/// into the sub-header, then relink its queue forward within this level.
+fn mine_level<P: SearchPrune>(
+    ctx: &mut Ctx,
+    cells: &mut [Cell],
+    depth: u32,
+    prune: &P,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    for idx in 0..cells.len() {
+        let r = cells[idx].rank;
+        emitter.push(r);
+        // Anti-monotone pushdown: a violating prefix dooms the subtree
+        // (but the queue must still relink for the later rows).
+        let prefix_ok = prune.prefix_ok(emitter.prefix());
+        if prefix_ok {
+            emitter.emit(sink, cells[idx].count);
+        }
+
+        let is_last = idx + 1 == cells.len();
+        let descend = prefix_ok && prune.may_extend(emitter.depth());
+        if !is_last {
+            // Pass 1 — count extensions of r among this queue's tuples
+            // (skipped entirely when pruning forbids descending).
+            if descend {
+                let mut e = cells[idx].head;
+                while e != NIL {
+                    let mut p = e as usize + 1;
+                    loop {
+                        let x = ctx.hs.item[p];
+                        if x == SENT {
+                            break;
+                        }
+                        if ctx.active[x as usize] == depth {
+                            ctx.scratch.add(x, 1);
+                        }
+                        p += 1;
+                    }
+                    e = ctx.hs.next[e as usize];
+                }
+            }
+            let sub = ctx.scratch.drain_frequent(ctx.minsup);
+
+            if !sub.is_empty() {
+                // Enter sub-level: activate items, saving parent state.
+                let mut subcells: Vec<Cell> = sub
+                    .iter()
+                    .map(|&(x, c)| Cell { rank: x, count: c, head: NIL })
+                    .collect();
+                let saved: Vec<(u32, u32)> =
+                    sub.iter().map(|&(x, _)| (x, ctx.cell_of[x as usize])).collect();
+                for (i, c) in subcells.iter().enumerate() {
+                    ctx.active[c.rank as usize] = depth + 1;
+                    ctx.cell_of[c.rank as usize] = i as u32;
+                }
+                // Pass 2 — thread each tuple into the queue of its first
+                // sub-active entry after r.
+                let mut e = cells[idx].head;
+                while e != NIL {
+                    let succ = ctx.hs.next[e as usize];
+                    let mut p = e as usize + 1;
+                    loop {
+                        let x = ctx.hs.item[p];
+                        if x == SENT {
+                            break;
+                        }
+                        if ctx.active[x as usize] == depth + 1 {
+                            let ci = ctx.cell_of[x as usize] as usize;
+                            ctx.hs.next[p] = subcells[ci].head;
+                            subcells[ci].head = p as u32;
+                            break;
+                        }
+                        p += 1;
+                    }
+                    e = succ;
+                }
+                mine_level(ctx, &mut subcells, depth + 1, prune, emitter, sink);
+                // Exit sub-level: restore parent activity and cell map.
+                for (x, old_cell) in saved {
+                    ctx.active[x as usize] = depth;
+                    ctx.cell_of[x as usize] = old_cell;
+                }
+            }
+
+            // Pass 3 — relink: move each tuple of r's queue to the queue
+            // of its next item active at THIS level, so later cells see it.
+            let mut e = cells[idx].head;
+            while e != NIL {
+                let succ = ctx.hs.next[e as usize];
+                let mut p = e as usize + 1;
+                loop {
+                    let x = ctx.hs.item[p];
+                    if x == SENT {
+                        break;
+                    }
+                    if ctx.active[x as usize] == depth {
+                        let ci = ctx.cell_of[x as usize] as usize;
+                        ctx.hs.next[p] = cells[ci].head;
+                        cells[ci].head = p as u32;
+                        break;
+                    }
+                    p += 1;
+                }
+                e = succ;
+            }
+        }
+        emitter.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine_apriori;
+    use gogreen_data::Item;
+
+    #[test]
+    fn matches_oracle_on_paper_example_all_thresholds() {
+        let db = TransactionDb::paper_example();
+        for minsup in 1..=5 {
+            let hm = HMine.mine(&db, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(
+                hm.same_patterns_as(&oracle),
+                "minsup={minsup}: hmine {} vs oracle {}",
+                hm.len(),
+                oracle.len()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_dbs() {
+        assert!(HMine.mine(&TransactionDb::new(), MinSupport::Absolute(1)).is_empty());
+        let db = TransactionDb::from_rows(&[&[1]]);
+        let fp = HMine.mine(&db, MinSupport::Absolute(1));
+        assert_eq!(fp.len(), 1);
+        assert_eq!(fp.support_of(&[Item(1)]), Some(1));
+    }
+
+    #[test]
+    fn long_shared_prefix_chain() {
+        // All tuples share a long prefix: exercises deep recursion and the
+        // relink invariant across many levels.
+        let db = TransactionDb::from_rows(&[
+            &[1, 2, 3, 4, 5, 6],
+            &[1, 2, 3, 4, 5, 6],
+            &[1, 2, 3, 4, 5, 7],
+            &[1, 2, 3, 4, 8, 9],
+        ]);
+        let hm = HMine.mine(&db, MinSupport::Absolute(2));
+        let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+        assert!(hm.same_patterns_as(&oracle));
+    }
+
+    #[test]
+    fn interleaved_queues_regression() {
+        // Tuples whose first frequent items differ force queue relinks in
+        // every direction.
+        let db = TransactionDb::from_rows(&[
+            &[1, 3, 5],
+            &[2, 3, 5],
+            &[1, 2, 5],
+            &[1, 2, 3],
+            &[4, 5],
+            &[1, 4],
+        ]);
+        for minsup in 1..=4 {
+            let hm = HMine.mine(&db, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(hm.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn arena_accounts_entries_and_sentinels() {
+        let tuples = [vec![0u32, 1], vec![2]];
+        let (hs, firsts) = HStruct::build(tuples.iter().map(|t| t.as_slice()), 0);
+        assert_eq!(firsts, vec![0, 3]);
+        // 3 item entries + 2 sentinels.
+        assert_eq!(hs.item.len(), 5);
+        assert!(hs.arena_bytes() >= 5 * 8);
+    }
+}

@@ -1,0 +1,151 @@
+#![warn(missing_docs)]
+
+//! Baseline frequent-pattern miners.
+//!
+//! The paper adapts three representative *projected-database* miners —
+//! H-Mine, FP-tree (FP-growth) and Tree Projection — to run on compressed
+//! databases. This crate implements those three baselines faithfully, plus
+//! two reference miners:
+//!
+//! * [`apriori`] — the classic level-wise algorithm, used across the
+//!   workspace as the correctness oracle;
+//! * [`naive`] — the plain recursive projected-database miner, the
+//!   skeleton the paper's Definition 3.2/3.3 framework describes.
+//!
+//! All miners implement [`Miner`] and produce the *complete* set of
+//! frequent patterns; the test suites assert they agree pattern-for-pattern
+//! on random databases.
+
+pub mod apriori;
+pub mod common;
+pub mod fpgrowth;
+pub mod hmine;
+pub mod naive;
+pub mod treeproj;
+
+use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink, TransactionDb};
+
+pub use apriori::Apriori;
+pub use fpgrowth::FpGrowth;
+pub use hmine::HMine;
+pub use naive::NaiveProjection;
+pub use treeproj::TreeProjection;
+
+/// A frequent-pattern mining algorithm over plain transaction databases.
+///
+/// ```
+/// use gogreen_miners::{Miner, HMine, FpGrowth};
+/// use gogreen_data::{MinSupport, TransactionDb};
+///
+/// let db = TransactionDb::paper_example();
+/// let a = HMine.mine(&db, MinSupport::Absolute(3));
+/// let b = FpGrowth.mine(&db, MinSupport::Absolute(3));
+/// assert!(a.same_patterns_as(&b));
+/// assert_eq!(a.len(), 11);
+/// ```
+pub trait Miner {
+    /// Short algorithm name for reports ("H-Mine", "FP-growth", …).
+    fn name(&self) -> &'static str;
+
+    /// Mines the complete set of frequent patterns of `db` at
+    /// `min_support`, emitting each pattern exactly once into `sink`.
+    fn mine_into(&self, db: &TransactionDb, min_support: MinSupport, sink: &mut dyn PatternSink);
+
+    /// Convenience wrapper collecting the result into a [`PatternSet`].
+    fn mine(&self, db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+        let mut sink = CollectSink::new();
+        self.mine_into(db, min_support, &mut sink);
+        sink.into_set()
+    }
+}
+
+/// Mines with [`Apriori`] (correctness oracle; slowest).
+pub fn mine_apriori(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+    Apriori.mine(db, min_support)
+}
+
+/// Mines with [`HMine`].
+pub fn mine_hmine(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+    HMine.mine(db, min_support)
+}
+
+/// Mines with [`FpGrowth`].
+pub fn mine_fpgrowth(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+    FpGrowth.mine(db, min_support)
+}
+
+/// Mines with [`TreeProjection`].
+pub fn mine_treeproj(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+    TreeProjection.mine(db, min_support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every miner on the paper's Table 1 example at ξ = 3 must produce
+    /// exactly the `FP` set of the paper's Example 1.
+    #[test]
+    fn all_miners_reproduce_paper_example_1() {
+        // a=0,b=1,c=2,d=3,e=4,f=5,g=6,h=7,i=8
+        let db = TransactionDb::paper_example();
+        let miners: Vec<Box<dyn Miner>> = vec![
+            Box::new(Apriori),
+            Box::new(NaiveProjection),
+            Box::new(HMine),
+            Box::new(FpGrowth),
+            Box::new(TreeProjection),
+        ];
+        for m in &miners {
+            let fp = m.mine(&db, MinSupport::Absolute(3));
+            // The paper's Example 1 lists 10 patterns but omits fc:3 — a
+            // typo, since fc ⊂ fgc:3 must be frequent by anti-monotonicity.
+            // The complete set has 11 patterns.
+            assert_eq!(fp.len(), 11, "{} pattern count", m.name());
+            let expect: &[(&[u32], u64)] = &[
+                (&[5], 3),       // f
+                (&[5, 6], 3),    // fg
+                (&[2, 5], 3),    // fc (omitted in the paper's Example 1)
+                (&[2, 5, 6], 3), // fgc
+                (&[6], 3),       // g
+                (&[2, 6], 3),    // gc
+                (&[0], 3),       // a
+                (&[0, 4], 3),    // ae
+                (&[4], 4),       // e
+                (&[2, 4], 3),    // ec
+                (&[2], 4),       // c
+            ];
+            for &(ids, sup) in expect {
+                let items: Vec<_> = ids.iter().map(|&i| gogreen_data::Item(i)).collect();
+                assert_eq!(
+                    fp.support_of(&items),
+                    Some(sup),
+                    "{}: {:?}",
+                    m.name(),
+                    ids
+                );
+            }
+        }
+    }
+
+    /// At ξ = 2 the miners must agree with the oracle on the full set,
+    /// including the d-extensions the paper's Example 3 walks through.
+    #[test]
+    fn all_miners_agree_at_support_two() {
+        let db = TransactionDb::paper_example();
+        let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+        // Spot-check Example 3 step (1): dcfg:2 and friends.
+        let it = |ids: &[u32]| ids.iter().map(|&i| gogreen_data::Item(i)).collect::<Vec<_>>();
+        assert_eq!(oracle.support_of(&it(&[2, 3, 5, 6])), Some(2)); // dcfg
+        assert_eq!(oracle.support_of(&it(&[3, 5])), Some(2)); // df
+        assert_eq!(oracle.support_of(&it(&[0, 2, 4])), Some(2)); // ace
+        for m in [
+            mine_hmine(&db, MinSupport::Absolute(2)),
+            mine_fpgrowth(&db, MinSupport::Absolute(2)),
+            mine_treeproj(&db, MinSupport::Absolute(2)),
+            NaiveProjection.mine(&db, MinSupport::Absolute(2)),
+        ] {
+            assert!(m.same_patterns_as(&oracle));
+        }
+    }
+}

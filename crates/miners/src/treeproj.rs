@@ -1,0 +1,245 @@
+//! Tree Projection (Agarwal, Aggarwal, Prasad — J. Parallel Distrib.
+//! Comput. 2001), depth-first variant, as used by the paper (§4.2).
+//!
+//! The lexicographic tree of itemsets is explored depth-first. At each
+//! node, transactions are *projected* onto the node's frequent extensions
+//! and a triangular counting matrix tallies the supports of all pairs of
+//! extensions in one pass — producing every child node's extension set
+//! (two levels of the tree from one counting pass).
+
+use crate::common::RankEmitter;
+use crate::Miner;
+use gogreen_data::{FList, MinSupport, PatternSink, TransactionDb};
+use gogreen_util::FxHashMap;
+
+/// Above this many extensions the pair matrix switches from a dense
+/// triangular array to a hash map (the dense form would need
+/// `k·(k−1)/2` counters).
+const DENSE_LIMIT: usize = 3000;
+
+/// The depth-first Tree Projection algorithm.
+#[derive(Debug, Default, Clone)]
+pub struct TreeProjection;
+
+impl Miner for TreeProjection {
+    fn name(&self) -> &'static str {
+        "TreeProjection"
+    }
+
+    fn mine_into(&self, db: &TransactionDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        let minsup = min_support.to_absolute(db.len());
+        let flist = FList::from_db(db, minsup);
+        if flist.is_empty() {
+            return;
+        }
+        // At the root the local extension index IS the rank.
+        let exts: Vec<(u32, u64)> =
+            (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
+        let trans: Vec<Vec<u32>> = db
+            .iter()
+            .map(|t| flist.encode(t.items()))
+            .filter(|t| !t.is_empty())
+            .collect();
+        let mut emitter = RankEmitter::new(&flist);
+        tp_node(&trans, &exts, minsup, &mut emitter, sink);
+    }
+}
+
+/// The pair-support matrix of one lexicographic-tree node: counts the
+/// support of every extension pair `(a, b)`, `a < b`, in one pass.
+///
+/// Public because the Tree Projection recycling adaptation in
+/// `gogreen-core` reuses it with weighted bumps (a whole group's pattern
+/// pairs are counted once with the group count).
+pub enum PairMatrix {
+    /// Flat upper-triangular array, used while the extension count
+    /// stays within the dense limit (3000).
+    Dense {
+        /// Number of extensions.
+        k: usize,
+        /// Triangular counters.
+        counts: Vec<u64>,
+    },
+    /// Hash-backed fallback for very wide nodes.
+    Sparse(FxHashMap<(u32, u32), u64>),
+}
+
+impl PairMatrix {
+    /// Creates a matrix over `k ≥ 2` extensions.
+    pub fn new(k: usize) -> Self {
+        if k <= DENSE_LIMIT {
+            PairMatrix::Dense { k, counts: vec![0; k * (k - 1) / 2] }
+        } else {
+            PairMatrix::Sparse(FxHashMap::default())
+        }
+    }
+
+    #[inline]
+    fn dense_index(k: usize, a: usize, b: usize) -> usize {
+        debug_assert!(a < b && b < k);
+        a * k - a * (a + 1) / 2 + (b - a - 1)
+    }
+
+    /// Adds 1 to pair `(a, b)`; requires `a < b`.
+    #[inline]
+    pub fn bump(&mut self, a: u32, b: u32) {
+        self.bump_by(a, b, 1);
+    }
+
+    /// Adds `w` to pair `(a, b)`; requires `a < b`.
+    #[inline]
+    pub fn bump_by(&mut self, a: u32, b: u32, w: u64) {
+        match self {
+            PairMatrix::Dense { k, counts } => {
+                counts[Self::dense_index(*k, a as usize, b as usize)] += w
+            }
+            PairMatrix::Sparse(m) => *m.entry((a, b)).or_insert(0) += w,
+        }
+    }
+
+    /// The count of pair `(a, b)`; requires `a < b`.
+    #[inline]
+    pub fn get(&self, a: u32, b: u32) -> u64 {
+        match self {
+            PairMatrix::Dense { k, counts } => {
+                counts[Self::dense_index(*k, a as usize, b as usize)]
+            }
+            PairMatrix::Sparse(m) => m.get(&(a, b)).copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Processes one node: `trans` are the node's projected transactions in
+/// local extension indices (ascending), `exts` the frequent extensions as
+/// `(global rank, support)` indexed by those local indices.
+fn tp_node(
+    trans: &[Vec<u32>],
+    exts: &[(u32, u64)],
+    minsup: u64,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    for &(rank, sup) in exts {
+        emitter.push(rank);
+        emitter.emit(sink, sup);
+        emitter.pop();
+    }
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    // One counting pass fills the supports of all pairs of extensions.
+    let mut matrix = PairMatrix::new(k);
+    for t in trans {
+        for (p, &a) in t.iter().enumerate() {
+            for &b in &t[p + 1..] {
+                matrix.bump(a, b);
+            }
+        }
+    }
+    // Children: extension i spawns a node whose extensions are the j > i
+    // with frequent (i, j) pairs.
+    let mut remap = vec![u32::MAX; k];
+    for i in 0..k as u32 {
+        let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
+            .filter_map(|j| {
+                let c = matrix.get(i, j);
+                (c >= minsup).then(|| (exts[j as usize].0, c))
+            })
+            .collect();
+        if child_exts.is_empty() {
+            continue;
+        }
+        // Remap surviving parent-local indices to child-local indices.
+        remap.iter_mut().for_each(|r| *r = u32::MAX);
+        let mut next_local = 0u32;
+        for j in (i + 1)..k as u32 {
+            if matrix.get(i, j) >= minsup {
+                remap[j as usize] = next_local;
+                next_local += 1;
+            }
+        }
+        let mut child_trans: Vec<Vec<u32>> = Vec::new();
+        for t in trans {
+            if let Ok(pos) = t.binary_search(&i) {
+                let proj: Vec<u32> = t[pos + 1..]
+                    .iter()
+                    .filter_map(|&j| {
+                        let l = remap[j as usize];
+                        (l != u32::MAX).then_some(l)
+                    })
+                    .collect();
+                if !proj.is_empty() {
+                    child_trans.push(proj);
+                }
+            }
+        }
+        emitter.push(exts[i as usize].0);
+        tp_node(&child_trans, &child_exts, minsup, emitter, sink);
+        emitter.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mine_apriori;
+    use gogreen_data::Item;
+
+    #[test]
+    fn dense_index_is_a_bijection() {
+        let k = 5;
+        let mut seen = std::collections::BTreeSet::new();
+        for a in 0..k {
+            for b in (a + 1)..k {
+                assert!(seen.insert(PairMatrix::dense_index(k, a, b)));
+            }
+        }
+        assert_eq!(seen.len(), k * (k - 1) / 2);
+        assert_eq!(*seen.iter().max().unwrap(), k * (k - 1) / 2 - 1);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let mut d = PairMatrix::new(4);
+        let mut s = PairMatrix::Sparse(FxHashMap::default());
+        for &(a, b) in &[(0u32, 1u32), (0, 1), (2, 3), (1, 3)] {
+            d.bump(a, b);
+            s.bump(a, b);
+        }
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                assert_eq!(d.get(a, b), s.get(a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_paper_example_all_thresholds() {
+        let db = TransactionDb::paper_example();
+        for minsup in 1..=5 {
+            let tp = TreeProjection.mine(&db, MinSupport::Absolute(minsup));
+            let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
+            assert!(tp.same_patterns_as(&oracle), "minsup={minsup}");
+        }
+    }
+
+    #[test]
+    fn pairs_below_support_prune_children() {
+        // 1 and 2 are each frequent but never co-occur.
+        let db = TransactionDb::from_rows(&[&[1, 3], &[2, 3], &[1, 3], &[2, 3]]);
+        let fp = TreeProjection.mine(&db, MinSupport::Absolute(2));
+        assert_eq!(fp.support_of(&[Item(1), Item(2)]), None);
+        assert_eq!(fp.support_of(&[Item(1), Item(3)]), Some(2));
+        let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+        assert!(fp.same_patterns_as(&oracle));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(TreeProjection.mine(&TransactionDb::new(), MinSupport::Absolute(1)).is_empty());
+        let db = TransactionDb::from_rows(&[&[9]]);
+        let fp = TreeProjection.mine(&db, MinSupport::Absolute(1));
+        assert_eq!(fp.len(), 1);
+    }
+}

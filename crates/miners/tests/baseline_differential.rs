@@ -1,0 +1,83 @@
+//! Randomized differential tests across the four baseline miners: on any
+//! database and threshold, H-Mine, FP-growth, Tree Projection and the
+//! naive projected-database miner must produce exactly Apriori's set.
+
+use gogreen_data::{MinSupport, Transaction, TransactionDb};
+use gogreen_miners::{
+    mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner, NaiveProjection,
+};
+use proptest::prelude::*;
+
+fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::btree_set(0u32..18, 1..10), 1..40).prop_map(
+        |rows| {
+            TransactionDb::from_transactions(
+                rows.into_iter()
+                    .map(Transaction::from_ids)
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hmine_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
+        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+        let got = mine_hmine(&db, MinSupport::Absolute(minsup));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn fpgrowth_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
+        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+        let got = mine_fpgrowth(&db, MinSupport::Absolute(minsup));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn treeproj_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
+        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+        let got = mine_treeproj(&db, MinSupport::Absolute(minsup));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    #[test]
+    fn naive_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
+        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+        let got = NaiveProjection.mine(&db, MinSupport::Absolute(minsup));
+        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+    }
+
+    /// Anti-monotonicity of the output itself: every subset-closed
+    /// property the oracle guarantees must hold for the fast miners too.
+    #[test]
+    fn output_is_subset_closed(db in db_strategy(), minsup in 1u64..6) {
+        let got = mine_fpgrowth(&db, MinSupport::Absolute(minsup));
+        for p in got.iter() {
+            if p.len() >= 2 {
+                // Dropping any one item keeps it frequent with >= support.
+                let items = p.items();
+                for drop in 0..items.len() {
+                    let mut sub: Vec<_> = items.to_vec();
+                    sub.remove(drop);
+                    let sup = got.support_of(&sub);
+                    prop_assert!(sup.is_some(), "missing subset of {p}");
+                    prop_assert!(sup.unwrap() >= p.support());
+                }
+            }
+        }
+    }
+
+    /// Relative thresholds agree with their absolute equivalents.
+    #[test]
+    fn relative_threshold_equivalence(db in db_strategy(), pct in 1u32..100) {
+        let rel = MinSupport::Relative(pct as f64 / 100.0);
+        let abs = MinSupport::Absolute(rel.to_absolute(db.len()));
+        let a = mine_hmine(&db, rel);
+        let b = mine_hmine(&db, abs);
+        prop_assert!(a.same_patterns_as(&b));
+    }
+}

@@ -1,0 +1,56 @@
+//! Memory budgets.
+
+/// A cap on the estimated size of in-memory mining structures.
+///
+/// The paper imitates machine-memory limits of 4 MiB and 8 MiB (§5.3);
+/// the budget applies to the *estimated* structure size, exactly as the
+/// paper's Figure 3 line 1 (`EM(D) > M`) does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `bytes` bytes.
+    pub fn bytes(bytes: usize) -> Self {
+        MemoryBudget { bytes }
+    }
+
+    /// A budget of `mib` mebibytes.
+    pub fn mib(mib: usize) -> Self {
+        MemoryBudget { bytes: mib << 20 }
+    }
+
+    /// Effectively no limit.
+    pub fn unlimited() -> Self {
+        MemoryBudget { bytes: usize::MAX }
+    }
+
+    /// The cap in bytes.
+    pub fn limit(&self) -> usize {
+        self.bytes
+    }
+
+    /// True when an estimated size fits.
+    pub fn fits(&self, estimated_bytes: usize) -> bool {
+        estimated_bytes <= self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mib_conversion() {
+        assert_eq!(MemoryBudget::mib(4).limit(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn fits_is_inclusive() {
+        let b = MemoryBudget::bytes(100);
+        assert!(b.fits(100));
+        assert!(!b.fits(101));
+        assert!(MemoryBudget::unlimited().fits(usize::MAX));
+    }
+}

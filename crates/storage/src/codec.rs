@@ -1,0 +1,188 @@
+//! Binary encoding of spilled records.
+//!
+//! A partition file is a sequence of records. Two record kinds exist,
+//! mirroring the two populations of a compressed database:
+//!
+//! * **Plain** — a rank list (an uncovered tuple, or a member whose
+//!   residual pattern emptied out).
+//! * **Group** — a residual pattern, a bare-member count, and the
+//!   outlier lists of members that still have outlying items. Writing
+//!   one group record per (partition, group) preserves the compression
+//!   saving across the spill: the pattern is stored once.
+//!
+//! Encoding is little-endian `u32`s with `u32` length prefixes — dense,
+//! alignment-free, and trivially seekable record by record.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One spilled record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpillRecord {
+    /// An uncovered tuple (ascending ranks, non-empty).
+    Plain(Vec<u32>),
+    /// A (possibly partial) group.
+    Group {
+        /// Residual pattern ranks (ascending, non-empty).
+        pattern: Vec<u32>,
+        /// Members with no relevant outlying items.
+        bare: u64,
+        /// Outlier lists of the remaining members (each non-empty).
+        outliers: Vec<Vec<u32>>,
+    },
+}
+
+impl SpillRecord {
+    /// Number of member tuples this record represents.
+    pub fn tuple_count(&self) -> u64 {
+        match self {
+            SpillRecord::Plain(_) => 1,
+            SpillRecord::Group { bare, outliers, .. } => bare + outliers.len() as u64,
+        }
+    }
+
+    /// Estimated bytes of the in-memory RP-Struct share this record
+    /// expands to (used for load-vs-respill decisions).
+    pub fn estimated_memory(&self) -> usize {
+        const PER_ENTRY: usize = 12;
+        const PER_TAIL: usize = 12;
+        const PER_GROUP: usize = 60;
+        match self {
+            SpillRecord::Plain(items) => (items.len() + 1) * PER_ENTRY + PER_TAIL,
+            SpillRecord::Group { pattern, outliers, .. } => {
+                PER_GROUP
+                    + pattern.len() * 4
+                    + outliers
+                        .iter()
+                        .map(|o| (o.len() + 1) * PER_ENTRY + PER_TAIL + 4)
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Serializes into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SpillRecord::Plain(items) => {
+                buf.put_u8(0);
+                put_list(buf, items);
+            }
+            SpillRecord::Group { pattern, bare, outliers } => {
+                buf.put_u8(1);
+                put_list(buf, pattern);
+                buf.put_u64_le(*bare);
+                buf.put_u32_le(outliers.len() as u32);
+                for o in outliers {
+                    put_list(buf, o);
+                }
+            }
+        }
+    }
+
+    /// Deserializes one record from the front of `buf`, or `None` when
+    /// the buffer is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated or corrupt buffer — spill files are private
+    /// to the process, so corruption is a bug, not an input error.
+    pub fn decode(buf: &mut Bytes) -> Option<SpillRecord> {
+        if !buf.has_remaining() {
+            return None;
+        }
+        match buf.get_u8() {
+            0 => Some(SpillRecord::Plain(get_list(buf))),
+            1 => {
+                let pattern = get_list(buf);
+                let bare = buf.get_u64_le();
+                let n = buf.get_u32_le() as usize;
+                let outliers = (0..n).map(|_| get_list(buf)).collect();
+                Some(SpillRecord::Group { pattern, bare, outliers })
+            }
+            tag => panic!("corrupt spill record tag {tag}"),
+        }
+    }
+}
+
+fn put_list(buf: &mut BytesMut, items: &[u32]) {
+    buf.put_u32_le(items.len() as u32);
+    for &x in items {
+        buf.put_u32_le(x);
+    }
+}
+
+fn get_list(buf: &mut Bytes) -> Vec<u32> {
+    let n = buf.get_u32_le() as usize;
+    (0..n).map(|_| buf.get_u32_le()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(records: &[SpillRecord]) {
+        let mut buf = BytesMut::new();
+        for r in records {
+            r.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let mut back = Vec::new();
+        while let Some(r) = SpillRecord::decode(&mut bytes) {
+            back.push(r);
+        }
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        round_trip(&[SpillRecord::Plain(vec![1, 5, 9]), SpillRecord::Plain(vec![0])]);
+    }
+
+    #[test]
+    fn group_round_trip() {
+        round_trip(&[SpillRecord::Group {
+            pattern: vec![2, 3],
+            bare: 7,
+            outliers: vec![vec![4], vec![5, 6]],
+        }]);
+    }
+
+    #[test]
+    fn mixed_stream_round_trip() {
+        round_trip(&[
+            SpillRecord::Plain(vec![1]),
+            SpillRecord::Group { pattern: vec![0], bare: 0, outliers: vec![vec![9]] },
+            SpillRecord::Plain(vec![2, 3]),
+        ]);
+    }
+
+    #[test]
+    fn decode_empty_is_none() {
+        let mut b = Bytes::new();
+        assert_eq!(SpillRecord::decode(&mut b), None);
+    }
+
+    #[test]
+    fn tuple_counts() {
+        assert_eq!(SpillRecord::Plain(vec![1]).tuple_count(), 1);
+        let g = SpillRecord::Group { pattern: vec![1], bare: 2, outliers: vec![vec![2]] };
+        assert_eq!(g.tuple_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt spill record")]
+    fn corrupt_tag_panics() {
+        let mut b = Bytes::from_static(&[7u8, 0, 0, 0, 0]);
+        SpillRecord::decode(&mut b);
+    }
+
+    #[test]
+    fn memory_estimate_grows_with_content() {
+        let small = SpillRecord::Plain(vec![1]);
+        let big = SpillRecord::Group {
+            pattern: vec![1, 2, 3],
+            bare: 0,
+            outliers: vec![vec![4, 5], vec![6]],
+        };
+        assert!(big.estimated_memory() > small.estimated_memory());
+    }
+}

@@ -1,0 +1,160 @@
+//! The "Fx" hash algorithm used by rustc, reimplemented locally.
+//!
+//! Fx is a simple multiply-and-rotate hash. It is *not* collision resistant
+//! and must never be used where an adversary controls the keys; inside a
+//! mining engine the keys are item identifiers and small integer tuples, so
+//! throughput is all that matters. See the Rust Performance Book's hashing
+//! chapter for the rationale of swapping SipHash out on hot paths.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` using the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming state for the Fx algorithm.
+///
+/// Each written word is folded in with `hash = (hash.rotate_left(5) ^ word)
+/// .wrapping_mul(SEED)`. Bytes are consumed in word-sized chunks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(buf)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a single `u64` with the Fx algorithm (convenience for one-shot use).
+#[inline]
+pub fn hash_u64(value: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(value);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_input_same_hash() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world, this is a longer byte string!");
+        b.write(b"hello world, this is a longer byte string!");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash_u64(1), hash_u64(2));
+        assert_ne!(hash_u64(0), hash_u64(u64::MAX));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        assert_eq!(m.get(&11), Some(&"eleven"));
+        assert_eq!(m.get(&13), None);
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i % 100);
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn mixed_width_writes_consume_all_bytes() {
+        // 7 bytes exercises the 4 + 2 + 1 tail path.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 8]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn spreads_small_integers() {
+        // Low-entropy keys should not collide in the low bits (bucket index).
+        let mut buckets: FxHashSet<u64> = FxHashSet::default();
+        for i in 0u64..256 {
+            buckets.insert(hash_u64(i) & 0xFF);
+        }
+        // A perfect spread hits all 256 buckets; demand most of them.
+        assert!(buckets.len() > 128, "only {} distinct buckets", buckets.len());
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Support utilities shared across the `gogreen` workspace.
+//!
+//! This crate deliberately has no external dependencies. It provides:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (the rustc "Fx" algorithm)
+//!   plus `HashMap`/`HashSet` aliases built on it. Frequent-pattern mining
+//!   hashes small integer keys on hot paths, where SipHash is a measurable
+//!   cost.
+//! * [`timer`] — lightweight wall-clock timing helpers used by the
+//!   experiment harness.
+//! * [`memsize`] — a [`memsize::HeapSize`] trait for estimating the heap
+//!   footprint of data structures; the memory-limited mining mode of the
+//!   paper (§5.3) budgets against these estimates.
+
+pub mod fxhash;
+pub mod memsize;
+pub mod timer;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use memsize::HeapSize;
+pub use timer::Stopwatch;

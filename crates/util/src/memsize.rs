@@ -1,0 +1,136 @@
+//! Heap-footprint estimation.
+//!
+//! The paper's memory-limited mode (§3.3, §5.3) decides whether a projected
+//! database can be mined in memory by *estimating* the size of the in-memory
+//! structure before building it, and spills to disk otherwise. [`HeapSize`]
+//! is the accounting trait those estimates are built on: it reports the
+//! number of heap bytes owned by a value, excluding the inline size of the
+//! value itself (add `size_of::<T>()` for totals).
+
+/// Number of heap bytes owned (transitively) by `self`.
+///
+/// Implementations are estimates in the same sense the paper's are: they
+/// count payload bytes of owned allocations and ignore allocator slack.
+pub trait HeapSize {
+    /// Heap bytes owned by this value, excluding `size_of::<Self>()`.
+    fn heap_size(&self) -> usize;
+
+    /// Heap bytes plus the inline size of the value.
+    fn total_size(&self) -> usize
+    where
+        Self: Sized,
+    {
+        self.heap_size() + std::mem::size_of::<Self>()
+    }
+}
+
+macro_rules! impl_heapsize_noop {
+    ($($t:ty),* $(,)?) => {
+        $(impl HeapSize for $t {
+            #[inline]
+            fn heap_size(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_heapsize_noop!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<[T]> {
+    fn heap_size(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize> HeapSize for (A, B) {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size()
+    }
+}
+
+/// Formats a byte count using binary units, e.g. `4.00 MiB`.
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_own_no_heap() {
+        assert_eq!(7u32.heap_size(), 0);
+        assert_eq!(true.heap_size(), 0);
+        assert_eq!(3.5f64.heap_size(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity() {
+        let v: Vec<u32> = Vec::with_capacity(16);
+        assert_eq!(v.heap_size(), 16 * 4);
+    }
+
+    #[test]
+    fn nested_vec_counts_children() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u8>>() + 10 + 20;
+        assert_eq!(v.heap_size(), expected);
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u64]> = vec![1u64, 2, 3].into_boxed_slice();
+        assert_eq!(b.heap_size(), 24);
+    }
+
+    #[test]
+    fn option_none_is_free() {
+        let o: Option<Vec<u8>> = None;
+        assert_eq!(o.heap_size(), 0);
+        let s: Option<Vec<u8>> = Some(Vec::with_capacity(8));
+        assert_eq!(s.heap_size(), 8);
+    }
+
+    #[test]
+    fn total_size_adds_inline_size() {
+        let v: Vec<u8> = Vec::with_capacity(8);
+        assert_eq!(v.total_size(), 8 + std::mem::size_of::<Vec<u8>>());
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(4 * 1024 * 1024), "4.00 MiB");
+    }
+}

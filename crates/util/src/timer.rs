@@ -1,0 +1,151 @@
+//! Wall-clock timing helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// A restartable stopwatch that accumulates elapsed wall-clock time.
+///
+/// The paper reports several split timings (e.g. compression time with and
+/// without I/O, Table 3); `Stopwatch` supports pausing so that excluded
+/// phases do not pollute a measurement.
+///
+/// ```
+/// use gogreen_util::Stopwatch;
+/// let mut sw = Stopwatch::started();
+/// // ... measured work ...
+/// sw.pause();
+/// // ... excluded work ...
+/// sw.resume();
+/// let total = sw.elapsed();
+/// assert!(total >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    accumulated: Duration,
+    running_since: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Creates a stopwatch that is not yet running.
+    pub fn new() -> Self {
+        Stopwatch { accumulated: Duration::ZERO, running_since: None }
+    }
+
+    /// Creates a stopwatch that starts measuring immediately.
+    pub fn started() -> Self {
+        Stopwatch { accumulated: Duration::ZERO, running_since: Some(Instant::now()) }
+    }
+
+    /// Returns true while the stopwatch is accumulating time.
+    pub fn is_running(&self) -> bool {
+        self.running_since.is_some()
+    }
+
+    /// Stops accumulating. Pausing an already-paused stopwatch is a no-op.
+    pub fn pause(&mut self) {
+        if let Some(since) = self.running_since.take() {
+            self.accumulated += since.elapsed();
+        }
+    }
+
+    /// Starts accumulating again. Resuming a running stopwatch is a no-op.
+    pub fn resume(&mut self) {
+        if self.running_since.is_none() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+
+    /// Total accumulated time, including the currently running span.
+    pub fn elapsed(&self) -> Duration {
+        match self.running_since {
+            Some(since) => self.accumulated + since.elapsed(),
+            None => self.accumulated,
+        }
+    }
+
+    /// Resets to zero; keeps the running/paused state.
+    pub fn reset(&mut self) {
+        self.accumulated = Duration::ZERO;
+        if self.running_since.is_some() {
+            self.running_since = Some(Instant::now());
+        }
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `f` and returns its result together with the elapsed wall time.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_stopwatch_is_paused_at_zero() {
+        let sw = Stopwatch::new();
+        assert!(!sw.is_running());
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn started_stopwatch_accumulates() {
+        let sw = Stopwatch::started();
+        assert!(sw.is_running());
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn pause_freezes_elapsed() {
+        let mut sw = Stopwatch::started();
+        sw.pause();
+        let frozen = sw.elapsed();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(sw.elapsed(), frozen);
+    }
+
+    #[test]
+    fn resume_continues_accumulating() {
+        let mut sw = Stopwatch::started();
+        sw.pause();
+        let frozen = sw.elapsed();
+        sw.resume();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(sw.elapsed() > frozen);
+    }
+
+    #[test]
+    fn double_pause_and_double_resume_are_noops() {
+        let mut sw = Stopwatch::started();
+        sw.pause();
+        sw.pause();
+        assert!(!sw.is_running());
+        sw.resume();
+        sw.resume();
+        assert!(sw.is_running());
+    }
+
+    #[test]
+    fn reset_clears_accumulated_time() {
+        let mut sw = Stopwatch::started();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.pause();
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_it_returns_value_and_duration() {
+        let (v, d) = time_it(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Constrained mining: combining the support threshold with
+//! anti-monotone, monotone, succinct and convertible constraints, and
+//! letting the session dispatch tighten-vs-relax.
+//!
+//! ```sh
+//! cargo run --release --example constrained_mining
+//! ```
+
+use gogreen::core::session::MiningSession;
+use gogreen::prelude::*;
+use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
+use gogreen_datagen::QuestGenerator;
+
+fn main() {
+    // A market-basket-like dataset.
+    let db = QuestGenerator {
+        num_transactions: 20_000,
+        num_items: 300,
+        avg_transaction_len: 9.0,
+        avg_pattern_len: 4.0,
+        num_patterns: 80,
+        ..QuestGenerator::default()
+    }
+    .generate();
+
+    // Per-item "prices" for aggregate constraints.
+    let mut attrs = ItemAttributes::new();
+    let price =
+        attrs.add_column((0..300).map(|i| 1.0 + (i % 50) as f64).collect(), 1.0);
+
+    let mut session = MiningSession::new(db).with_attributes(attrs.clone());
+
+    // Round 1: frequent patterns of 2+ items whose total price stays
+    // under 40 (anti-monotone sum + monotone length).
+    let cs1 = ConstraintSet::support_only(MinSupport::percent(1.0))
+        .with(Constraint::MinLength(2))
+        .with(Constraint::MaxSum { attr: price, bound: 40.0 });
+    let (r1, rep1) = session.run_with_report(cs1.clone());
+    println!("round 1: {:>5} patterns   [{:?}]", r1.len(), rep1.mode);
+
+    // Round 2: relax the support — recycling kicks in; the other
+    // constraints are re-applied to the fresh frequent set.
+    let cs2 = ConstraintSet::support_only(MinSupport::percent(0.5))
+        .with(Constraint::MinLength(2))
+        .with(Constraint::MaxSum { attr: price, bound: 40.0 });
+    let (r2, rep2) = session.run_with_report(cs2);
+    println!("round 2: {:>5} patterns   [{:?}] (support relaxed)", r2.len(), rep2.mode);
+
+    // Round 3: tighten the price budget only — answered by filtering.
+    let cs3 = ConstraintSet::support_only(MinSupport::percent(0.5))
+        .with(Constraint::MinLength(2))
+        .with(Constraint::MaxSum { attr: price, bound: 25.0 });
+    let (r3, rep3) = session.run_with_report(cs3.clone());
+    println!("round 3: {:>5} patterns   [{:?}] (price tightened)", r3.len(), rep3.mode);
+    assert!(r3.len() <= r2.len());
+
+    // Anti-monotone parts can also prune a hand-rolled search:
+    let pd = Pushdown::from_constraints(&cs3, &attrs);
+    let violating = Pattern::from_ids([10, 45, 99], 3);
+    println!(
+        "\npushdown check: {} may extend = {}, satisfies budget = {}",
+        violating,
+        pd.may_extend(violating.len()),
+        pd.prefix_ok(violating.items(), &attrs),
+    );
+}

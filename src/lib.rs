@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # gogreen — Recycle and Reuse Frequent Patterns
+//!
+//! A Rust implementation of the pattern-recycling frequent-itemset mining
+//! system from *"Go Green: Recycle and Reuse Frequent Patterns"* (Cong,
+//! Ooi, Tan, Tung — ICDE 2004).
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names:
+//!
+//! * [`data`] — items, transactions, databases, F-lists, patterns.
+//! * [`datagen`] — synthetic dataset generators and paper-analog presets.
+//! * [`miners`] — baseline miners: Apriori, H-Mine, FP-growth,
+//!   Tree Projection.
+//! * [`constraints`] — the constrained-mining framework (anti-monotone,
+//!   monotone, succinct, convertible constraint classes).
+//! * [`core`] — the paper's contribution: MCP/MLP compression, compressed
+//!   databases, RP-Mine, Recycle-HM, FP/TP recycling miners, and the
+//!   iterative [`core::session::MiningSession`].
+//! * [`storage`] — memory budgets, disk spill, and memory-limited mining.
+//! * [`util`] — hashing/timing/memory-accounting support.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gogreen::prelude::*;
+//!
+//! // A tiny market-basket database (the paper's Table 1).
+//! let db = TransactionDb::paper_example();
+//!
+//! // Round 1: mine at a high support threshold.
+//! let old = mine_hmine(&db, MinSupport::Absolute(3));
+//!
+//! // Round 2: the user relaxes the threshold; recycle round 1's patterns.
+//! let compressed = Compressor::new(Strategy::Mcp).compress(&db, &old);
+//! let fresh = RecycleHm::default().mine(&compressed, MinSupport::Absolute(2));
+//!
+//! // Recycling is exact: same answer as mining from scratch.
+//! let scratch = mine_hmine(&db, MinSupport::Absolute(2));
+//! assert!(fresh.same_patterns_as(&scratch));
+//! ```
+
+pub use gogreen_constraints as constraints;
+pub use gogreen_core as core;
+pub use gogreen_data as data;
+pub use gogreen_datagen as datagen;
+pub use gogreen_miners as miners;
+pub use gogreen_storage as storage;
+pub use gogreen_util as util;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use gogreen_core::cdb::CompressedDb;
+    pub use gogreen_core::compress::Compressor;
+    pub use gogreen_core::utility::Strategy;
+    pub use gogreen_core::recycle_fp::RecycleFp;
+    pub use gogreen_core::recycle_hm::RecycleHm;
+    pub use gogreen_core::recycle_tp::RecycleTp;
+    pub use gogreen_core::rpmine::RpMine;
+    pub use gogreen_core::session::MiningSession;
+    pub use gogreen_core::RecyclingMiner;
+    pub use gogreen_data::{
+        CollectSink, CountSink, FList, Item, ItemCatalog, MinSupport, Pattern, PatternSet,
+        PatternSink, Transaction, TransactionDb,
+    };
+    pub use gogreen_miners::{
+        mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner,
+    };
+}

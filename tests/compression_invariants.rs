@@ -1,0 +1,129 @@
+//! Structural invariants of compression, independent of any miner:
+//! losslessness, group well-formedness, coverage accounting, and the
+//! semantics of the Figure 1 selection rule.
+
+use gogreen::prelude::*;
+use gogreen_miners::mine_apriori;
+use proptest::prelude::*;
+// Explicit imports win over the two glob imports' `Strategy` collision:
+// the compression enum stays usable and the proptest trait stays in scope.
+use gogreen::core::utility::Strategy;
+use proptest::strategy::Strategy as _;
+
+fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::btree_set(0u32..16, 1..10), 1..32).prop_map(
+        |rows| {
+            TransactionDb::from_transactions(
+                rows.into_iter()
+                    .map(Transaction::from_ids)
+                    .collect(),
+            )
+        },
+    )
+}
+
+fn all_strategies() -> [Strategy; 4] {
+    [Strategy::Mcp, Strategy::Mlp, Strategy::SupportOnly, Strategy::LengthOnly]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Groups are well-formed: non-empty sorted patterns, outliers
+    /// disjoint from the pattern, coverage + plain = |DB|, ratio ≤ 1.
+    #[test]
+    fn group_invariants(db in db_strategy(), xi_old in 1u64..6, pick in 0usize..4) {
+        let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(all_strategies()[pick]).compress(&db, &fp);
+        let stats = cdb.stats();
+        prop_assert_eq!(stats.num_tuples, db.len());
+        prop_assert_eq!(
+            stats.covered_tuples + cdb.plain().len(),
+            db.len()
+        );
+        prop_assert!(stats.ratio() <= 1.0 + 1e-12);
+        for g in cdb.groups() {
+            prop_assert!(!g.pattern().is_empty());
+            prop_assert!(g.pattern().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(g.count() > 0);
+            for o in g.outliers() {
+                prop_assert!(!o.is_empty());
+                prop_assert!(o.windows(2).all(|w| w[0] < w[1]));
+                for it in o.iter() {
+                    prop_assert!(g.pattern().binary_search(it).is_err());
+                }
+            }
+        }
+    }
+
+    /// Reconstruction returns the original multiset for every strategy.
+    #[test]
+    fn lossless_for_every_strategy(db in db_strategy(), xi_old in 1u64..6, pick in 0usize..4) {
+        let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(all_strategies()[pick]).compress(&db, &fp);
+        let mut a = cdb.reconstruct().into_transactions();
+        let mut b: Vec<Transaction> = db.iter().cloned().collect();
+        a.sort_by(|x, y| x.items().cmp(y.items()));
+        b.sort_by(|x, y| x.items().cmp(y.items()));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Figure 1 semantics: every group pattern is contained in every
+    /// reconstructed member, and every *plain* tuple contains no pattern
+    /// from the recycled set (otherwise it would have been covered).
+    #[test]
+    fn selection_rule_semantics(db in db_strategy(), xi_old in 1u64..6) {
+        let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+        for t in cdb.plain() {
+            for p in fp.iter() {
+                prop_assert!(
+                    !t.contains_all(p.items()),
+                    "plain tuple {t} contains recycled pattern {p}"
+                );
+            }
+        }
+    }
+
+    /// The compressed F-list equals the plain F-list (counting through
+    /// groups is exact).
+    #[test]
+    fn compressed_counting_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6) {
+        let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+        let a = cdb.flist(xi_new);
+        let b = FList::from_db(&db, xi_new);
+        prop_assert_eq!(a, b);
+    }
+
+    /// MCP picks, for each covered tuple, a pattern whose MCP utility is
+    /// maximal among the recycled patterns the tuple contains.
+    #[test]
+    fn mcp_picks_max_utility(db in db_strategy(), xi_old in 1u64..6) {
+        let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+        for g in cdb.groups() {
+            let pattern_sup = fp.support_of(g.pattern()).expect("group pattern from FP");
+            let g_utility = Strategy::Mcp.utility(g.pattern().len(), pattern_sup, db.len());
+            // Reconstruct one member and check no better pattern matched.
+            let member = match g.outliers().first() {
+                Some(o) => {
+                    let mut items = g.pattern().to_vec();
+                    items.extend_from_slice(o);
+                    Transaction::new(items)
+                }
+                None => Transaction::new(g.pattern().to_vec()),
+            };
+            for p in fp.iter() {
+                if member.contains_all(p.items()) {
+                    let u = Strategy::Mcp.utility(p.len(), p.support(), db.len());
+                    prop_assert!(
+                        u <= g_utility,
+                        "pattern {p} (U={u}) beats group {:?} (U={g_utility})",
+                        g.pattern()
+                    );
+                }
+            }
+        }
+    }
+}

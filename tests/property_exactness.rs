@@ -1,0 +1,92 @@
+//! Workspace-level property tests: exactness of the whole recycling
+//! pipeline under randomized databases, thresholds, strategies, session
+//! scripts and memory budgets.
+
+use gogreen::core::session::{Engine, MiningSession};
+use gogreen::prelude::*;
+use gogreen::storage::{LimitedHMine, LimitedRecycleHm, MemoryBudget};
+use gogreen_constraints::ConstraintSet;
+use gogreen_miners::mine_apriori;
+use proptest::prelude::*;
+// Explicit imports win over the two glob imports' `Strategy` collision:
+// the compression enum stays usable and the proptest trait stays in scope.
+use gogreen::core::utility::Strategy;
+use proptest::strategy::Strategy as _;
+
+fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::btree_set(0u32..14, 1..9), 1..28).prop_map(
+        |rows| {
+            TransactionDb::from_transactions(
+                rows.into_iter()
+                    .map(Transaction::from_ids)
+                    .collect(),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An arbitrary session script (sequence of thresholds, triggering a
+    /// mix of fresh/cached/filtered/recycled rounds) always matches the
+    /// oracle, on every engine.
+    #[test]
+    fn sessions_are_exact(
+        db in db_strategy(),
+        script in prop::collection::vec(1u64..7, 1..5),
+        engine_pick in 0usize..4,
+    ) {
+        let engine = [Engine::HMine, Engine::FpTree, Engine::TreeProjection, Engine::Naive][engine_pick];
+        let mut session = MiningSession::new(db.clone()).with_engine(engine);
+        for minsup in script {
+            let got = session.run(ConstraintSet::support_only(MinSupport::Absolute(minsup)));
+            let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+            prop_assert!(got.same_patterns_as(&want), "{engine:?} @ {minsup}");
+        }
+    }
+
+    /// Memory-limited drivers are exact for any budget, including
+    /// budgets small enough to force nested spills.
+    #[test]
+    fn memory_limited_drivers_are_exact(
+        db in db_strategy(),
+        xi_old in 2u64..6,
+        xi_new in 1u64..6,
+        budget in 32usize..4096,
+    ) {
+        let budget = MemoryBudget::bytes(budget);
+        let want = mine_apriori(&db, MinSupport::Absolute(xi_new));
+        let (hm, _) = LimitedHMine::new(budget)
+            .mine(&db, MinSupport::Absolute(xi_new))
+            .expect("spill i/o");
+        prop_assert!(hm.same_patterns_as(&want), "H-Mine {} vs {}", hm.len(), want.len());
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        let (rec, _) = LimitedRecycleHm::new(budget)
+            .mine(&cdb, MinSupport::Absolute(xi_new))
+            .expect("spill i/o");
+        prop_assert!(rec.same_patterns_as(&want), "HM-MCP {} vs {}", rec.len(), want.len());
+    }
+
+    /// Chained recycling: compress with patterns that themselves came
+    /// from a recycled run, repeatedly. Errors would compound if any
+    /// stage were inexact.
+    #[test]
+    fn chained_recycling_stays_exact(db in db_strategy(), mut thresholds in prop::collection::vec(1u64..7, 2..5)) {
+        thresholds.sort_unstable_by(|a, b| b.cmp(a)); // progressively relax
+        let mut previous: Option<PatternSet> = None;
+        for minsup in thresholds {
+            let got = match &previous {
+                None => mine_hmine(&db, MinSupport::Absolute(minsup)),
+                Some(fp) => {
+                    let cdb = Compressor::new(Strategy::Mcp).compress(&db, fp);
+                    RecycleHm.mine(&cdb, MinSupport::Absolute(minsup))
+                }
+            };
+            let want = mine_apriori(&db, MinSupport::Absolute(minsup));
+            prop_assert!(got.same_patterns_as(&want));
+            previous = Some(got);
+        }
+    }
+}
