@@ -1,15 +1,15 @@
-//! Criterion microbenchmarks for the FP-tree pair (Figures 10/13/16/19
-//! in miniature).
+//! Microbenchmarks for the FP-tree pair (Figures 10/13/16/19 in
+//! miniature).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gogreen_bench::BenchGroup;
 use gogreen_core::recycle_fp::RecycleFp;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::CountSink;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::{mine_hmine, FpGrowth, Miner};
 
-fn bench_fp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fpgrowth");
+fn main() {
+    let mut group = BenchGroup::new("fpgrowth");
     group.sample_size(15);
     for kind in [PresetKind::Connect4, PresetKind::Pumsb] {
         let preset = DatasetPreset::new(kind, 0.01);
@@ -18,24 +18,16 @@ fn bench_fp(c: &mut Criterion) {
         let xi_new = preset.sweep()[2];
         for (label, strategy) in [("FP-MCP", Strategy::Mcp), ("FP-MLP", Strategy::Mlp)] {
             let cdb = Compressor::new(strategy).compress(&db, &fp);
-            group.bench_with_input(BenchmarkId::new(label, preset.name()), &cdb, |b, cdb| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    RecycleFp.mine_into(cdb, xi_new, &mut sink);
-                    sink.count()
-                });
-            });
-        }
-        group.bench_with_input(BenchmarkId::new("FP-tree", preset.name()), &db, |b, db| {
-            b.iter(|| {
+            group.bench(label, preset.name(), || {
                 let mut sink = CountSink::new();
-                FpGrowth.mine_into(db, xi_new, &mut sink);
+                RecycleFp::default().mine_into(&cdb, xi_new, &mut sink);
                 sink.count()
             });
+        }
+        group.bench("FP-tree", preset.name(), || {
+            let mut sink = CountSink::new();
+            FpGrowth.mine_into(&db, xi_new, &mut sink);
+            sink.count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fp);
-criterion_main!(benches);

@@ -1,16 +1,16 @@
-//! Criterion microbenchmarks for the H-Mine pair (Figures 9/12/15/18 in
+//! Microbenchmarks for the H-Mine pair (Figures 9/12/15/18 in
 //! miniature): the non-recycling baseline against its MCP and MLP
 //! recycling variants on one dense and one sparse dataset.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gogreen_bench::BenchGroup;
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::CountSink;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::{mine_hmine, HMine, Miner};
 
-fn bench_hmine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hmine");
+fn main() {
+    let mut group = BenchGroup::new("hmine");
     group.sample_size(15);
     for kind in [PresetKind::Connect4, PresetKind::Weather] {
         let preset = DatasetPreset::new(kind, 0.01);
@@ -19,38 +19,20 @@ fn bench_hmine(c: &mut Criterion) {
         let xi_new = preset.sweep()[2];
         let cdb_mcp = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         let cdb_mlp = Compressor::new(Strategy::Mlp).compress(&db, &fp);
-        group.bench_with_input(BenchmarkId::new("H-Mine", preset.name()), &db, |b, db| {
-            b.iter(|| {
-                let mut sink = CountSink::new();
-                HMine.mine_into(db, xi_new, &mut sink);
-                sink.count()
-            });
+        group.bench("H-Mine", preset.name(), || {
+            let mut sink = CountSink::new();
+            HMine.mine_into(&db, xi_new, &mut sink);
+            sink.count()
         });
-        group.bench_with_input(
-            BenchmarkId::new("HM-MCP", preset.name()),
-            &cdb_mcp,
-            |b, cdb| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    RecycleHm.mine_into(cdb, xi_new, &mut sink);
-                    sink.count()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("HM-MLP", preset.name()),
-            &cdb_mlp,
-            |b, cdb| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    RecycleHm.mine_into(cdb, xi_new, &mut sink);
-                    sink.count()
-                });
-            },
-        );
+        group.bench("HM-MCP", preset.name(), || {
+            let mut sink = CountSink::new();
+            RecycleHm.mine_into(&cdb_mcp, xi_new, &mut sink);
+            sink.count()
+        });
+        group.bench("HM-MLP", preset.name(), || {
+            let mut sink = CountSink::new();
+            RecycleHm.mine_into(&cdb_mlp, xi_new, &mut sink);
+            sink.count()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_hmine);
-criterion_main!(benches);

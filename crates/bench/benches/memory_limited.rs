@@ -1,16 +1,16 @@
-//! Criterion microbenchmarks for memory-limited mining (Figures 21–24
-//! in miniature): H-Mine vs HM-MCP under a budget tight enough to force
+//! Microbenchmarks for memory-limited mining (Figures 21–24 in
+//! miniature): H-Mine vs HM-MCP under a budget tight enough to force
 //! disk spills for the uncompressed structure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gogreen_bench::BenchGroup;
 use gogreen_core::{Compressor, Strategy};
 use gogreen_data::CountSink;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
 use gogreen_storage::{LimitedHMine, LimitedRecycleHm, MemoryBudget};
 
-fn bench_limited(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memory_limited");
+fn main() {
+    let mut group = BenchGroup::new("memory_limited");
     group.sample_size(10);
     let preset = DatasetPreset::new(PresetKind::Connect4, 0.01);
     let db = preset.generate();
@@ -19,31 +19,16 @@ fn bench_limited(c: &mut Criterion) {
     let xi_new = preset.sweep()[2];
     for budget_kib in [64usize, 512] {
         let budget = MemoryBudget::bytes(budget_kib * 1024);
-        group.bench_with_input(
-            BenchmarkId::new("H-Mine", format!("{budget_kib}KiB")),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    LimitedHMine::new(budget).mine_into(db, xi_new, &mut sink).unwrap();
-                    sink.count()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("HM-MCP", format!("{budget_kib}KiB")),
-            &cdb,
-            |b, cdb| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    LimitedRecycleHm::new(budget).mine_into(cdb, xi_new, &mut sink).unwrap();
-                    sink.count()
-                });
-            },
-        );
+        let param = format!("{budget_kib}KiB");
+        group.bench("H-Mine", &param, || {
+            let mut sink = CountSink::new();
+            LimitedHMine::new(budget).mine_into(&db, xi_new, &mut sink).unwrap();
+            sink.count()
+        });
+        group.bench("HM-MCP", &param, || {
+            let mut sink = CountSink::new();
+            LimitedRecycleHm::new(budget).mine_into(&cdb, xi_new, &mut sink).unwrap();
+            sink.count()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_limited);
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion microbenchmarks for the Tree Projection pair (Figures
-//! 11/14/17/20 in miniature).
+//! Microbenchmarks for the Tree Projection pair (Figures 11/14/17/20 in
+//! miniature).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gogreen_bench::BenchGroup;
 use gogreen_core::recycle_tp::RecycleTp;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::CountSink;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::{mine_hmine, Miner, TreeProjection};
 
-fn bench_tp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("treeproj");
+fn main() {
+    let mut group = BenchGroup::new("treeproj");
     group.sample_size(15);
     for kind in [PresetKind::Connect4, PresetKind::Forest] {
         let preset = DatasetPreset::new(kind, 0.01);
@@ -18,28 +18,16 @@ fn bench_tp(c: &mut Criterion) {
         let xi_new = preset.sweep()[2];
         for (label, strategy) in [("TP-MCP", Strategy::Mcp), ("TP-MLP", Strategy::Mlp)] {
             let cdb = Compressor::new(strategy).compress(&db, &fp);
-            group.bench_with_input(BenchmarkId::new(label, preset.name()), &cdb, |b, cdb| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    RecycleTp.mine_into(cdb, xi_new, &mut sink);
-                    sink.count()
-                });
+            group.bench(label, preset.name(), || {
+                let mut sink = CountSink::new();
+                RecycleTp.mine_into(&cdb, xi_new, &mut sink);
+                sink.count()
             });
         }
-        group.bench_with_input(
-            BenchmarkId::new("TreeProjection", preset.name()),
-            &db,
-            |b, db| {
-                b.iter(|| {
-                    let mut sink = CountSink::new();
-                    TreeProjection.mine_into(db, xi_new, &mut sink);
-                    sink.count()
-                });
-            },
-        );
+        group.bench("TreeProjection", preset.name(), || {
+            let mut sink = CountSink::new();
+            TreeProjection.mine_into(&db, xi_new, &mut sink);
+            sink.count()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_tp);
-criterion_main!(benches);

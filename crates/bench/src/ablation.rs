@@ -13,19 +13,19 @@
 //!    round's patterns, against from-scratch re-mining.
 
 use gogreen_core::incremental::IncrementalMiner;
-use gogreen_core::twostep::TwoStepMiner;
 use gogreen_core::rpmine::RpMine;
+use gogreen_core::twostep::TwoStepMiner;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::{CountSink, MinSupport};
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
-use serde::Serialize;
+use gogreen_util::{Json, ToJson};
 use std::time::Instant;
 
 use crate::algo::AlgoFamily;
 
 /// One strategy's outcome in the utility ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct UtilityAblationRow {
     /// Strategy label (MCP/MLP/SUP/LEN).
     pub strategy: &'static str,
@@ -35,6 +35,17 @@ pub struct UtilityAblationRow {
     pub compress_s: f64,
     /// HM-recycled mining seconds at the lowest sweep threshold.
     pub mine_s: f64,
+}
+
+impl ToJson for UtilityAblationRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("strategy", self.strategy.into()),
+            ("ratio", self.ratio.into()),
+            ("compress_s", self.compress_s.into()),
+            ("mine_s", self.mine_s.into()),
+        ])
+    }
 }
 
 /// Utility-function ablation on one dataset.
@@ -59,7 +70,7 @@ pub fn utility_ablation(dataset: PresetKind, scale: f64) -> Vec<UtilityAblationR
 }
 
 /// One `ξ_old` setting's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct XiOldRow {
     /// The initial threshold, as a multiple of the preset's `ξ_old`
     /// percentage.
@@ -72,6 +83,18 @@ pub struct XiOldRow {
     pub mine_s: f64,
     /// Compression ratio.
     pub ratio: f64,
+}
+
+impl ToJson for XiOldRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("xi_old_pct", self.xi_old_pct.into()),
+            ("recycled_patterns", self.recycled_patterns.into()),
+            ("prep_s", self.prep_s.into()),
+            ("mine_s", self.mine_s.into()),
+            ("ratio", self.ratio.into()),
+        ])
+    }
 }
 
 /// `ξ_old` sensitivity: fixes `ξ_new` at the preset's lowest sweep point
@@ -108,7 +131,7 @@ pub fn xi_old_sensitivity(dataset: PresetKind, scale: f64) -> Vec<XiOldRow> {
 }
 
 /// Lemma 3.1 ablation outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LemmaAblation {
     /// RP-Mine seconds with the single-group shortcut.
     pub with_shortcut_s: f64,
@@ -116,6 +139,16 @@ pub struct LemmaAblation {
     pub without_shortcut_s: f64,
     /// Patterns (identical in both runs).
     pub patterns: u64,
+}
+
+impl ToJson for LemmaAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("with_shortcut_s", self.with_shortcut_s.into()),
+            ("without_shortcut_s", self.without_shortcut_s.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
 }
 
 /// Measures the single-group shortcut's contribution on a dense dataset
@@ -163,6 +196,15 @@ mod tests {
     }
 
     #[test]
+    fn compress_kernel_rows_agree() {
+        let rows = compress_kernel_experiment(PresetKind::Connect4, 0.001);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].kernel, "linear");
+        assert!(rows.iter().all(|r| r.groups == rows[0].groups));
+        assert!(rows.iter().all(|r| r.secs >= 0.0));
+    }
+
+    #[test]
     fn lemma_ablation_is_exact() {
         let a = lemma_ablation(PresetKind::Connect4, 0.001);
         assert!(a.patterns > 0);
@@ -171,7 +213,7 @@ mod tests {
 }
 
 /// One update batch's outcome in the incremental experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IncrementalRow {
     /// Tuples in the database after this batch.
     pub tuples: usize,
@@ -183,6 +225,17 @@ pub struct IncrementalRow {
     pub patterns: usize,
 }
 
+impl ToJson for IncrementalRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("tuples", self.tuples.into()),
+            ("recycled_s", self.recycled_s.into()),
+            ("scratch_s", self.scratch_s.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
+}
+
 /// Incremental recycling across growing data: the database doubles in
 /// four batches; each round recycles the previous round's patterns.
 pub fn incremental_experiment(dataset: PresetKind, scale: f64) -> Vec<IncrementalRow> {
@@ -191,9 +244,8 @@ pub fn incremental_experiment(dataset: PresetKind, scale: f64) -> Vec<Incrementa
     let all: Vec<_> = full.iter().cloned().collect();
     let half = all.len() / 2;
     let xi = preset.sweep()[1];
-    let mut inc = IncrementalMiner::new(gogreen_data::TransactionDb::from_transactions(
-        all[..half].to_vec(),
-    ));
+    let mut inc =
+        IncrementalMiner::new(gogreen_data::TransactionDb::from_transactions(all[..half].to_vec()));
     let mut rows = Vec::new();
     // Initial round, then four growth batches.
     let batch = (all.len() - half) / 4;
@@ -223,7 +275,7 @@ pub fn incremental_experiment(dataset: PresetKind, scale: f64) -> Vec<Incrementa
 }
 
 /// One threshold's outcome in the two-step experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TwoStepRow {
     /// Target `ξ` as a percentage.
     pub target_pct: f64,
@@ -237,6 +289,19 @@ pub struct TwoStepRow {
     pub two_step_mine_s: f64,
     /// Patterns found.
     pub patterns: usize,
+}
+
+impl ToJson for TwoStepRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("target_pct", self.target_pct.into()),
+            ("intermediate_abs", self.intermediate_abs.into()),
+            ("single_s", self.single_s.into()),
+            ("two_step_s", self.two_step_s.into()),
+            ("two_step_mine_s", self.two_step_mine_s.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
 }
 
 /// The paper's future-work experiment: answer single low-support
@@ -267,7 +332,7 @@ pub fn two_step_experiment(dataset: PresetKind, scale: f64) -> Vec<TwoStepRow> {
 }
 
 /// One thread count's outcome in the parallel-mining experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ParallelRow {
     /// Worker threads.
     pub threads: usize,
@@ -275,6 +340,103 @@ pub struct ParallelRow {
     pub secs: f64,
     /// Patterns found.
     pub patterns: usize,
+}
+
+impl ToJson for ParallelRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", self.threads.into()),
+            ("secs", self.secs.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
+}
+
+/// One kernel/thread-count outcome in the compression-kernel experiment.
+#[derive(Debug, Clone)]
+pub struct CompressParRow {
+    /// Dataset analog name.
+    pub dataset: &'static str,
+    /// `"linear"` (the original full-FP scan) or `"indexed"` (the
+    /// anchor-bucket cover index).
+    pub kernel: &'static str,
+    /// Worker threads (the linear reference is always serial).
+    pub threads: usize,
+    /// Compression wall seconds.
+    pub secs: f64,
+    /// Groups in the compressed database (identical across rows by
+    /// construction — asserted).
+    pub groups: usize,
+    /// Recycled patterns driving the compression.
+    pub recycled_patterns: usize,
+}
+
+impl ToJson for CompressParRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.into()),
+            ("kernel", self.kernel.into()),
+            ("threads", self.threads.into()),
+            ("secs", self.secs.into()),
+            ("groups", self.groups.into()),
+            ("recycled_patterns", self.recycled_patterns.into()),
+        ])
+    }
+}
+
+/// Compression-kernel experiment: the seed's linear scan vs the indexed
+/// kernel at 1/2/4/8 threads, MCP, on one dataset analog. Every variant's
+/// `CompressedDb` is asserted equal to the linear reference.
+pub fn compress_kernel_experiment(dataset: PresetKind, scale: f64) -> Vec<CompressParRow> {
+    let name = match dataset {
+        PresetKind::Weather => "weather",
+        PresetKind::Forest => "forest",
+        PresetKind::Connect4 => "connect4",
+        PresetKind::Pumsb => "pumsb",
+    };
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let compressor = Compressor::new(Strategy::Mcp);
+
+    // Best of three so one-shot jitter on small inputs doesn't decide
+    // the reported ratio.
+    let best = |f: &mut dyn FnMut() -> f64| (0..3).map(|_| f()).fold(f64::INFINITY, f64::min);
+    let mut reference = None;
+    let linear_s = best(&mut || {
+        let start = Instant::now();
+        reference = Some(compressor.compress_reference(&db, &fp_old));
+        start.elapsed().as_secs_f64()
+    });
+    let reference = reference.expect("reference run");
+    let mut rows = vec![CompressParRow {
+        dataset: name,
+        kernel: "linear",
+        threads: 1,
+        secs: linear_s,
+        groups: reference.groups().len(),
+        recycled_patterns: fp_old.len(),
+    }];
+    for threads in [1usize, 2, 4, 8] {
+        let c = compressor.with_threads(threads);
+        let mut cdb = None;
+        let secs = best(&mut || {
+            let start = Instant::now();
+            cdb = Some(c.compress(&db, &fp_old));
+            start.elapsed().as_secs_f64()
+        });
+        let cdb = cdb.expect("indexed run");
+        assert_eq!(cdb, reference, "indexed kernel drifted from linear scan");
+        rows.push(CompressParRow {
+            dataset: name,
+            kernel: "indexed",
+            threads,
+            secs,
+            groups: cdb.groups().len(),
+            recycled_patterns: fp_old.len(),
+        });
+    }
+    rows
 }
 
 /// Parallel recycled mining (RP-Mine over first-level projections) at

@@ -6,17 +6,17 @@
 //! checksum: every pair member must report the same count for the same
 //! input.
 
-use gogreen_core::{CompressedDb, RecyclingMiner};
 use gogreen_core::recycle_fp::RecycleFp;
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_core::recycle_tp::RecycleTp;
+use gogreen_core::{CompressedDb, RecyclingMiner};
 use gogreen_data::{CountSink, MinSupport, TransactionDb};
 use gogreen_miners::{FpGrowth, HMine, Miner, TreeProjection};
-use serde::Serialize;
+use gogreen_util::{Json, ToJson};
 use std::time::Instant;
 
 /// One baseline/recycling algorithm pair.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoFamily {
     /// H-Mine / HM-MCP / HM-MLP.
     HMine,
@@ -27,12 +27,24 @@ pub enum AlgoFamily {
 }
 
 /// Wall time and emitted-pattern count of one run.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimedRun {
     /// Seconds of mining wall time.
     pub secs: f64,
     /// Patterns emitted.
     pub patterns: u64,
+}
+
+impl ToJson for AlgoFamily {
+    fn to_json(&self) -> Json {
+        Json::Str(format!("{self:?}"))
+    }
+}
+
+impl ToJson for TimedRun {
+    fn to_json(&self) -> Json {
+        Json::obj([("secs", self.secs.into()), ("patterns", self.patterns.into())])
+    }
 }
 
 impl AlgoFamily {
@@ -72,7 +84,7 @@ impl AlgoFamily {
         let start = Instant::now();
         match self {
             AlgoFamily::HMine => RecycleHm.mine_into(cdb, ms, &mut sink),
-            AlgoFamily::FpTree => RecycleFp.mine_into(cdb, ms, &mut sink),
+            AlgoFamily::FpTree => RecycleFp::default().mine_into(cdb, ms, &mut sink),
             AlgoFamily::TreeProjection => RecycleTp.mine_into(cdb, ms, &mut sink),
         }
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }

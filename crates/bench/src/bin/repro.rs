@@ -11,6 +11,9 @@
 //!   memfigs      Figures 21–24 (memory-limited)
 //!   ablation     ablations (utility fn, ξ_old, Lemma 3.1) + extension
 //!                experiments (incremental, two-step, parallel)
+//!   ext-compress-par
+//!                compression-kernel sweep: seed linear scan vs the
+//!                indexed cover kernel at 1/2/4/8 threads
 //! ```
 //!
 //! `--scale` multiplies the paper's tuple counts (default 0.05).
@@ -37,8 +40,7 @@ fn main() {
                     .unwrap_or_else(|| die("--scale expects a positive number"));
             }
             "--results" => {
-                results_dir =
-                    it.next().unwrap_or_else(|| die("--results expects a directory"));
+                results_dir = it.next().unwrap_or_else(|| die("--results expects a directory"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -62,6 +64,7 @@ fn main() {
                 cmd_mem_figure(id, scale, &reporter);
             }
             cmd_ablation(scale, &reporter);
+            cmd_compress_par(scale, &reporter);
         }
         "table3" => cmd_table3(scale, &reporter),
         "figs" => {
@@ -86,6 +89,7 @@ fn main() {
             }
         }
         "ablation" => cmd_ablation(scale, &reporter),
+        "ext-compress-par" => cmd_compress_par(scale, &reporter),
         other => die(&format!("unknown command {other:?} (try --help)")),
     }
 }
@@ -97,7 +101,8 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     println!(
-        "repro [--scale S] [--results DIR] <all|table3|figs|memfigs|fig N|ablation>\n\
+        "repro [--scale S] [--results DIR] \
+         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -130,8 +135,19 @@ fn cmd_table3(scale: f64, reporter: &Reporter) {
         "{}",
         render_table(
             &[
-                "dataset", "tuples", "avg", "items", "ξ_old", "#patterns", "maxlen",
-                "MCP io", "MCP pipe", "MLP io", "MLP pipe", "R(MCP)", "R(MLP)",
+                "dataset",
+                "tuples",
+                "avg",
+                "items",
+                "ξ_old",
+                "#patterns",
+                "maxlen",
+                "MCP io",
+                "MCP pipe",
+                "MLP io",
+                "MLP pipe",
+                "R(MCP)",
+                "R(MLP)",
             ],
             &table,
         )
@@ -178,8 +194,15 @@ fn cmd_figure(id: u8, scale: f64, reporter: &Reporter) {
     print!(
         "{}",
         render_table(
-            &["ξ_new", "patterns", base, &format!("{tag}-MCP"), &format!("{tag}-MLP"),
-              "MCP speedup", "MLP speedup"],
+            &[
+                "ξ_new",
+                "patterns",
+                base,
+                &format!("{tag}-MCP"),
+                &format!("{tag}-MLP"),
+                "MCP speedup",
+                "MLP speedup"
+            ],
             &table,
         )
     );
@@ -211,8 +234,16 @@ fn cmd_mem_figure(id: u8, scale: f64, reporter: &Reporter) {
     print!(
         "{}",
         render_table(
-            &["budget", "ξ_new", "patterns", "H-Mine", "HM-MCP", "speedup",
-              "HM spills", "MCP spills"],
+            &[
+                "budget",
+                "ξ_new",
+                "patterns",
+                "H-Mine",
+                "HM-MCP",
+                "speedup",
+                "HM spills",
+                "MCP spills"
+            ],
             &table,
         )
     );
@@ -252,10 +283,7 @@ fn cmd_ablation(scale: f64, reporter: &Reporter) {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["ξ_old", "patterns", "prep", "ratio", "HM-MCP mine"], &table)
-    );
+    print!("{}", render_table(&["ξ_old", "patterns", "prep", "ratio", "HM-MCP mine"], &table));
     for r in &rows {
         reporter.save_json("ablation_xi_old", r).expect("save ablation");
     }
@@ -346,6 +374,36 @@ fn cmd_ablation(scale: f64, reporter: &Reporter) {
         )
     );
     reporter.save_json("ablation_lemma", &a).expect("save ablation");
+}
+
+fn cmd_compress_par(scale: f64, reporter: &Reporter) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for dataset in
+        [PresetKind::Connect4, PresetKind::Pumsb, PresetKind::Weather, PresetKind::Forest]
+    {
+        println!(
+            "\n== Extension: compression kernel on {} (MCP, scale {scale}; {cores} core(s) available) ==\n",
+            dataset_name(dataset)
+        );
+        let rows = ablation::compress_kernel_experiment(dataset, scale);
+        let linear_s = rows[0].secs;
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.kernel.to_owned(),
+                    r.threads.to_string(),
+                    fmt_secs(r.secs),
+                    fmt_speedup(linear_s, r.secs),
+                    r.groups.to_string(),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["kernel", "threads", "time", "vs linear", "groups"], &table));
+        for r in &rows {
+            reporter.save_json("ext_compress_par", r).expect("save extension");
+        }
+    }
 }
 
 fn dataset_name(kind: PresetKind) -> &'static str {

@@ -13,11 +13,11 @@ use gogreen_data::{CountSink, MinSupport, PatternSet, TransactionDb};
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
 use gogreen_storage::{LimitedHMine, LimitedRecycleHm, MemoryBudget};
-use serde::Serialize;
+use gogreen_util::{Json, ToJson};
 use std::time::Instant;
 
 /// Static description of one in-memory figure (9–20).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FigureSpec {
     /// Paper figure number.
     pub id: u8,
@@ -30,7 +30,7 @@ pub struct FigureSpec {
 }
 
 /// One sweep point of an in-memory figure.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct FigureRow {
     /// `ξ_new` as a percentage.
     pub xi_new_pct: f64,
@@ -45,7 +45,7 @@ pub struct FigureRow {
 }
 
 /// A complete in-memory figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigureResult {
     /// The figure description.
     pub spec: FigureSpec,
@@ -67,7 +67,7 @@ pub struct FigureResult {
 }
 
 /// Serializable subset of [`CompressionStats`].
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CompressionSummary {
     /// Compression seconds (pipeline, in memory).
     pub secs: f64,
@@ -87,6 +87,80 @@ impl From<CompressionStats> for CompressionSummary {
             groups: s.num_groups,
             covered: s.covered_tuples,
         }
+    }
+}
+
+impl ToJson for FigureSpec {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.into()),
+            ("dataset", Json::Str(format!("{:?}", self.dataset))),
+            ("family", self.family.to_json()),
+            ("log_y", self.log_y.into()),
+        ])
+    }
+}
+
+impl ToJson for FigureRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("xi_new_pct", self.xi_new_pct.into()),
+            ("baseline_s", self.baseline_s.into()),
+            ("mcp_s", self.mcp_s.into()),
+            ("mlp_s", self.mlp_s.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
+}
+
+impl ToJson for CompressionSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("secs", self.secs.into()),
+            ("ratio", self.ratio.into()),
+            ("groups", self.groups.into()),
+            ("covered", self.covered.into()),
+        ])
+    }
+}
+
+impl ToJson for FigureResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("spec", self.spec.to_json()),
+            ("scale", self.scale.into()),
+            ("xi_old_pct", self.xi_old_pct.into()),
+            ("prep_mine_s", self.prep_mine_s.into()),
+            ("recycled_patterns", self.recycled_patterns.into()),
+            ("mcp_compression", self.mcp_compression.to_json()),
+            ("mlp_compression", self.mlp_compression.to_json()),
+            ("rows", Json::Arr(self.rows.iter().map(ToJson::to_json).collect())),
+        ])
+    }
+}
+
+impl ToJson for MemFigureRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("xi_new_pct", self.xi_new_pct.into()),
+            ("budget_mib", self.budget_mib.into()),
+            ("hmine_s", self.hmine_s.into()),
+            ("hm_mcp_s", self.hm_mcp_s.into()),
+            ("hmine_spills", self.hmine_spills.into()),
+            ("hm_mcp_spills", self.hm_mcp_spills.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
+}
+
+impl ToJson for MemFigureResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.into()),
+            ("dataset", Json::Str(format!("{:?}", self.dataset))),
+            ("scale", self.scale.into()),
+            ("rows", Json::Arr(self.rows.iter().map(ToJson::to_json).collect())),
+        ])
     }
 }
 
@@ -131,10 +205,8 @@ pub fn run_figure(id: u8, scale: f64) -> FigureResult {
     let preset = DatasetPreset::new(spec.dataset, scale);
     let db = preset.generate();
     let (fp_old, prep_mine_s) = prepare_recycled(&db, preset.xi_old());
-    let (cdb_mcp, stats_mcp) =
-        Compressor::new(Strategy::Mcp).compress_with_stats(&db, &fp_old);
-    let (cdb_mlp, stats_mlp) =
-        Compressor::new(Strategy::Mlp).compress_with_stats(&db, &fp_old);
+    let (cdb_mcp, stats_mcp) = Compressor::new(Strategy::Mcp).compress_with_stats(&db, &fp_old);
+    let (cdb_mlp, stats_mlp) = Compressor::new(Strategy::Mlp).compress_with_stats(&db, &fp_old);
     let mut rows = Vec::new();
     for ms in preset.sweep() {
         let base = spec.family.run_baseline(&db, ms);
@@ -163,7 +235,7 @@ pub fn run_figure(id: u8, scale: f64) -> FigureResult {
 }
 
 /// One sweep point of a memory-limited figure (21–24).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MemFigureRow {
     /// `ξ_new` as a percentage.
     pub xi_new_pct: f64,
@@ -182,7 +254,7 @@ pub struct MemFigureRow {
 }
 
 /// A complete memory-limited figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MemFigureResult {
     /// Paper figure number (21–24).
     pub id: u8,
@@ -219,17 +291,14 @@ pub fn run_mem_figure(id: u8, scale: f64) -> MemFigureResult {
         for ms in preset.sweep() {
             let mut sink = CountSink::new();
             let start = Instant::now();
-            let rep_h = LimitedHMine::new(budget)
-                .mine_into(&db, ms, &mut sink)
-                .expect("spill i/o");
+            let rep_h = LimitedHMine::new(budget).mine_into(&db, ms, &mut sink).expect("spill i/o");
             let hmine_s = start.elapsed().as_secs_f64();
             let base_patterns = sink.count();
 
             let mut sink = CountSink::new();
             let start = Instant::now();
-            let rep_m = LimitedRecycleHm::new(budget)
-                .mine_into(&cdb, ms, &mut sink)
-                .expect("spill i/o");
+            let rep_m =
+                LimitedRecycleHm::new(budget).mine_into(&cdb, ms, &mut sink).expect("spill i/o");
             let hm_mcp_s = start.elapsed().as_secs_f64();
             assert_eq!(base_patterns, sink.count(), "fig {id}: count mismatch");
 

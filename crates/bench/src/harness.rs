@@ -1,0 +1,137 @@
+//! A minimal microbenchmark harness (stand-in for criterion, which is
+//! not available in hermetic builds).
+//!
+//! Each measurement runs the closure once to warm caches, then `samples`
+//! timed iterations, reporting min/median/mean. Results print as a table
+//! and are returned so callers can archive them as JSON.
+
+use gogreen_util::{Json, ToJson};
+use std::time::Instant;
+
+/// One benchmark's measured timings.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (e.g. "compression").
+    pub group: String,
+    /// Benchmark id within the group (e.g. "MCP").
+    pub id: String,
+    /// Input parameter (e.g. dataset name).
+    pub param: String,
+    /// Fastest sample, seconds.
+    pub min_s: f64,
+    /// Median sample, seconds.
+    pub median_s: f64,
+    /// Mean of samples, seconds.
+    pub mean_s: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl ToJson for BenchResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", self.group.clone().into()),
+            ("id", self.id.clone().into()),
+            ("param", self.param.clone().into()),
+            ("min_s", self.min_s.into()),
+            ("median_s", self.median_s.into()),
+            ("mean_s", self.mean_s.into()),
+            ("samples", self.samples.into()),
+        ])
+    }
+}
+
+/// A group of benchmarks sharing a sample count.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchGroup {
+    /// Creates a group with a default of 10 samples per benchmark.
+    pub fn new(name: &str) -> Self {
+        BenchGroup { name: name.to_owned(), samples: 10, results: Vec::new() }
+    }
+
+    /// Sets the timed-sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f` (one warmup + `samples` timed runs) and records the
+    /// result under `id`/`param`. The closure's return value is consumed
+    /// via `std::hint::black_box` so the work is not optimized away.
+    pub fn bench<T>(&mut self, id: &str, param: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let result = BenchResult {
+            group: self.name.clone(),
+            id: id.to_owned(),
+            param: param.to_owned(),
+            min_s: times[0],
+            median_s: times[times.len() / 2],
+            mean_s: times.iter().sum::<f64>() / times.len() as f64,
+            samples: times.len(),
+        };
+        println!(
+            "{}/{}/{}: min {} median {} ({} samples)",
+            result.group,
+            result.id,
+            result.param,
+            crate::report::fmt_secs(result.min_s),
+            crate::report::fmt_secs(result.median_s),
+            result.samples,
+        );
+        self.results.push(result);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Consumes the group, returning its results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_orders_stats() {
+        let mut g = BenchGroup::new("t");
+        g.sample_size(5);
+        let r = g.bench("sum", "small", || (0..1000u64).sum::<u64>()).clone();
+        assert_eq!(r.samples, 5);
+        assert!(r.min_s <= r.median_s);
+        assert!(r.min_s > 0.0 || r.mean_s >= 0.0);
+        assert_eq!(g.finish().len(), 1);
+    }
+
+    #[test]
+    fn json_round_shape() {
+        let r = BenchResult {
+            group: "g".into(),
+            id: "i".into(),
+            param: "p".into(),
+            min_s: 0.1,
+            median_s: 0.2,
+            mean_s: 0.2,
+            samples: 3,
+        };
+        let s = r.to_json().dump();
+        assert!(s.contains("\"group\":\"g\"") && s.contains("\"samples\":3"));
+    }
+}

@@ -22,11 +22,13 @@
 pub mod ablation;
 pub mod algo;
 pub mod figures;
+pub mod harness;
 pub mod report;
 pub mod table3;
 
 pub use algo::AlgoFamily;
 pub use figures::{run_figure, run_mem_figure, FigureResult, MemFigureResult};
+pub use harness::{BenchGroup, BenchResult};
 pub use report::Reporter;
 pub use table3::run_table3;
 

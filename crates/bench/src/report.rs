@@ -1,7 +1,7 @@
 //! Result presentation: aligned console tables plus JSON-lines archives
 //! under `results/`.
 
-use serde::Serialize;
+use gogreen_util::json::ToJson;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -24,11 +24,11 @@ impl Reporter {
     }
 
     /// Appends `record` as one JSON line to `<name>.jsonl`.
-    pub fn save_json(&self, name: &str, record: &impl Serialize) -> std::io::Result<()> {
+    pub fn save_json(&self, name: &str, record: &impl ToJson) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.results_dir)?;
         let path = self.results_dir.join(format!("{name}.jsonl"));
         let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        serde_json::to_writer(&mut f, record)?;
+        f.write_all(record.to_json().dump().as_bytes())?;
         f.write_all(b"\n")?;
         Ok(())
     }
@@ -95,10 +95,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "12345".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "12345".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -125,9 +122,13 @@ mod tests {
     fn reporter_appends_json_lines() {
         let dir = std::env::temp_dir().join(format!("gogreen-report-{}", std::process::id()));
         let r = Reporter::new(&dir);
-        #[derive(Serialize)]
         struct Rec {
             x: u32,
+        }
+        impl ToJson for Rec {
+            fn to_json(&self) -> gogreen_util::Json {
+                gogreen_util::Json::obj([("x", self.x.into())])
+            }
         }
         r.save_json("t", &Rec { x: 1 }).unwrap();
         r.save_json("t", &Rec { x: 2 }).unwrap();

@@ -13,12 +13,12 @@ use gogreen_core::{Compressor, Strategy};
 use gogreen_data::{PatternSet, TransactionDb};
 use gogreen_datagen::{DatasetPreset, PaperRow};
 use gogreen_miners::mine_hmine;
-use serde::Serialize;
+use gogreen_util::{Json, ToJson};
 use std::io::Write;
 use std::time::Instant;
 
 /// One dataset row of Table 3 (ours + the paper's reference values).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Dataset name.
     pub name: String,
@@ -50,6 +50,28 @@ pub struct Table3Row {
     pub paper_patterns: usize,
     /// The paper's maximal pattern length.
     pub paper_max_len: usize,
+}
+
+impl ToJson for Table3Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.clone().into()),
+            ("tuples", self.tuples.into()),
+            ("avg_len", self.avg_len.into()),
+            ("items", self.items.into()),
+            ("xi_old_pct", self.xi_old_pct.into()),
+            ("patterns", self.patterns.into()),
+            ("max_len", self.max_len.into()),
+            ("t_io_mcp", self.t_io_mcp.into()),
+            ("t_pipe_mcp", self.t_pipe_mcp.into()),
+            ("t_io_mlp", self.t_io_mlp.into()),
+            ("t_pipe_mlp", self.t_pipe_mlp.into()),
+            ("ratio_mcp", self.ratio_mcp.into()),
+            ("ratio_mlp", self.ratio_mlp.into()),
+            ("paper_patterns", self.paper_patterns.into()),
+            ("paper_max_len", self.paper_max_len.into()),
+        ])
+    }
 }
 
 /// Runs the Table 3 experiment for all four datasets at `scale`.
@@ -86,11 +108,7 @@ fn run_row(preset: DatasetPreset) -> Table3Row {
 }
 
 /// Returns `(io_seconds, pipeline_seconds, ratio)`.
-fn compress_timings(
-    db: &TransactionDb,
-    fp: &PatternSet,
-    strategy: Strategy,
-) -> (f64, f64, f64) {
+fn compress_timings(db: &TransactionDb, fp: &PatternSet, strategy: Strategy) -> (f64, f64, f64) {
     // Pipeline: pure in-memory compression.
     let (cdb, stats) = Compressor::new(strategy).compress_with_stats(db, fp);
     let pipeline = stats.duration.as_secs_f64();
@@ -171,7 +189,10 @@ mod tests {
             assert!(r.patterns > 0, "{} mined no patterns at ξ_old", r.name);
             assert!(r.ratio_mcp > 0.0 && r.ratio_mcp <= 1.0);
             assert!(r.ratio_mlp > 0.0 && r.ratio_mlp <= 1.0);
-            assert!(r.t_io_mcp >= r.t_pipe_mcp * 0.5, "I/O time should not undercut pipeline wildly");
+            assert!(
+                r.t_io_mcp >= r.t_pipe_mcp * 0.5,
+                "I/O time should not undercut pipeline wildly"
+            );
         }
         // Dense rows carry long patterns.
         let connect4 = rows.iter().find(|r| r.name == "connect4").unwrap();

@@ -17,8 +17,7 @@ impl Args {
         let mut it = argv.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-                let value =
-                    it.next().ok_or_else(|| format!("option --{name} expects a value"))?;
+                let value = it.next().ok_or_else(|| format!("option --{name} expects a value"))?;
                 out.options.push((name.to_owned(), value));
             } else {
                 out.positional.push(a);
@@ -29,19 +28,12 @@ impl Args {
 
     /// The `idx`-th positional, or an error naming it.
     pub fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
-        self.positional
-            .get(idx)
-            .map(String::as_str)
-            .ok_or_else(|| format!("missing {what}"))
+        self.positional.get(idx).map(String::as_str).ok_or_else(|| format!("missing {what}"))
     }
 
     /// An optional `--name` value.
     pub fn opt(&self, name: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.as_str())
+        self.options.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
     /// A required `--name` value.
@@ -53,8 +45,7 @@ impl Args {
 /// Parses `5%` or `0.5%` as relative, `120` as absolute support.
 pub fn parse_support(text: &str) -> Result<MinSupport, String> {
     if let Some(pct) = text.strip_suffix('%') {
-        let p: f64 =
-            pct.parse().map_err(|_| format!("invalid support percentage {text:?}"))?;
+        let p: f64 = pct.parse().map_err(|_| format!("invalid support percentage {text:?}"))?;
         if !(0.0..=100.0).contains(&p) {
             return Err(format!("support percentage {p} outside 0..=100"));
         }

@@ -2,7 +2,7 @@
 //! the paper's Table 3 statistics for one database/pattern-set pair.
 
 use crate::args::Args;
-use crate::commands::{load_db, parse_strategy};
+use crate::commands::{load_db, parse_strategy, parse_threads};
 use gogreen_core::Compressor;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
@@ -13,8 +13,10 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let fp = gogreen_data::pattern_io::read_patterns_file(fp_path)
         .map_err(|e| format!("reading {fp_path}: {e}"))?;
     let strategy = parse_strategy(args.opt("strategy"))?;
+    let par = parse_threads(args.opt("threads"))?;
 
-    let (cdb, stats) = Compressor::new(strategy).compress_with_stats(&db, &fp);
+    let (cdb, stats) =
+        Compressor::new(strategy).with_parallelism(par).compress_with_stats(&db, &fp);
     println!("{path} compressed with {} patterns [{}]:", fp.len(), strategy.suffix());
     println!("  groups          {}", stats.num_groups);
     println!("  covered tuples  {} / {}", stats.covered_tuples, stats.num_tuples);

@@ -2,12 +2,13 @@
 //! optionally with pushed constraints, writing `items : support` lines.
 
 use crate::args::{parse_items, parse_support, Args};
-use crate::commands::{load_db, show_support};
+use crate::commands::{load_db, parse_threads, show_support};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
+use gogreen_core::rpmine::RpMine;
+use gogreen_core::CompressedDb;
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
-use gogreen_miners::{
-    mine_apriori, mine_fpgrowth, mine_treeproj, HMine, NaiveProjection,
-};
+use gogreen_miners::{mine_apriori, mine_fpgrowth, mine_treeproj, HMine, NaiveProjection};
+use gogreen_util::pool::Parallelism;
 use std::time::Instant;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
@@ -16,6 +17,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let db = load_db(path)?;
     let support = parse_support(args.required("support")?)?;
     let algo = args.opt("algo").unwrap_or("hmine");
+    let par = parse_threads(args.opt("threads"))?;
 
     // Pushable constraints.
     let mut cs = ConstraintSet::support_only(support);
@@ -31,7 +33,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let pushdown = Pushdown::from_constraints(&cs, &attrs);
 
     let start = Instant::now();
-    let mut patterns = mine(&db, support, algo, &pushdown, &attrs)?;
+    let mut patterns = mine(&db, support, algo, par, &pushdown, &attrs)?;
     let elapsed = start.elapsed();
     // Optional condensed-representation post-filters.
     match args.opt("filter") {
@@ -71,9 +73,21 @@ fn mine(
     db: &TransactionDb,
     support: MinSupport,
     algo: &str,
+    par: Parallelism,
     pushdown: &Pushdown,
     attrs: &ItemAttributes,
 ) -> Result<PatternSet, String> {
+    // `--threads N>1` mines first-level projections in parallel over an
+    // uncompressed view; pushed constraints become a post-filter there.
+    if !par.is_serial() {
+        if !matches!(algo, "hmine" | "fp" | "tp" | "apriori" | "naive") {
+            return Err(format!("unknown algo {algo:?} (hmine|fp|tp|apriori|naive)"));
+        }
+        let view = CompressedDb::uncompressed(db);
+        return Ok(RpMine::default()
+            .mine_parallel(&view, support, par.get())
+            .filter(|p| pushdown.prefix_ok(p.items(), attrs)));
+    }
     let result = match algo {
         "hmine" => {
             let mut sink = CollectSink::new();

@@ -10,6 +10,7 @@ pub mod stats;
 
 use gogreen_core::utility::Strategy;
 use gogreen_data::{MinSupport, TransactionDb};
+use gogreen_util::pool::Parallelism;
 
 /// Loads a transaction database with a friendly error.
 pub fn load_db(path: &str) -> Result<TransactionDb, String> {
@@ -22,6 +23,17 @@ pub fn parse_strategy(opt: Option<&str>) -> Result<Strategy, String> {
         "mcp" => Ok(Strategy::Mcp),
         "mlp" => Ok(Strategy::Mlp),
         other => Err(format!("unknown strategy {other:?} (mcp|mlp)")),
+    }
+}
+
+/// Parses a `--threads` value (default 1 = serial; `0` = all cores).
+pub fn parse_threads(opt: Option<&str>) -> Result<Parallelism, String> {
+    match opt {
+        None => Ok(Parallelism::serial()),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| format!("invalid --threads {v:?}"))?;
+            Ok(Parallelism::threads(n))
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! paper's two-phase pipeline from the command line.
 
 use crate::args::{parse_support, Args};
-use crate::commands::{load_db, parse_strategy, show_support};
+use crate::commands::{load_db, parse_strategy, parse_threads, show_support};
 use gogreen_core::recycle_fp::RecycleFp;
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_core::recycle_tp::RecycleTp;
@@ -19,27 +19,24 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         .map_err(|e| format!("reading {fp_path}: {e}"))?;
     let support = parse_support(args.required("support")?)?;
     let strategy = parse_strategy(args.opt("strategy"))?;
+    let par = parse_threads(args.opt("threads"))?;
     let miner: Box<dyn RecyclingMiner> = match args.opt("algo").unwrap_or("hm") {
         "hm" => Box::new(RecycleHm),
-        "fp" => Box::new(RecycleFp),
+        "fp" => Box::new(RecycleFp::default().with_parallelism(par)),
         "tp" => Box::new(RecycleTp),
         "naive" => Box::new(RpMine::default()),
         other => return Err(format!("unknown algo {other:?} (hm|fp|tp|naive)")),
     };
 
     let start = Instant::now();
-    let (cdb, stats) = Compressor::new(strategy).compress_with_stats(&db, &fp);
+    let (cdb, stats) =
+        Compressor::new(strategy).with_parallelism(par).compress_with_stats(&db, &fp);
     let compress_time = start.elapsed();
     let start = Instant::now();
     let patterns = miner.mine(&cdb, support);
     let mine_time = start.elapsed();
 
-    println!(
-        "{path}: recycled {} patterns [{}-{}]",
-        fp.len(),
-        miner.name(),
-        strategy.suffix()
-    );
+    println!("{path}: recycled {} patterns [{}-{}]", fp.len(), miner.name(), strategy.suffix());
     println!(
         "  compression  {compress_time:.2?} (ratio {:.4}, {} groups covering {}/{})",
         stats.ratio, stats.num_groups, stats.covered_tuples, stats.num_tuples

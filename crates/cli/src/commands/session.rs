@@ -14,27 +14,34 @@
 //! ```
 
 use crate::args::{parse_support, Args};
-use crate::commands::load_db;
+use crate::commands::{load_db, parse_threads};
 use gogreen_constraints::{Constraint, ConstraintSet};
 use gogreen_core::session::{Engine, MiningSession};
 use gogreen_data::{MinSupport, PatternSet};
+use gogreen_util::pool::Parallelism;
 use std::io::BufRead;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let path = args.positional(0, "database path")?;
     let db = load_db(path)?;
+    let par = parse_threads(args.opt("threads"))?;
     println!(
         "session on {path} ({} tuples); `run` mines, `quit` exits, see docs for more",
         db.len()
     );
     let stdin = std::io::stdin();
-    drive(db, stdin.lock())
+    drive_with(db, par, stdin.lock())
 }
 
-/// The REPL body, separated from stdin for testability.
-pub fn drive(db: gogreen_data::TransactionDb, input: impl BufRead) -> Result<(), String> {
-    let mut session = MiningSession::new(db);
+/// The REPL body, separated from stdin for testability; `par` is the
+/// thread budget for the recycling phases.
+pub fn drive_with(
+    db: gogreen_data::TransactionDb,
+    par: Parallelism,
+    input: impl BufRead,
+) -> Result<(), String> {
+    let mut session = MiningSession::new(db).with_parallelism(par);
     let mut support = MinSupport::percent(5.0);
     let mut maxlen: usize = 0;
     let mut last: Option<PatternSet> = None;
@@ -53,7 +60,10 @@ pub fn drive(db: gogreen_data::TransactionDb, input: impl BufRead) -> Result<(),
                     .ok_or("maxlen expects a number")?
                     .parse()
                     .map_err(|_| "invalid maxlen".to_owned())?;
-                println!("maxlen = {}", if maxlen == 0 { "off".into() } else { maxlen.to_string() });
+                println!(
+                    "maxlen = {}",
+                    if maxlen == 0 { "off".into() } else { maxlen.to_string() }
+                );
             }
             "engine" => {
                 let engine = match arg.ok_or("engine expects a name")? {
@@ -63,7 +73,9 @@ pub fn drive(db: gogreen_data::TransactionDb, input: impl BufRead) -> Result<(),
                     "naive" => Engine::Naive,
                     other => return Err(format!("unknown engine {other:?}")),
                 };
-                session = MiningSession::new(session.db().clone()).with_engine(engine);
+                session = MiningSession::new(session.db().clone())
+                    .with_engine(engine)
+                    .with_parallelism(par);
                 println!("engine set (session reset)");
             }
             "run" => {
@@ -86,9 +98,7 @@ pub fn drive(db: gogreen_data::TransactionDb, input: impl BufRead) -> Result<(),
                     None => println!("nothing mined yet (use `run`)"),
                     Some(set) => {
                         let mut v = set.sorted();
-                        v.sort_by(|a, b| {
-                            b.support().cmp(&a.support()).then(b.len().cmp(&a.len()))
-                        });
+                        v.sort_by(|a, b| b.support().cmp(&a.support()).then(b.len().cmp(&a.len())));
                         for p in v.iter().take(n) {
                             println!("  {p}");
                         }
@@ -119,18 +129,32 @@ mod tests {
     #[test]
     fn scripted_session_runs() {
         let script = "support 3\nrun\nsupport 2\nmaxlen 2\nrun\ntop 3\nquit\n";
-        drive(TransactionDb::paper_example(), script.as_bytes()).unwrap();
+        drive_with(TransactionDb::paper_example(), Parallelism::serial(), script.as_bytes())
+            .unwrap();
     }
 
     #[test]
     fn bad_support_is_an_error() {
         let script = "support nope\n";
-        assert!(drive(TransactionDb::paper_example(), script.as_bytes()).is_err());
+        assert!(drive_with(
+            TransactionDb::paper_example(),
+            Parallelism::serial(),
+            script.as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn threaded_session_runs_and_survives_engine_reset() {
+        let script = "support 2\nrun\nengine fp\nrun\nengine naive\nrun\nquit\n";
+        drive_with(TransactionDb::paper_example(), Parallelism::threads(3), script.as_bytes())
+            .unwrap();
     }
 
     #[test]
     fn unknown_commands_are_tolerated() {
         let script = "frobnicate\nquit\n";
-        drive(TransactionDb::paper_example(), script.as_bytes()).unwrap();
+        drive_with(TransactionDb::paper_example(), Parallelism::serial(), script.as_bytes())
+            .unwrap();
     }
 }

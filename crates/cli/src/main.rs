@@ -4,11 +4,13 @@
 //! gogreen stats    <db.txt>
 //! gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
 //! gogreen mine     <db.txt> --support <ξ> [--algo A] [--max-length K]
-//!                  [--items 1,2,3] [-o patterns.txt]
+//!                  [--items 1,2,3] [--threads N] [-o patterns.txt]
 //! gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
+//!                  [--threads N]
 //! gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
-//!                  [--algo A] [--strategy mcp|mlp] [-o patterns.txt]
-//! gogreen session  <db.txt>        # interactive REPL (reads stdin)
+//!                  [--algo A] [--strategy mcp|mlp] [--threads N]
+//!                  [-o patterns.txt]
+//! gogreen session  <db.txt> [--threads N]   # interactive REPL (stdin)
 //! ```
 //!
 //! Supports are `5%` (relative) or `120` (absolute tuples). See
@@ -24,10 +26,8 @@ fn main() -> ExitCode {
     // behaviour; Rust's default is a noisy panic from `println!`.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let broken_pipe = info
-            .payload()
-            .downcast_ref::<String>()
-            .is_some_and(|m| m.contains("Broken pipe"));
+        let broken_pipe =
+            info.payload().downcast_ref::<String>().is_some_and(|m| m.contains("Broken pipe"));
         if broken_pipe {
             std::process::exit(0);
         }
@@ -75,17 +75,22 @@ USAGE
   gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
   gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|apriori|naive]
                    [--max-length K] [--items 1,2,3] [--filter closed|maximal]
-                   [-o patterns.txt]
+                   [--threads N] [-o patterns.txt]
   gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
+                   [--threads N]
   gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
-                   [--algo hm|fp|tp|naive] [--strategy mcp|mlp] [-o patterns.txt]
+                   [--algo hm|fp|tp|naive] [--strategy mcp|mlp] [--threads N]
+                   [-o patterns.txt]
   gogreen diff     <new.txt> <old.txt> [--limit N]
-  gogreen session  <db.txt>
+  gogreen session  <db.txt> [--threads N]
 
 FORMATS
   databases: one transaction per line, whitespace-separated item ids
   patterns:  `items : support` per line (what `mine -o` writes)
   supports:  `5%` (fraction of tuples) or `120` (absolute tuple count)
+  threads:   worker threads for compression and recycled mining
+             (default 1 = the paper's serial timings; 0 = all cores;
+             output is identical at any thread count)
 
 The recycle command is the paper's two-phase pipeline: compress <db>
 with the recycled <fp.txt>, then mine the compressed database — exact,

@@ -52,17 +52,16 @@ fn full_workflow_round_trips() {
     assert!(out.contains("ratio"), "{out}");
 
     run_ok(&[
-        "recycle", dbs,
-        "--patterns", fp_hi.to_str().unwrap(),
-        "--support", "82%",
-        "-o", fp_rec.to_str().unwrap(),
+        "recycle",
+        dbs,
+        "--patterns",
+        fp_hi.to_str().unwrap(),
+        "--support",
+        "82%",
+        "-o",
+        fp_rec.to_str().unwrap(),
     ]);
-    run_ok(&[
-        "mine", dbs,
-        "--support", "82%",
-        "--algo", "fp",
-        "-o", fp_scratch.to_str().unwrap(),
-    ]);
+    run_ok(&["mine", dbs, "--support", "82%", "--algo", "fp", "-o", fp_scratch.to_str().unwrap()]);
 
     // Recycled output must equal the from-scratch output line for line
     // (the format is canonical).
@@ -84,10 +83,14 @@ fn constrained_mine_restricts_output() {
     let limited = dir.join("limited.txt");
     run_ok(&["mine", dbs, "--support", "90%", "-o", all.to_str().unwrap()]);
     run_ok(&[
-        "mine", dbs,
-        "--support", "90%",
-        "--max-length", "2",
-        "-o", limited.to_str().unwrap(),
+        "mine",
+        dbs,
+        "--support",
+        "90%",
+        "--max-length",
+        "2",
+        "-o",
+        limited.to_str().unwrap(),
     ]);
     let all_n = std::fs::read_to_string(&all).unwrap().lines().count();
     let lim = std::fs::read_to_string(&limited).unwrap();
@@ -151,10 +154,14 @@ fn diff_and_condensed_filters() {
     // Maximal output must be a (strict, here) subset of the full set.
     let maximal = dir.join("max.txt");
     run_ok(&[
-        "mine", dbs,
-        "--support", "88%",
-        "--filter", "maximal",
-        "-o", maximal.to_str().unwrap(),
+        "mine",
+        dbs,
+        "--support",
+        "88%",
+        "--filter",
+        "maximal",
+        "-o",
+        maximal.to_str().unwrap(),
     ]);
     let full_n = std::fs::read_to_string(&lo).unwrap().lines().count();
     let max_n = std::fs::read_to_string(&maximal).unwrap().lines().count();

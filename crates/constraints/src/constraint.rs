@@ -134,9 +134,7 @@ impl Constraint {
             Constraint::MinSum { attr, bound } => attrs.sum(*attr, items) >= *bound,
             Constraint::SubsetOf(s) => is_subset(items, s),
             Constraint::ContainsAll(s) => is_subset(s, items),
-            Constraint::ContainsAny(s) => {
-                items.iter().any(|it| s.binary_search(it).is_ok())
-            }
+            Constraint::ContainsAny(s) => items.iter().any(|it| s.binary_search(it).is_ok()),
             Constraint::AvgAtLeast { attr, bound } => attrs.avg(*attr, items) >= *bound,
             Constraint::AvgAtMost { attr, bound } => attrs.avg(*attr, items) <= *bound,
         }
@@ -263,10 +261,7 @@ mod tests {
         assert_eq!(Constraint::MaxLength(2).tightness_vs(&Constraint::MaxLength(3)), Tighter);
         assert_eq!(Constraint::MaxLength(3).tightness_vs(&Constraint::MaxLength(3)), Equal);
         assert_eq!(Constraint::MinLength(2).tightness_vs(&Constraint::MinLength(3)), Looser);
-        assert_eq!(
-            Constraint::MaxLength(2).tightness_vs(&Constraint::MinLength(2)),
-            Incomparable
-        );
+        assert_eq!(Constraint::MaxLength(2).tightness_vs(&Constraint::MinLength(2)), Incomparable);
     }
 
     #[test]

@@ -127,10 +127,7 @@ impl SearchPrune for PrunedSearch<'_> {
                 return false;
             }
         }
-        self.pushdown
-            .sum_budgets
-            .iter()
-            .all(|&(attr, bound)| self.attrs.sum(attr, items) <= bound)
+        self.pushdown.sum_budgets.iter().all(|&(attr, bound)| self.attrs.sum(attr, items) <= bound)
     }
 }
 

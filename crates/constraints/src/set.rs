@@ -119,21 +119,21 @@ mod tests {
 
     #[test]
     fn mixed_when_support_drops_but_length_tightens() {
-        let old = ConstraintSet::support_only(MinSupport::Absolute(5))
-            .with(Constraint::MaxLength(5));
-        let new = ConstraintSet::support_only(MinSupport::Absolute(3))
-            .with(Constraint::MaxLength(3));
+        let old =
+            ConstraintSet::support_only(MinSupport::Absolute(5)).with(Constraint::MaxLength(5));
+        let new =
+            ConstraintSet::support_only(MinSupport::Absolute(3)).with(Constraint::MaxLength(3));
         assert_eq!(new.relation_to(&old, 100), Relation::Mixed);
     }
 
     #[test]
     fn incomparable_on_shape_mismatch() {
         let old = ConstraintSet::support_only(MinSupport::Absolute(5));
-        let new = ConstraintSet::support_only(MinSupport::Absolute(5))
-            .with(Constraint::MaxLength(3));
+        let new =
+            ConstraintSet::support_only(MinSupport::Absolute(5)).with(Constraint::MaxLength(3));
         assert_eq!(new.relation_to(&old, 100), Relation::Incomparable);
-        let old2 = ConstraintSet::support_only(MinSupport::Absolute(5))
-            .with(Constraint::MinLength(2));
+        let old2 =
+            ConstraintSet::support_only(MinSupport::Absolute(5)).with(Constraint::MinLength(2));
         assert_eq!(new.relation_to(&old2, 100), Relation::Incomparable);
     }
 

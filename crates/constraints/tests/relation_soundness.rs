@@ -1,56 +1,59 @@
 //! Semantic soundness of [`ConstraintSet::relation_to`]: when it claims
 //! `Tightened`, the new solution space really is a subset of the old one
 //! (and symmetrically for `Relaxed`) — checked by brute force over the
-//! power set of a small item universe.
+//! power set of a small item universe, on seeded random constraint sets.
 
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Relation};
 use gogreen_data::{Item, MinSupport, Pattern};
-use proptest::prelude::*;
+use gogreen_util::rng::{Rng, SmallRng};
+use std::collections::BTreeSet;
 
 /// Enumerates all non-empty itemsets over items 0..n with a synthetic
 /// support (larger sets less frequent, deterministic).
 fn universe(n: u32, db_len: usize) -> Vec<Pattern> {
     let mut out = Vec::new();
     for mask in 1u32..(1 << n) {
-        let items: Vec<Item> =
-            (0..n).filter(|b| mask & (1 << b) != 0).map(Item).collect();
+        let items: Vec<Item> = (0..n).filter(|b| mask & (1 << b) != 0).map(Item).collect();
         let support = (db_len / items.len()).max(1) as u64;
         out.push(Pattern::new(items, support));
     }
     out
 }
 
-fn arb_constraint() -> impl proptest::strategy::Strategy<Value = Constraint> {
-    prop_oneof![
-        (1usize..5).prop_map(Constraint::MaxLength),
-        (1usize..5).prop_map(Constraint::MinLength),
-        prop::collection::btree_set(0u32..5, 1..4).prop_map(|s| {
-            Constraint::SubsetOf(s.into_iter().map(Item).collect())
-        }),
-        prop::collection::btree_set(0u32..5, 1..3).prop_map(|s| {
-            Constraint::ContainsAll(s.into_iter().map(Item).collect())
-        }),
-        prop::collection::btree_set(0u32..5, 1..4).prop_map(|s| {
-            Constraint::ContainsAny(s.into_iter().map(Item).collect())
-        }),
-    ]
+fn random_items(rng: &mut SmallRng, min: usize, max: usize) -> Vec<Item> {
+    let want = min + rng.gen_index(max - min + 1);
+    let mut set = BTreeSet::new();
+    while set.len() < want {
+        set.insert(rng.gen_below(5) as u32);
+    }
+    set.into_iter().map(Item).collect()
 }
 
-fn arb_set() -> impl proptest::strategy::Strategy<Value = ConstraintSet> {
-    ((1u64..20), prop::collection::vec(arb_constraint(), 0..3)).prop_map(|(ms, cs)| {
-        let mut set = ConstraintSet::support_only(MinSupport::Absolute(ms));
-        for c in cs {
-            set = set.with(c);
-        }
-        set
-    })
+fn random_constraint(rng: &mut SmallRng) -> Constraint {
+    match rng.gen_index(5) {
+        0 => Constraint::MaxLength(1 + rng.gen_index(4)),
+        1 => Constraint::MinLength(1 + rng.gen_index(4)),
+        2 => Constraint::SubsetOf(random_items(rng, 1, 3)),
+        3 => Constraint::ContainsAll(random_items(rng, 1, 2)),
+        _ => Constraint::ContainsAny(random_items(rng, 1, 3)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_set(rng: &mut SmallRng) -> ConstraintSet {
+    let ms = 1 + rng.gen_below(19);
+    let mut set = ConstraintSet::support_only(MinSupport::Absolute(ms));
+    for _ in 0..rng.gen_index(3) {
+        set = set.with(random_constraint(rng));
+    }
+    set
+}
 
-    #[test]
-    fn tightened_means_subset(a in arb_set(), b in arb_set()) {
+#[test]
+fn tightened_means_subset() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x7197_0000 + case);
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
         let attrs = ItemAttributes::new();
         let db_len = 40;
         let all = universe(5, db_len);
@@ -62,36 +65,53 @@ proptest! {
                 // a's solutions ⊆ b's solutions.
                 let (sa, sb) = (sols(&a), sols(&b));
                 for (k, (&x, &y)) in sa.iter().zip(&sb).enumerate() {
-                    prop_assert!(!x || y, "pattern {} satisfies tightened but not old", all[k]);
+                    assert!(
+                        !x || y,
+                        "case {case}: pattern {} satisfies tightened but not old",
+                        all[k]
+                    );
                 }
             }
             Relation::Relaxed => {
                 let (sa, sb) = (sols(&a), sols(&b));
                 for (k, (&x, &y)) in sa.iter().zip(&sb).enumerate() {
-                    prop_assert!(!y || x, "pattern {} satisfies old but not relaxed", all[k]);
+                    assert!(
+                        !y || x,
+                        "case {case}: pattern {} satisfies old but not relaxed",
+                        all[k]
+                    );
                 }
             }
             // Mixed/Incomparable make no subset claim.
             _ => {}
         }
     }
+}
 
-    #[test]
-    fn relation_is_antisymmetric(a in arb_set(), b in arb_set()) {
+#[test]
+fn relation_is_antisymmetric() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0xa271_0000 + case);
+        let a = random_set(&mut rng);
+        let b = random_set(&mut rng);
         let db_len = 40;
         let ab = a.relation_to(&b, db_len);
         let ba = b.relation_to(&a, db_len);
         match ab {
-            Relation::Equal => prop_assert_eq!(ba, Relation::Equal),
-            Relation::Tightened => prop_assert_eq!(ba, Relation::Relaxed),
-            Relation::Relaxed => prop_assert_eq!(ba, Relation::Tightened),
-            Relation::Mixed => prop_assert_eq!(ba, Relation::Mixed),
-            Relation::Incomparable => prop_assert_eq!(ba, Relation::Incomparable),
+            Relation::Equal => assert_eq!(ba, Relation::Equal, "case {case}"),
+            Relation::Tightened => assert_eq!(ba, Relation::Relaxed, "case {case}"),
+            Relation::Relaxed => assert_eq!(ba, Relation::Tightened, "case {case}"),
+            Relation::Mixed => assert_eq!(ba, Relation::Mixed, "case {case}"),
+            Relation::Incomparable => assert_eq!(ba, Relation::Incomparable, "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn relation_to_self_is_equal(a in arb_set()) {
-        prop_assert_eq!(a.relation_to(&a, 40), Relation::Equal);
+#[test]
+fn relation_to_self_is_equal() {
+    for case in 0..128u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5e1f_0000 + case);
+        let a = random_set(&mut rng);
+        assert_eq!(a.relation_to(&a, 40), Relation::Equal, "case {case}");
     }
 }

@@ -11,6 +11,7 @@
 //! [`gogreen_data::projected::RankDb`]s.
 
 use gogreen_data::{FList, Item, Transaction, TransactionDb};
+use gogreen_util::pool::{par_chunks, Parallelism};
 use gogreen_util::HeapSize;
 
 /// One compression group: a pattern and its member tuples' outlying items.
@@ -138,9 +139,7 @@ impl CompressedDb {
         let compressed_size: usize = self
             .groups
             .iter()
-            .map(|g| {
-                g.pattern.len() + g.outliers.iter().map(|o| o.len()).sum::<usize>()
-            })
+            .map(|g| g.pattern.len() + g.outliers.iter().map(|o| o.len()).sum::<usize>())
             .sum::<usize>()
             + self.plain.iter().map(Transaction::len).sum::<usize>();
         CdbStats {
@@ -156,6 +155,14 @@ impl CompressedDb {
     /// group pattern item is counted once with the group count; outlying
     /// and plain items per occurrence.
     pub fn item_supports(&self) -> Vec<u64> {
+        self.item_supports_par(Parallelism::serial())
+    }
+
+    /// [`Self::item_supports`] with the counting pass chunked across
+    /// worker threads. Summing per-chunk `u64` count vectors is exact
+    /// and order-independent, so the result is identical to the serial
+    /// pass for any thread count.
+    pub fn item_supports_par(&self, par: Parallelism) -> Vec<u64> {
         let mut max_id: Option<u32> = None;
         let mut consider = |items: &[Item]| {
             if let Some(&last) = items.last() {
@@ -171,21 +178,38 @@ impl CompressedDb {
         for t in &self.plain {
             consider(t.items());
         }
-        let mut counts = vec![0u64; max_id.map_or(0, |m| m as usize + 1)];
-        for g in &self.groups {
-            let c = g.count();
-            for it in g.pattern.iter() {
-                counts[it.index()] += c;
+        let slots = max_id.map_or(0, |m| m as usize + 1);
+        let mut counts = vec![0u64; slots];
+        if par.for_items(self.groups.len().max(self.plain.len())) <= 1 {
+            for g in &self.groups {
+                count_group(g, &mut counts);
             }
-            for o in &g.outliers {
-                for it in o.iter() {
+            for t in &self.plain {
+                for it in t.items() {
                     counts[it.index()] += 1;
                 }
             }
+            return counts;
         }
-        for t in &self.plain {
-            for it in t.items() {
-                counts[it.index()] += 1;
+        let group_parts = par_chunks(par, &self.groups, |_, chunk| {
+            let mut local = vec![0u64; slots];
+            for g in chunk {
+                count_group(g, &mut local);
+            }
+            local
+        });
+        let plain_parts = par_chunks(par, &self.plain, |_, chunk| {
+            let mut local = vec![0u64; slots];
+            for t in chunk {
+                for it in t.items() {
+                    local[it.index()] += 1;
+                }
+            }
+            local
+        });
+        for (_, local) in group_parts.into_iter().chain(plain_parts) {
+            for (slot, c) in counts.iter_mut().zip(local) {
+                *slot += c;
             }
         }
         counts
@@ -194,7 +218,12 @@ impl CompressedDb {
     /// Builds the F-list of the represented database at `min_support`
     /// without decompressing.
     pub fn flist(&self, min_support: u64) -> FList {
-        FList::from_counts(&self.item_supports(), min_support)
+        self.flist_par(min_support, Parallelism::serial())
+    }
+
+    /// [`Self::flist`] with the support count parallelized.
+    pub fn flist_par(&self, min_support: u64, par: Parallelism) -> FList {
+        FList::from_counts(&self.item_supports_par(par), min_support)
     }
 
     /// Decompresses back to the original tuple multiset (tuple order is
@@ -256,6 +285,20 @@ impl CompressedDb {
     }
 }
 
+/// Counts one group into `counts`: pattern items once with the group
+/// count, outlying items per occurrence.
+fn count_group(g: &Group, counts: &mut [u64]) {
+    let c = g.count();
+    for it in g.pattern.iter() {
+        counts[it.index()] += c;
+    }
+    for o in &g.outliers {
+        for it in o.iter() {
+            counts[it.index()] += 1;
+        }
+    }
+}
+
 impl HeapSize for CompressedDb {
     fn heap_size(&self) -> usize {
         let groups: usize = self
@@ -308,9 +351,8 @@ impl CompressedRankDb {
     /// surviving ranks are unchanged (tuples are never removed, only
     /// shortened).
     pub fn retain_ranks(&self, keep: impl Fn(u32) -> bool) -> CompressedRankDb {
-        let filter = |v: &Vec<u32>| -> Vec<u32> {
-            v.iter().copied().filter(|&r| keep(r)).collect()
-        };
+        let filter =
+            |v: &Vec<u32>| -> Vec<u32> { v.iter().copied().filter(|&r| keep(r)).collect() };
         let mut groups = Vec::with_capacity(self.groups.len());
         let mut plain: Vec<Vec<u32>> = Vec::new();
         for g in &self.groups {
@@ -369,11 +411,8 @@ mod tests {
     fn paper_cdb() -> CompressedDb {
         // fgc = {2,5,6}; outliers 100: a,d,e = {0,3,4}; 200: b,d = {1,3};
         // 300: e = {4}.
-        let g1 = Group::new(
-            items(&[2, 5, 6]),
-            vec![items(&[0, 3, 4]), items(&[1, 3]), items(&[4])],
-            0,
-        );
+        let g1 =
+            Group::new(items(&[2, 5, 6]), vec![items(&[0, 3, 4]), items(&[1, 3]), items(&[4])], 0);
         // ae = {0,4}; outliers 400: c,i = {2,8}; 500: h = {7}.
         let g2 = Group::new(items(&[0, 4]), vec![items(&[2, 8]), items(&[7])], 0);
         CompressedDb::new(vec![g1, g2], vec![], 22)
@@ -403,6 +442,18 @@ mod tests {
         let cdb = paper_cdb();
         let original = TransactionDb::paper_example();
         assert_eq!(cdb.item_supports(), original.item_supports());
+    }
+
+    #[test]
+    fn parallel_item_supports_match_serial() {
+        let cdb = paper_cdb();
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                cdb.item_supports_par(Parallelism::threads(threads)),
+                cdb.item_supports(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
@@ -518,7 +569,7 @@ mod tests {
         let r = cdb.to_ranks(&fl4);
         assert!(r.groups.is_empty());
         assert!(r.plain.is_empty()); // nothing else frequent either
-        // At minsup 2 with 9 frequent: group survives.
+                                     // At minsup 2 with 9 frequent: group survives.
         let r2 = cdb.to_ranks(&fl);
         assert_eq!(r2.groups.len(), 1);
         assert_eq!(r2.groups[0].count(), 3);

@@ -6,14 +6,20 @@
 //! 3. Cover each tuple with the first (highest-utility) pattern it
 //!    contains; tuples with no matching pattern stay plain.
 //!
-//! Containment tests run against a per-tuple presence bitmap, so each
-//! candidate pattern costs `O(|X|)` with early exit — the common case is
-//! one or two probes because high-utility patterns match most tuples
-//! first.
+//! Step 3 runs on the [`CoverIndex`] kernel (see [`crate::cover`]): one
+//! vertical sweep claims every tuple for its minimum-rank containing
+//! pattern through bit-parallel AND-chains — provably the same choice as
+//! the seed's per-tuple full-list scan at a fraction of the work. With a
+//! non-serial [`Parallelism`], the database is chunked across scoped
+//! worker threads (one sweep per chunk) and the partial per-pattern
+//! member lists are merged in chunk order, so the output is *identical*
+//! to the serial pass for any thread count.
 
 use crate::cdb::{CompressedDb, Group};
+use crate::cover::CoverIndex;
 use crate::utility::{order_by_utility, Strategy};
 use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use gogreen_util::pool::{par_chunks, Parallelism};
 use gogreen_util::FxHashMap;
 use std::time::{Duration, Instant};
 
@@ -32,6 +38,10 @@ pub struct CompressionStats {
     /// Total tuples.
     pub num_tuples: usize,
 }
+
+/// Per-pattern accumulation: members' outlying items plus the count of
+/// members that *are* the pattern.
+type Members = (Vec<Vec<Item>>, u32);
 
 /// Compresses databases with recycled patterns (paper Figure 1).
 ///
@@ -53,17 +63,36 @@ pub struct CompressionStats {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Compressor {
     strategy: Strategy,
+    parallelism: Parallelism,
 }
 
 impl Compressor {
-    /// A compressor using `strategy` to rank patterns.
+    /// A compressor using `strategy` to rank patterns (single-threaded).
     pub fn new(strategy: Strategy) -> Self {
-        Compressor { strategy }
+        Compressor { strategy, parallelism: Parallelism::serial() }
+    }
+
+    /// Sets the worker-thread budget for the covering pass. The output
+    /// is identical for every setting; only wall time changes.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Convenience for [`Self::with_parallelism`] from a raw thread
+    /// count (`0` = all cores).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::threads(threads))
     }
 
     /// The strategy in use.
     pub fn strategy(&self) -> Strategy {
         self.strategy
+    }
+
+    /// The configured thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Algorithm name fragment ("MCP"/"MLP").
@@ -83,8 +112,77 @@ impl Compressor {
         fp: &PatternSet,
     ) -> (CompressedDb, CompressionStats) {
         let start = Instant::now();
+        let index = CoverIndex::new(db, fp, self.strategy);
+
+        // Each worker runs the vertical sweep on one contiguous chunk of
+        // the database (`par_chunks` is a single inline chunk when
+        // serial). Merging the partial maps in chunk order concatenates
+        // every pattern's member list exactly as one serial pass over the
+        // whole database would have, so the CDB is identical for any
+        // thread count.
+        let parts = par_chunks(self.parallelism, db.tuples(), |_, chunk| {
+            let assign = index.cover_all(chunk);
+            let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
+            let mut plain: Vec<Transaction> = Vec::new();
+            let mut items = 0usize;
+            for (t, covered_by) in chunk.iter().zip(assign) {
+                items += t.len();
+                match covered_by {
+                    Some(pidx) => {
+                        let rest = t.difference(index.pattern(pidx).items());
+                        let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
+                        if rest.is_empty() {
+                            slot.1 += 1;
+                        } else {
+                            slot.0.push(rest);
+                        }
+                    }
+                    None => plain.push(t.clone()),
+                }
+            }
+            (by_pattern, plain, items)
+        });
+        let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
+        let mut plain: Vec<Transaction> = Vec::new();
+        let mut original_items = 0usize;
+        for (_, (part, part_plain, items)) in parts {
+            original_items += items;
+            plain.extend(part_plain);
+            for (pidx, (outliers, bare)) in part {
+                let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
+                slot.0.extend(outliers);
+                slot.1 += bare;
+            }
+        }
+
+        let groups = emit_groups(
+            by_pattern,
+            |pidx| index.rank_of(pidx),
+            |pidx| index.pattern(pidx).items().to_vec(),
+        );
+        let cdb = CompressedDb::new(groups, plain, original_items);
+        let s = cdb.stats();
+        let stats = CompressionStats {
+            duration: start.elapsed(),
+            ratio: s.ratio(),
+            num_groups: s.num_groups,
+            covered_tuples: s.covered_tuples,
+            num_tuples: s.num_tuples,
+        };
+        (cdb, stats)
+    }
+
+    /// The seed's O(|DB|·|FP|·|X|) linear-scan cover, kept as the
+    /// reference implementation: the differential tests assert the
+    /// indexed kernel (serial and parallel) reproduces its output
+    /// exactly, and the benches measure the speedup against it.
+    pub fn compress_reference(&self, db: &TransactionDb, fp: &PatternSet) -> CompressedDb {
         let patterns: Vec<Pattern> = fp.iter().cloned().collect();
         let order = order_by_utility(&patterns, self.strategy, db.len());
+        let mut rank = vec![0u32; patterns.len()];
+        for (k, &pidx) in order.iter().enumerate() {
+            rank[pidx as usize] = k as u32;
+        }
 
         let max_item = db
             .iter()
@@ -94,11 +192,9 @@ impl Compressor {
             .map_or(0, |m| m + 1);
         let mut present = vec![false; max_item];
 
-        // Members per chosen pattern, keyed by position in `order`.
-        let mut by_pattern: FxHashMap<u32, (Vec<Vec<Item>>, u32)> = FxHashMap::default();
+        let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
         let mut plain: Vec<Transaction> = Vec::new();
         let mut original_items = 0usize;
-
         for t in db.iter() {
             original_items += t.len();
             for it in t.items() {
@@ -135,28 +231,31 @@ impl Compressor {
             }
         }
 
-        // Emit groups in utility order (deterministic output).
-        let mut groups = Vec::with_capacity(by_pattern.len());
-        for &pidx in &order {
-            if let Some((outliers, bare)) = by_pattern.remove(&pidx) {
-                groups.push(Group::new(
-                    patterns[pidx as usize].items().to_vec(),
-                    outliers,
-                    bare,
-                ));
-            }
-        }
-        let cdb = CompressedDb::new(groups, plain, original_items);
-        let s = cdb.stats();
-        let stats = CompressionStats {
-            duration: start.elapsed(),
-            ratio: s.ratio(),
-            num_groups: s.num_groups,
-            covered_tuples: s.covered_tuples,
-            num_tuples: s.num_tuples,
-        };
-        (cdb, stats)
+        let groups = emit_groups(
+            by_pattern,
+            |pidx| rank[pidx as usize],
+            |pidx| patterns[pidx as usize].items().to_vec(),
+        );
+        CompressedDb::new(groups, plain, original_items)
     }
+}
+
+/// Emits groups in utility order. Only the patterns actually used are
+/// sorted — the seed walked the *entire* order doing a hash remove per
+/// pattern, which costs O(|FP|) even when a handful of groups exist.
+fn emit_groups(
+    mut by_pattern: FxHashMap<u32, Members>,
+    rank_of: impl Fn(u32) -> u32,
+    items_of: impl Fn(u32) -> Vec<Item>,
+) -> Vec<Group> {
+    let mut used: Vec<u32> = by_pattern.keys().copied().collect();
+    used.sort_unstable_by_key(|&pidx| rank_of(pidx));
+    used.into_iter()
+        .map(|pidx| {
+            let (outliers, bare) = by_pattern.remove(&pidx).expect("used key vanished");
+            Group::new(items_of(pidx), outliers, bare)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -260,5 +359,27 @@ mod tests {
         let cdb = Compressor::default().compress(&db, &fp);
         assert!(cdb.groups().is_empty());
         assert_eq!(cdb.plain().len(), 1);
+    }
+
+    #[test]
+    fn parallel_output_is_identical_to_serial() {
+        let db = TransactionDb::paper_example();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let serial = Compressor::new(strategy).compress(&db, &paper_fp());
+            for threads in [2, 3, 8] {
+                let par =
+                    Compressor::new(strategy).with_threads(threads).compress(&db, &paper_fp());
+                assert_eq!(serial, par, "{strategy:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn reference_scan_agrees_with_indexed_kernel() {
+        let db = TransactionDb::paper_example();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let c = Compressor::new(strategy);
+            assert_eq!(c.compress(&db, &paper_fp()), c.compress_reference(&db, &paper_fp()));
+        }
     }
 }

@@ -1,0 +1,532 @@
+//! The indexed tuple-covering kernel.
+//!
+//! The seed compressor covered each tuple by scanning the *entire*
+//! utility-ordered pattern list — O(|DB|·|FP|·|X|) — which on inputs
+//! where many tuples match late (or never) makes compression the
+//! dominant phase and eats the recycling win the paper promises.
+//! [`CoverIndex`] replaces the scan with an index built once per
+//! compression run. The eager part of the build is deliberately tiny —
+//! the utility order, item rarity ranks, and a column slot per distinct
+//! pattern item — so that on easy inputs (where the seed scan already
+//! finds a cover within the first couple of candidates) the kernel costs
+//! no more than the scan, while on hard inputs it wins by orders of
+//! magnitude. Everything per-pattern is computed lazily, only for
+//! patterns a query actually visits.
+//!
+//! # Two traversals, one index
+//!
+//! [`CoverIndex::cover_all`] — what whole-database compression uses —
+//! is a **vertical sweep**: tuples become bits of per-item column
+//! bitmaps (one column per distinct pattern item), and patterns are
+//! visited in ascending utility-rank order, each claiming every
+//! still-uncovered tuple that contains all its items with a short
+//! AND-chain over its items' columns, rarest item first, aborting on the
+//! first empty intersection. The sweep stops the moment every tuple is
+//! claimed — on dense databases that is typically after a handful of
+//! patterns, so the per-pattern work (ordering its items by rarity) is
+//! paid only for those few. The assignment is identical to the seed
+//! scan's: "tuple `t` gets the minimum-rank pattern containing it" and
+//! "patterns in rank order claim all unclaimed tuples containing them"
+//! describe the same greedy.
+//!
+//! [`CoverIndex::cover`] answers a *point query* — one tuple at a time —
+//! for incremental callers. It lazily builds (once, on first use) an
+//! **anchor-bucket** table: every pattern is assigned an anchor, its
+//! rarest item under the database's item supports, and `buckets[item]`
+//! lists the ranks anchored at that item, ascending. Covering a tuple
+//! visits only the buckets of items the tuple contains, lazily merged in
+//! ascending rank order through a small binary heap, testing containment
+//! candidate by candidate (against a presence bitmap, non-anchor items
+//! rarest first) and exiting on the first hit.
+//!
+//! **Equivalence to the linear scan.** Ranks are distinct and both
+//! traversals consider candidates in strictly ascending rank. Any
+//! pattern contained in tuple `t` has all its items (in particular its
+//! anchor) in `t`, so the point query meets it in exactly one visited
+//! bucket and the sweep's AND-chain keeps `t` in the claim set;
+//! candidates not contained in `t` are rejected by the containment probe
+//! / drop `t` during the AND-chain. The first accepted candidate is
+//! therefore the minimum-rank pattern contained in `t` — precisely what
+//! the seed scan (first hit in utility order) returns. The differential
+//! test `cover_differential.rs` enforces this on random databases for
+//! both strategies and any thread count.
+
+use crate::utility::{order_by_utility, Strategy};
+use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A per-run index over a recycled pattern set, answering "which is the
+/// highest-utility pattern contained in this tuple?" without scanning
+/// patterns the tuple cannot contain.
+///
+/// Borrows the pattern list — the index is a per-run view, so callers
+/// keep ownership and nothing is cloned.
+#[derive(Debug)]
+pub struct CoverIndex<'a> {
+    patterns: &'a [Pattern],
+    /// `order[rank]` = pattern index (descending utility).
+    order: Vec<u32>,
+    /// `rank[pattern index]` = position in `order`.
+    rank: Vec<u32>,
+    /// Per-item database supports; index = item id.
+    supports: Vec<u64>,
+    /// `rarity[item index]` = F-list position (ascending support, ties by
+    /// id) — rarest items first, so rarity comparisons are plain `u32`s.
+    rarity: Vec<u32>,
+    /// Bitmap size: one slot per item id occurring in the database.
+    num_items: usize,
+    /// `slot_of_item[item index]` = column slot in the vertical sweep,
+    /// [`SLOT_NONE`] for items no pattern uses (they never need a
+    /// column).
+    slot_of_item: Vec<u32>,
+    /// Number of assigned column slots.
+    num_slots: usize,
+    /// Anchor-bucket tables for the per-tuple [`Self::cover`] path, built
+    /// lazily on first use — whole-database compression goes through
+    /// [`Self::cover_all`] and never pays for them.
+    tables: std::sync::OnceLock<PointTables>,
+}
+
+/// Sentinel: "no column slot".
+const SLOT_NONE: u32 = u32::MAX;
+
+/// The per-pattern structures only [`CoverIndex::cover`] needs.
+#[derive(Debug)]
+struct PointTables {
+    /// Non-anchor items of every pattern, rarest first, stored flat in
+    /// rank order; `probe_start[rank]..probe_start[rank + 1]` slices out
+    /// one pattern's probes (no per-pattern allocation).
+    probe_items: Vec<Item>,
+    probe_start: Vec<u32>,
+    /// `lens[rank]` = pattern length (skip probes longer than the tuple).
+    lens: Vec<u32>,
+    /// `buckets[item index]` = ranks anchored at that item, ascending.
+    buckets: Vec<Vec<u32>>,
+}
+
+impl PointTables {
+    /// The non-anchor items of the rank-`k` pattern, rarest first.
+    fn probes(&self, k: usize) -> &[Item] {
+        &self.probe_items[self.probe_start[k] as usize..self.probe_start[k + 1] as usize]
+    }
+}
+
+impl<'a> CoverIndex<'a> {
+    /// Builds the index for compressing `db` with `fp` under `strategy`.
+    pub fn new(db: &TransactionDb, fp: &'a PatternSet, strategy: Strategy) -> Self {
+        Self::from_patterns(db, fp.as_slice(), strategy)
+    }
+
+    /// Builds the index from a pattern slice.
+    pub fn from_patterns(db: &TransactionDb, patterns: &'a [Pattern], strategy: Strategy) -> Self {
+        let supports = db.item_supports();
+        let num_items = supports.len();
+        let order = order_by_utility(patterns, strategy, db.len());
+        let mut rank = vec![0u32; patterns.len()];
+        for (k, &pidx) in order.iter().enumerate() {
+            rank[pidx as usize] = k as u32;
+        }
+        // Rarity ranks, computed once so anchor selection and item
+        // ordering are plain u32 comparisons with no allocation.
+        let mut by_support: Vec<u32> = (0..num_items as u32).collect();
+        by_support.sort_unstable_by_key(|&i| (supports[i as usize], i));
+        let mut rarity = vec![0u32; num_items];
+        for (r, &i) in by_support.iter().enumerate() {
+            rarity[i as usize] = r as u32;
+        }
+        // Column slots: one per distinct in-database pattern item, in
+        // first-seen order. A single linear pass — everything else about
+        // a pattern is computed lazily, only if a query visits it.
+        let mut slot_of_item = vec![SLOT_NONE; num_items];
+        let mut num_slots = 0usize;
+        for p in patterns {
+            for &it in p.items() {
+                if let Some(s) = slot_of_item.get_mut(it.index()) {
+                    if *s == SLOT_NONE {
+                        *s = num_slots as u32;
+                        num_slots += 1;
+                    }
+                }
+            }
+        }
+        CoverIndex {
+            patterns,
+            order,
+            rank,
+            supports,
+            rarity,
+            num_items,
+            slot_of_item,
+            num_slots,
+            tables: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The anchor-bucket tables, built on the first per-tuple cover.
+    fn tables(&self) -> &PointTables {
+        self.tables.get_or_init(|| {
+            let rarity_of = |it: Item| {
+                if it.index() < self.num_items && self.supports[it.index()] > 0 {
+                    Some(self.rarity[it.index()])
+                } else {
+                    None // never occurs in the database
+                }
+            };
+            let mut probe_items: Vec<Item> = Vec::new();
+            let mut probe_start = Vec::with_capacity(self.order.len() + 1);
+            probe_start.push(0u32);
+            let mut lens = Vec::with_capacity(self.order.len());
+            let mut buckets = vec![Vec::new(); self.num_items];
+            for (k, &pidx) in self.order.iter().enumerate() {
+                let p = &self.patterns[pidx as usize];
+                lens.push(p.len() as u32);
+                let anchor = p.items().iter().copied().try_fold(None, |best, it| {
+                    let r = rarity_of(it)?; // a zero-support item disqualifies
+                    Some(match best {
+                        Some((br, _)) if br <= r => best,
+                        _ => Some((r, it)),
+                    })
+                });
+                let Some(Some((_, anchor))) = anchor else {
+                    // Some pattern item never occurs in the database (or
+                    // the pattern is empty): it can cover nothing, so it
+                    // gets no bucket — the seed scan rejects it on every
+                    // tuple too.
+                    probe_start.push(probe_items.len() as u32);
+                    continue;
+                };
+                // Ranks arrive in ascending order by construction.
+                buckets[anchor.index()].push(k as u32);
+                // Probe items rarest first so failing probes die early.
+                let lo = probe_items.len();
+                probe_items.extend(p.items().iter().copied().filter(|&it| it != anchor));
+                probe_items[lo..].sort_unstable_by_key(|&it| self.rarity[it.index()]);
+                probe_start.push(probe_items.len() as u32);
+            }
+            PointTables { probe_items, probe_start, lens, buckets }
+        })
+    }
+
+    /// The indexed patterns (indexable by the ids `cover` returns).
+    pub fn pattern(&self, pidx: u32) -> &'a Pattern {
+        &self.patterns[pidx as usize]
+    }
+
+    /// Number of indexed patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True when no patterns are indexed (every tuple stays plain).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Pattern indices in descending utility order.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The utility rank of pattern `pidx` (0 = best).
+    pub fn rank_of(&self, pidx: u32) -> u32 {
+        self.rank[pidx as usize]
+    }
+
+    /// The highest-utility pattern contained in `t`, or `None`.
+    ///
+    /// Exactly equivalent to scanning `order()` and returning the first
+    /// pattern whose items are all in `t` (see the module docs for the
+    /// argument). `scratch` carries the presence bitmap and merge heap so
+    /// per-tuple work allocates nothing.
+    pub fn cover(&self, t: &Transaction, scratch: &mut CoverScratch) -> Option<u32> {
+        let tables = self.tables();
+        let items = t.items();
+        for &it in items {
+            if it.index() < self.num_items {
+                scratch.present[it.index()] = true;
+            }
+        }
+        // Seed the lazy merge with each non-empty bucket's best rank.
+        for &it in items {
+            let Some(bucket) = tables.buckets.get(it.index()) else { continue };
+            if let Some(&first) = bucket.first() {
+                let slot = scratch.cursors.len() as u32;
+                scratch.cursors.push(Cursor { item: it.id(), pos: 1 });
+                scratch.heap.push(Reverse((first, slot)));
+            }
+        }
+        let tuple_len = items.len() as u32;
+        let mut found = None;
+        while let Some(Reverse((rank, slot))) = scratch.heap.pop() {
+            if tables.lens[rank as usize] <= tuple_len
+                && tables.probes(rank as usize).iter().all(|it| scratch.present[it.index()])
+            {
+                found = Some(self.order[rank as usize]);
+                break;
+            }
+            let cursor = &mut scratch.cursors[slot as usize];
+            let bucket = &tables.buckets[cursor.item as usize];
+            if let Some(&next) = bucket.get(cursor.pos as usize) {
+                cursor.pos += 1;
+                scratch.heap.push(Reverse((next, slot)));
+            }
+        }
+        for &it in items {
+            if it.index() < self.num_items {
+                scratch.present[it.index()] = false;
+            }
+        }
+        scratch.heap.clear();
+        scratch.cursors.clear();
+        found
+    }
+
+    /// Covers every tuple of `tuples` in one vertical sweep, returning
+    /// `out[i]` = the pattern index covering `tuples[i]` (or `None`).
+    ///
+    /// Exactly equivalent to calling [`Self::cover`] per tuple: patterns
+    /// are visited in ascending rank order and each claims every
+    /// still-unclaimed tuple containing it, which assigns each tuple its
+    /// minimum-rank containing pattern. Tuples are bits of per-item
+    /// column bitmaps, so a pattern's claim is an AND-chain over its
+    /// items' columns — rarest item first — restricted to the
+    /// still-uncovered set, and the sweep exits as soon as that set
+    /// drains. Per-pattern work (ordering its items by rarity) happens
+    /// here, lazily, so a sweep that drains after a handful of patterns
+    /// pays for just those.
+    pub fn cover_all(&self, tuples: &[Transaction]) -> Vec<Option<u32>> {
+        let n = tuples.len();
+        let mut out = vec![None; n];
+        if n == 0 || self.num_slots == 0 {
+            return out;
+        }
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; self.num_slots * words];
+        for (i, t) in tuples.iter().enumerate() {
+            for &it in t.items() {
+                let Some(&slot) = self.slot_of_item.get(it.index()) else { continue };
+                if slot != SLOT_NONE {
+                    bits[slot as usize * words + i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        let mut uncovered = vec![!0u64; words];
+        if !n.is_multiple_of(64) {
+            uncovered[words - 1] = (1u64 << (n % 64)) - 1;
+        }
+        let mut remaining = n;
+        let mut acc = vec![0u64; words];
+        // Scratch for one pattern's (rarity, slot) pairs, rarest first.
+        let mut chain: Vec<(u32, u32)> = Vec::new();
+        'patterns: for k in 0..self.order.len() {
+            let p = &self.patterns[self.order[k] as usize];
+            if p.is_empty() {
+                continue; // an empty pattern covers nothing
+            }
+            chain.clear();
+            for &it in p.items() {
+                if it.index() >= self.num_items {
+                    continue 'patterns; // item never occurs in the database
+                }
+                // Every in-range pattern item was assigned a slot at
+                // build time; a zero-support item's column is all-zero,
+                // so the AND-chain rejects the pattern naturally.
+                chain.push((self.rarity[it.index()], self.slot_of_item[it.index()]));
+            }
+            chain.sort_unstable();
+            let col = &bits[chain[0].1 as usize * words..][..words];
+            let mut any = 0u64;
+            for w in 0..words {
+                acc[w] = uncovered[w] & col[w];
+                any |= acc[w];
+            }
+            if any == 0 {
+                continue;
+            }
+            for &(_, slot) in &chain[1..] {
+                let col = &bits[slot as usize * words..][..words];
+                let mut any = 0u64;
+                for w in 0..words {
+                    acc[w] &= col[w];
+                    any |= acc[w];
+                }
+                if any == 0 {
+                    continue 'patterns;
+                }
+            }
+            let pidx = self.order[k];
+            for w in 0..words {
+                let mut claimed = acc[w];
+                uncovered[w] &= !claimed;
+                while claimed != 0 {
+                    out[w * 64 + claimed.trailing_zeros() as usize] = Some(pidx);
+                    claimed &= claimed - 1;
+                    remaining -= 1;
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+/// One bucket's position in the lazy merge.
+#[derive(Debug)]
+struct Cursor {
+    item: u32,
+    pos: u32,
+}
+
+/// Reusable per-worker state for [`CoverIndex::cover`]: the tuple
+/// presence bitmap plus the rank-merge heap. Each thread of a parallel
+/// covering pass owns one.
+#[derive(Debug)]
+pub struct CoverScratch {
+    present: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    cursors: Vec<Cursor>,
+}
+
+impl CoverScratch {
+    /// Scratch sized for `index`.
+    pub fn for_index(index: &CoverIndex) -> Self {
+        CoverScratch {
+            present: vec![false; index.num_items],
+            heap: BinaryHeap::new(),
+            cursors: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::MinSupport;
+    use gogreen_miners::mine_apriori;
+
+    /// The seed behaviour `cover` must replicate: first pattern in
+    /// utility order contained in the tuple.
+    fn linear_cover(index: &CoverIndex, t: &Transaction) -> Option<u32> {
+        index.order().iter().copied().find(|&pidx| {
+            let p = index.pattern(pidx);
+            p.len() <= t.len() && p.items().iter().all(|it| t.items().binary_search(it).is_ok())
+        })
+    }
+
+    #[test]
+    fn matches_linear_scan_on_paper_example() {
+        let db = TransactionDb::paper_example();
+        let fp = mine_apriori(&db, MinSupport::Absolute(3));
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let index = CoverIndex::new(&db, &fp, strategy);
+            let mut scratch = CoverScratch::for_index(&index);
+            for t in db.iter() {
+                assert_eq!(index.cover(t, &mut scratch), linear_cover(&index, t));
+            }
+        }
+    }
+
+    #[test]
+    fn picks_the_paper_table_2_groups() {
+        let db = TransactionDb::paper_example();
+        let fp = mine_apriori(&db, MinSupport::Absolute(3));
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        let mut scratch = CoverScratch::for_index(&index);
+        // Tuples 100–300 go to fgc = {2,5,6}; 400–500 to ae = {0,4}.
+        let picks: Vec<&[Item]> = db
+            .iter()
+            .map(|t| index.pattern(index.cover(t, &mut scratch).unwrap()).items())
+            .collect();
+        assert_eq!(picks[0], &[Item(2), Item(5), Item(6)]);
+        assert_eq!(picks[1], &[Item(2), Item(5), Item(6)]);
+        assert_eq!(picks[2], &[Item(2), Item(5), Item(6)]);
+        assert_eq!(picks[3], &[Item(0), Item(4)]);
+        assert_eq!(picks[4], &[Item(0), Item(4)]);
+    }
+
+    #[test]
+    fn pattern_with_unknown_item_is_never_chosen() {
+        let db = TransactionDb::from_rows(&[&[1, 2]]);
+        let mut fp = PatternSet::new();
+        fp.insert(Pattern::from_ids([1, 2, 500], 1));
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        let mut scratch = CoverScratch::for_index(&index);
+        assert_eq!(index.cover(db.tuple(0), &mut scratch), None);
+        assert_eq!(index.cover_all(db.tuples()), vec![None]);
+    }
+
+    #[test]
+    fn empty_pattern_set_covers_nothing() {
+        let db = TransactionDb::paper_example();
+        let fp = PatternSet::new();
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        assert!(index.is_empty());
+        let mut scratch = CoverScratch::for_index(&index);
+        for t in db.iter() {
+            assert_eq!(index.cover(t, &mut scratch), None);
+        }
+    }
+
+    #[test]
+    fn batch_sweep_matches_per_tuple_cover() {
+        let db = TransactionDb::paper_example();
+        let fp = mine_apriori(&db, MinSupport::Absolute(2));
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let index = CoverIndex::new(&db, &fp, strategy);
+            let mut scratch = CoverScratch::for_index(&index);
+            let batch = index.cover_all(db.tuples());
+            for (t, got) in db.iter().zip(batch) {
+                assert_eq!(got, index.cover(t, &mut scratch), "{strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_sweep_crosses_word_boundaries() {
+        // >64 tuples so the uncovered/claim bitmaps span multiple words,
+        // with the tail word partially masked.
+        let rows: Vec<Vec<u32>> = (0..150u32).map(|i| vec![i % 3, 3 + i % 5, 100]).collect();
+        let row_refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let db = TransactionDb::from_rows(&row_refs);
+        let mut fp = PatternSet::new();
+        fp.insert(Pattern::from_ids([0, 100], 50));
+        fp.insert(Pattern::from_ids([1, 3, 100], 10));
+        fp.insert(Pattern::from_ids([100], 150));
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        let mut scratch = CoverScratch::for_index(&index);
+        let batch = index.cover_all(db.tuples());
+        for (t, got) in db.iter().zip(batch) {
+            assert_eq!(got, index.cover(t, &mut scratch));
+        }
+    }
+
+    #[test]
+    fn batch_sweep_handles_no_patterns_and_no_tuples() {
+        let db = TransactionDb::paper_example();
+        let none = PatternSet::new();
+        let empty = CoverIndex::new(&db, &none, Strategy::Mcp);
+        assert!(empty.cover_all(db.tuples()).iter().all(Option::is_none));
+        let fp = mine_apriori(&db, MinSupport::Absolute(3));
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        assert!(index.cover_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        // Cover a wide tuple, then a disjoint one: stale presence bits or
+        // heap entries would surface immediately.
+        let db = TransactionDb::from_rows(&[&[1, 2, 3, 4, 5], &[8, 9]]);
+        let mut fp = PatternSet::new();
+        fp.insert(Pattern::from_ids([1, 2, 3], 1));
+        fp.insert(Pattern::from_ids([8, 9], 1));
+        let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
+        let mut scratch = CoverScratch::for_index(&index);
+        let a = index.cover(db.tuple(0), &mut scratch).unwrap();
+        let b = index.cover(db.tuple(1), &mut scratch).unwrap();
+        assert_eq!(index.pattern(a).items(), &[Item(1), Item(2), Item(3)]);
+        assert_eq!(index.pattern(b).items(), &[Item(8), Item(9)]);
+    }
+}

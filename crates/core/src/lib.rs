@@ -37,6 +37,7 @@
 
 pub mod cdb;
 pub mod compress;
+pub mod cover;
 pub mod incremental;
 pub mod memory;
 pub mod recycle_fp;
@@ -52,6 +53,7 @@ use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink};
 
 pub use cdb::CompressedDb;
 pub use compress::{CompressionStats, Compressor};
+pub use cover::{CoverIndex, CoverScratch};
 pub use utility::Strategy;
 
 /// A frequent-pattern miner that operates on a [`CompressedDb`].

@@ -26,12 +26,9 @@ const BYTES_PER_GROUP: usize = 8 + 2 * std::mem::size_of::<Vec<u32>>();
 pub fn estimate_rp_struct_bytes(rdb: &CompressedRankDb) -> usize {
     let num_tails: usize =
         rdb.groups.iter().map(|g| g.outliers.len()).sum::<usize>() + rdb.plain.len();
-    let outlier_items: usize = rdb
-        .groups
-        .iter()
-        .map(|g| g.outliers.iter().map(Vec::len).sum::<usize>())
-        .sum::<usize>()
-        + rdb.plain.iter().map(Vec::len).sum::<usize>();
+    let outlier_items: usize =
+        rdb.groups.iter().map(|g| g.outliers.iter().map(Vec::len).sum::<usize>()).sum::<usize>()
+            + rdb.plain.iter().map(Vec::len).sum::<usize>();
     // Each tail also stores one sentinel entry.
     let entries = outlier_items + num_tails;
     let group_bytes: usize = rdb
@@ -88,9 +85,7 @@ mod tests {
             rows.push(vec![k % 7, 7 + (k % 5), 12 + (k % 3)]);
         }
         let big_db = TransactionDb::from_transactions(
-            rows.into_iter()
-                .map(gogreen_data::Transaction::from_ids)
-                .collect(),
+            rows.into_iter().map(gogreen_data::Transaction::from_ids).collect(),
         );
         let big = rdb_for(&big_db, 5, 2);
         assert!(

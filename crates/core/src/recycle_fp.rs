@@ -27,11 +27,37 @@ use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
 use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_miners::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
+use gogreen_util::pool::{par_chunks, Parallelism};
 use std::rc::Rc;
 
 /// The FP-recycle miner.
+///
+/// With a non-serial [`Parallelism`], the per-group outlier trees of the
+/// root forest are built on worker threads (the forest is embarrassingly
+/// parallel — each tree reads only its own group) and the F-list support
+/// count is chunked; the mined pattern set is identical for any thread
+/// count. The recursive mining phase itself stays single-threaded: its
+/// trees are shared via `Rc` and the per-node work is dominated by the
+/// root construction this parallelizes.
 #[derive(Debug, Default, Clone)]
-pub struct RecycleFp;
+pub struct RecycleFp {
+    parallelism: Parallelism,
+}
+
+impl RecycleFp {
+    /// Sets the worker-thread budget for root-forest construction and
+    /// support counting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Convenience for [`Self::with_parallelism`] from a raw thread
+    /// count (`0` = all cores).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::threads(threads))
+    }
+}
 
 const SRC_NONE: u32 = u32::MAX;
 const SRC_MIXED: u32 = u32::MAX - 1;
@@ -63,7 +89,7 @@ impl RecyclingMiner for RecycleFp {
 
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
         let minsup = min_support.to_absolute(cdb.num_tuples());
-        let flist = cdb.flist(minsup);
+        let flist = cdb.flist_par(minsup, self.parallelism);
         if flist.is_empty() {
             return;
         }
@@ -73,50 +99,62 @@ impl RecyclingMiner for RecycleFp {
             src: vec![SRC_NONE; flist.len()],
             minsup,
         };
-        let cgs = build_root(&rdb, &mut ctx);
+        let cgs = build_root(&rdb, &mut ctx, self.parallelism);
         let mut emitter = RankEmitter::new(&flist);
         mine_node(&cgs, &mut ctx, &mut emitter, sink);
     }
 }
 
-/// Builds the root conditional groups from the rank-space CDB.
-fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx) -> Vec<CondGroup> {
+/// Builds one group's outlier FP-tree (`None` when there is nothing to
+/// store). Insertion order is the tuple order, so the tree shape is
+/// deterministic wherever this runs.
+fn build_tree(tuples: &[Vec<u32>], scratch: &mut ScratchCounts) -> Option<FpTree> {
+    if tuples.is_empty() {
+        return None;
+    }
+    for t in tuples {
+        for &x in t {
+            scratch.add(x, 1);
+        }
+    }
+    let freq = scratch.drain_frequent(1);
+    let mut b = FpTreeBuilder::new(&freq);
+    for t in tuples {
+        b.insert_desc(t.iter().rev().copied(), 1);
+    }
+    Some(b.finish())
+}
+
+/// Builds the root conditional groups from the rank-space CDB. The
+/// per-group trees are independent, so with a non-serial `par` they are
+/// constructed on worker threads ([`FpTree`] is plain data and `Send`;
+/// the `Rc` sharing wrapper is applied after the join, on this thread).
+fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx, par: Parallelism) -> Vec<CondGroup> {
     let mut cgs = Vec::with_capacity(rdb.groups.len() + 1);
-    for g in &rdb.groups {
-        let tree = if g.outliers.is_empty() {
-            None
-        } else {
-            for o in &g.outliers {
-                for &x in o {
-                    ctx.scratch.add(x, 1);
-                }
+    if par.for_items(rdb.groups.len()) <= 1 {
+        for g in &rdb.groups {
+            let tree = build_tree(&g.outliers, &mut ctx.scratch).map(Rc::new);
+            cgs.push(CondGroup { pattern: g.pattern.clone(), count: g.count(), tree, bound: -1 });
+        }
+    } else {
+        let parts = par_chunks(par, &rdb.groups, |_, chunk| {
+            let mut scratch = ScratchCounts::new(rdb.num_ranks);
+            chunk.iter().map(|g| build_tree(&g.outliers, &mut scratch)).collect::<Vec<_>>()
+        });
+        for (lo, trees) in parts {
+            for (g, tree) in rdb.groups[lo..].iter().zip(trees) {
+                cgs.push(CondGroup {
+                    pattern: g.pattern.clone(),
+                    count: g.count(),
+                    tree: tree.map(Rc::new),
+                    bound: -1,
+                });
             }
-            let freq = ctx.scratch.drain_frequent(1);
-            let mut b = FpTreeBuilder::new(&freq);
-            for o in &g.outliers {
-                b.insert_desc(o.iter().rev().copied(), 1);
-            }
-            Some(Rc::new(b.finish()))
-        };
-        cgs.push(CondGroup { pattern: g.pattern.clone(), count: g.count(), tree, bound: -1 });
+        }
     }
     if !rdb.plain.is_empty() {
-        for t in &rdb.plain {
-            for &x in t {
-                ctx.scratch.add(x, 1);
-            }
-        }
-        let freq = ctx.scratch.drain_frequent(1);
-        let mut b = FpTreeBuilder::new(&freq);
-        for t in &rdb.plain {
-            b.insert_desc(t.iter().rev().copied(), 1);
-        }
-        cgs.push(CondGroup {
-            pattern: Vec::new(),
-            count: rdb.plain.len() as u64,
-            tree: Some(Rc::new(b.finish())),
-            bound: -1,
-        });
+        let tree = build_tree(&rdb.plain, &mut ctx.scratch).map(Rc::new);
+        cgs.push(CondGroup { pattern: Vec::new(), count: rdb.plain.len() as u64, tree, bound: -1 });
     }
     cgs
 }
@@ -160,8 +198,7 @@ fn mine_node(
     let single_group = match frequent.split_first() {
         Some((&(x0, _), rest)) => {
             let g0 = ctx.src[x0 as usize];
-            (g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0))
-                .then_some(g0)
+            (g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0)).then_some(g0)
         }
         None => None,
     };
@@ -199,8 +236,7 @@ fn project(
     ctx: &mut Ctx,
     climb: &mut Vec<u32>,
 ) -> Vec<CondGroup> {
-    let is_node_frequent =
-        |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
+    let is_node_frequent = |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
     let mut out = Vec::new();
     for cg in cgs {
         match cg.pattern.binary_search(&r) {
@@ -286,7 +322,7 @@ mod tests {
             for xi_old in [3, 4] {
                 let cdb = compressed(&db, xi_old, strategy);
                 for minsup in 1..=5 {
-                    let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+                    let fp = RecycleFp::default().mine(&cdb, MinSupport::Absolute(minsup));
                     let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
                     assert!(
                         fp.same_patterns_as(&oracle),
@@ -314,7 +350,7 @@ mod tests {
         ]);
         let cdb = CompressedDb::uncompressed(&db);
         for minsup in 1..=4 {
-            let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let fp = RecycleFp::default().mine(&cdb, MinSupport::Absolute(minsup));
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
             assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
         }
@@ -333,7 +369,7 @@ mod tests {
         ]);
         let cdb = compressed(&db, 4, Strategy::Mcp);
         for minsup in 1..=4 {
-            let fp = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let fp = RecycleFp::default().mine(&cdb, MinSupport::Absolute(minsup));
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
             assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
         }
@@ -353,7 +389,7 @@ mod tests {
         ]);
         let cdb = compressed(&db, 2, Strategy::Mlp);
         for minsup in 1..=4 {
-            let a = RecycleFp.mine(&cdb, MinSupport::Absolute(minsup));
+            let a = RecycleFp::default().mine(&cdb, MinSupport::Absolute(minsup));
             let b = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
             assert!(a.same_patterns_as(&b), "minsup={minsup}");
         }
@@ -362,6 +398,6 @@ mod tests {
     #[test]
     fn empty_cdb() {
         let cdb = CompressedDb::uncompressed(&TransactionDb::new());
-        assert!(RecycleFp.mine(&cdb, MinSupport::Absolute(1)).is_empty());
+        assert!(RecycleFp::default().mine(&cdb, MinSupport::Absolute(1)).is_empty());
     }
 }

@@ -96,8 +96,7 @@ impl RpStruct {
             let gid = s.gpat.len() as u32;
             s.gpat.push(g.pattern.clone());
             s.gcount.push(g.count());
-            let tails: Vec<u32> =
-                g.outliers.iter().map(|o| push_tail(&mut s, o, gid)).collect();
+            let tails: Vec<u32> = g.outliers.iter().map(|o| push_tail(&mut s, o, gid)).collect();
             s.gtails.push(tails);
         }
         for t in &cdb.plain {
@@ -312,10 +311,8 @@ impl RecycleHm {
         let mut plain = Vec::new();
         let mut group_tail_count = 0usize;
         for gid in 0..s.gpat.len() as u32 {
-            let members: Vec<Member> = s.gtails[gid as usize]
-                .iter()
-                .map(|&t| (t, s.tail_first[t as usize]))
-                .collect();
+            let members: Vec<Member> =
+                s.gtails[gid as usize].iter().map(|&t| (t, s.tail_first[t as usize])).collect();
             let bare = s.gcount[gid as usize] - members.len() as u64;
             group_tail_count += members.len();
             views.push(GroupView { gid, pat_from: 0, members, bare, cur: u32::MAX });
@@ -396,13 +393,7 @@ fn count_node(node: &Node, ctx: &mut Ctx) -> Counted {
 /// locally frequent outlier precedes that rank on their item-links. A
 /// view with no frequent pattern rank left dissolves: its members carry
 /// on individually.
-fn bucket_view(
-    views: &mut [GroupView],
-    vi: u32,
-    after: i64,
-    buckets: &mut [Bucket],
-    ctx: &Ctx,
-) {
+fn bucket_view(views: &mut [GroupView], vi: u32, after: i64, buckets: &mut [Bucket], ctx: &Ctx) {
     let v = &views[vi as usize];
     match ctx.first_lf_pattern(v, after) {
         Some(p) => {
@@ -461,9 +452,7 @@ fn mine_node(
         return;
     }
     if counted.single_group && counted.frequent.len() <= 62 {
-        for_each_subset(&counted.frequent, &mut |ranks, sup| {
-            emitter.emit_with(sink, ranks, sup)
-        });
+        for_each_subset(&counted.frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
         return;
     }
     let frequent = counted.frequent;
@@ -715,13 +704,8 @@ mod tests {
     #[test]
     fn bare_members_count_through_group_heads() {
         // Identical tuples compress into a group with bare members.
-        let db = TransactionDb::from_rows(&[
-            &[1, 2, 3],
-            &[1, 2, 3],
-            &[1, 2, 3],
-            &[1, 2, 3, 4],
-            &[4, 5],
-        ]);
+        let db =
+            TransactionDb::from_rows(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3], &[1, 2, 3, 4], &[4, 5]]);
         let cdb = compressed(&db, 3, Strategy::Mcp);
         assert!(cdb.groups().iter().any(|g| g.bare() > 0));
         let fp = RecycleHm.mine(&cdb, MinSupport::Absolute(2));

@@ -60,17 +60,15 @@ impl RecyclingMiner for RecycleTp {
 }
 
 /// Builds the root node: local index = rank.
-fn root_node(rdb: &CompressedRankDb, flist: &gogreen_data::FList) -> (Vec<TpGroup>, Vec<(u32, u64)>) {
-    let exts: Vec<(u32, u64)> =
-        (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
+fn root_node(
+    rdb: &CompressedRankDb,
+    flist: &gogreen_data::FList,
+) -> (Vec<TpGroup>, Vec<(u32, u64)>) {
+    let exts: Vec<(u32, u64)> = (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
     let mut groups: Vec<TpGroup> = rdb
         .groups
         .iter()
-        .map(|g| TpGroup {
-            pattern: g.pattern.clone(),
-            members: g.outliers.clone(),
-            bare: g.bare,
-        })
+        .map(|g| TpGroup { pattern: g.pattern.clone(), members: g.outliers.clone(), bare: g.bare })
         .collect();
     if !rdb.plain.is_empty() {
         groups.push(TpGroup { pattern: Vec::new(), members: rdb.plain.clone(), bare: 0 });
@@ -283,12 +281,7 @@ mod tests {
 
     #[test]
     fn all_bare_group_shortcut() {
-        let db = TransactionDb::from_rows(&[
-            &[1, 2, 3],
-            &[1, 2, 3],
-            &[1, 2, 3],
-            &[1, 2, 3],
-        ]);
+        let db = TransactionDb::from_rows(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
         let fp_old = mine_apriori(&db, MinSupport::Absolute(4));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
         let fp = RecycleTp.mine(&cdb, MinSupport::Absolute(2));

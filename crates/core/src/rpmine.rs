@@ -86,9 +86,7 @@ impl RpMine {
         if flist.is_empty() {
             return;
         }
-        let view = cdb
-            .to_ranks(&flist)
-            .retain_ranks(|r| prune.item_allowed(flist.item(r)));
+        let view = cdb.to_ranks(&flist).retain_ranks(|r| prune.item_allowed(flist.item(r)));
         let mut emitter = RankEmitter::new(&flist);
         let mut ctx = Ctx {
             scratch: ScratchCounts::new(flist.len()),
@@ -249,9 +247,7 @@ fn mine_rec(
         return;
     }
     if ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
-        for_each_subset(&counted.frequent, &mut |ranks, sup| {
-            emitter.emit_with(sink, ranks, sup)
-        });
+        for_each_subset(&counted.frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
         return;
     }
     for &(r, c) in &counted.frequent {
@@ -270,7 +266,6 @@ fn mine_rec(
         emitter.pop();
     }
 }
-
 
 impl RpMine {
     /// Parallel recycled mining: the root's frequent ranks are
@@ -383,7 +378,9 @@ mod tests {
         let oracle = mine_apriori(&TransactionDb::paper_example(), MinSupport::Absolute(2));
         assert!(fp.same_patterns_as(&oracle), "rp {} vs oracle {}", fp.len(), oracle.len());
         // Example 3 step (1): all d-extensions, supports 2.
-        for ids in [&[3u32, 2][..], &[3, 5], &[3, 6], &[2, 3, 5], &[2, 3, 6], &[3, 5, 6], &[2, 3, 5, 6]] {
+        for ids in
+            [&[3u32, 2][..], &[3, 5], &[3, 6], &[2, 3, 5], &[2, 3, 6], &[3, 5, 6], &[2, 3, 5, 6]]
+        {
             let items: Vec<Item> = ids.iter().map(|&i| Item(i)).collect();
             let mut items = items;
             items.sort_unstable();

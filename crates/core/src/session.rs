@@ -26,6 +26,7 @@ use crate::RecyclingMiner;
 use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
 use gogreen_data::{PatternSet, TransactionDb};
 use gogreen_miners::{FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use gogreen_util::pool::Parallelism;
 use std::time::Duration;
 
 /// Which algorithm family the session uses for fresh and recycled mining.
@@ -52,10 +53,10 @@ impl Engine {
         }
     }
 
-    fn recycling(self) -> Box<dyn RecyclingMiner> {
+    fn recycling(self, par: Parallelism) -> Box<dyn RecyclingMiner> {
         match self {
             Engine::HMine => Box::new(RecycleHm),
-            Engine::FpTree => Box::new(RecycleFp),
+            Engine::FpTree => Box::new(RecycleFp::default().with_parallelism(par)),
             Engine::TreeProjection => Box::new(RecycleTp),
             Engine::Naive => Box::new(RpMine::default()),
         }
@@ -116,6 +117,7 @@ pub struct MiningSession {
     attrs: ItemAttributes,
     engine: Engine,
     strategy: Strategy,
+    parallelism: Parallelism,
     /// Previous round: constraints, the *full* frequent set at that
     /// round's support, and the constraint-filtered answer.
     last: Option<(ConstraintSet, PatternSet, PatternSet)>,
@@ -134,6 +136,7 @@ impl MiningSession {
             attrs: ItemAttributes::new(),
             engine: Engine::default(),
             strategy: Strategy::default(),
+            parallelism: Parallelism::serial(),
             last: None,
             richest: None,
         }
@@ -149,6 +152,20 @@ impl MiningSession {
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Sets the worker-thread budget for recycled rounds (compression
+    /// plus, where the engine supports it, compressed-database setup).
+    /// Results are identical for every setting.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Convenience for [`Self::with_parallelism`] from a raw thread
+    /// count (`0` = all cores).
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::threads(threads))
     }
 
     /// Attaches item attributes for aggregate constraints.
@@ -192,17 +209,14 @@ impl MiningSession {
                     _ => {
                         // Relaxed, mixed, or incomparable: recycle the
                         // richest set any round produced.
-                        let fodder = self
-                            .richest
-                            .as_ref()
-                            .map(|(_, set)| set)
-                            .unwrap_or(prev_full);
+                        let fodder = self.richest.as_ref().map(|(_, set)| set).unwrap_or(prev_full);
                         let (cdb, stats) = Compressor::new(self.strategy)
+                            .with_parallelism(self.parallelism)
                             .compress_with_stats(&self.db, fodder);
                         let n = fodder.len();
                         let full = self
                             .engine
-                            .recycling()
+                            .recycling(self.parallelism)
                             .mine(&cdb, constraints.min_support());
                         (RunMode::Recycled, full, Some(stats), Some(n))
                     }
@@ -303,16 +317,14 @@ mod tests {
         let db = TransactionDb::paper_example();
         let mut s = MiningSession::new(db);
         let constrained = s.run(
-            ConstraintSet::support_only(MinSupport::Absolute(3))
-                .with(Constraint::MaxLength(1)),
+            ConstraintSet::support_only(MinSupport::Absolute(3)).with(Constraint::MaxLength(1)),
         );
         assert!(constrained.iter().all(|p| p.len() == 1));
         assert_eq!(constrained.len(), 5); // a, c, e, f, g
 
         // Relaxing both support and length recycles and re-filters.
         let relaxed = s.run(
-            ConstraintSet::support_only(MinSupport::Absolute(2))
-                .with(Constraint::MaxLength(2)),
+            ConstraintSet::support_only(MinSupport::Absolute(2)).with(Constraint::MaxLength(2)),
         );
         assert!(relaxed.iter().all(|p| p.len() <= 2));
         assert!(relaxed.contains(&[Item(3), Item(5)])); // df:2
@@ -339,6 +351,22 @@ mod tests {
         assert_eq!(rep3.mode, RunMode::Recycled);
         assert_eq!(rep3.fodder_patterns, Some(r1.len()));
         assert!(r3.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(3))));
+    }
+
+    #[test]
+    fn threaded_session_matches_serial() {
+        let db = TransactionDb::paper_example();
+        for engine in [Engine::HMine, Engine::FpTree, Engine::Naive] {
+            let mut serial = MiningSession::new(db.clone()).with_engine(engine);
+            let mut threaded = MiningSession::new(db.clone()).with_engine(engine).with_threads(4);
+            serial.run(cs(3));
+            threaded.run(cs(3));
+            let (a, ra) = serial.run_with_report(cs(2));
+            let (b, rb) = threaded.run_with_report(cs(2));
+            assert_eq!(ra.mode, RunMode::Recycled);
+            assert_eq!(rb.mode, RunMode::Recycled);
+            assert!(a.same_patterns_as(&b), "{engine:?}");
+        }
     }
 
     #[test]

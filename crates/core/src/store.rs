@@ -14,8 +14,7 @@
 
 use gogreen_data::PatternSet;
 use gogreen_util::FxHashMap;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One published pattern set.
 #[derive(Debug, Clone)]
@@ -40,7 +39,7 @@ impl PatternStore {
     /// threshold `abs_support`. Re-publishing at the same threshold
     /// replaces the previous entry.
     pub fn publish(&self, dataset: &str, abs_support: u64, patterns: PatternSet) {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().expect("store lock poisoned");
         let entries = map.entry(dataset.to_owned()).or_default();
         let patterns = Arc::new(patterns);
         match entries.iter_mut().find(|e| e.abs_support == abs_support) {
@@ -56,6 +55,7 @@ impl PatternStore {
     pub fn get(&self, dataset: &str, abs_support: u64) -> Option<Arc<PatternSet>> {
         self.inner
             .read()
+            .expect("store lock poisoned")
             .get(dataset)?
             .iter()
             .find(|e| e.abs_support == abs_support)
@@ -68,6 +68,7 @@ impl PatternStore {
     pub fn best_for(&self, dataset: &str) -> Option<(u64, Arc<PatternSet>)> {
         self.inner
             .read()
+            .expect("store lock poisoned")
             .get(dataset)?
             .first()
             .map(|e| (e.abs_support, Arc::clone(&e.patterns)))
@@ -77,6 +78,7 @@ impl PatternStore {
     pub fn thresholds(&self, dataset: &str) -> Vec<u64> {
         self.inner
             .read()
+            .expect("store lock poisoned")
             .get(dataset)
             .map(|es| es.iter().map(|e| e.abs_support).collect())
             .unwrap_or_default()
@@ -84,7 +86,7 @@ impl PatternStore {
 
     /// Number of datasets with at least one entry.
     pub fn num_datasets(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("store lock poisoned").len()
     }
 }
 

@@ -113,8 +113,7 @@ impl TwoStepMiner {
         let start = std::time::Instant::now();
         let bootstrap = mine_hmine(db, intermediate);
         let bootstrap_time = start.elapsed();
-        let (cdb, compression) =
-            Compressor::new(self.strategy).compress_with_stats(db, &bootstrap);
+        let (cdb, compression) = Compressor::new(self.strategy).compress_with_stats(db, &bootstrap);
         let start = std::time::Instant::now();
         RecycleHm.mine_into(&cdb, target, sink);
         let mining_time = start.elapsed();
@@ -152,8 +151,7 @@ mod tests {
     fn two_step_is_exact() {
         let db = TransactionDb::paper_example();
         for target in 1..=4 {
-            let (got, report) =
-                TwoStepMiner::new().mine(&db, MinSupport::Absolute(target));
+            let (got, report) = TwoStepMiner::new().mine(&db, MinSupport::Absolute(target));
             let want = mine_apriori(&db, MinSupport::Absolute(target));
             assert!(
                 got.same_patterns_as(&want),

@@ -70,13 +70,17 @@ impl Strategy {
 /// Sorts pattern indices by descending utility; ties broken by the
 /// pattern itemsets so compression is deterministic across runs.
 pub fn order_by_utility(patterns: &[Pattern], strategy: Strategy, db_len: usize) -> Vec<u32> {
+    // Utilities are precomputed once — recomputing them inside the
+    // comparator costs O(n log n) u128 multiplications on pattern sets
+    // that reach tens of thousands. The comparator is a total order
+    // (ties fully broken by the distinct itemsets), so the unstable sort
+    // is deterministic.
+    let keys: Vec<u128> = patterns.iter().map(|p| strategy.utility_of(p, db_len)).collect();
     let mut order: Vec<u32> = (0..patterns.len() as u32).collect();
-    order.sort_by(|&a, &b| {
-        let (pa, pb) = (&patterns[a as usize], &patterns[b as usize]);
-        strategy
-            .utility_of(pb, db_len)
-            .cmp(&strategy.utility_of(pa, db_len))
-            .then_with(|| pa.items().cmp(pb.items()))
+    order.sort_unstable_by(|&a, &b| {
+        keys[b as usize]
+            .cmp(&keys[a as usize])
+            .then_with(|| patterns[a as usize].items().cmp(patterns[b as usize].items()))
     });
     order
 }
@@ -98,9 +102,7 @@ mod tests {
     fn mlp_length_always_dominates() {
         let db_len = 1000;
         // A length-3 pattern with minimal support beats any length-2.
-        assert!(
-            Strategy::Mlp.utility(3, 1, db_len) > Strategy::Mlp.utility(2, 1000, db_len)
-        );
+        assert!(Strategy::Mlp.utility(3, 1, db_len) > Strategy::Mlp.utility(2, 1000, db_len));
         // Among equal lengths, higher support wins.
         assert!(Strategy::Mlp.utility(2, 30, db_len) > Strategy::Mlp.utility(2, 20, db_len));
     }

@@ -134,11 +134,17 @@ impl TransactionDb {
 
     /// Counts per-item supports into a dense vector indexed by item id.
     pub fn item_supports(&self) -> Vec<u64> {
-        let max = self.stats().max_item.map_or(0, |m| m.index() + 1);
-        let mut counts = vec![0u64; max];
+        // Single pass: items are sorted within a tuple, so the last one
+        // bounds the indices and the vector grows at most once per tuple.
+        let mut counts: Vec<u64> = Vec::new();
         for t in &self.tuples {
-            for &it in t.items() {
-                counts[it.index()] += 1;
+            if let Some(&last) = t.items().last() {
+                if last.index() >= counts.len() {
+                    counts.resize(last.index() + 1, 0);
+                }
+                for &it in t.items() {
+                    counts[it.index()] += 1;
+                }
             }
         }
         counts
@@ -220,7 +226,7 @@ mod tests {
         assert_eq!(db.support_of(&[Item(4)]), 4); // e
         assert_eq!(db.support_of(&[Item(0)]), 3); // a
         assert_eq!(db.support_of(&[Item(3)]), 2); // d
-        // fgc (f=5, g=6, c=2 sorted -> [2,5,6]) has support 3.
+                                                  // fgc (f=5, g=6, c=2 sorted -> [2,5,6]) has support 3.
         assert_eq!(db.support_of(&[Item(2), Item(5), Item(6)]), 3);
         // ae -> [0,4] support 3.
         assert_eq!(db.support_of(&[Item(0), Item(4)]), 3);
@@ -248,8 +254,7 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let db: TransactionDb =
-            (0..3).map(|k| Transaction::from_ids([k, k + 1])).collect();
+        let db: TransactionDb = (0..3).map(|k| Transaction::from_ids([k, k + 1])).collect();
         assert_eq!(db.len(), 3);
     }
 }

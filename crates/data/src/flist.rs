@@ -118,8 +118,7 @@ impl FList {
     /// infrequent items are dropped and the survivors are ordered by rank.
     /// The returned ranks index back into this F-list.
     pub fn encode(&self, items: &[Item]) -> Vec<u32> {
-        let mut out: Vec<u32> =
-            items.iter().filter_map(|&it| self.rank_of(it)).collect();
+        let mut out: Vec<u32> = items.iter().filter_map(|&it| self.rank_of(it)).collect();
         out.sort_unstable();
         out
     }
@@ -191,7 +190,7 @@ mod tests {
         assert_eq!(ranks.len(), 6);
         assert!(ranks.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(ranks[0], 0); // d first (lowest support)
-        // Tuple 500: a e h -> h dropped.
+                                 // Tuple 500: a e h -> h dropped.
         let ranks = fl.encode(&[Item(0), Item(4), Item(7)]);
         assert_eq!(ranks.len(), 2);
     }

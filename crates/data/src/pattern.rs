@@ -158,6 +158,11 @@ impl PatternSet {
         self.patterns.iter()
     }
 
+    /// The patterns as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
     /// Length of the longest pattern (0 when empty) — Table 3's
     /// "maximal length" column.
     pub fn max_len(&self) -> usize {
@@ -188,10 +193,7 @@ impl PatternSet {
     /// pairs.
     pub fn same_patterns_as(&self, other: &PatternSet) -> bool {
         self.len() == other.len()
-            && self
-                .patterns
-                .iter()
-                .all(|p| other.support_of(p.items()) == Some(p.support()))
+            && self.patterns.iter().all(|p| other.support_of(p.items()) == Some(p.support()))
     }
 
     /// Patterns of `self` whose itemset is absent from `other` — "what
@@ -213,18 +215,17 @@ impl PatternSet {
     /// superset.
     pub fn closed_only(&self) -> PatternSet {
         self.filter(|p| {
-            !self.patterns.iter().any(|q| {
-                q.len() > p.len() && q.support() == p.support() && p.is_subset_of(q)
-            })
+            !self
+                .patterns
+                .iter()
+                .any(|q| q.len() > p.len() && q.support() == p.support() && p.is_subset_of(q))
         })
     }
 
     /// The *maximal* patterns: those with no proper superset in the set
     /// at all — the frontier of the frequent border.
     pub fn maximal_only(&self) -> PatternSet {
-        self.filter(|p| {
-            !self.patterns.iter().any(|q| q.len() > p.len() && p.is_subset_of(q))
-        })
+        self.filter(|p| !self.patterns.iter().any(|q| q.len() > p.len() && p.is_subset_of(q)))
     }
 }
 
@@ -250,11 +251,7 @@ impl HeapSize for PatternSet {
     fn heap_size(&self) -> usize {
         // Index keys share no storage with the patterns; count both.
         self.patterns.heap_size()
-            + self
-                .index
-                .keys()
-                .map(|k| k.len() * std::mem::size_of::<Item>())
-                .sum::<usize>()
+            + self.index.keys().map(|k| k.len() * std::mem::size_of::<Item>()).sum::<usize>()
     }
 }
 
@@ -335,8 +332,7 @@ mod tests {
 
     #[test]
     fn sorted_is_lexicographic() {
-        let s: PatternSet =
-            [p(&[2], 1), p(&[1, 3], 1), p(&[1], 1)].into_iter().collect();
+        let s: PatternSet = [p(&[2], 1), p(&[1, 3], 1), p(&[1], 1)].into_iter().collect();
         let v = s.sorted();
         assert_eq!(v[0].items(), &[Item(1)]);
         assert_eq!(v[1].items(), &[Item(1), Item(3)]);
@@ -384,14 +380,8 @@ mod tests {
 
     #[test]
     fn maximal_patterns_keep_only_the_border() {
-        let s: PatternSet = [
-            p(&[1], 5),
-            p(&[2], 4),
-            p(&[1, 2], 3),
-            p(&[3], 2),
-        ]
-        .into_iter()
-        .collect();
+        let s: PatternSet =
+            [p(&[1], 5), p(&[2], 4), p(&[1, 2], 3), p(&[3], 2)].into_iter().collect();
         let max = s.maximal_only();
         assert_eq!(max.len(), 2);
         assert!(max.contains(&[Item(1), Item(2)]));
@@ -400,13 +390,7 @@ mod tests {
 
     #[test]
     fn closed_superset_of_maximal() {
-        let s: PatternSet = [
-            p(&[1], 5),
-            p(&[2], 4),
-            p(&[1, 2], 3),
-        ]
-        .into_iter()
-        .collect();
+        let s: PatternSet = [p(&[1], 5), p(&[2], 4), p(&[1, 2], 3)].into_iter().collect();
         let closed = s.closed_only();
         let maximal = s.maximal_only();
         for m in maximal.iter() {

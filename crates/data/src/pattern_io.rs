@@ -27,9 +27,9 @@ pub fn read_patterns<R: Read>(reader: R) -> Result<PatternSet, DataError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (items_part, support_part) = line.split_once(':').ok_or_else(|| {
-            DataError::Parse { line: line_no, token: line.to_owned() }
-        })?;
+        let (items_part, support_part) = line
+            .split_once(':')
+            .ok_or_else(|| DataError::Parse { line: line_no, token: line.to_owned() })?;
         let mut ids = Vec::new();
         for token in items_part.split_whitespace() {
             let id: u32 = token

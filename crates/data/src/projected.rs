@@ -37,9 +37,7 @@ impl RankDb {
 
     /// Builds directly from rank tuples (each sorted ascending, non-empty).
     pub fn from_tuples(tuples: Vec<Vec<u32>>, num_ranks: usize) -> Self {
-        debug_assert!(tuples
-            .iter()
-            .all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(tuples.iter().all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
         debug_assert!(tuples.iter().flatten().all(|&r| (r as usize) < num_ranks));
         RankDb { tuples, num_ranks }
     }

@@ -14,8 +14,7 @@
 
 use crate::zipf::Zipf;
 use gogreen_data::{Transaction, TransactionDb};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gogreen_util::rng::{Rng, SmallRng};
 
 /// Generator for dense positional (attribute/value) data.
 #[derive(Debug, Clone)]
@@ -89,8 +88,8 @@ impl PositionalGenerator {
             if self.dominated_positions <= 1 {
                 self.dominant_prob
             } else {
-                let t = (pos as f64 / (self.dominated_positions - 1) as f64)
-                    .powf(self.dominant_gamma);
+                let t =
+                    (pos as f64 / (self.dominated_positions - 1) as f64).powf(self.dominant_gamma);
                 self.dominant_prob + t * (self.dominant_prob_lo - self.dominant_prob)
             }
         };
@@ -103,7 +102,7 @@ impl PositionalGenerator {
             let mut perm: Vec<usize> = (0..self.values_per_position).collect();
             // Fisher–Yates.
             for i in (1..perm.len()).rev() {
-                perm.swap(i, rng.gen_range(0..=i));
+                perm.swap(i, rng.gen_index(i + 1));
             }
             perms.push(perm);
         }
@@ -114,10 +113,10 @@ impl PositionalGenerator {
             #[allow(clippy::needless_range_loop)] // pos drives sampling, not just indexing
             for pos in 0..self.positions {
                 let value = if pos < self.dominated_positions {
-                    if self.values_per_position == 1 || rng.gen::<f64>() < dom_prob(pos) {
+                    if self.values_per_position == 1 || rng.gen_f64() < dom_prob(pos) {
                         0
                     } else {
-                        rng.gen_range(1..self.values_per_position)
+                        1 + rng.gen_index(self.values_per_position - 1)
                     }
                 } else {
                     zipf.sample(&mut rng)

@@ -12,7 +12,7 @@ use crate::regimes::RegimeGenerator;
 use gogreen_data::{MinSupport, TransactionDb};
 
 /// Which paper dataset a preset imitates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PresetKind {
     /// Sparse; 1,015,367 × 15 over 7,959 items; `ξ_old = 5%`.
     Weather,
@@ -26,7 +26,7 @@ pub enum PresetKind {
 
 /// The paper's Table 3 row for a dataset (reference values for
 /// EXPERIMENTS.md; our generators reproduce shape, not these numbers).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperRow {
     /// Tuples in the original dataset.
     pub tuples: usize,

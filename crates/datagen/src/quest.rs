@@ -10,8 +10,7 @@
 
 use crate::zipf::Zipf;
 use gogreen_data::{Transaction, TransactionDb};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gogreen_util::rng::{Rng, SmallRng};
 
 /// Configuration of a Quest generation run.
 ///
@@ -73,13 +72,13 @@ impl QuestGenerator {
                 // Correlated fraction reuses items of the previous pattern.
                 let prev = &patterns[p - 1];
                 for &it in prev.iter() {
-                    if items.len() < len && rng.gen::<f64>() < self.correlation {
+                    if items.len() < len && rng.gen_f64() < self.correlation {
                         items.push(it);
                     }
                 }
             }
             while items.len() < len {
-                let it = rng.gen_range(0..self.num_items as u32);
+                let it = rng.gen_below(self.num_items as u64) as u32;
                 if !items.contains(&it) {
                     items.push(it);
                 }
@@ -87,7 +86,7 @@ impl QuestGenerator {
             items.sort_unstable();
             items.dedup();
             patterns.push(items);
-            corruption.push((self.corruption + rng.gen::<f64>() * 0.2 - 0.1).clamp(0.0, 0.95));
+            corruption.push((self.corruption + rng.gen_f64() * 0.2 - 0.1).clamp(0.0, 0.95));
         }
         let popularity = Zipf::new(self.num_patterns, 1.0);
 
@@ -103,14 +102,14 @@ impl QuestGenerator {
                 let p = popularity.sample(&mut rng);
                 let level = corruption[p];
                 for &it in &patterns[p] {
-                    if rng.gen::<f64>() >= level {
+                    if rng.gen_f64() >= level {
                         buf.push(it);
                     }
                 }
             }
             // Top up with random noise items if patterns under-filled.
             while buf.len() < target {
-                buf.push(rng.gen_range(0..self.num_items as u32));
+                buf.push(rng.gen_below(self.num_items as u64) as u32);
             }
             db.push(Transaction::from_ids(buf.iter().copied()));
         }
@@ -127,7 +126,7 @@ fn poisson_at_least_one<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
     let mut p = 1.0;
     loop {
         k += 1;
-        p *= rng.gen::<f64>();
+        p *= rng.gen_f64();
         if p <= l || k > (mean * 8.0) as usize + 16 {
             break;
         }
@@ -172,11 +171,7 @@ mod tests {
         assert!(stats.max_item.unwrap().id() < 200);
         // Mean length lands near the target (generous tolerance; the
         // pattern-fill loop overshoots a little by design).
-        assert!(
-            stats.avg_len > 5.0 && stats.avg_len < 14.0,
-            "avg_len = {}",
-            stats.avg_len
-        );
+        assert!(stats.avg_len > 5.0 && stats.avg_len < 14.0, "avg_len = {}", stats.avg_len);
     }
 
     #[test]

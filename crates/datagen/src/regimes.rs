@@ -17,8 +17,7 @@
 
 use crate::zipf::Zipf;
 use gogreen_data::{Transaction, TransactionDb};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gogreen_util::rng::{Rng, SmallRng};
 
 /// Generator for regime-structured positional data.
 #[derive(Debug, Clone)]
@@ -100,11 +99,7 @@ impl RegimeGenerator {
         // different regimes mostly disagree (as different seasons or
         // cover types do).
         let signatures: Vec<Vec<usize>> = (0..self.num_regimes)
-            .map(|_| {
-                (0..self.positions)
-                    .map(|_| rng.gen_range(0..self.values_per_position))
-                    .collect()
-            })
+            .map(|_| (0..self.positions).map(|_| rng.gen_index(self.values_per_position)).collect())
             .collect();
         // Per-position noise permutation so popular noise values differ
         // across positions.
@@ -112,7 +107,7 @@ impl RegimeGenerator {
         for _ in 0..self.positions {
             let mut perm: Vec<usize> = (0..self.values_per_position).collect();
             for i in (1..perm.len()).rev() {
-                perm.swap(i, rng.gen_range(0..=i));
+                perm.swap(i, rng.gen_index(i + 1));
             }
             perms.push(perm);
         }
@@ -123,7 +118,7 @@ impl RegimeGenerator {
             buf.clear();
             #[allow(clippy::needless_range_loop)] // pos drives sampling, not just indexing
             for pos in 0..self.positions {
-                let value = if rng.gen::<f64>() < adherence_at(pos) {
+                let value = if rng.gen_f64() < adherence_at(pos) {
                     signatures[z][pos]
                 } else {
                     perms[pos][noise.sample(&mut rng)]

@@ -1,6 +1,6 @@
 //! Zipf-distributed sampling over `0..n`.
 
-use rand::Rng;
+use gogreen_util::rng::Rng;
 
 /// A Zipf sampler: value `k` (0-based) is drawn with probability
 /// proportional to `1 / (k+1)^s`.
@@ -59,7 +59,7 @@ impl Zipf {
 
     /// Draws one value.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+        let u = rng.gen_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }
@@ -67,8 +67,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use gogreen_util::rng::SmallRng;
 
     #[test]
     fn uniform_when_s_zero() {

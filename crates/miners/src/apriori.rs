@@ -65,8 +65,7 @@ impl Miner for Apriori {
 
         // Level-wise loop: join, prune, count via tidlist intersection.
         while level.len() > 1 {
-            let prev: FxHashSet<&[Item]> =
-                level.iter().map(|e| e.items.as_slice()).collect();
+            let prev: FxHashSet<&[Item]> = level.iter().map(|e| e.items.as_slice()).collect();
             let mut next: Vec<LevelEntry> = Vec::new();
             // Entries are generated in lexicographic order, so candidates
             // join entries sharing the first k-1 items.

@@ -72,10 +72,7 @@ impl FpTree {
 
     /// The header row for `rank`, if present.
     pub fn header_for(&self, rank: u32) -> Option<&FpHeader> {
-        self.headers
-            .binary_search_by_key(&rank, |h| h.rank)
-            .ok()
-            .map(|i| &self.headers[i])
+        self.headers.binary_search_by_key(&rank, |h| h.rank).ok().map(|i| &self.headers[i])
     }
 
     /// Number of nodes, including the root.
@@ -259,7 +256,12 @@ impl Miner for FpGrowth {
 }
 
 /// Recursive FP-growth over one (conditional) tree.
-fn mine_tree(tree: &FpTree, ctx: &mut Ctx, emitter: &mut RankEmitter<'_>, sink: &mut dyn PatternSink) {
+fn mine_tree(
+    tree: &FpTree,
+    ctx: &mut Ctx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
     if tree.headers().is_empty() {
         return;
     }
@@ -297,9 +299,7 @@ fn mine_tree(tree: &FpTree, ctx: &mut Ctx, emitter: &mut RankEmitter<'_>, sink: 
             for (ranks, w) in &base {
                 filtered.clear();
                 filtered.extend(
-                    ranks
-                        .iter()
-                        .filter(|&&r| freq.binary_search_by_key(&r, |&(fr, _)| fr).is_ok()),
+                    ranks.iter().filter(|&&r| freq.binary_search_by_key(&r, |&(fr, _)| fr).is_ok()),
                 );
                 if !filtered.is_empty() {
                     // `ranks` ascend (climb order), so reverse for

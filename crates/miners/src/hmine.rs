@@ -97,11 +97,8 @@ impl Miner for HMine {
         if flist.is_empty() {
             return;
         }
-        let tuples: Vec<Vec<u32>> = db
-            .iter()
-            .map(|t| flist.encode(t.items()))
-            .filter(|t| !t.is_empty())
-            .collect();
+        let tuples: Vec<Vec<u32>> =
+            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
         self.mine_encoded(&tuples, &flist, &[], minsup, sink);
     }
 }
@@ -181,21 +178,11 @@ impl HMine {
             return;
         }
         let occurrences: usize = tuples.iter().map(Vec::len).sum();
-        let (hs, firsts) = HStruct::build(
-            tuples.iter().map(Vec::as_slice),
-            occurrences + tuples.len(),
-        );
-        let mut ctx = Ctx {
-            hs,
-            active: vec![0; n],
-            cell_of: vec![NIL; n],
-            scratch,
-            minsup,
-        };
-        let mut cells: Vec<Cell> = frequent
-            .iter()
-            .map(|&(r, c)| Cell { rank: r, count: c, head: NIL })
-            .collect();
+        let (hs, firsts) =
+            HStruct::build(tuples.iter().map(Vec::as_slice), occurrences + tuples.len());
+        let mut ctx = Ctx { hs, active: vec![0; n], cell_of: vec![NIL; n], scratch, minsup };
+        let mut cells: Vec<Cell> =
+            frequent.iter().map(|&(r, c)| Cell { rank: r, count: c, head: NIL }).collect();
         for (i, c) in cells.iter().enumerate() {
             ctx.active[c.rank as usize] = 1;
             ctx.cell_of[c.rank as usize] = i as u32;
@@ -273,10 +260,8 @@ fn mine_level<P: SearchPrune>(
 
             if !sub.is_empty() {
                 // Enter sub-level: activate items, saving parent state.
-                let mut subcells: Vec<Cell> = sub
-                    .iter()
-                    .map(|&(x, c)| Cell { rank: x, count: c, head: NIL })
-                    .collect();
+                let mut subcells: Vec<Cell> =
+                    sub.iter().map(|&(x, c)| Cell { rank: x, count: c, head: NIL }).collect();
                 let saved: Vec<(u32, u32)> =
                     sub.iter().map(|&(x, _)| (x, ctx.cell_of[x as usize])).collect();
                 for (i, c) in subcells.iter().enumerate() {

@@ -117,13 +117,7 @@ mod tests {
             ];
             for &(ids, sup) in expect {
                 let items: Vec<_> = ids.iter().map(|&i| gogreen_data::Item(i)).collect();
-                assert_eq!(
-                    fp.support_of(&items),
-                    Some(sup),
-                    "{}: {:?}",
-                    m.name(),
-                    ids
-                );
+                assert_eq!(fp.support_of(&items), Some(sup), "{}: {:?}", m.name(), ids);
             }
         }
     }

@@ -35,11 +35,8 @@ impl Miner for TreeProjection {
         // At the root the local extension index IS the rank.
         let exts: Vec<(u32, u64)> =
             (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
-        let trans: Vec<Vec<u32>> = db
-            .iter()
-            .map(|t| flist.encode(t.items()))
-            .filter(|t| !t.is_empty())
-            .collect();
+        let trans: Vec<Vec<u32>> =
+            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
         let mut emitter = RankEmitter::new(&flist);
         tp_node(&trans, &exts, minsup, &mut emitter, sink);
     }

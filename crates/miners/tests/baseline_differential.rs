@@ -1,60 +1,78 @@
 //! Randomized differential tests across the four baseline miners: on any
 //! database and threshold, H-Mine, FP-growth, Tree Projection and the
 //! naive projected-database miner must produce exactly Apriori's set.
+//! Cases come from a seeded in-repo PRNG for deterministic replay.
 
 use gogreen_data::{MinSupport, Transaction, TransactionDb};
 use gogreen_miners::{
     mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner, NaiveProjection,
 };
-use proptest::prelude::*;
+use gogreen_util::rng::{Rng, SmallRng};
+use std::collections::BTreeSet;
 
-fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
-    prop::collection::vec(prop::collection::btree_set(0u32..18, 1..10), 1..40).prop_map(
-        |rows| {
-            TransactionDb::from_transactions(
-                rows.into_iter()
-                    .map(Transaction::from_ids)
-                    .collect(),
-            )
-        },
-    )
+/// Random database: 1..40 tuples of 1..10 distinct items over 0..18.
+fn random_db(rng: &mut SmallRng) -> TransactionDb {
+    let rows = 1 + rng.gen_index(39);
+    let mut txs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let len = 1 + rng.gen_index(9);
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rng.gen_below(18) as u32);
+        }
+        txs.push(Transaction::from_ids(set));
+    }
+    TransactionDb::from_transactions(txs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hmine_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
+fn check_against_oracle(
+    name: &str,
+    seed_base: u64,
+    mine: impl Fn(&TransactionDb, MinSupport) -> gogreen_data::PatternSet,
+) {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(seed_base + case);
+        let db = random_db(&mut rng);
+        let minsup = 1 + rng.gen_below(7);
         let want = mine_apriori(&db, MinSupport::Absolute(minsup));
-        let got = mine_hmine(&db, MinSupport::Absolute(minsup));
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+        let got = mine(&db, MinSupport::Absolute(minsup));
+        assert!(
+            got.same_patterns_as(&want),
+            "{name} case {case}: got {} want {}",
+            got.len(),
+            want.len()
+        );
     }
+}
 
-    #[test]
-    fn fpgrowth_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
-        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
-        let got = mine_fpgrowth(&db, MinSupport::Absolute(minsup));
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
-    }
+#[test]
+fn hmine_matches_oracle() {
+    check_against_oracle("hmine", 0x6a3e_0001, mine_hmine);
+}
 
-    #[test]
-    fn treeproj_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
-        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
-        let got = mine_treeproj(&db, MinSupport::Absolute(minsup));
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
-    }
+#[test]
+fn fpgrowth_matches_oracle() {
+    check_against_oracle("fpgrowth", 0x6a3e_0002, mine_fpgrowth);
+}
 
-    #[test]
-    fn naive_matches_oracle(db in db_strategy(), minsup in 1u64..8) {
-        let want = mine_apriori(&db, MinSupport::Absolute(minsup));
-        let got = NaiveProjection.mine(&db, MinSupport::Absolute(minsup));
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
-    }
+#[test]
+fn treeproj_matches_oracle() {
+    check_against_oracle("treeproj", 0x6a3e_0003, mine_treeproj);
+}
 
-    /// Anti-monotonicity of the output itself: every subset-closed
-    /// property the oracle guarantees must hold for the fast miners too.
-    #[test]
-    fn output_is_subset_closed(db in db_strategy(), minsup in 1u64..6) {
+#[test]
+fn naive_matches_oracle() {
+    check_against_oracle("naive", 0x6a3e_0004, |db, ms| NaiveProjection.mine(db, ms));
+}
+
+/// Anti-monotonicity of the output itself: every subset-closed property
+/// the oracle guarantees must hold for the fast miners too.
+#[test]
+fn output_is_subset_closed() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5b5e_7c10 + case);
+        let db = random_db(&mut rng);
+        let minsup = 1 + rng.gen_below(5);
         let got = mine_fpgrowth(&db, MinSupport::Absolute(minsup));
         for p in got.iter() {
             if p.len() >= 2 {
@@ -64,20 +82,25 @@ proptest! {
                     let mut sub: Vec<_> = items.to_vec();
                     sub.remove(drop);
                     let sup = got.support_of(&sub);
-                    prop_assert!(sup.is_some(), "missing subset of {p}");
-                    prop_assert!(sup.unwrap() >= p.support());
+                    assert!(sup.is_some(), "case {case}: missing subset of {p}");
+                    assert!(sup.unwrap() >= p.support(), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Relative thresholds agree with their absolute equivalents.
-    #[test]
-    fn relative_threshold_equivalence(db in db_strategy(), pct in 1u32..100) {
+/// Relative thresholds agree with their absolute equivalents.
+#[test]
+fn relative_threshold_equivalence() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9e1a_71fe + case);
+        let db = random_db(&mut rng);
+        let pct = 1 + rng.gen_below(99);
         let rel = MinSupport::Relative(pct as f64 / 100.0);
         let abs = MinSupport::Absolute(rel.to_absolute(db.len()));
         let a = mine_hmine(&db, rel);
         let b = mine_hmine(&db, abs);
-        prop_assert!(a.same_patterns_as(&b));
+        assert!(a.same_patterns_as(&b), "case {case} pct={pct}");
     }
 }

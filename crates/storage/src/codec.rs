@@ -11,9 +11,45 @@
 //!   saving across the spill: the pattern is stored once.
 //!
 //! Encoding is little-endian `u32`s with `u32` length prefixes — dense,
-//! alignment-free, and trivially seekable record by record.
+//! alignment-free, and trivially seekable record by record. Buffers are
+//! plain `Vec<u8>`; [`ByteReader`] is the matching decode cursor.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+/// A forward-only cursor over an encoded byte buffer.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `data` with the cursor at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// True while bytes remain.
+    pub fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let raw: [u8; 4] = self.data[self.pos..self.pos + 4].try_into().expect("truncated");
+        self.pos += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let raw: [u8; 8] = self.data[self.pos..self.pos + 8].try_into().expect("truncated");
+        self.pos += 8;
+        u64::from_le_bytes(raw)
+    }
+}
 
 /// One spilled record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,17 +96,17 @@ impl SpillRecord {
     }
 
     /// Serializes into `buf`.
-    pub fn encode(&self, buf: &mut BytesMut) {
+    pub fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             SpillRecord::Plain(items) => {
-                buf.put_u8(0);
+                buf.push(0);
                 put_list(buf, items);
             }
             SpillRecord::Group { pattern, bare, outliers } => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_list(buf, pattern);
-                buf.put_u64_le(*bare);
-                buf.put_u32_le(outliers.len() as u32);
+                buf.extend_from_slice(&bare.to_le_bytes());
+                buf.extend_from_slice(&(outliers.len() as u32).to_le_bytes());
                 for o in outliers {
                     put_list(buf, o);
                 }
@@ -85,7 +121,7 @@ impl SpillRecord {
     ///
     /// Panics on a truncated or corrupt buffer — spill files are private
     /// to the process, so corruption is a bug, not an input error.
-    pub fn decode(buf: &mut Bytes) -> Option<SpillRecord> {
+    pub fn decode(buf: &mut ByteReader<'_>) -> Option<SpillRecord> {
         if !buf.has_remaining() {
             return None;
         }
@@ -103,14 +139,14 @@ impl SpillRecord {
     }
 }
 
-fn put_list(buf: &mut BytesMut, items: &[u32]) {
-    buf.put_u32_le(items.len() as u32);
+fn put_list(buf: &mut Vec<u8>, items: &[u32]) {
+    buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
     for &x in items {
-        buf.put_u32_le(x);
+        buf.extend_from_slice(&x.to_le_bytes());
     }
 }
 
-fn get_list(buf: &mut Bytes) -> Vec<u32> {
+fn get_list(buf: &mut ByteReader<'_>) -> Vec<u32> {
     let n = buf.get_u32_le() as usize;
     (0..n).map(|_| buf.get_u32_le()).collect()
 }
@@ -120,13 +156,13 @@ mod tests {
     use super::*;
 
     fn round_trip(records: &[SpillRecord]) {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for r in records {
             r.encode(&mut buf);
         }
-        let mut bytes = buf.freeze();
+        let mut reader = ByteReader::new(&buf);
         let mut back = Vec::new();
-        while let Some(r) = SpillRecord::decode(&mut bytes) {
+        while let Some(r) = SpillRecord::decode(&mut reader) {
             back.push(r);
         }
         assert_eq!(back, records);
@@ -157,7 +193,7 @@ mod tests {
 
     #[test]
     fn decode_empty_is_none() {
-        let mut b = Bytes::new();
+        let mut b = ByteReader::new(&[]);
         assert_eq!(SpillRecord::decode(&mut b), None);
     }
 
@@ -171,7 +207,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "corrupt spill record")]
     fn corrupt_tag_panics() {
-        let mut b = Bytes::from_static(&[7u8, 0, 0, 0, 0]);
+        let raw = [7u8, 0, 0, 0, 0];
+        let mut b = ByteReader::new(&raw);
         SpillRecord::decode(&mut b);
     }
 

@@ -61,11 +61,8 @@ impl LimitedHMine {
         if flist.is_empty() {
             return Ok(report);
         }
-        let tuples: Vec<Vec<u32>> = db
-            .iter()
-            .map(|t| flist.encode(t.items()))
-            .filter(|t| !t.is_empty())
-            .collect();
+        let tuples: Vec<Vec<u32>> =
+            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
         let occurrences: usize = tuples.iter().map(Vec::len).sum();
         if self.budget.fits(estimate_hmine_bytes(occurrences, tuples.len())) {
             HMine.mine_encoded(&tuples, &flist, &[], minsup, sink);
@@ -269,11 +266,8 @@ impl LimitedRecycleHm {
             return Ok(());
         }
         if self.budget.fits(mgr.estimated_memory(r)) {
-            let mut rdb = CompressedRankDb {
-                groups: Vec::new(),
-                plain: Vec::new(),
-                num_ranks: flist.len(),
-            };
+            let mut rdb =
+                CompressedRankDb { groups: Vec::new(), plain: Vec::new(), num_ranks: flist.len() };
             mgr.for_each_record(r, |rec| match rec {
                 SpillRecord::Plain(v) => rdb.plain.push(v),
                 SpillRecord::Group { pattern, bare, outliers } => {
@@ -362,8 +356,7 @@ fn project_record(
                 .iter()
                 .map(|o| o.iter().copied().filter(|&x| keeps(x)).collect())
                 .collect();
-            let base_bare =
-                bare + outliers_f.iter().filter(|o| o.is_empty()).count() as u64;
+            let base_bare = bare + outliers_f.iter().filter(|o| o.is_empty()).count() as u64;
             // Projections on pattern items: the whole group follows.
             for (k, &p) in pattern_f.iter().enumerate() {
                 let residual = pattern_f[k + 1..].to_vec();
@@ -474,9 +467,8 @@ mod tests {
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
         for budget in budgets() {
             for minsup in 1..=4 {
-                let (got, report) = LimitedRecycleHm::new(budget)
-                    .mine(&cdb, MinSupport::Absolute(minsup))
-                    .unwrap();
+                let (got, report) =
+                    LimitedRecycleHm::new(budget).mine(&cdb, MinSupport::Absolute(minsup)).unwrap();
                 let want = mine_apriori(&db, MinSupport::Absolute(minsup));
                 assert!(
                     got.same_patterns_as(&want),

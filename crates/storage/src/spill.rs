@@ -6,8 +6,7 @@
 //! partition for inspection never materializes more than one record
 //! beyond the decode buffer. Everything is deleted on drop.
 
-use crate::codec::SpillRecord;
-use bytes::{Bytes, BytesMut};
+use crate::codec::{ByteReader, SpillRecord};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -19,7 +18,7 @@ const FLUSH_BYTES: usize = 256 * 1024;
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 struct Partition {
-    buf: BytesMut,
+    buf: Vec<u8>,
     created: bool,
     bytes: u64,
     records: u64,
@@ -38,12 +37,12 @@ impl SpillManager {
     /// process-private temp directory.
     pub fn new(num_ranks: usize) -> std::io::Result<Self> {
         let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir()
-            .join(format!("gogreen-spill-{}-{}", std::process::id(), seq));
+        let dir =
+            std::env::temp_dir().join(format!("gogreen-spill-{}-{}", std::process::id(), seq));
         std::fs::create_dir_all(&dir)?;
         let partitions = (0..num_ranks)
             .map(|_| Partition {
-                buf: BytesMut::new(),
+                buf: Vec::new(),
                 created: false,
                 bytes: 0,
                 records: 0,
@@ -138,8 +137,8 @@ impl SpillManager {
         // flushing always writes whole encoded records.)
         let mut raw = Vec::with_capacity(p.bytes as usize);
         File::open(path)?.read_to_end(&mut raw)?;
-        let mut bytes = Bytes::from(raw);
-        while let Some(rec) = SpillRecord::decode(&mut bytes) {
+        let mut reader = ByteReader::new(&raw);
+        while let Some(rec) = SpillRecord::decode(&mut reader) {
             f(rec);
         }
         Ok(())
@@ -161,8 +160,7 @@ mod tests {
         let mut mgr = SpillManager::new(3).unwrap();
         mgr.append(0, &SpillRecord::Plain(vec![1, 2])).unwrap();
         mgr.append(0, &SpillRecord::Plain(vec![3])).unwrap();
-        mgr.append(2, &SpillRecord::Group { pattern: vec![4], bare: 1, outliers: vec![] })
-            .unwrap();
+        mgr.append(2, &SpillRecord::Group { pattern: vec![4], bare: 1, outliers: vec![] }).unwrap();
         mgr.finish().unwrap();
         let mut got = Vec::new();
         mgr.for_each_record(0, |r| got.push(r)).unwrap();

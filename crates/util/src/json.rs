@@ -1,0 +1,195 @@
+//! Minimal JSON serialization.
+//!
+//! The experiment harness appends result records as JSON lines. With no
+//! crate registry available we emit JSON by hand: a [`Json`] value tree
+//! plus escaping, enough for flat records of numbers/strings/arrays.
+//! There is deliberately no parser — results are write-only artifacts.
+
+use std::fmt;
+
+/// An owned JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (non-finite floats serialize as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to a compact single-line string.
+    pub fn dump(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u8> for Json {
+    fn from(x: u8) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Num(x as f64)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Types that can render themselves as a JSON value. Record structs in
+/// the bench harness implement this in place of a serde derive.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+fn escape_into(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+fn write_num(x: f64, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if !x.is_finite() {
+        return out.write_str("null");
+    }
+    // Integers print without a trailing ".0" so counts look like counts.
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        write!(out, "{}", x as i64)
+    } else {
+        write!(out, "{x}")
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(x) => write_num(*x, f),
+            Json::Str(s) => escape_into(s, f),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_flat_record() {
+        let j = Json::obj([
+            ("name", Json::from("connect4_like")),
+            ("tuples", Json::from(6758u64)),
+            ("ratio", Json::from(0.25f64)),
+            ("ok", Json::from(true)),
+        ]);
+        assert_eq!(j.dump(), r#"{"name":"connect4_like","tuples":6758,"ratio":0.25,"ok":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::from("a\"b\\c\nd").dump(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn arrays_and_nesting() {
+        let j = Json::obj([("xs", Json::from(vec![1u64, 2, 3]))]);
+        assert_eq!(j.dump(), r#"{"xs":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn non_finite_is_null() {
+        assert_eq!(Json::Num(f64::NAN).dump(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).dump(), "null");
+    }
+}

@@ -13,11 +13,23 @@
 //! * [`memsize`] — a [`memsize::HeapSize`] trait for estimating the heap
 //!   footprint of data structures; the memory-limited mining mode of the
 //!   paper (§5.3) budgets against these estimates.
+//! * [`rng`] — a seedable xoshiro256++ generator for synthetic data and
+//!   randomized tests (no `rand` dependency).
+//! * [`json`] — write-only JSON values for the experiment harness's
+//!   result records.
+//! * [`pool`] — the [`pool::Parallelism`] knob and scoped-thread fork/join
+//!   helpers with deterministic, input-ordered results.
 
 pub mod fxhash;
+pub mod json;
 pub mod memsize;
+pub mod pool;
+pub mod rng;
 pub mod timer;
 
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use json::{Json, ToJson};
 pub use memsize::HeapSize;
+pub use pool::Parallelism;
+pub use rng::{Rng, SmallRng};
 pub use timer::Stopwatch;

@@ -44,8 +44,7 @@ impl<T: HeapSize> HeapSize for Vec<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_size(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
     }
 }
 

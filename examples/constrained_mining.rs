@@ -25,8 +25,7 @@ fn main() {
 
     // Per-item "prices" for aggregate constraints.
     let mut attrs = ItemAttributes::new();
-    let price =
-        attrs.add_column((0..300).map(|i| 1.0 + (i % 50) as f64).collect(), 1.0);
+    let price = attrs.add_column((0..300).map(|i| 1.0 + (i % 50) as f64).collect(), 1.0);
 
     let mut session = MiningSession::new(db).with_attributes(attrs.clone());
 

@@ -29,20 +29,35 @@ fn main() {
 
     let t = Instant::now();
     let r1 = inc.mine(MinSupport::percent(1.0));
-    println!("day 1: {:>6} tuples → {:>5} patterns in {:.2?}", inc.db().len(), r1.len(), t.elapsed());
+    println!(
+        "day 1: {:>6} tuples → {:>5} patterns in {:.2?}",
+        inc.db().len(),
+        r1.len(),
+        t.elapsed()
+    );
 
     // Day 2: a new batch of transactions arrives.
     inc.insert(gen(2, 6_000).into_transactions());
     let t = Instant::now();
     let r2 = inc.mine(MinSupport::percent(1.0));
-    println!("day 2: {:>6} tuples → {:>5} patterns in {:.2?} (recycled day 1)", inc.db().len(), r2.len(), t.elapsed());
+    println!(
+        "day 2: {:>6} tuples → {:>5} patterns in {:.2?} (recycled day 1)",
+        inc.db().len(),
+        r2.len(),
+        t.elapsed()
+    );
 
     // Day 3: more data AND a relaxed threshold — the case classic
     // incremental techniques handle worst.
     inc.insert(gen(3, 6_000).into_transactions());
     let t = Instant::now();
     let r3 = inc.mine(MinSupport::percent(0.5));
-    println!("day 3: {:>6} tuples → {:>5} patterns in {:.2?} (grew + relaxed)", inc.db().len(), r3.len(), t.elapsed());
+    println!(
+        "day 3: {:>6} tuples → {:>5} patterns in {:.2?} (grew + relaxed)",
+        inc.db().len(),
+        r3.len(),
+        t.elapsed()
+    );
 
     // Verify exactness against a from-scratch run.
     let scratch = mine_hmine(inc.db(), MinSupport::percent(0.5));

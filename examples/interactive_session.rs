@@ -15,16 +15,15 @@ fn main() {
     let db = DatasetPreset::new(PresetKind::Pumsb, 0.02).generate();
     println!("dataset: {} tuples (pumsb-like)\n", db.len());
 
-    let mut session = MiningSession::new(db)
-        .with_engine(Engine::HMine)
-        .with_strategy(Strategy::Mcp);
+    let mut session =
+        MiningSession::new(db).with_engine(Engine::HMine).with_strategy(Strategy::Mcp);
 
     // The user explores: start high, relax twice, jump back up, repeat a
     // query verbatim.
     let thresholds = [92.0, 88.0, 82.0, 90.0, 90.0];
     for pct in thresholds {
-        let (patterns, report) = session
-            .run_with_report(ConstraintSet::support_only(MinSupport::percent(pct)));
+        let (patterns, report) =
+            session.run_with_report(ConstraintSet::support_only(MinSupport::percent(pct)));
         let how = format!("{:?}", report.mode);
         let compression = report
             .compression

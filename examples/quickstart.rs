@@ -11,21 +11,13 @@ use std::time::Instant;
 fn main() {
     // A dense synthetic dataset shaped like Connect-4 (see DESIGN.md §4).
     let db = DatasetPreset::new(PresetKind::Connect4, 0.02).generate();
-    println!(
-        "dataset: {} tuples, avg length {:.1}",
-        db.len(),
-        db.stats().avg_len
-    );
+    println!("dataset: {} tuples, avg length {:.1}", db.len(), db.stats().avg_len);
 
     // Round 1: the user starts cautiously at 95% support.
     let xi_old = MinSupport::percent(95.0);
     let t = Instant::now();
     let fp_old = mine_hmine(&db, xi_old);
-    println!(
-        "round 1 (ξ = 95%): {} patterns in {:.2?}",
-        fp_old.len(),
-        t.elapsed()
-    );
+    println!("round 1 (ξ = 95%): {} patterns in {:.2?}", fp_old.len(), t.elapsed());
 
     // Round 2: too few patterns — relax to 85%. Instead of mining from
     // scratch, recycle round 1's patterns: compress, then mine the

@@ -53,18 +53,16 @@ pub use gogreen_util as util;
 pub mod prelude {
     pub use gogreen_core::cdb::CompressedDb;
     pub use gogreen_core::compress::Compressor;
-    pub use gogreen_core::utility::Strategy;
     pub use gogreen_core::recycle_fp::RecycleFp;
     pub use gogreen_core::recycle_hm::RecycleHm;
     pub use gogreen_core::recycle_tp::RecycleTp;
     pub use gogreen_core::rpmine::RpMine;
     pub use gogreen_core::session::MiningSession;
+    pub use gogreen_core::utility::Strategy;
     pub use gogreen_core::RecyclingMiner;
     pub use gogreen_data::{
         CollectSink, CountSink, FList, Item, ItemCatalog, MinSupport, Pattern, PatternSet,
         PatternSink, Transaction, TransactionDb,
     };
-    pub use gogreen_miners::{
-        mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner,
-    };
+    pub use gogreen_miners::{mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner};
 }

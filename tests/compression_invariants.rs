@@ -1,105 +1,127 @@
 //! Structural invariants of compression, independent of any miner:
 //! losslessness, group well-formedness, coverage accounting, and the
-//! semantics of the Figure 1 selection rule.
+//! semantics of the Figure 1 selection rule — over seeded random
+//! databases.
 
-use gogreen::prelude::*;
-use gogreen_miners::mine_apriori;
-use proptest::prelude::*;
-// Explicit imports win over the two glob imports' `Strategy` collision:
-// the compression enum stays usable and the proptest trait stays in scope.
 use gogreen::core::utility::Strategy;
-use proptest::strategy::Strategy as _;
+use gogreen::prelude::*;
+use gogreen::util::rng::{Rng, SmallRng};
+use gogreen_miners::mine_apriori;
+use std::collections::BTreeSet;
 
-fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
-    prop::collection::vec(prop::collection::btree_set(0u32..16, 1..10), 1..32).prop_map(
-        |rows| {
-            TransactionDb::from_transactions(
-                rows.into_iter()
-                    .map(Transaction::from_ids)
-                    .collect(),
-            )
-        },
-    )
+/// Random database: 1..32 tuples of 1..10 distinct items over 0..16.
+fn random_db(rng: &mut SmallRng) -> TransactionDb {
+    let rows = 1 + rng.gen_index(31);
+    let mut txs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let len = 1 + rng.gen_index(9);
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rng.gen_below(16) as u32);
+        }
+        txs.push(Transaction::from_ids(set));
+    }
+    TransactionDb::from_transactions(txs)
 }
 
 fn all_strategies() -> [Strategy; 4] {
     [Strategy::Mcp, Strategy::Mlp, Strategy::SupportOnly, Strategy::LengthOnly]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Groups are well-formed: non-empty sorted patterns, outliers
-    /// disjoint from the pattern, coverage + plain = |DB|, ratio ≤ 1.
-    #[test]
-    fn group_invariants(db in db_strategy(), xi_old in 1u64..6, pick in 0usize..4) {
+/// Groups are well-formed: non-empty sorted patterns, outliers disjoint
+/// from the pattern, coverage + plain = |DB|, ratio ≤ 1.
+#[test]
+fn group_invariants() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x6001_0000 + case);
+        let db = random_db(&mut rng);
+        let xi_old = 1 + rng.gen_below(5);
+        let strategy = all_strategies()[rng.gen_index(4)];
         let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
-        let cdb = Compressor::new(all_strategies()[pick]).compress(&db, &fp);
+        let cdb = Compressor::new(strategy).compress(&db, &fp);
         let stats = cdb.stats();
-        prop_assert_eq!(stats.num_tuples, db.len());
-        prop_assert_eq!(
-            stats.covered_tuples + cdb.plain().len(),
-            db.len()
-        );
-        prop_assert!(stats.ratio() <= 1.0 + 1e-12);
+        assert_eq!(stats.num_tuples, db.len(), "case {case}");
+        assert_eq!(stats.covered_tuples + cdb.plain().len(), db.len(), "case {case}");
+        assert!(stats.ratio() <= 1.0 + 1e-12, "case {case}");
         for g in cdb.groups() {
-            prop_assert!(!g.pattern().is_empty());
-            prop_assert!(g.pattern().windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(g.count() > 0);
+            assert!(!g.pattern().is_empty(), "case {case}");
+            assert!(g.pattern().windows(2).all(|w| w[0] < w[1]), "case {case}");
+            assert!(g.count() > 0, "case {case}");
             for o in g.outliers() {
-                prop_assert!(!o.is_empty());
-                prop_assert!(o.windows(2).all(|w| w[0] < w[1]));
+                assert!(!o.is_empty(), "case {case}");
+                assert!(o.windows(2).all(|w| w[0] < w[1]), "case {case}");
                 for it in o.iter() {
-                    prop_assert!(g.pattern().binary_search(it).is_err());
+                    assert!(g.pattern().binary_search(it).is_err(), "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Reconstruction returns the original multiset for every strategy.
-    #[test]
-    fn lossless_for_every_strategy(db in db_strategy(), xi_old in 1u64..6, pick in 0usize..4) {
+/// Reconstruction returns the original multiset for every strategy.
+#[test]
+fn lossless_for_every_strategy() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1055_0000 + case);
+        let db = random_db(&mut rng);
+        let xi_old = 1 + rng.gen_below(5);
+        let strategy = all_strategies()[rng.gen_index(4)];
         let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
-        let cdb = Compressor::new(all_strategies()[pick]).compress(&db, &fp);
+        let cdb = Compressor::new(strategy).compress(&db, &fp);
         let mut a = cdb.reconstruct().into_transactions();
         let mut b: Vec<Transaction> = db.iter().cloned().collect();
         a.sort_by(|x, y| x.items().cmp(y.items()));
         b.sort_by(|x, y| x.items().cmp(y.items()));
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case} ({strategy:?})");
     }
+}
 
-    /// Figure 1 semantics: every group pattern is contained in every
-    /// reconstructed member, and every *plain* tuple contains no pattern
-    /// from the recycled set (otherwise it would have been covered).
-    #[test]
-    fn selection_rule_semantics(db in db_strategy(), xi_old in 1u64..6) {
+/// Figure 1 semantics: every *plain* tuple contains no pattern from the
+/// recycled set (otherwise it would have been covered).
+#[test]
+fn selection_rule_semantics() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x5e1e_0000 + case);
+        let db = random_db(&mut rng);
+        let xi_old = 1 + rng.gen_below(5);
         let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         for t in cdb.plain() {
             for p in fp.iter() {
-                prop_assert!(
+                assert!(
                     !t.contains_all(p.items()),
-                    "plain tuple {t} contains recycled pattern {p}"
+                    "case {case}: plain tuple {t} contains recycled pattern {p}"
                 );
             }
         }
     }
+}
 
-    /// The compressed F-list equals the plain F-list (counting through
-    /// groups is exact).
-    #[test]
-    fn compressed_counting_is_exact(db in db_strategy(), xi_old in 1u64..6, xi_new in 1u64..6) {
+/// The compressed F-list equals the plain F-list (counting through
+/// groups is exact).
+#[test]
+fn compressed_counting_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xc000_0000 + case);
+        let db = random_db(&mut rng);
+        let xi_old = 1 + rng.gen_below(5);
+        let xi_new = 1 + rng.gen_below(5);
         let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         let a = cdb.flist(xi_new);
         let b = FList::from_db(&db, xi_new);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// MCP picks, for each covered tuple, a pattern whose MCP utility is
-    /// maximal among the recycled patterns the tuple contains.
-    #[test]
-    fn mcp_picks_max_utility(db in db_strategy(), xi_old in 1u64..6) {
+/// MCP picks, for each covered tuple, a pattern whose MCP utility is
+/// maximal among the recycled patterns the tuple contains.
+#[test]
+fn mcp_picks_max_utility() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x3c90_0000 + case);
+        let db = random_db(&mut rng);
+        let xi_old = 1 + rng.gen_below(5);
         let fp = mine_apriori(&db, MinSupport::Absolute(xi_old));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         for g in cdb.groups() {
@@ -117,9 +139,9 @@ proptest! {
             for p in fp.iter() {
                 if member.contains_all(p.items()) {
                     let u = Strategy::Mcp.utility(p.len(), p.support(), db.len());
-                    prop_assert!(
+                    assert!(
                         u <= g_utility,
-                        "pattern {p} (U={u}) beats group {:?} (U={g_utility})",
+                        "case {case}: pattern {p} (U={u}) beats group {:?} (U={g_utility})",
                         g.pattern()
                     );
                 }

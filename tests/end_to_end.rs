@@ -28,7 +28,7 @@ fn check_preset(kind: PresetKind) {
         let recyclers: Vec<(&str, PatternSet)> = vec![
             ("RP-Mine", RpMine::default().mine(&cdb, xi_new)),
             ("Recycle-HM", RecycleHm.mine(&cdb, xi_new)),
-            ("FP-recycle", RecycleFp.mine(&cdb, xi_new)),
+            ("FP-recycle", RecycleFp::default().mine(&cdb, xi_new)),
             ("TP-recycle", RecycleTp.mine(&cdb, xi_new)),
         ];
         for (name, got) in recyclers {

@@ -1,49 +1,51 @@
 //! Constrained mining with search pushdown: the pruned searches must
 //! emit exactly the unconstrained result filtered by the pushed
 //! predicates — for plain databases (NaiveProjection, H-Mine) and for
-//! compressed databases (RP-Mine: constrained *recycling*).
+//! compressed databases (RP-Mine: constrained *recycling*) — over seeded
+//! random databases and constraint sets.
 
 use gogreen::core::utility::Strategy;
 use gogreen::prelude::*;
+use gogreen::util::rng::{Rng, SmallRng};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
 use gogreen_data::CollectSink;
 use gogreen_miners::{mine_apriori, HMine, NaiveProjection};
-use proptest::prelude::*;
-use proptest::strategy::Strategy as _;
+use std::collections::BTreeSet;
 
-fn db_strategy() -> impl proptest::strategy::Strategy<Value = TransactionDb> {
-    prop::collection::vec(prop::collection::btree_set(0u32..12, 1..8), 1..26).prop_map(
-        |rows| {
-            TransactionDb::from_transactions(
-                rows.into_iter()
-                    .map(Transaction::from_ids)
-                    .collect(),
-            )
-        },
-    )
+/// Random database: 1..26 tuples of 1..8 distinct items over 0..12.
+fn random_db(rng: &mut SmallRng) -> TransactionDb {
+    let rows = 1 + rng.gen_index(25);
+    let mut txs = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let len = 1 + rng.gen_index(7);
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(rng.gen_below(12) as u32);
+        }
+        txs.push(Transaction::from_ids(set));
+    }
+    TransactionDb::from_transactions(txs)
 }
 
-/// A random pushable constraint set plus its attribute table.
-fn cs_strategy() -> impl proptest::strategy::Strategy<Value = ConstraintSet> {
-    (
-        1u64..5,
-        prop::option::of(1usize..4),
-        prop::option::of(prop::collection::btree_set(0u32..12, 2..9)),
-        prop::option::of(20.0f64..90.0),
-    )
-        .prop_map(|(ms, maxlen, subset, budget)| {
-            let mut cs = ConstraintSet::support_only(MinSupport::Absolute(ms));
-            if let Some(k) = maxlen {
-                cs = cs.with(Constraint::MaxLength(k));
-            }
-            if let Some(s) = subset {
-                cs = cs.with(Constraint::SubsetOf(s.into_iter().map(Item).collect()));
-            }
-            if let Some(b) = budget {
-                cs = cs.with(Constraint::MaxSum { attr: price_attr(), bound: b });
-            }
-            cs
-        })
+/// A random pushable constraint set.
+fn random_cs(rng: &mut SmallRng) -> ConstraintSet {
+    let mut cs = ConstraintSet::support_only(MinSupport::Absolute(1 + rng.gen_below(4)));
+    if rng.gen_bool(0.5) {
+        cs = cs.with(Constraint::MaxLength(1 + rng.gen_index(3)));
+    }
+    if rng.gen_bool(0.5) {
+        let mut set = BTreeSet::new();
+        let want = 2 + rng.gen_index(7);
+        while set.len() < want {
+            set.insert(rng.gen_below(12) as u32);
+        }
+        cs = cs.with(Constraint::SubsetOf(set.into_iter().map(Item).collect()));
+    }
+    if rng.gen_bool(0.5) {
+        let bound = 20.0 + rng.gen_f64() * 70.0;
+        cs = cs.with(Constraint::MaxSum { attr: price_attr(), bound });
+    }
+    cs
 }
 
 fn attrs() -> ItemAttributes {
@@ -60,44 +62,50 @@ fn price_attr() -> gogreen_constraints::AttrId {
 /// The expected result: oracle output filtered by the pushed predicates.
 fn expected(db: &TransactionDb, cs: &ConstraintSet, attrs: &ItemAttributes) -> PatternSet {
     let pd = Pushdown::from_constraints(cs, attrs);
-    mine_apriori(db, cs.min_support())
-        .filter(|p| pd.prefix_ok(p.items(), attrs))
+    mine_apriori(db, cs.min_support()).filter(|p| pd.prefix_ok(p.items(), attrs))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn naive_pushdown_is_exact(db in db_strategy(), cs in cs_strategy()) {
+#[test]
+fn naive_pushdown_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x4a17_0000 + case);
+        let db = random_db(&mut rng);
+        let cs = random_cs(&mut rng);
         let attrs = attrs();
         let pd = Pushdown::from_constraints(&cs, &attrs);
         let mut sink = CollectSink::new();
         NaiveProjection.mine_pruned(&db, cs.min_support(), &pd.search(&attrs), &mut sink);
         let got = sink.into_set();
         let want = expected(&db, &cs, &attrs);
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+        assert!(got.same_patterns_as(&want), "case {case}: got {} want {}", got.len(), want.len());
     }
+}
 
-    #[test]
-    fn hmine_pushdown_is_exact(db in db_strategy(), cs in cs_strategy()) {
+#[test]
+fn hmine_pushdown_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x8517_0000 + case);
+        let db = random_db(&mut rng);
+        let cs = random_cs(&mut rng);
         let attrs = attrs();
         let pd = Pushdown::from_constraints(&cs, &attrs);
         let mut sink = CollectSink::new();
         HMine.mine_pruned(&db, cs.min_support(), &pd.search(&attrs), &mut sink);
         let got = sink.into_set();
         let want = expected(&db, &cs, &attrs);
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+        assert!(got.same_patterns_as(&want), "case {case}: got {} want {}", got.len(), want.len());
     }
+}
 
-    #[test]
-    fn recycled_pushdown_is_exact(
-        db in db_strategy(),
-        cs in cs_strategy(),
-        xi_old in 1u64..5,
-        mlp in any::<bool>(),
-    ) {
+#[test]
+fn recycled_pushdown_is_exact() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0x9ec7_0000 + case);
+        let db = random_db(&mut rng);
+        let cs = random_cs(&mut rng);
+        let xi_old = 1 + rng.gen_below(4);
+        let strategy = if rng.gen_bool(0.5) { Strategy::Mlp } else { Strategy::Mcp };
         let attrs = attrs();
-        let strategy = if mlp { Strategy::Mlp } else { Strategy::Mcp };
         let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
         let cdb = Compressor::new(strategy).compress(&db, &fp_old);
         let pd = Pushdown::from_constraints(&cs, &attrs);
@@ -105,7 +113,7 @@ proptest! {
         RpMine::default().mine_pruned(&cdb, cs.min_support(), &pd.search(&attrs), &mut sink);
         let got = sink.into_set();
         let want = expected(&db, &cs, &attrs);
-        prop_assert!(got.same_patterns_as(&want), "got {} want {}", got.len(), want.len());
+        assert!(got.same_patterns_as(&want), "case {case}: got {} want {}", got.len(), want.len());
     }
 }
 
@@ -116,12 +124,7 @@ fn concrete_pushdown_example() {
     let attrs = ItemAttributes::new();
     let cs = ConstraintSet::support_only(MinSupport::Absolute(2))
         .with(Constraint::MaxLength(2))
-        .with(Constraint::SubsetOf(vec![
-            Item(2),
-            Item(3),
-            Item(5),
-            Item(6),
-        ]));
+        .with(Constraint::SubsetOf(vec![Item(2), Item(3), Item(5), Item(6)]));
     let pd = Pushdown::from_constraints(&cs, &attrs);
     let mut sink = CollectSink::new();
     HMine.mine_pruned(&db, cs.min_support(), &pd.search(&attrs), &mut sink);

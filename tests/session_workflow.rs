@@ -68,14 +68,12 @@ fn session_dispatch_modes_follow_the_paper() {
 fn constrained_session_relaxation_is_exact() {
     let db = small_db();
     let mut session = MiningSession::new(db.clone());
-    let base = ConstraintSet::support_only(MinSupport::percent(4.0))
-        .with(Constraint::MinLength(2));
+    let base = ConstraintSet::support_only(MinSupport::percent(4.0)).with(Constraint::MinLength(2));
     session.run(base);
-    let relaxed = ConstraintSet::support_only(MinSupport::percent(2.0))
-        .with(Constraint::MinLength(2));
+    let relaxed =
+        ConstraintSet::support_only(MinSupport::percent(2.0)).with(Constraint::MinLength(2));
     let got = session.run(relaxed);
-    let want =
-        mine_apriori(&db, MinSupport::percent(2.0)).filter(|p| p.len() >= 2);
+    let want = mine_apriori(&db, MinSupport::percent(2.0)).filter(|p| p.len() >= 2);
     assert!(got.same_patterns_as(&want));
 }
 
