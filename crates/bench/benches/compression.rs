@@ -15,6 +15,9 @@ use gogreen_miners::mine_hmine;
 use gogreen_util::ToJson;
 
 fn main() {
+    // Rows carry per-run mining counters next to the timings (see
+    // BenchResult::counters) — work done, not just time spent.
+    gogreen_obs::metrics::set_enabled(true);
     let mut group = BenchGroup::new("compression");
     group.sample_size(20);
     for kind in [PresetKind::Connect4, PresetKind::Weather] {

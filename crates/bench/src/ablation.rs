@@ -1,4 +1,4 @@
-//! Ablations beyond the paper (indexed in DESIGN.md §5):
+//! Ablations beyond the paper (indexed in DESIGN.md §6):
 //!
 //! 1. **Utility function** — MCP vs MLP vs support-only vs length-only.
 //!    Separates MCP's two ingredients (exponential length term ×

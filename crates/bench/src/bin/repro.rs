@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale S] [--results DIR] <command>
+//! repro [--scale S] [--results DIR] [--metrics-out F] [--quiet-metrics] <command>
 //!
 //! commands:
 //!   all          Table 3 + Figures 9–24 + ablations
@@ -14,21 +14,34 @@
 //!   ext-compress-par
 //!                compression-kernel sweep: seed linear scan vs the
 //!                indexed cover kernel at 1/2/4/8 threads
+//!   quick        CI smoke: one mine→compress→recycle round on the
+//!                weather analog at a tiny scale
+//!   check-metrics <file>
+//!                validate a --metrics-out JSONL file (parses, and the
+//!                core mining/compression counters are present)
 //! ```
 //!
 //! `--scale` multiplies the paper's tuple counts (default 0.05).
+//! `--metrics-out` enables the `gogreen_obs` counter registry and writes
+//! the final snapshot as JSON lines.
 
 use gogreen_bench::ablation;
 use gogreen_bench::figures::{run_figure, run_mem_figure, FigureResult, MemFigureResult};
 use gogreen_bench::report::{fmt_secs, fmt_speedup, render_table, Reporter};
 use gogreen_bench::table3::run_table3;
 use gogreen_bench::DEFAULT_SCALE;
-use gogreen_datagen::PresetKind;
+use gogreen_core::recycle_hm::RecycleHm;
+use gogreen_core::{Compressor, RecyclingMiner, Strategy};
+use gogreen_data::MinSupport;
+use gogreen_datagen::{DatasetPreset, PresetKind};
+use gogreen_miners::mine_hmine;
+use gogreen_obs::metrics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = DEFAULT_SCALE;
     let mut results_dir = "results".to_owned();
+    let mut metrics_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -42,6 +55,11 @@ fn main() {
             "--results" => {
                 results_dir = it.next().unwrap_or_else(|| die("--results expects a directory"));
             }
+            "--metrics-out" => {
+                metrics_out =
+                    Some(it.next().unwrap_or_else(|| die("--metrics-out expects a file")));
+            }
+            "--quiet-metrics" => gogreen_obs::set_quiet(true),
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -51,6 +69,9 @@ fn main() {
     }
     if scale <= 0.0 {
         die("--scale must be positive");
+    }
+    if metrics_out.is_some() {
+        metrics::set_enabled(true);
     }
     let reporter = Reporter::new(&results_dir);
     let command = rest.first().map(String::as_str).unwrap_or("all");
@@ -90,22 +111,93 @@ fn main() {
         }
         "ablation" => cmd_ablation(scale, &reporter),
         "ext-compress-par" => cmd_compress_par(scale, &reporter),
+        "quick" | "--quick" => cmd_quick(scale),
+        "check-metrics" => {
+            let file = rest.get(1).cloned().unwrap_or_else(|| die("check-metrics expects a file"));
+            cmd_check_metrics(&file);
+        }
         other => die(&format!("unknown command {other:?} (try --help)")),
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, metrics::to_jsonl())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        if !gogreen_obs::quiet() {
+            eprintln!("metrics ({path}):\n{}", metrics::render_table());
+        }
     }
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("repro: {msg}");
+    gogreen_obs::error(&format!("repro: {msg}"));
     std::process::exit(2);
 }
 
 fn print_usage() {
     println!(
-        "repro [--scale S] [--results DIR] \
-         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par>\n\
+        "repro [--scale S] [--results DIR] [--metrics-out F] [--quiet-metrics] \
+         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|quick|check-metrics F>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
+}
+
+/// Counters every recycled run must touch; `check-metrics` requires
+/// them, CI runs `quick --metrics-out` and then `check-metrics`.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "compress.runs",
+    "compress.tuples_total",
+    "compress.groups_emitted",
+    "mine.candidate_tests",
+    "mine.group_hits",
+    "mine.projected_dbs",
+];
+
+/// One mine→compress→recycle round on the weather analog, small enough
+/// for a CI smoke job but touching every instrumented phase.
+fn cmd_quick(scale: f64) {
+    let preset = DatasetPreset::new(PresetKind::Weather, scale.min(0.02));
+    let db = preset.generate();
+    let fp = mine_hmine(&db, preset.xi_old());
+    let (cdb, stats) = Compressor::new(Strategy::Mcp).compress_with_stats(&db, &fp);
+    let patterns = RecycleHm.mine(&cdb, MinSupport::percent(2.0));
+    println!(
+        "quick: weather ×{} — {} tuples, {} recycled patterns, ratio {:.3}, {} patterns at 2% in {}",
+        preset.scale,
+        db.len(),
+        fp.len(),
+        stats.ratio,
+        patterns.len(),
+        fmt_secs(stats.duration.as_secs_f64()),
+    );
+}
+
+/// Validates a `--metrics-out` file: every line parses as a JSON object
+/// with `metric`/`kind`/`value`, and the core counters are present.
+fn cmd_check_metrics(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    let mut seen: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let json = gogreen_util::Json::parse(line)
+            .unwrap_or_else(|e| die(&format!("{path}:{}: invalid JSON: {e}", lineno + 1)));
+        let metric = json
+            .get("metric")
+            .and_then(|j| j.as_str())
+            .unwrap_or_else(|| die(&format!("{path}:{}: missing \"metric\"", lineno + 1)));
+        if json.get("value").and_then(|j| j.as_u64()).is_none() {
+            die(&format!("{path}:{}: missing numeric \"value\"", lineno + 1));
+        }
+        if json.get("kind").and_then(|j| j.as_str()).is_none() {
+            die(&format!("{path}:{}: missing \"kind\"", lineno + 1));
+        }
+        seen.push(metric.to_owned());
+    }
+    for required in REQUIRED_COUNTERS {
+        if !seen.iter().any(|s| s == required) {
+            die(&format!("{path}: required counter {required:?} missing"));
+        }
+    }
+    println!("check-metrics: {path} ok ({} metrics, all required counters present)", seen.len());
 }
 
 fn cmd_table3(scale: f64, reporter: &Reporter) {

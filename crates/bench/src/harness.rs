@@ -3,10 +3,13 @@
 //!
 //! Each measurement runs the closure once to warm caches, then `samples`
 //! timed iterations, reporting min/median/mean. Results print as a table
-//! and are returned so callers can archive them as JSON.
+//! and are returned so callers can archive them as JSON. When the
+//! `gogreen_obs` metrics registry is enabled, each result also carries
+//! the per-run counter deltas, so archived rows explain *what work* the
+//! timed code did, not just how long it took.
 
-use gogreen_util::{Json, ToJson};
-use std::time::Instant;
+use gogreen_obs::metrics;
+use gogreen_util::{Json, Stopwatch, ToJson};
 
 /// One benchmark's measured timings.
 #[derive(Debug, Clone)]
@@ -25,11 +28,14 @@ pub struct BenchResult {
     pub mean_s: f64,
     /// Number of timed samples.
     pub samples: usize,
+    /// Per-run counter deltas (counters only, averaged over warmup +
+    /// samples). Empty unless `gogreen_obs::metrics` is enabled.
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 impl ToJson for BenchResult {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("group", self.group.clone().into()),
             ("id", self.id.clone().into()),
             ("param", self.param.clone().into()),
@@ -37,7 +43,12 @@ impl ToJson for BenchResult {
             ("median_s", self.median_s.into()),
             ("mean_s", self.mean_s.into()),
             ("samples", self.samples.into()),
-        ])
+        ];
+        if !self.counters.is_empty() {
+            let counters = self.counters.iter().map(|&(n, v)| (n, Json::from(v)));
+            fields.push(("counters", Json::obj(counters)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -64,13 +75,28 @@ impl BenchGroup {
     /// result under `id`/`param`. The closure's return value is consumed
     /// via `std::hint::black_box` so the work is not optimized away.
     pub fn bench<T>(&mut self, id: &str, param: &str, mut f: impl FnMut() -> T) -> &BenchResult {
+        let before: Vec<(&'static str, u64)> = counter_values();
         std::hint::black_box(f());
         let mut times = Vec::with_capacity(self.samples);
+        // One stopwatch for the whole loop; each `lap()` reads the split
+        // since the previous one, so bookkeeping between samples (the
+        // push) is the only non-measured work charged to the next sample.
+        let mut watch = Stopwatch::started();
         for _ in 0..self.samples {
-            let start = Instant::now();
             std::hint::black_box(f());
-            times.push(start.elapsed().as_secs_f64());
+            times.push(watch.lap().as_secs_f64());
         }
+        // Deterministic workloads add the same counts every run, so the
+        // total delta divided by the run count is the exact per-run cost.
+        let runs = (self.samples + 1) as u64;
+        let counters = counter_values()
+            .into_iter()
+            .map(|(name, v)| {
+                let prev = before.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v);
+                (name, v.saturating_sub(prev) / runs)
+            })
+            .filter(|&(_, delta)| delta > 0)
+            .collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let result = BenchResult {
             group: self.name.clone(),
@@ -80,6 +106,7 @@ impl BenchGroup {
             median_s: times[times.len() / 2],
             mean_s: times.iter().sum::<f64>() / times.len() as f64,
             samples: times.len(),
+            counters,
         };
         println!(
             "{}/{}/{}: min {} median {} ({} samples)",
@@ -103,6 +130,16 @@ impl BenchGroup {
     pub fn finish(self) -> Vec<BenchResult> {
         self.results
     }
+}
+
+/// Current counter values (max-gauges excluded: their deltas across a
+/// benchmark run are not meaningful work counts).
+fn counter_values() -> Vec<(&'static str, u64)> {
+    metrics::snapshot()
+        .into_iter()
+        .filter(|(_, m)| m.kind == metrics::Kind::Counter)
+        .map(|(n, m)| (n, m.value))
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,8 +167,21 @@ mod tests {
             median_s: 0.2,
             mean_s: 0.2,
             samples: 3,
+            counters: vec![("mine.candidate_tests", 7)],
         };
         let s = r.to_json().dump();
         assert!(s.contains("\"group\":\"g\"") && s.contains("\"samples\":3"));
+        assert!(s.contains("\"counters\":{\"mine.candidate_tests\":7}"));
+    }
+
+    #[test]
+    fn counters_ride_along_when_enabled() {
+        metrics::set_enabled(true);
+        let mut g = BenchGroup::new("t");
+        g.sample_size(4);
+        let r = g.bench("count", "x", || metrics::add("bench.test_counter", 2)).clone();
+        metrics::set_enabled(false);
+        // 5 runs (1 warmup + 4 samples) × 2 per run, averaged back to 2.
+        assert!(r.counters.iter().any(|&(n, v)| n == "bench.test_counter" && v == 2));
     }
 }

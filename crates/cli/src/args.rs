@@ -1,22 +1,33 @@
-//! Minimal argument parsing: positionals plus `--flag value` options.
+//! Minimal argument parsing: positionals, `--flag value` options, and a
+//! small fixed set of valueless boolean switches.
 
 use gogreen_data::MinSupport;
+
+/// Options that take no value (boolean switches). Everything else after
+/// `--` consumes the next token as its value.
+const SWITCHES: &[&str] = &["quiet-metrics"];
 
 /// Parsed command line: positionals in order, options by name.
 #[derive(Debug, Default)]
 pub struct Args {
     positional: Vec<String>,
     options: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Args {
-    /// Splits `argv` into positionals and `--name value` / `-o value`
-    /// options. A `--name` at the end of the line is an error.
+    /// Splits `argv` into positionals, `--name value` / `-o value`
+    /// options, and the known valueless switches ([`SWITCHES`]). A
+    /// value-taking `--name` at the end of the line is an error.
     pub fn parse(argv: Vec<String>) -> Result<Self, String> {
         let mut out = Args::default();
         let mut it = argv.into_iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if SWITCHES.contains(&name) {
+                    out.switches.push(name.to_owned());
+                    continue;
+                }
                 let value = it.next().ok_or_else(|| format!("option --{name} expects a value"))?;
                 out.options.push((name.to_owned(), value));
             } else {
@@ -39,6 +50,11 @@ impl Args {
     /// A required `--name` value.
     pub fn required(&self, name: &str) -> Result<&str, String> {
         self.opt(name).ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// True when the boolean switch `--name` was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 }
 
@@ -85,6 +101,17 @@ mod tests {
     #[test]
     fn dangling_option_is_an_error() {
         assert!(Args::parse(argv(&["db.txt", "--support"])).is_err());
+    }
+
+    #[test]
+    fn switches_consume_no_value() {
+        let a = Args::parse(argv(&["db.txt", "--quiet-metrics", "--algo", "fp"])).unwrap();
+        assert!(a.switch("quiet-metrics"));
+        assert!(!a.switch("algo"));
+        assert_eq!(a.opt("algo"), Some("fp"));
+        assert_eq!(a.positional(0, "db").unwrap(), "db.txt");
+        // A switch at the end of the line is fine.
+        assert!(Args::parse(argv(&["--quiet-metrics"])).unwrap().switch("quiet-metrics"));
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! the paper's Table 3 statistics for one database/pattern-set pair.
 
 use crate::args::Args;
-use crate::commands::{load_db, parse_strategy, parse_threads};
+use crate::commands::{load_db, parse_strategy, parse_threads, setup_obs};
 use gogreen_core::Compressor;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let obs = setup_obs(&args)?;
     let path = args.positional(0, "database path")?;
     let db = load_db(path)?;
     let fp_path = args.required("patterns")?;
@@ -32,5 +33,5 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     if groups.len() > 8 {
         println!("  … {} more groups", groups.len() - 8);
     }
-    Ok(())
+    obs.finish()
 }

@@ -2,7 +2,7 @@
 //! optionally with pushed constraints, writing `items : support` lines.
 
 use crate::args::{parse_items, parse_support, Args};
-use crate::commands::{load_db, parse_threads, show_support};
+use crate::commands::{load_db, parse_threads, setup_obs, show_support};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
 use gogreen_core::rpmine::RpMine;
 use gogreen_core::CompressedDb;
@@ -13,6 +13,7 @@ use std::time::Instant;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let obs = setup_obs(&args)?;
     let path = args.positional(0, "database path")?;
     let db = load_db(path)?;
     let support = parse_support(args.required("support")?)?;
@@ -33,7 +34,12 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let pushdown = Pushdown::from_constraints(&cs, &attrs);
 
     let start = Instant::now();
-    let mut patterns = mine(&db, support, algo, par, &pushdown, &attrs)?;
+    let mut patterns = {
+        let mut sp = gogreen_obs::span("mine");
+        let patterns = mine(&db, support, algo, par, &pushdown, &attrs)?;
+        sp.field("algo", algo).field("patterns", patterns.len());
+        patterns
+    };
     let elapsed = start.elapsed();
     // Optional condensed-representation post-filters.
     match args.opt("filter") {
@@ -66,7 +72,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    obs.finish()
 }
 
 fn mine(

@@ -8,9 +8,11 @@ pub mod recycle;
 pub mod session;
 pub mod stats;
 
+use crate::args::Args;
 use gogreen_core::utility::Strategy;
 use gogreen_data::{MinSupport, TransactionDb};
 use gogreen_util::pool::Parallelism;
+use std::io::Write;
 
 /// Loads a transaction database with a friendly error.
 pub fn load_db(path: &str) -> Result<TransactionDb, String> {
@@ -40,4 +42,46 @@ pub fn parse_threads(opt: Option<&str>) -> Result<Parallelism, String> {
 /// Renders a support back for messages.
 pub fn show_support(ms: MinSupport, db_len: usize) -> String {
     format!("{ms} (≥ {} tuples)", ms.to_absolute(db_len))
+}
+
+/// Observability wiring shared by the mining subcommands: honours
+/// `--trace-out <file>`, `--metrics-out <file>` and `--quiet-metrics`.
+/// Build one right after [`Args::parse`] and call [`ObsGuard::finish`]
+/// once the command's work is done.
+pub struct ObsGuard {
+    metrics_out: Option<String>,
+}
+
+/// Installs the trace writer, enables the metrics registry, and records
+/// where to write metrics on [`ObsGuard::finish`].
+pub fn setup_obs(args: &Args) -> Result<ObsGuard, String> {
+    gogreen_obs::set_quiet(args.switch("quiet-metrics"));
+    if let Some(path) = args.opt("trace-out") {
+        let f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        gogreen_obs::set_trace_writer(Box::new(std::io::BufWriter::new(f)));
+    }
+    let metrics_out = args.opt("metrics-out").map(str::to_owned);
+    if metrics_out.is_some() || args.opt("trace-out").is_some() {
+        gogreen_obs::metrics::set_enabled(true);
+    }
+    Ok(ObsGuard { metrics_out })
+}
+
+impl ObsGuard {
+    /// Writes the metric snapshot as JSONL, prints the human-readable
+    /// table to stderr (unless `--quiet-metrics`), and flushes/closes
+    /// the trace writer.
+    pub fn finish(self) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, gogreen_obs::metrics::to_jsonl())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !gogreen_obs::quiet() {
+                eprintln!("metrics ({path}):\n{}", gogreen_obs::metrics::render_table());
+            }
+        }
+        if let Some(mut w) = gogreen_obs::take_trace_writer() {
+            w.flush().map_err(|e| format!("flushing trace: {e}"))?;
+        }
+        Ok(())
+    }
 }

@@ -2,7 +2,7 @@
 //! paper's two-phase pipeline from the command line.
 
 use crate::args::{parse_support, Args};
-use crate::commands::{load_db, parse_strategy, parse_threads, show_support};
+use crate::commands::{load_db, parse_strategy, parse_threads, setup_obs, show_support};
 use gogreen_core::recycle_fp::RecycleFp;
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_core::recycle_tp::RecycleTp;
@@ -12,6 +12,7 @@ use std::time::Instant;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let obs = setup_obs(&args)?;
     let path = args.positional(0, "database path")?;
     let db = load_db(path)?;
     let fp_path = args.required("patterns")?;
@@ -51,5 +52,5 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {out}");
     }
-    Ok(())
+    obs.finish()
 }

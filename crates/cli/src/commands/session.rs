@@ -14,7 +14,7 @@
 //! ```
 
 use crate::args::{parse_support, Args};
-use crate::commands::{load_db, parse_threads};
+use crate::commands::{load_db, parse_threads, setup_obs};
 use gogreen_constraints::{Constraint, ConstraintSet};
 use gogreen_core::session::{Engine, MiningSession};
 use gogreen_data::{MinSupport, PatternSet};
@@ -23,6 +23,7 @@ use std::io::BufRead;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
+    let obs = setup_obs(&args)?;
     let path = args.positional(0, "database path")?;
     let db = load_db(path)?;
     let par = parse_threads(args.opt("threads"))?;
@@ -31,7 +32,8 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         db.len()
     );
     let stdin = std::io::stdin();
-    drive_with(db, par, stdin.lock())
+    drive_with(db, par, stdin.lock())?;
+    obs.finish()
 }
 
 /// The REPL body, separated from stdin for testability; `par` is the

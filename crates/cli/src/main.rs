@@ -59,7 +59,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("gogreen: {msg}");
+            gogreen_obs::error(&format!("gogreen: {msg}"));
             ExitCode::from(2)
         }
     }
@@ -91,6 +91,13 @@ FORMATS
   threads:   worker threads for compression and recycled mining
              (default 1 = the paper's serial timings; 0 = all cores;
              output is identical at any thread count)
+
+OBSERVABILITY (mine | compress | recycle | session)
+  --metrics-out <file>   write mining counters as JSON lines and print a
+                         summary table (counters outside `cover.*` are
+                         bit-identical at any --threads setting)
+  --trace-out <file>     write hierarchical phase spans as JSON lines
+  --quiet-metrics        suppress the summary table and progress lines
 
 The recycle command is the paper's two-phase pipeline: compress <db>
 with the recycled <fp.txt>, then mine the compressed database — exact,

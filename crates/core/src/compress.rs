@@ -19,8 +19,9 @@ use crate::cdb::{CompressedDb, Group};
 use crate::cover::CoverIndex;
 use crate::utility::{order_by_utility, Strategy};
 use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use gogreen_obs::{metrics, span};
 use gogreen_util::pool::{par_chunks, Parallelism};
-use gogreen_util::FxHashMap;
+use gogreen_util::{FxHashMap, Stopwatch};
 use std::time::{Duration, Instant};
 
 /// Outcome metrics of one compression run (paper Table 3 columns).
@@ -112,7 +113,10 @@ impl Compressor {
         fp: &PatternSet,
     ) -> (CompressedDb, CompressionStats) {
         let start = Instant::now();
+        let mut sp = span("compress");
+        let mut watch = Stopwatch::started();
         let index = CoverIndex::new(db, fp, self.strategy);
+        let build = watch.lap();
 
         // Each worker runs the vertical sweep on one contiguous chunk of
         // the database (`par_chunks` is a single inline chunk when
@@ -120,6 +124,8 @@ impl Compressor {
         // every pattern's member list exactly as one serial pass over the
         // whole database would have, so the CDB is identical for any
         // thread count.
+        let mut cover_sp = span("cover");
+        cover_sp.field("tuples", db.len()).field("patterns", fp.len());
         let parts = par_chunks(self.parallelism, db.tuples(), |_, chunk| {
             let assign = index.cover_all(chunk);
             let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
@@ -142,6 +148,7 @@ impl Compressor {
             }
             (by_pattern, plain, items)
         });
+        drop(cover_sp);
         let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
         let mut plain: Vec<Transaction> = Vec::new();
         let mut original_items = 0usize;
@@ -161,6 +168,7 @@ impl Compressor {
             |pidx| index.pattern(pidx).items().to_vec(),
         );
         let cdb = CompressedDb::new(groups, plain, original_items);
+        let sweep = watch.lap();
         let s = cdb.stats();
         let stats = CompressionStats {
             duration: start.elapsed(),
@@ -169,6 +177,17 @@ impl Compressor {
             covered_tuples: s.covered_tuples,
             num_tuples: s.num_tuples,
         };
+        metrics::add("compress.runs", 1);
+        metrics::add("compress.tuples_total", stats.num_tuples as u64);
+        metrics::add("compress.tuples_covered", stats.covered_tuples as u64);
+        metrics::add("compress.groups_emitted", stats.num_groups as u64);
+        sp.field("strategy", self.name())
+            .field("patterns", fp.len())
+            .field("tuples", stats.num_tuples)
+            .field("covered", stats.covered_tuples)
+            .field("groups", stats.num_groups)
+            .field("build_us", build.as_micros() as u64)
+            .field("sweep_us", sweep.as_micros() as u64);
         (cdb, stats)
     }
 

@@ -53,6 +53,7 @@
 
 use crate::utility::{order_by_utility, Strategy};
 use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use gogreen_obs::metrics;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -317,6 +318,11 @@ impl<'a> CoverIndex<'a> {
         }
         let mut remaining = n;
         let mut acc = vec![0u64; words];
+        // Machine-work counter: AND-chain words touched. Chunked parallel
+        // sweeps partition the work differently per thread count, so this
+        // lives under the thread-*variant* `cover.*` prefix (see
+        // `gogreen_obs::metrics::is_thread_invariant`).
+        let mut words_scanned = 0u64;
         // Scratch for one pattern's (rarity, slot) pairs, rarest first.
         let mut chain: Vec<(u32, u32)> = Vec::new();
         'patterns: for k in 0..self.order.len() {
@@ -337,6 +343,7 @@ impl<'a> CoverIndex<'a> {
             chain.sort_unstable();
             let col = &bits[chain[0].1 as usize * words..][..words];
             let mut any = 0u64;
+            words_scanned += words as u64;
             for w in 0..words {
                 acc[w] = uncovered[w] & col[w];
                 any |= acc[w];
@@ -347,6 +354,7 @@ impl<'a> CoverIndex<'a> {
             for &(_, slot) in &chain[1..] {
                 let col = &bits[slot as usize * words..][..words];
                 let mut any = 0u64;
+                words_scanned += words as u64;
                 for w in 0..words {
                     acc[w] &= col[w];
                     any |= acc[w];
@@ -369,6 +377,7 @@ impl<'a> CoverIndex<'a> {
                 break;
             }
         }
+        metrics::add("cover.words_scanned", words_scanned);
         out
     }
 }

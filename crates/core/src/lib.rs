@@ -70,8 +70,11 @@ pub trait RecyclingMiner {
 
     /// Convenience wrapper collecting into a [`PatternSet`].
     fn mine(&self, cdb: &CompressedDb, min_support: MinSupport) -> PatternSet {
+        let mut sp = gogreen_obs::span("mine");
         let mut sink = CollectSink::new();
         self.mine_into(cdb, min_support, &mut sink);
-        sink.into_set()
+        let set = sink.into_set();
+        sp.field("engine", self.name()).field("patterns", set.len());
+        set
     }
 }

@@ -27,6 +27,7 @@ use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
 use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_miners::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
+use gogreen_obs::metrics;
 use gogreen_util::pool::{par_chunks, Parallelism};
 use std::rc::Rc;
 
@@ -167,10 +168,15 @@ fn mine_node(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
     // Count: pattern items via group counts, outliers via tree headers.
+    // Both paths are group-at-a-time: one weighted add stands in for a
+    // whole group (or header row) of member tuples.
+    let mut group_hits = 0u64;
     for (ci, cg) in cgs.iter().enumerate() {
         for &x in &cg.pattern {
             ctx.scratch.add(x, cg.count);
+            group_hits += 1;
             let s = &mut ctx.src[x as usize];
             *s = match *s {
                 SRC_NONE => ci as u32,
@@ -182,11 +188,14 @@ fn mine_node(
             for h in tree.headers() {
                 if (h.rank as i64) > cg.bound {
                     ctx.scratch.add(h.rank, h.count);
+                    group_hits += 1;
                     ctx.src[h.rank as usize] = SRC_MIXED;
                 }
             }
         }
     }
+    metrics::add("mine.group_hits", group_hits);
+    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
     let mut frequent: Vec<(u32, u64)> = ctx
         .scratch
         .touched()
@@ -220,6 +229,7 @@ fn mine_node(
         emitter.emit(sink, c);
         let children = project(cgs, r, &frequent, ctx, &mut climb);
         if !children.is_empty() {
+            metrics::add("mine.projected_dbs", 1);
             mine_node(&children, ctx, emitter, sink);
         }
         emitter.pop();
@@ -238,6 +248,9 @@ fn project(
 ) -> Vec<CondGroup> {
     let is_node_frequent = |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
     let mut out = Vec::new();
+    // Per-path work of conditional-base extraction (the part compression
+    // does NOT save — pattern-item projections above are O(1)).
+    let mut touches = 0u64;
     for cg in cgs {
         match cg.pattern.binary_search(&r) {
             Ok(pos) => {
@@ -277,6 +290,7 @@ fn project(
                         for &x in climb.iter() {
                             ctx.scratch.add(x, w);
                         }
+                        touches += climb.len() as u64;
                         base.push((climb.clone(), w));
                     }
                     node = tree.next_same_rank(node);
@@ -298,6 +312,7 @@ fn project(
             }
         }
     }
+    metrics::add("mine.tuple_touches", touches);
     out
 }
 

@@ -35,6 +35,7 @@ use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
 use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_obs::metrics;
 
 /// Entry item marking the end of a tail.
 const SENT: u32 = u32::MAX;
@@ -238,17 +239,20 @@ impl Ctx {
     }
 
     /// Adds +1 (source MIXED) for each remaining outlier rank of
-    /// `member` (anchors guarantee every remaining entry is in scope).
+    /// `member` (anchors guarantee every remaining entry is in scope);
+    /// returns the number of entries touched.
     #[inline]
-    fn count_member(&mut self, (_, pos): Member) {
+    fn count_member(&mut self, (_, pos): Member) -> u64 {
         let mut e = pos as usize;
+        let mut touched = 0u64;
         loop {
             let x = self.s.eitem[e];
             if x == SENT {
-                return;
+                return touched;
             }
             self.scratch.add(x, 1);
             self.src[x as usize] = SRC_MIXED;
+            touched += 1;
             e += 1;
         }
     }
@@ -352,20 +356,26 @@ struct Counted {
 /// per view (weight = member count), outliers and plain tuples per
 /// occurrence.
 fn count_node(node: &Node, ctx: &mut Ctx) -> Counted {
+    let mut group_hits = 0u64;
+    let mut touches = 0u64;
     for (vi, v) in node.views.iter().enumerate() {
         let c = v.count();
         for k in v.pat_from as usize..ctx.s.gpat[v.gid as usize].len() {
             let x = ctx.s.gpat[v.gid as usize][k];
             ctx.scratch.add(x, c);
             ctx.merge_src(x, vi as u32);
+            group_hits += 1;
         }
         for &m in &v.members {
-            ctx.count_member(m);
+            touches += ctx.count_member(m);
         }
     }
     for &m in &node.plain {
-        ctx.count_member(m);
+        touches += ctx.count_member(m);
     }
+    metrics::add("mine.group_hits", group_hits);
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
     let mut frequent: Vec<(u32, u64)> = ctx
         .scratch
         .touched()
@@ -447,6 +457,7 @@ fn mine_node(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
     let counted = count_node(&node, ctx);
     if counted.frequent.is_empty() {
         return;
@@ -552,6 +563,7 @@ fn mine_node(
         }
 
         if !child_views.is_empty() || !child_plain.is_empty() {
+            metrics::add("mine.projected_dbs", 1);
             mine_node(Node { views: child_views, plain: child_plain }, ctx, emitter, sink);
             // The recursion reused the tag arrays; restore this node's.
             ctx.tag_lf(&frequent);

@@ -19,6 +19,7 @@ use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
 use gogreen_miners::common::{for_each_subset, RankEmitter};
 use gogreen_miners::treeproj::PairMatrix;
+use gogreen_obs::metrics;
 
 /// The TP-recycle miner.
 #[derive(Debug, Default, Clone)]
@@ -104,13 +105,19 @@ fn tp_node(
     if k < 2 {
         return;
     }
-    // One pass fills all pair supports, group-aware.
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
+    // One pass fills all pair supports, group-aware. Pattern × pattern
+    // bumps are group-at-a-time (weight = member count); everything
+    // touching an outlier list is per-member work.
     let mut matrix = PairMatrix::new(k);
+    let mut group_hits = 0u64;
+    let mut touches = 0u64;
     for g in groups {
         let c = g.count();
         for (pi, &a) in g.pattern.iter().enumerate() {
             for &b in &g.pattern[pi + 1..] {
                 matrix.bump_by(a, b, c);
+                group_hits += 1;
             }
         }
         for m in &g.members {
@@ -127,9 +134,13 @@ fn tp_node(
                         matrix.bump(x, p);
                     }
                 }
+                touches += (m.len() - oi - 1) as u64 + g.pattern.len() as u64;
             }
         }
     }
+    metrics::add("mine.group_hits", group_hits);
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
     // Children, depth-first.
     let mut remap = vec![u32::MAX; k];
     for i in 0..k as u32 {
@@ -151,6 +162,7 @@ fn tp_node(
             }
         }
         let child_groups = project(groups, i, &remap);
+        metrics::add("mine.projected_dbs", 1);
         emitter.push(exts[i as usize].0);
         tp_node(&child_groups, &child_exts, minsup, emitter, sink);
         emitter.pop();

@@ -24,6 +24,7 @@ use crate::cdb::{CompressedDb, CompressedRankDb, CrGroup};
 use crate::RecyclingMiner;
 use gogreen_data::{CollectSink, MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
 use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_obs::metrics;
 
 /// Per-rank contribution source, for the Lemma 3.1 check.
 const SRC_NONE: u32 = u32::MAX;
@@ -118,10 +119,13 @@ struct Counted {
 
 /// Counts item supports of `view`, tracking contribution sources.
 fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
+    let mut group_hits = 0u64;
+    let mut touches = 0u64;
     for (gi, g) in view.groups.iter().enumerate() {
         let c = g.count();
         for &r in &g.pattern {
             ctx.scratch.add(r, c);
+            group_hits += 1;
             let s = &mut ctx.src[r as usize];
             *s = match *s {
                 SRC_NONE => gi as u32,
@@ -134,6 +138,7 @@ fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
                 ctx.scratch.add(r, 1);
                 ctx.src[r as usize] = SRC_MIXED;
             }
+            touches += o.len() as u64;
         }
     }
     for t in &view.plain {
@@ -141,7 +146,11 @@ fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
             ctx.scratch.add(r, 1);
             ctx.src[r as usize] = SRC_MIXED;
         }
+        touches += t.len() as u64;
     }
+    metrics::add("mine.group_hits", group_hits);
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
     let mut frequent: Vec<(u32, u64)> = ctx
         .scratch
         .touched()
@@ -242,6 +251,7 @@ fn mine_rec(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
     let counted = count_view(view, ctx);
     if counted.frequent.is_empty() {
         return;
@@ -260,6 +270,7 @@ fn mine_rec(
         if prune.may_extend(emitter.depth()) {
             let sub = project(view, r);
             if !sub.groups.is_empty() || !sub.plain.is_empty() {
+                metrics::add("mine.projected_dbs", 1);
                 mine_rec(&sub, ctx, prune, emitter, sink);
             }
         }

@@ -26,6 +26,7 @@ use crate::RecyclingMiner;
 use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
 use gogreen_data::{PatternSet, TransactionDb};
 use gogreen_miners::{FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use gogreen_obs::{metrics, span};
 use gogreen_util::pool::Parallelism;
 use std::time::Duration;
 
@@ -75,6 +76,27 @@ pub enum RunMode {
     /// Relaxed (or incomparable) constraints: previous patterns recycled
     /// through compression.
     Recycled,
+}
+
+impl RunMode {
+    /// Lowercase label used in trace spans and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunMode::Fresh => "fresh",
+            RunMode::Cached => "cached",
+            RunMode::Filtered => "filtered",
+            RunMode::Recycled => "recycled",
+        }
+    }
+
+    fn counter(self) -> &'static str {
+        match self {
+            RunMode::Fresh => "session.rounds_fresh",
+            RunMode::Cached => "session.rounds_cached",
+            RunMode::Filtered => "session.rounds_filtered",
+            RunMode::Recycled => "session.rounds_recycled",
+        }
+    }
 }
 
 /// Metrics of one session round.
@@ -187,11 +209,18 @@ impl MiningSession {
     /// Runs one round, also reporting how it was answered.
     pub fn run_with_report(&mut self, constraints: ConstraintSet) -> (PatternSet, RoundReport) {
         let db_len = self.db.len();
+        let xi = constraints.min_support().to_absolute(db_len);
+        let mut sp = span("session.round");
         let started = std::time::Instant::now();
         let (mode, full, compression, fodder_patterns) = match &self.last {
             Some((prev_cs, prev_full, prev_answer)) => {
                 match constraints.relation_to(prev_cs, db_len) {
                     Relation::Equal => {
+                        metrics::add("session.rounds", 1);
+                        metrics::add(RunMode::Cached.counter(), 1);
+                        sp.field("mode", RunMode::Cached.label())
+                            .field("xi", xi)
+                            .field("patterns", prev_answer.len());
                         let report = RoundReport {
                             mode: RunMode::Cached,
                             mining_time: started.elapsed(),
@@ -202,8 +231,7 @@ impl MiningSession {
                         return (prev_answer.clone(), report);
                     }
                     Relation::Tightened => {
-                        let minsup = constraints.min_support().to_absolute(db_len);
-                        let full = prev_full.filter(|p| p.support() >= minsup);
+                        let full = prev_full.filter(|p| p.support() >= xi);
                         (RunMode::Filtered, full, None, None)
                     }
                     _ => {
@@ -239,8 +267,17 @@ impl MiningSession {
             num_patterns: answer.len(),
             fodder_patterns,
         };
+        metrics::add("session.rounds", 1);
+        metrics::add(mode.counter(), 1);
+        sp.field("mode", mode.label())
+            .field("xi", xi)
+            .field("full_patterns", full.len())
+            .field("patterns", answer.len());
+        if let Some(n) = fodder_patterns {
+            sp.field("fodder_patterns", n);
+        }
         // Track the richest full set for future recycling.
-        let abs = constraints.min_support().to_absolute(db_len);
+        let abs = xi;
         let richer = match &self.richest {
             None => true,
             Some((best_abs, best)) => abs < *best_abs || full.len() > best.len(),

@@ -13,6 +13,7 @@
 
 use crate::Miner;
 use gogreen_data::{Item, MinSupport, PatternSink, TransactionDb};
+use gogreen_obs::metrics;
 use gogreen_util::FxHashSet;
 
 /// Apriori miner configuration. The default is the plain algorithm.
@@ -35,6 +36,7 @@ impl Miner for Apriori {
         let minsup = min_support.to_absolute(db.len());
         // L1: frequent items with their tidlists.
         let supports = db.item_supports();
+        metrics::add("mine.candidate_tests", supports.len() as u64);
         let mut level: Vec<LevelEntry> = Vec::new();
         for (id, &sup) in supports.iter().enumerate() {
             if sup >= minsup {
@@ -50,14 +52,17 @@ impl Miner for Apriori {
             for (slot, e) in level.iter().enumerate() {
                 pos[e.items[0].index()] = slot as i64;
             }
+            let mut touches = 0u64;
             for (tid, t) in db.iter().enumerate() {
                 for &it in t.items() {
                     let p = pos[it.index()];
                     if p >= 0 {
                         level[p as usize].tids.push(tid as u32);
+                        touches += 1;
                     }
                 }
             }
+            metrics::add("mine.tuple_touches", touches);
         }
         for e in &level {
             sink.emit(&e.items, e.tids.len() as u64);
@@ -84,6 +89,7 @@ impl Miner for Apriori {
                         if !all_subsets_frequent(&cand, &prev) {
                             continue;
                         }
+                        metrics::add("mine.candidate_tests", 1);
                         let tids = intersect(&level[a].tids, &level[b].tids);
                         if tids.len() as u64 >= minsup {
                             sink.emit(&cand, tids.len() as u64);

@@ -14,6 +14,7 @@
 use crate::common::{for_each_subset, RankEmitter, ScratchCounts};
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, PatternSink, TransactionDb};
+use gogreen_obs::metrics;
 
 /// Arena/link sentinel shared by all FP-tree fields.
 pub const FP_NIL: u32 = u32::MAX;
@@ -219,6 +220,9 @@ impl FpTreeBuilder {
 
     /// Finishes construction, dropping the child/sibling chains.
     pub fn finish(self) -> FpTree {
+        // Every allocation site funnels through one builder, so this is
+        // the single place FP-tree nodes are accounted (root excluded).
+        metrics::add("mine.fp_nodes", self.tree.rank.len() as u64 - 1);
         self.tree
     }
 }
@@ -271,6 +275,7 @@ fn mine_tree(
             return;
         }
     }
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
     let mut climb = Vec::with_capacity(16);
     for row in 0..tree.headers().len() {
         let hdr = tree.headers()[row];
@@ -280,6 +285,7 @@ fn mine_tree(
         // Conditional pattern base: prefix paths of every node of this
         // rank, weighted by the node count.
         let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+        let mut touches = 0u64;
         let mut node = hdr.head;
         while node != FP_NIL {
             let w = tree.count_of(node);
@@ -288,12 +294,16 @@ fn mine_tree(
                 for &r in &climb {
                     ctx.scratch.add(r, w);
                 }
+                touches += climb.len() as u64;
                 base.push((climb.clone(), w));
             }
             node = tree.next_same_rank(node);
         }
+        metrics::add("mine.tuple_touches", touches);
+        metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
         let freq = ctx.scratch.drain_frequent(ctx.minsup);
         if !freq.is_empty() {
+            metrics::add("mine.projected_dbs", 1);
             let mut builder = FpTreeBuilder::new(&freq);
             let mut filtered: Vec<u32> = Vec::new();
             for (ranks, w) in &base {

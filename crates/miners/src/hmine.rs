@@ -20,6 +20,7 @@
 use crate::common::{RankEmitter, ScratchCounts};
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
+use gogreen_obs::metrics;
 
 /// Link/arena sentinel.
 const NIL: u32 = u32::MAX;
@@ -168,11 +169,15 @@ impl HMine {
     ) {
         let n = flist.len();
         let mut scratch = ScratchCounts::new(n);
+        let mut touches = 0u64;
         for t in tuples {
             for &r in t {
                 scratch.add(r, 1);
+                touches += 1;
             }
         }
+        metrics::add("mine.tuple_touches", touches);
+        metrics::add("mine.candidate_tests", scratch.touched().len() as u64);
         let frequent = scratch.drain_frequent(minsup);
         if frequent.is_empty() {
             return;
@@ -224,6 +229,7 @@ fn mine_level<P: SearchPrune>(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
+    metrics::set_max("mine.max_depth", depth as u64);
     for idx in 0..cells.len() {
         let r = cells[idx].rank;
         emitter.push(r);
@@ -240,6 +246,7 @@ fn mine_level<P: SearchPrune>(
             // Pass 1 — count extensions of r among this queue's tuples
             // (skipped entirely when pruning forbids descending).
             if descend {
+                let mut touches = 0u64;
                 let mut e = cells[idx].head;
                 while e != NIL {
                     let mut p = e as usize + 1;
@@ -250,15 +257,19 @@ fn mine_level<P: SearchPrune>(
                         }
                         if ctx.active[x as usize] == depth {
                             ctx.scratch.add(x, 1);
+                            touches += 1;
                         }
                         p += 1;
                     }
                     e = ctx.hs.next[e as usize];
                 }
+                metrics::add("mine.tuple_touches", touches);
+                metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
             }
             let sub = ctx.scratch.drain_frequent(ctx.minsup);
 
             if !sub.is_empty() {
+                metrics::add("mine.projected_dbs", 1);
                 // Enter sub-level: activate items, saving parent state.
                 let mut subcells: Vec<Cell> =
                     sub.iter().map(|&(x, c)| Cell { rank: x, count: c, head: NIL }).collect();

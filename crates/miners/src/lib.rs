@@ -53,9 +53,12 @@ pub trait Miner {
 
     /// Convenience wrapper collecting the result into a [`PatternSet`].
     fn mine(&self, db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+        let mut sp = gogreen_obs::span("mine");
         let mut sink = CollectSink::new();
         self.mine_into(db, min_support, &mut sink);
-        sink.into_set()
+        let set = sink.into_set();
+        sp.field("engine", self.name()).field("patterns", set.len());
+        set
     }
 }
 

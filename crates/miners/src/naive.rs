@@ -12,6 +12,7 @@ use crate::common::{RankEmitter, ScratchCounts};
 use crate::Miner;
 use gogreen_data::projected::RankDb;
 use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
+use gogreen_obs::metrics;
 
 /// Reference projected-database miner.
 #[derive(Debug, Default, Clone)]
@@ -90,12 +91,18 @@ fn mine_rec(
         if prune.may_extend(emitter.depth()) {
             let proj = rdb.project(r);
             if !proj.is_empty() {
+                metrics::add("mine.projected_dbs", 1);
+                metrics::set_max("mine.max_depth", emitter.depth() as u64);
                 // Count extensions (ranks > r survive projection).
+                let mut touches = 0u64;
                 for t in proj.tuples() {
                     for &x in t {
                         scratch.add(x, 1);
+                        touches += 1;
                     }
                 }
+                metrics::add("mine.tuple_touches", touches);
+                metrics::add("mine.candidate_tests", scratch.touched().len() as u64);
                 let sub = scratch.drain_frequent(minsup);
                 if !sub.is_empty() {
                     mine_rec(&proj, &sub, minsup, prune, emitter, scratch, sink);

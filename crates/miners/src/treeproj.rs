@@ -10,6 +10,7 @@
 use crate::common::RankEmitter;
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, PatternSink, TransactionDb};
+use gogreen_obs::metrics;
 use gogreen_util::FxHashMap;
 
 /// Above this many extensions the pair matrix switches from a dense
@@ -116,6 +117,7 @@ fn tp_node(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
     for &(rank, sup) in exts {
         emitter.push(rank);
         emitter.emit(sink, sup);
@@ -127,13 +129,18 @@ fn tp_node(
     }
     // One counting pass fills the supports of all pairs of extensions.
     let mut matrix = PairMatrix::new(k);
+    let mut touches = 0u64;
     for t in trans {
         for (p, &a) in t.iter().enumerate() {
             for &b in &t[p + 1..] {
                 matrix.bump(a, b);
             }
         }
+        touches += (t.len() * t.len().saturating_sub(1) / 2) as u64;
     }
+    metrics::add("mine.tuple_touches", touches);
+    // Every (i, j) pair of the matrix is one candidate support test.
+    metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
     // Children: extension i spawns a node whose extensions are the j > i
     // with frequent (i, j) pairs.
     let mut remap = vec![u32::MAX; k];
@@ -171,6 +178,7 @@ fn tp_node(
                 }
             }
         }
+        metrics::add("mine.projected_dbs", 1);
         emitter.push(exts[i as usize].0);
         tp_node(&child_trans, &child_exts, minsup, emitter, sink);
         emitter.pop();

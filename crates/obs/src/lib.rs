@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Observability for the `gogreen` workspace: tracing spans and mining
+//! counters that explain *why* recycling wins.
+//!
+//! The paper's headline claim — MCP beats MLP even though MLP compresses
+//! better — is a claim about *search-space work saved*: candidate tests
+//! skipped, projected databases built group-at-a-time instead of
+//! tuple-at-a-time. Wall clock alone cannot show that. This crate
+//! provides the two missing instruments:
+//!
+//! * [`metrics`] — a process-wide registry of named counters and
+//!   max-gauges. Updates go to a per-thread shard (no cross-thread
+//!   contention on hot paths) and merge into the global registry when the
+//!   thread exits or a snapshot is taken. Counter merges are additions
+//!   and gauge merges are `max` — both commutative and associative — so
+//!   totals are **bit-identical at any `--threads` setting** for counters
+//!   that measure logical work. When disabled (the default), every
+//!   update is a single relaxed atomic load and a branch.
+//! * [`span`] — hierarchical wall-time spans (enter/exit, phase name,
+//!   `key=value` fields, parent links) emitted as JSON lines to a
+//!   configurable writer. When no writer is installed, entering a span
+//!   reads no clock and allocates nothing.
+//!
+//! Both layers are *off* by default so that library users and the test
+//! suite pay (nearly) nothing; the CLI's `--trace-out` / `--metrics-out`
+//! flags switch them on per process.
+//!
+//! The crate depends only on `gogreen-util` (for [`gogreen_util::Json`]
+//! and the hasher), so every other workspace crate can depend on it
+//! without cycles.
+
+pub mod metrics;
+pub mod span;
+
+pub use span::{event, set_trace_writer, span, take_trace_writer, tracing_enabled, Span};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Suppresses progress/summary output routed through [`progress`]
+/// (the CLI's `--quiet-metrics`). Errors still print.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::Relaxed);
+}
+
+/// True when [`set_quiet`] suppressed progress output.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// A progress line: stderr unless quieted, plus a trace event when a
+/// trace writer is installed. Replaces ad-hoc `eprintln!` progress so
+/// one flag silences everything uniformly.
+pub fn progress(msg: &str) {
+    if !quiet() {
+        eprintln!("{msg}");
+    }
+    event("progress", [("msg", gogreen_util::Json::from(msg))]);
+}
+
+/// An error line: always printed to stderr (quiet does not apply), and
+/// mirrored into the trace stream when one is active.
+pub fn error(msg: &str) {
+    eprintln!("{msg}");
+    event("error", [("msg", gogreen_util::Json::from(msg))]);
+}

@@ -20,6 +20,7 @@ use gogreen_core::memory::{estimate_hmine_bytes, estimate_rp_struct_bytes};
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_data::{CollectSink, FList, Item, MinSupport, PatternSet, PatternSink, TransactionDb};
 use gogreen_miners::HMine;
+use gogreen_obs::metrics;
 use gogreen_util::FxHashMap;
 
 /// I/O metrics of one memory-limited run.
@@ -64,7 +65,9 @@ impl LimitedHMine {
         let tuples: Vec<Vec<u32>> =
             db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
         let occurrences: usize = tuples.iter().map(Vec::len).sum();
-        if self.budget.fits(estimate_hmine_bytes(occurrences, tuples.len())) {
+        let est = estimate_hmine_bytes(occurrences, tuples.len());
+        metrics::set_max("storage.budget_high_water", est as u64);
+        if self.budget.fits(est) {
             HMine.mine_encoded(&tuples, &flist, &[], minsup, sink);
             return Ok(report);
         }
@@ -117,6 +120,7 @@ impl LimitedHMine {
         if mgr.partition_records(r) == 0 {
             return Ok(());
         }
+        metrics::set_max("storage.budget_high_water", mgr.estimated_memory(r) as u64);
         if self.budget.fits(mgr.estimated_memory(r)) {
             let mut tuples = Vec::with_capacity(mgr.partition_records(r) as usize);
             mgr.for_each_record(r, |rec| {
@@ -209,7 +213,9 @@ impl LimitedRecycleHm {
             return Ok(report);
         }
         let rdb = cdb.to_ranks(&flist);
-        if self.budget.fits(estimate_rp_struct_bytes(&rdb)) {
+        let est = estimate_rp_struct_bytes(&rdb);
+        metrics::set_max("storage.budget_high_water", est as u64);
+        if self.budget.fits(est) {
             RecycleHm.mine_rank_db(&rdb, &flist, &[], minsup, sink);
             return Ok(report);
         }
@@ -265,6 +271,7 @@ impl LimitedRecycleHm {
         if mgr.partition_records(r) == 0 {
             return Ok(());
         }
+        metrics::set_max("storage.budget_high_water", mgr.estimated_memory(r) as u64);
         if self.budget.fits(mgr.estimated_memory(r)) {
             let mut rdb =
                 CompressedRankDb { groups: Vec::new(), plain: Vec::new(), num_ranks: flist.len() };

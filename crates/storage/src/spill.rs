@@ -7,6 +7,7 @@
 //! beyond the decode buffer. Everything is deleted on drop.
 
 use crate::codec::{ByteReader, SpillRecord};
+use gogreen_obs::metrics;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -86,6 +87,10 @@ impl SpillManager {
         let path = dir.join(format!("part-{rank}.bin"));
         let mut f = OpenOptions::new().create(true).append(true).open(path)?;
         f.write_all(&p.buf)?;
+        metrics::add("storage.spill_bytes", p.buf.len() as u64);
+        if !p.created {
+            metrics::add("storage.spill_partitions", 1);
+        }
         p.bytes += p.buf.len() as u64;
         p.buf.clear();
         p.created = true;

@@ -15,8 +15,9 @@
 //!   paper (§5.3) budgets against these estimates.
 //! * [`rng`] — a seedable xoshiro256++ generator for synthetic data and
 //!   randomized tests (no `rand` dependency).
-//! * [`json`] — write-only JSON values for the experiment harness's
-//!   result records.
+//! * [`json`] — JSON values for the experiment harness's result records
+//!   and the observability layer's traces, with a minimal parser for
+//!   reading artifacts back.
 //! * [`pool`] — the [`pool::Parallelism`] knob and scoped-thread fork/join
 //!   helpers with deterministic, input-ordered results.
 

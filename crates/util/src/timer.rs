@@ -22,17 +22,23 @@ use std::time::{Duration, Instant};
 pub struct Stopwatch {
     accumulated: Duration,
     running_since: Option<Instant>,
+    /// Total elapsed at the last [`Self::lap`] call (zero initially).
+    lap_mark: Duration,
 }
 
 impl Stopwatch {
     /// Creates a stopwatch that is not yet running.
     pub fn new() -> Self {
-        Stopwatch { accumulated: Duration::ZERO, running_since: None }
+        Stopwatch { accumulated: Duration::ZERO, running_since: None, lap_mark: Duration::ZERO }
     }
 
     /// Creates a stopwatch that starts measuring immediately.
     pub fn started() -> Self {
-        Stopwatch { accumulated: Duration::ZERO, running_since: Some(Instant::now()) }
+        Stopwatch {
+            accumulated: Duration::ZERO,
+            running_since: Some(Instant::now()),
+            lap_mark: Duration::ZERO,
+        }
     }
 
     /// Returns true while the stopwatch is accumulating time.
@@ -62,9 +68,31 @@ impl Stopwatch {
         }
     }
 
-    /// Resets to zero; keeps the running/paused state.
+    /// The split since the previous `lap` call (or since creation for
+    /// the first lap), without stopping the watch. Successive laps
+    /// partition [`Self::elapsed`]: split timings (span enter→exit,
+    /// bench warm-up vs measured iterations) come from one watch instead
+    /// of ad-hoc `Instant::now()` pairs.
+    ///
+    /// ```
+    /// use gogreen_util::Stopwatch;
+    /// let mut sw = Stopwatch::started();
+    /// let first = sw.lap();
+    /// let second = sw.lap();
+    /// assert!(first + second <= sw.elapsed());
+    /// ```
+    pub fn lap(&mut self) -> Duration {
+        let total = self.elapsed();
+        let split = total.saturating_sub(self.lap_mark);
+        self.lap_mark = total;
+        split
+    }
+
+    /// Resets to zero; keeps the running/paused state. The lap mark is
+    /// cleared too, so the next [`Self::lap`] measures from the reset.
     pub fn reset(&mut self) {
         self.accumulated = Duration::ZERO;
+        self.lap_mark = Duration::ZERO;
         if self.running_since.is_some() {
             self.running_since = Some(Instant::now());
         }
@@ -140,6 +168,33 @@ mod tests {
         sw.pause();
         sw.reset();
         assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn laps_partition_elapsed_time() {
+        let mut sw = Stopwatch::started();
+        std::thread::sleep(Duration::from_millis(2));
+        let a = sw.lap();
+        assert!(a >= Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(2));
+        let b = sw.lap();
+        assert!(b >= Duration::from_millis(1));
+        // Laps never overlap: their sum stays within the total.
+        assert!(a + b <= sw.elapsed());
+        // An immediate lap is (near) zero, not the full elapsed time.
+        assert!(sw.lap() < a + b);
+    }
+
+    #[test]
+    fn lap_respects_pause_and_reset() {
+        let mut sw = Stopwatch::started();
+        sw.pause();
+        let frozen = sw.lap();
+        assert_eq!(sw.lap(), Duration::ZERO);
+        let _ = frozen;
+        sw.reset();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+        assert_eq!(sw.lap(), Duration::ZERO);
     }
 
     #[test]

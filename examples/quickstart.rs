@@ -9,7 +9,7 @@ use gogreen_datagen::{DatasetPreset, PresetKind};
 use std::time::Instant;
 
 fn main() {
-    // A dense synthetic dataset shaped like Connect-4 (see DESIGN.md §4).
+    // A dense synthetic dataset shaped like Connect-4 (see DESIGN.md §5).
     let db = DatasetPreset::new(PresetKind::Connect4, 0.02).generate();
     println!("dataset: {} tuples, avg length {:.1}", db.len(), db.stats().avg_len);
 

@@ -19,6 +19,9 @@
 //!   databases, RP-Mine, Recycle-HM, FP/TP recycling miners, and the
 //!   iterative [`core::session::MiningSession`].
 //! * [`storage`] — memory budgets, disk spill, and memory-limited mining.
+//! * [`obs`] — tracing spans and mining counters (`--trace-out` /
+//!   `--metrics-out` in the CLI); the counters quantify the candidate
+//!   tests and projections recycling saves.
 //! * [`util`] — hashing/timing/memory-accounting support.
 //!
 //! ## Quickstart
@@ -46,6 +49,7 @@ pub use gogreen_core as core;
 pub use gogreen_data as data;
 pub use gogreen_datagen as datagen;
 pub use gogreen_miners as miners;
+pub use gogreen_obs as obs;
 pub use gogreen_storage as storage;
 pub use gogreen_util as util;
 

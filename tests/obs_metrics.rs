@@ -1,0 +1,150 @@
+//! Observability invariants across the whole pipeline:
+//!
+//! 1. Thread-invariant counters are *bit-identical* between `--threads 1`
+//!    and `--threads 4` on the weather analog — the totals measure
+//!    logical work, so parallelism must not change them.
+//! 2. Span JSONL round-trips through `gogreen_util::json` with intact
+//!    parent links and fields for the compress/cover/mine phases.
+//! 3. The disabled instrumentation costs < 2% of a compression run even
+//!    at 10⁴ metric updates (near-zero-cost when off).
+//!
+//! The registry and trace sink are process-global, so every test holds
+//! `TEST_LOCK` for its whole body.
+
+use gogreen::obs::{metrics, set_trace_writer, take_trace_writer};
+use gogreen::prelude::*;
+use gogreen_datagen::{DatasetPreset, PresetKind};
+use gogreen_util::{Json, Stopwatch};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn weather() -> (TransactionDb, PatternSet) {
+    let preset = DatasetPreset::new(PresetKind::Weather, 0.005);
+    let db = preset.generate();
+    let fp = mine_hmine(&db, preset.xi_old());
+    (db, fp)
+}
+
+/// Runs one compress + recycle + session-relaxation round at `threads`
+/// and returns the thread-invariant counter totals.
+fn invariant_counters(db: &TransactionDb, threads: usize) -> Vec<(&'static str, u64)> {
+    metrics::reset();
+    metrics::set_enabled(true);
+    let mut session = gogreen::core::session::MiningSession::new(db.clone())
+        .with_engine(gogreen::core::session::Engine::FpTree)
+        .with_threads(threads);
+    session.run(gogreen_constraints::ConstraintSet::support_only(MinSupport::percent(5.0)));
+    // Relaxed: compresses with round 1's patterns and recycles them.
+    session.run(gogreen_constraints::ConstraintSet::support_only(MinSupport::percent(2.0)));
+    metrics::set_enabled(false);
+    let snap: Vec<(&'static str, u64)> = metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| metrics::is_thread_invariant(name))
+        .map(|(name, m)| (name, m.value))
+        .collect();
+    metrics::reset();
+    snap
+}
+
+#[test]
+fn counter_totals_identical_across_thread_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (db, _) = weather();
+    let serial = invariant_counters(&db, 1);
+    let threaded = invariant_counters(&db, 4);
+    // The interesting counters actually fired…
+    for required in ["mine.candidate_tests", "mine.group_hits", "compress.runs", "session.rounds"] {
+        assert!(
+            serial.iter().any(|&(n, v)| n == required && v > 0),
+            "counter {required} missing from {serial:?}"
+        );
+    }
+    // …and parallelism changed none of them.
+    assert_eq!(serial, threaded);
+}
+
+/// A trace writer into a shared buffer.
+struct Buf(Arc<Mutex<Vec<u8>>>);
+impl Write for Buf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn span_jsonl_round_trips_with_parent_links() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (db, fp) = weather();
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    set_trace_writer(Box::new(Buf(buf.clone())));
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+    let patterns = RecycleHm.mine(&cdb, MinSupport::percent(2.0));
+    drop(take_trace_writer());
+    assert!(!patterns.is_empty());
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let spans: Vec<Json> = text.lines().map(|l| Json::parse(l).expect("valid JSONL")).collect();
+    assert!(!spans.is_empty());
+    let by_name = |name: &str| {
+        spans
+            .iter()
+            .find(|j| j.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("no span {name:?} in:\n{text}"))
+    };
+    let compress = by_name("compress");
+    let cover = by_name("cover");
+    let mine = by_name("mine");
+    // The cover sweep nests inside compress; both top-level phases have
+    // no parent here (no enclosing session round).
+    assert_eq!(cover.get("parent"), compress.get("id"));
+    assert_eq!(compress.get("parent"), Some(&Json::Null));
+    assert_eq!(mine.get("parent"), Some(&Json::Null));
+    // Fields survive the round-trip with their values.
+    let fields = compress.get("fields").expect("compress fields");
+    assert_eq!(fields.get("strategy").and_then(Json::as_str), Some("MCP"));
+    assert_eq!(fields.get("tuples").and_then(Json::as_u64), Some(db.len() as u64));
+    assert_eq!(
+        mine.get("fields").and_then(|f| f.get("patterns")).and_then(Json::as_u64),
+        Some(patterns.len() as u64)
+    );
+    for sp in &spans {
+        assert_eq!(sp.get("type").and_then(Json::as_str), Some("span"));
+        assert!(sp.get("dur_us").and_then(Json::as_u64).is_some());
+    }
+}
+
+#[test]
+fn disabled_instrumentation_is_nearly_free() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    metrics::set_enabled(false);
+    let _ = take_trace_writer();
+    let (db, fp) = weather();
+    let compressor = Compressor::new(Strategy::Mcp);
+
+    // Warm up, then time the compress run (itself full of disabled
+    // metric/span calls) and 10⁴ explicit disabled updates.
+    std::hint::black_box(compressor.compress(&db, &fp));
+    let mut watch = Stopwatch::started();
+    std::hint::black_box(compressor.compress(&db, &fp));
+    let compress_time = watch.lap();
+    for k in 0..10_000u64 {
+        metrics::add("obs.disabled_probe", k);
+        metrics::set_max("obs.disabled_probe_max", k);
+    }
+    let overhead = watch.lap();
+
+    assert_eq!(metrics::get("obs.disabled_probe"), None, "disabled add must record nothing");
+    // < 2% of the run, with an absolute floor so scheduler noise on a
+    // fast compress cannot flake the assertion.
+    let budget = std::cmp::max(compress_time.mul_f64(0.02), std::time::Duration::from_millis(2));
+    assert!(
+        overhead < budget,
+        "10k disabled updates took {overhead:?}, budget {budget:?} (compress {compress_time:?})"
+    );
+}
