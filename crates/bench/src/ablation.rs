@@ -19,6 +19,7 @@ use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::{CountSink, MinSupport};
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
+use gogreen_util::pool::Parallelism;
 use gogreen_util::{Json, ToJson};
 use std::time::Instant;
 
@@ -201,6 +202,15 @@ mod tests {
         assert_eq!(rows.len(), 5);
         assert_eq!(rows[0].kernel, "linear");
         assert!(rows.iter().all(|r| r.groups == rows[0].groups));
+        assert!(rows.iter().all(|r| r.secs >= 0.0));
+    }
+
+    #[test]
+    fn mine_par_rows_agree_across_engines_and_threads() {
+        let rows = mine_par_experiment(PresetKind::Connect4, 0.001);
+        // 3 families × {fresh, recycled} × 4 thread counts.
+        assert_eq!(rows.len(), 24);
+        assert!(rows.iter().all(|r| r.patterns == rows[0].patterns));
         assert!(rows.iter().all(|r| r.secs >= 0.0));
     }
 
@@ -461,4 +471,82 @@ pub fn parallel_experiment(dataset: PresetKind, scale: f64) -> Vec<ParallelRow> 
             ParallelRow { threads, secs, patterns: set.len() }
         })
         .collect()
+}
+
+/// One engine/thread-count outcome in the parallel-mining-phase
+/// experiment.
+#[derive(Debug, Clone)]
+pub struct MineParRow {
+    /// Dataset analog name.
+    pub dataset: &'static str,
+    /// Engine label — a baseline ("H-Mine") or its MCP-recycled
+    /// counterpart ("HM-MCP").
+    pub engine: String,
+    /// Worker threads for the first-level fan-out.
+    pub threads: usize,
+    /// Mining wall seconds (output excluded — `CountSink`).
+    pub secs: f64,
+    /// Patterns found (asserted identical across thread counts and
+    /// between each baseline and its recycled counterpart).
+    pub patterns: u64,
+}
+
+impl ToJson for MineParRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.into()),
+            ("engine", self.engine.clone().into()),
+            ("threads", self.threads.into()),
+            ("secs", self.secs.into()),
+            ("patterns", self.patterns.into()),
+        ])
+    }
+}
+
+/// Parallel mining phase: every algorithm family, fresh on the raw
+/// database and recycled on the MCP-compressed one, with first-level
+/// projections fanned out over 1/2/4/8 threads at the lowest sweep
+/// threshold. Pattern counts are asserted invariant across thread
+/// counts and across the fresh/recycled pair.
+pub fn mine_par_experiment(dataset: PresetKind, scale: f64) -> Vec<MineParRow> {
+    let name = match dataset {
+        PresetKind::Weather => "weather",
+        PresetKind::Forest => "forest",
+        PresetKind::Connect4 => "connect4",
+        PresetKind::Pumsb => "pumsb",
+    };
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    let mut rows = Vec::new();
+    for family in AlgoFamily::all() {
+        let mut reference: Option<u64> = None;
+        for threads in [1usize, 2, 4, 8] {
+            let par = Parallelism::threads(threads);
+            let fresh = family.run_baseline_par(&db, xi_new, par);
+            let rec = family.run_recycled_par(&cdb, xi_new, par);
+            assert_eq!(fresh.patterns, rec.patterns, "{family:?}: recycled count drift");
+            match reference {
+                None => reference = Some(fresh.patterns),
+                Some(n) => assert_eq!(n, fresh.patterns, "{family:?}: parallel count drift"),
+            }
+            rows.push(MineParRow {
+                dataset: name,
+                engine: family.baseline_name().to_owned(),
+                threads,
+                secs: fresh.secs,
+                patterns: fresh.patterns,
+            });
+            rows.push(MineParRow {
+                dataset: name,
+                engine: format!("{}-MCP", family.tag()),
+                threads,
+                secs: rec.secs,
+                patterns: rec.patterns,
+            });
+        }
+    }
+    rows
 }

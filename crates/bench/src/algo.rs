@@ -12,6 +12,7 @@ use gogreen_core::recycle_tp::RecycleTp;
 use gogreen_core::{CompressedDb, RecyclingMiner};
 use gogreen_data::{CountSink, MinSupport, TransactionDb};
 use gogreen_miners::{FpGrowth, HMine, Miner, TreeProjection};
+use gogreen_util::pool::Parallelism;
 use gogreen_util::{Json, ToJson};
 use std::time::Instant;
 
@@ -68,24 +69,46 @@ impl AlgoFamily {
 
     /// Times the baseline miner.
     pub fn run_baseline(self, db: &TransactionDb, ms: MinSupport) -> TimedRun {
+        self.run_baseline_par(db, ms, Parallelism::serial())
+    }
+
+    /// Times the baseline miner with its first-level projections fanned
+    /// out over `par`.
+    pub fn run_baseline_par(
+        self,
+        db: &TransactionDb,
+        ms: MinSupport,
+        par: Parallelism,
+    ) -> TimedRun {
         let mut sink = CountSink::new();
         let start = Instant::now();
         match self {
-            AlgoFamily::HMine => HMine.mine_into(db, ms, &mut sink),
-            AlgoFamily::FpTree => FpGrowth.mine_into(db, ms, &mut sink),
-            AlgoFamily::TreeProjection => TreeProjection.mine_into(db, ms, &mut sink),
+            AlgoFamily::HMine => HMine.mine_into_par(db, ms, par, &mut sink),
+            AlgoFamily::FpTree => FpGrowth.mine_into_par(db, ms, par, &mut sink),
+            AlgoFamily::TreeProjection => TreeProjection.mine_into_par(db, ms, par, &mut sink),
         }
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
     }
 
     /// Times the recycling counterpart on a compressed database.
     pub fn run_recycled(self, cdb: &CompressedDb, ms: MinSupport) -> TimedRun {
+        self.run_recycled_par(cdb, ms, Parallelism::serial())
+    }
+
+    /// Times the recycling counterpart with its first-level projections
+    /// fanned out over `par`.
+    pub fn run_recycled_par(
+        self,
+        cdb: &CompressedDb,
+        ms: MinSupport,
+        par: Parallelism,
+    ) -> TimedRun {
         let mut sink = CountSink::new();
         let start = Instant::now();
         match self {
-            AlgoFamily::HMine => RecycleHm.mine_into(cdb, ms, &mut sink),
-            AlgoFamily::FpTree => RecycleFp::default().mine_into(cdb, ms, &mut sink),
-            AlgoFamily::TreeProjection => RecycleTp.mine_into(cdb, ms, &mut sink),
+            AlgoFamily::HMine => RecycleHm.mine_into_par(cdb, ms, par, &mut sink),
+            AlgoFamily::FpTree => RecycleFp::default().mine_into_par(cdb, ms, par, &mut sink),
+            AlgoFamily::TreeProjection => RecycleTp.mine_into_par(cdb, ms, par, &mut sink),
         }
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
     }

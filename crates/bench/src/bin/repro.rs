@@ -14,6 +14,10 @@
 //!   ext-compress-par
 //!                compression-kernel sweep: seed linear scan vs the
 //!                indexed cover kernel at 1/2/4/8 threads
+//!   ext-mine-par
+//!                parallel mining phase: every fresh/recycled engine
+//!                pair with first-level projections fanned out over
+//!                1/2/4/8 threads
 //!   quick        CI smoke: one mine→compress→recycle round on the
 //!                weather analog at a tiny scale
 //!   check-metrics <file>
@@ -86,6 +90,7 @@ fn main() {
             }
             cmd_ablation(scale, &reporter);
             cmd_compress_par(scale, &reporter);
+            cmd_mine_par(scale, &reporter);
         }
         "table3" => cmd_table3(scale, &reporter),
         "figs" => {
@@ -111,6 +116,7 @@ fn main() {
         }
         "ablation" => cmd_ablation(scale, &reporter),
         "ext-compress-par" => cmd_compress_par(scale, &reporter),
+        "ext-mine-par" => cmd_mine_par(scale, &reporter),
         "quick" | "--quick" => cmd_quick(scale),
         "check-metrics" => {
             let file = rest.get(1).cloned().unwrap_or_else(|| die("check-metrics expects a file"));
@@ -135,7 +141,7 @@ fn die(msg: &str) -> ! {
 fn print_usage() {
     println!(
         "repro [--scale S] [--results DIR] [--metrics-out F] [--quiet-metrics] \
-         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|quick|check-metrics F>\n\
+         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|quick|check-metrics F>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -494,6 +500,43 @@ fn cmd_compress_par(scale: f64, reporter: &Reporter) {
         print!("{}", render_table(&["kernel", "threads", "time", "vs linear", "groups"], &table));
         for r in &rows {
             reporter.save_json("ext_compress_par", r).expect("save extension");
+        }
+    }
+}
+
+fn cmd_mine_par(scale: f64, reporter: &Reporter) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for dataset in [PresetKind::Connect4, PresetKind::Weather] {
+        println!(
+            "\n== Extension: parallel mining phase on {} (ξ_new = sweep floor, scale {scale}; \
+             {cores} core(s) available) ==\n",
+            dataset_name(dataset)
+        );
+        let rows = ablation::mine_par_experiment(dataset, scale);
+        let base_of = |engine: &str| {
+            rows.iter()
+                .find(|r| r.engine == engine && r.threads == 1)
+                .map(|r| r.secs)
+                .expect("single-thread reference row")
+        };
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.clone(),
+                    r.threads.to_string(),
+                    fmt_secs(r.secs),
+                    fmt_speedup(base_of(&r.engine), r.secs),
+                    r.patterns.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["engine", "threads", "time", "vs 1 thread", "patterns"], &table)
+        );
+        for r in &rows {
+            reporter.save_json("ext_mine_par", r).expect("save extension");
         }
     }
 }

@@ -4,10 +4,8 @@
 use crate::args::{parse_items, parse_support, Args};
 use crate::commands::{load_db, parse_threads, setup_obs, show_support};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
-use gogreen_core::rpmine::RpMine;
-use gogreen_core::CompressedDb;
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
-use gogreen_miners::{mine_apriori, mine_fpgrowth, mine_treeproj, HMine, NaiveProjection};
+use gogreen_miners::{mine_apriori, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
 use gogreen_util::pool::Parallelism;
 use std::time::Instant;
 
@@ -83,31 +81,34 @@ fn mine(
     pushdown: &Pushdown,
     attrs: &ItemAttributes,
 ) -> Result<PatternSet, String> {
-    // `--threads N>1` mines first-level projections in parallel over an
-    // uncompressed view; pushed constraints become a post-filter there.
-    if !par.is_serial() {
-        if !matches!(algo, "hmine" | "fp" | "tp" | "apriori" | "naive") {
-            return Err(format!("unknown algo {algo:?} (hmine|fp|tp|apriori|naive)"));
-        }
-        let view = CompressedDb::uncompressed(db);
-        return Ok(RpMine::default()
-            .mine_parallel(&view, support, par.get())
-            .filter(|p| pushdown.prefix_ok(p.items(), attrs)));
-    }
+    // Constraint pushdown into the search is serial-only; a `--threads`
+    // run fans the first-level projections out over `par` threads and
+    // post-filters pushed constraints instead. Either way each algorithm
+    // mines its own native structure.
     let result = match algo {
-        "hmine" => {
+        "hmine" if par.is_serial() => {
             let mut sink = CollectSink::new();
             HMine.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
             sink.into_set()
         }
-        "naive" => {
+        "naive" if par.is_serial() => {
             let mut sink = CollectSink::new();
             NaiveProjection.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
             sink.into_set()
         }
-        // The remaining miners post-filter pushed constraints.
-        "fp" => mine_fpgrowth(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
-        "tp" => mine_treeproj(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
+        // The remaining paths post-filter pushed constraints.
+        "hmine" => {
+            HMine.mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs))
+        }
+        "naive" => NaiveProjection
+            .mine_par(db, support, par)
+            .filter(|p| pushdown.prefix_ok(p.items(), attrs)),
+        "fp" => {
+            FpGrowth.mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs))
+        }
+        "tp" => TreeProjection
+            .mine_par(db, support, par)
+            .filter(|p| pushdown.prefix_ok(p.items(), attrs)),
         "apriori" => mine_apriori(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
         other => return Err(format!("unknown algo {other:?} (hmine|fp|tp|apriori|naive)")),
     };

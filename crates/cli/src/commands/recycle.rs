@@ -34,7 +34,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         Compressor::new(strategy).with_parallelism(par).compress_with_stats(&db, &fp);
     let compress_time = start.elapsed();
     let start = Instant::now();
-    let patterns = miner.mine(&cdb, support);
+    let patterns = miner.mine_par(&cdb, support, par);
     let mine_time = start.elapsed();
 
     println!("{path}: recycled {} patterns [{}-{}]", fp.len(), miner.name(), strategy.suffix());

@@ -50,6 +50,7 @@ pub mod twostep;
 pub mod utility;
 
 use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink};
+use gogreen_util::pool::Parallelism;
 
 pub use cdb::CompressedDb;
 pub use compress::{CompressionStats, Compressor};
@@ -68,11 +69,38 @@ pub trait RecyclingMiner {
     /// Mines the complete frequent-pattern set, emitting into `sink`.
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink);
 
+    /// Like [`RecyclingMiner::mine_into`], fanning the first-level
+    /// projections out over `par` scoped threads. Group views are
+    /// read-only once constructed, so workers share the CDB (and any
+    /// derived structure — RP-Struct, group trees) by reference; the
+    /// emitted stream is byte-identical to the serial run at any thread
+    /// count.
+    fn mine_into_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
+        let _ = par;
+        self.mine_into(cdb, min_support, sink);
+    }
+
     /// Convenience wrapper collecting into a [`PatternSet`].
     fn mine(&self, cdb: &CompressedDb, min_support: MinSupport) -> PatternSet {
+        self.mine_par(cdb, min_support, Parallelism::serial())
+    }
+
+    /// Parallel convenience wrapper collecting into a [`PatternSet`].
+    fn mine_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+    ) -> PatternSet {
         let mut sp = gogreen_obs::span("mine");
         let mut sink = CollectSink::new();
-        self.mine_into(cdb, min_support, &mut sink);
+        self.mine_into_par(cdb, min_support, par, &mut sink);
         let set = sink.into_set();
         sp.field("engine", self.name()).field("patterns", set.len());
         set

@@ -24,22 +24,22 @@
 
 use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
-use gogreen_data::{MinSupport, PatternSink};
-use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_data::{FList, MinSupport, PatternSink};
+use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_miners::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
 use gogreen_obs::metrics;
 use gogreen_util::pool::{par_chunks, Parallelism};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The FP-recycle miner.
 ///
 /// With a non-serial [`Parallelism`], the per-group outlier trees of the
 /// root forest are built on worker threads (the forest is embarrassingly
-/// parallel — each tree reads only its own group) and the F-list support
-/// count is chunked; the mined pattern set is identical for any thread
-/// count. The recursive mining phase itself stays single-threaded: its
-/// trees are shared via `Rc` and the per-node work is dominated by the
-/// root construction this parallelizes.
+/// parallel — each tree reads only its own group), the F-list support
+/// count is chunked, and the mining phase fans the root's frequent ranks
+/// out over the shared conditional groups (trees are shared via `Arc`,
+/// read-only once built). The emitted stream is byte-identical for any
+/// thread count.
 #[derive(Debug, Default, Clone)]
 pub struct RecycleFp {
     parallelism: Parallelism,
@@ -70,7 +70,8 @@ struct CondGroup {
     /// Members in this projection.
     count: u64,
     /// Outlier store; `None` when no member has relevant outliers.
-    tree: Option<Rc<FpTree>>,
+    /// `Arc` rather than `Rc` so fan-out workers can share root trees.
+    tree: Option<Arc<FpTree>>,
     /// Ranks ≤ `bound` in the tree are projected away (they sit below
     /// every relevant prefix, so climbs never see them; header rows with
     /// rank ≤ bound are skipped).
@@ -89,8 +90,18 @@ impl RecyclingMiner for RecycleFp {
     }
 
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        self.mine_into_par(cdb, min_support, self.parallelism, sink);
+    }
+
+    fn mine_into_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let minsup = min_support.to_absolute(cdb.num_tuples());
-        let flist = cdb.flist_par(minsup, self.parallelism);
+        let flist = cdb.flist_par(minsup, par);
         if flist.is_empty() {
             return;
         }
@@ -100,10 +111,60 @@ impl RecyclingMiner for RecycleFp {
             src: vec![SRC_NONE; flist.len()],
             minsup,
         };
-        let cgs = build_root(&rdb, &mut ctx, self.parallelism);
-        let mut emitter = RankEmitter::new(&flist);
-        mine_node(&cgs, &mut ctx, &mut emitter, sink);
+        let cgs = build_root(&rdb, &mut ctx, par);
+        mine_root(&cgs, &flist, minsup, par, sink);
     }
+}
+
+/// Root dispatch: count and the Lemma 3.1 check run once on the calling
+/// thread; each frequent root rank then projects and mines over the
+/// shared conditional groups as one fan-out unit. Pattern-item
+/// projections clone the group's `Arc` tree — the underlying node arenas
+/// are never written after construction, so sharing across workers is
+/// safe by construction.
+fn mine_root(
+    cgs: &[CondGroup],
+    flist: &FList,
+    minsup: u64,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    let mut root_ctx =
+        Ctx { scratch: ScratchCounts::new(flist.len()), src: vec![SRC_NONE; flist.len()], minsup };
+    let (frequent, single_group) = count_cgs(cgs, &mut root_ctx);
+    if frequent.is_empty() {
+        return;
+    }
+    if single_group.is_some() && frequent.len() <= 62 {
+        let mut emitter = RankEmitter::new(flist);
+        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+        return;
+    }
+    let frequent = &frequent;
+    fan_out_ordered(
+        par,
+        frequent.len(),
+        sink,
+        || {
+            let ctx = Ctx {
+                scratch: ScratchCounts::new(flist.len()),
+                src: vec![SRC_NONE; flist.len()],
+                minsup,
+            };
+            (ctx, RankEmitter::new(flist), Vec::with_capacity(16))
+        },
+        |(ctx, emitter, climb), k, sink| {
+            let (r, c) = frequent[k];
+            emitter.push(r);
+            emitter.emit(sink, c);
+            let children = project(cgs, r, frequent, ctx, climb);
+            if !children.is_empty() {
+                metrics::add("mine.projected_dbs", 1);
+                mine_node(&children, ctx, emitter, sink);
+            }
+            emitter.pop();
+        },
+    );
 }
 
 /// Builds one group's outlier FP-tree (`None` when there is nothing to
@@ -129,12 +190,12 @@ fn build_tree(tuples: &[Vec<u32>], scratch: &mut ScratchCounts) -> Option<FpTree
 /// Builds the root conditional groups from the rank-space CDB. The
 /// per-group trees are independent, so with a non-serial `par` they are
 /// constructed on worker threads ([`FpTree`] is plain data and `Send`;
-/// the `Rc` sharing wrapper is applied after the join, on this thread).
+/// the `Arc` sharing wrapper is applied after the join, on this thread).
 fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx, par: Parallelism) -> Vec<CondGroup> {
     let mut cgs = Vec::with_capacity(rdb.groups.len() + 1);
     if par.for_items(rdb.groups.len()) <= 1 {
         for g in &rdb.groups {
-            let tree = build_tree(&g.outliers, &mut ctx.scratch).map(Rc::new);
+            let tree = build_tree(&g.outliers, &mut ctx.scratch).map(Arc::new);
             cgs.push(CondGroup { pattern: g.pattern.clone(), count: g.count(), tree, bound: -1 });
         }
     } else {
@@ -147,31 +208,25 @@ fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx, par: Parallelism) -> Vec<Co
                 cgs.push(CondGroup {
                     pattern: g.pattern.clone(),
                     count: g.count(),
-                    tree: tree.map(Rc::new),
+                    tree: tree.map(Arc::new),
                     bound: -1,
                 });
             }
         }
     }
     if !rdb.plain.is_empty() {
-        let tree = build_tree(&rdb.plain, &mut ctx.scratch).map(Rc::new);
+        let tree = build_tree(&rdb.plain, &mut ctx.scratch).map(Arc::new);
         cgs.push(CondGroup { pattern: Vec::new(), count: rdb.plain.len() as u64, tree, bound: -1 });
     }
     cgs
 }
 
-/// Mines one node of the search: count, apply Lemma 3.1 if it fires,
-/// otherwise extend by every locally frequent rank.
-fn mine_node(
-    cgs: &[CondGroup],
-    ctx: &mut Ctx,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", emitter.depth() as u64);
-    // Count: pattern items via group counts, outliers via tree headers.
-    // Both paths are group-at-a-time: one weighted add stands in for a
-    // whole group (or header row) of member tuples.
+/// Counts one node's conditional groups: pattern items via group counts,
+/// outliers via tree headers. Both paths are group-at-a-time: one
+/// weighted add stands in for a whole group (or header row) of member
+/// tuples. Returns the locally frequent `(rank, count)` pairs (ascending)
+/// and the single source group if Lemma 3.1 applies.
+fn count_cgs(cgs: &[CondGroup], ctx: &mut Ctx) -> (Vec<(u32, u64)>, Option<u32>) {
     let mut group_hits = 0u64;
     for (ci, cg) in cgs.iter().enumerate() {
         for &x in &cg.pattern {
@@ -215,7 +270,19 @@ fn mine_node(
         ctx.src[x as usize] = SRC_NONE;
     }
     ctx.scratch.clear();
+    (frequent, single_group)
+}
 
+/// Mines one node of the search: count, apply Lemma 3.1 if it fires,
+/// otherwise extend by every locally frequent rank.
+fn mine_node(
+    cgs: &[CondGroup],
+    ctx: &mut Ctx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
+    let (frequent, single_group) = count_cgs(cgs, ctx);
     if frequent.is_empty() {
         return;
     }
@@ -303,7 +370,7 @@ fn project(
                     for (ranks, w) in &base {
                         b.insert_desc(ranks.iter().rev().copied(), *w);
                     }
-                    Some(Rc::new(b.finish()))
+                    Some(Arc::new(b.finish()))
                 };
                 if pattern.is_empty() && new_tree.is_none() {
                     continue;

@@ -34,8 +34,9 @@
 use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
-use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
 
 /// Entry item marking the end of a tail.
 const SENT: u32 = u32::MAX;
@@ -163,8 +164,40 @@ struct Bucket {
     members: Vec<(u32, Member)>,
 }
 
-struct Ctx {
-    s: RpStruct,
+/// Reusable per-depth scratch of the DFS: the bucket array of one node,
+/// the member grouping buffer, and the bucket currently being processed.
+/// Kept in a depth-indexed arena on [`Ctx`] so sibling nodes at the same
+/// depth recycle each other's allocations instead of growing fresh
+/// `Vec<Bucket>`s per node.
+#[derive(Default)]
+struct LevelScratch {
+    buckets: Vec<Bucket>,
+    member_run: Vec<(u32, Member)>,
+    cur: Bucket,
+}
+
+impl LevelScratch {
+    /// Clears all queues and guarantees at least `n` buckets, preserving
+    /// every inner capacity.
+    fn reset(&mut self, n: usize) {
+        for b in &mut self.buckets {
+            b.views.clear();
+            b.members.clear();
+        }
+        if self.buckets.len() < n {
+            self.buckets.resize_with(n, Bucket::default);
+        }
+        self.cur.views.clear();
+        self.cur.members.clear();
+        self.member_run.clear();
+    }
+}
+
+/// Per-worker mining state. The RP-Struct arena is shared by reference:
+/// it is read-only once built, so parallel first-level units each carry
+/// their own `Ctx` over the same arena.
+struct Ctx<'s> {
+    s: &'s RpStruct,
     scratch: ScratchCounts,
     src: Vec<u32>,
     /// Local-frequency tags: `lf_tag[rank] == lf_gen` ⇔ rank is locally
@@ -174,9 +207,26 @@ struct Ctx {
     lf_pos: Vec<u32>,
     lf_gen: u32,
     minsup: u64,
+    /// Depth-indexed scratch arenas (index = recursion depth below this
+    /// context's root).
+    levels: Vec<LevelScratch>,
+    depth: usize,
 }
 
-impl Ctx {
+impl<'s> Ctx<'s> {
+    fn new(s: &'s RpStruct, num_ranks: usize, minsup: u64) -> Self {
+        Ctx {
+            s,
+            scratch: ScratchCounts::new(num_ranks),
+            src: vec![SRC_NONE; num_ranks],
+            lf_tag: vec![0; num_ranks],
+            lf_pos: vec![0; num_ranks],
+            lf_gen: 0,
+            minsup,
+            levels: Vec::new(),
+            depth: 0,
+        }
+    }
     /// Finds the entry of rank `r` in `member`'s remaining outliers,
     /// exploiting the ascending entry order for early exit.
     #[inline]
@@ -282,13 +332,23 @@ impl RecyclingMiner for RecycleHm {
     }
 
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        self.mine_into_par(cdb, min_support, Parallelism::serial(), sink);
+    }
+
+    fn mine_into_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let minsup = min_support.to_absolute(cdb.num_tuples());
         let flist = cdb.flist(minsup);
         if flist.is_empty() {
             return;
         }
         let rdb = cdb.to_ranks(&flist);
-        self.mine_rank_db(&rdb, &flist, &[], minsup, sink);
+        self.mine_rank_db_par(&rdb, &flist, &[], minsup, par, sink);
     }
 }
 
@@ -310,37 +370,130 @@ impl RecycleHm {
         minsup: u64,
         sink: &mut dyn PatternSink,
     ) {
+        self.mine_rank_db_par(rdb, flist, prefix_items, minsup, Parallelism::serial(), sink);
+    }
+
+    /// Like [`RecycleHm::mine_rank_db`], fanning the first-level
+    /// projections out over `par` scoped threads.
+    ///
+    /// The root node is counted once on the caller thread; each locally
+    /// frequent rank then becomes an independent unit. The serial search
+    /// discovers a rank's root bucket incrementally (H-Mine queue
+    /// relinks), but the bucket contents at rank `r`'s processing time
+    /// are a pure function of the node: a view is queued at `r` iff `r`
+    /// is in its locally frequent residual pattern, and a member is
+    /// queued at `r` iff `r` is one of its locally frequent outliers
+    /// (relinks walk each tuple through exactly those positions in rank
+    /// order, and the `cur` coverage rule only defers a queueing, never
+    /// cancels it). One sweep therefore precomputes every unit's bucket,
+    /// and workers share the read-only RP-Struct and root views.
+    pub fn mine_rank_db_par(
+        &self,
+        rdb: &CompressedRankDb,
+        flist: &gogreen_data::FList,
+        prefix_items: &[gogreen_data::Item],
+        minsup: u64,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let s = RpStruct::build(rdb);
-        let mut views = Vec::with_capacity(s.gpat.len());
-        let mut plain = Vec::new();
-        let mut group_tail_count = 0usize;
-        for gid in 0..s.gpat.len() as u32 {
-            let members: Vec<Member> =
-                s.gtails[gid as usize].iter().map(|&t| (t, s.tail_first[t as usize])).collect();
-            let bare = s.gcount[gid as usize] - members.len() as u64;
-            group_tail_count += members.len();
-            views.push(GroupView { gid, pat_from: 0, members, bare, cur: u32::MAX });
+        let node = root_views(&s);
+        let num_ranks = flist.len();
+        metrics::set_max("mine.max_depth", prefix_items.len() as u64);
+        let mut root_ctx = Ctx::new(&s, num_ranks, minsup);
+        let counted = count_node(&node, &mut root_ctx);
+        if counted.frequent.is_empty() {
+            return;
         }
-        for t in group_tail_count as u32..s.tail_first.len() as u32 {
-            debug_assert_eq!(s.tail_group[t as usize], GNONE);
-            plain.push((t, s.tail_first[t as usize]));
+        if counted.single_group && counted.frequent.len() <= 62 {
+            let mut emitter = RankEmitter::new(flist);
+            for &it in prefix_items {
+                emitter.push_item(it);
+            }
+            for_each_subset(&counted.frequent, &mut |ranks, sup| {
+                emitter.emit_with(sink, ranks, sup)
+            });
+            return;
         }
-        let node = Node { views, plain };
-        let n = flist.len();
-        let mut ctx = Ctx {
-            s,
-            scratch: ScratchCounts::new(n),
-            src: vec![SRC_NONE; n],
-            lf_tag: vec![0; n],
-            lf_pos: vec![0; n],
-            lf_gen: 0,
-            minsup,
-        };
-        let mut emitter = RankEmitter::new(flist);
-        for &it in prefix_items {
-            emitter.push_item(it);
+        let frequent = counted.frequent;
+        root_ctx.tag_lf(&frequent);
+        // Root plan sweep (see above): bucket every view at each locally
+        // frequent residual pattern rank, every member at each locally
+        // frequent outlier rank.
+        let mut plan: Vec<Bucket> = (0..frequent.len()).map(|_| Bucket::default()).collect();
+        for (vi, v) in node.views.iter().enumerate() {
+            for &x in &s.gpat[v.gid as usize][v.pat_from as usize..] {
+                if root_ctx.lf_tag[x as usize] == root_ctx.lf_gen {
+                    plan[root_ctx.lf_pos[x as usize] as usize].views.push(vi as u32);
+                }
+            }
+            for &m in &v.members {
+                push_lf_outliers(&root_ctx, vi as u32, m, &mut plan);
+            }
         }
-        mine_node(node, &mut ctx, &mut emitter, sink);
+        for &m in &node.plain {
+            push_lf_outliers(&root_ctx, VNONE, m, &mut plan);
+        }
+        drop(root_ctx);
+        let (s, node, frequent, plan) = (&s, &node, &frequent, &plan);
+        fan_out_ordered(
+            par,
+            frequent.len(),
+            sink,
+            || {
+                let mut emitter = RankEmitter::new(flist);
+                for &it in prefix_items {
+                    emitter.push_item(it);
+                }
+                (Ctx::new(s, num_ranks, minsup), emitter, Vec::new())
+            },
+            |(ctx, emitter, member_run), li, sink| {
+                let (r, c) = frequent[li];
+                emitter.push(r);
+                emitter.emit(sink, c);
+                let child = build_child(&node.views, &plan[li], r, member_run, ctx);
+                if !child.views.is_empty() || !child.plain.is_empty() {
+                    metrics::add("mine.projected_dbs", 1);
+                    mine_node(child, ctx, emitter, sink);
+                }
+                emitter.pop();
+            },
+        );
+    }
+}
+
+/// Builds the root node's group views and plain member list over `s`.
+fn root_views(s: &RpStruct) -> Node {
+    let mut views = Vec::with_capacity(s.gpat.len());
+    let mut plain = Vec::new();
+    let mut group_tail_count = 0usize;
+    for gid in 0..s.gpat.len() as u32 {
+        let members: Vec<Member> =
+            s.gtails[gid as usize].iter().map(|&t| (t, s.tail_first[t as usize])).collect();
+        let bare = s.gcount[gid as usize] - members.len() as u64;
+        group_tail_count += members.len();
+        views.push(GroupView { gid, pat_from: 0, members, bare, cur: u32::MAX });
+    }
+    for t in group_tail_count as u32..s.tail_first.len() as u32 {
+        debug_assert_eq!(s.tail_group[t as usize], GNONE);
+        plain.push((t, s.tail_first[t as usize]));
+    }
+    Node { views, plain }
+}
+
+/// Queues `m` (of view `vi`, or plain when `VNONE`) at every locally
+/// frequent outlier rank — the root plan sweep's member rule.
+fn push_lf_outliers(ctx: &Ctx<'_>, vi: u32, m: Member, plan: &mut [Bucket]) {
+    let mut e = m.1 as usize;
+    loop {
+        let x = ctx.s.eitem[e];
+        if x == SENT {
+            return;
+        }
+        if ctx.lf_tag[x as usize] == ctx.lf_gen {
+            plan[ctx.lf_pos[x as usize] as usize].members.push((vi, m));
+        }
+        e += 1;
     }
 }
 
@@ -355,7 +508,7 @@ struct Counted {
 /// Counts candidate extensions of the node: residual pattern items once
 /// per view (weight = member count), outliers and plain tuples per
 /// occurrence.
-fn count_node(node: &Node, ctx: &mut Ctx) -> Counted {
+fn count_node(node: &Node, ctx: &mut Ctx<'_>) -> Counted {
     let mut group_hits = 0u64;
     let mut touches = 0u64;
     for (vi, v) in node.views.iter().enumerate() {
@@ -403,7 +556,13 @@ fn count_node(node: &Node, ctx: &mut Ctx) -> Counted {
 /// locally frequent outlier precedes that rank on their item-links. A
 /// view with no frequent pattern rank left dissolves: its members carry
 /// on individually.
-fn bucket_view(views: &mut [GroupView], vi: u32, after: i64, buckets: &mut [Bucket], ctx: &Ctx) {
+fn bucket_view(
+    views: &mut [GroupView],
+    vi: u32,
+    after: i64,
+    buckets: &mut [Bucket],
+    ctx: &Ctx<'_>,
+) {
     let v = &views[vi as usize];
     match ctx.first_lf_pattern(v, after) {
         Some(p) => {
@@ -437,7 +596,7 @@ fn bucket_member(
     m: Member,
     after: i64,
     buckets: &mut [Bucket],
-    ctx: &Ctx,
+    ctx: &Ctx<'_>,
 ) {
     if let Some(f) = ctx.first_lf_outlier(m, after) {
         let covered_from = if vi == VNONE { u32::MAX } else { views[vi as usize].cur };
@@ -453,7 +612,7 @@ fn bucket_member(
 /// its own projection.
 fn mine_node(
     mut node: Node,
-    ctx: &mut Ctx,
+    ctx: &mut Ctx<'_>,
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
@@ -468,117 +627,145 @@ fn mine_node(
     }
     let frequent = counted.frequent;
     ctx.tag_lf(&frequent);
-    let mut buckets: Vec<Bucket> = (0..frequent.len()).map(|_| Bucket::default()).collect();
+    // Borrow this depth's scratch arena; the recursion below only uses
+    // deeper slots, so taking it out of the context is conflict-free.
+    let depth = ctx.depth;
+    if ctx.levels.len() <= depth {
+        ctx.levels.resize_with(depth + 1, LevelScratch::default);
+    }
+    let mut lvl = std::mem::take(&mut ctx.levels[depth]);
+    lvl.reset(frequent.len());
+    ctx.depth = depth + 1;
     for vi in 0..node.views.len() as u32 {
-        bucket_view(&mut node.views, vi, -1, &mut buckets, ctx);
+        bucket_view(&mut node.views, vi, -1, &mut lvl.buckets, ctx);
     }
     for &m in &node.plain {
-        bucket_member(&node.views, VNONE, m, -1, &mut buckets, ctx);
+        bucket_member(&node.views, VNONE, m, -1, &mut lvl.buckets, ctx);
     }
     // Plain members live only in buckets from here on.
     node.plain.clear();
 
-    let mut member_run: Vec<(u32, Member)> = Vec::new();
     for li in 0..frequent.len() {
         let (r, c) = frequent[li];
         emitter.push(r);
         emitter.emit(sink, c);
-        let bucket = std::mem::take(&mut buckets[li]);
+        // `cur` is empty here (reset, or cleared by the previous
+        // iteration), so the swap hands this bucket over while keeping
+        // both allocations alive for reuse.
+        std::mem::swap(&mut lvl.cur, &mut lvl.buckets[li]);
 
-        // Build the r-projection from this bucket only.
-        let mut child_views: Vec<GroupView> = Vec::new();
-        let mut child_plain: Vec<Member> = Vec::new();
-        for &vi in &bucket.views {
-            let v = &node.views[vi as usize];
-            let gpat = &ctx.s.gpat[v.gid as usize];
-            // r is in the residual pattern (it is v's queue rank).
-            let off = gpat[v.pat_from as usize..]
-                .binary_search(&r)
-                .expect("queued view contains its queue rank");
-            let pat_from = v.pat_from + off as u32 + 1;
-            let mut bare = v.bare;
-            let mut members = Vec::with_capacity(v.members.len());
-            for &m in &v.members {
-                match ctx.advance_past(m, r) {
-                    Some(e) => members.push((m.0, e)),
-                    None => bare += 1,
-                }
-            }
-            if (pat_from as usize) < gpat.len() {
-                child_views.push(GroupView { gid: v.gid, pat_from, members, bare, cur: u32::MAX });
-            } else {
-                child_plain.extend(members);
-            }
-        }
-        // Individual members: group by owning view to rebuild views.
-        member_run.clear();
-        member_run.extend(bucket.members.iter().copied());
-        member_run.sort_unstable_by_key(|&(vi, _)| vi);
-        let mut k = 0;
-        while k < member_run.len() {
-            let vi = member_run[k].0;
-            let mut end = k + 1;
-            while end < member_run.len() && member_run[end].0 == vi {
-                end += 1;
-            }
-            if vi == VNONE {
-                for &(_, m) in &member_run[k..end] {
-                    if let Some(e) = ctx.find_entry(m, r) {
-                        if ctx.s.eitem[e as usize + 1] != SENT {
-                            child_plain.push((m.0, e + 1));
-                        }
-                    }
-                }
-            } else {
-                let v = &node.views[vi as usize];
-                let gpat = &ctx.s.gpat[v.gid as usize];
-                let off = gpat[v.pat_from as usize..].partition_point(|&x| x <= r);
-                let pat_from = v.pat_from + off as u32;
-                let keep_pattern = (pat_from as usize) < gpat.len();
-                let mut members = Vec::new();
-                let mut bare = 0u64;
-                for &(_, m) in &member_run[k..end] {
-                    let e = ctx.find_entry(m, r).expect("queued member contains its rank");
-                    if ctx.s.eitem[e as usize + 1] == SENT {
-                        bare += 1;
-                    } else {
-                        members.push((m.0, e + 1));
-                    }
-                }
-                if keep_pattern {
-                    if bare > 0 || !members.is_empty() {
-                        child_views.push(GroupView {
-                            gid: v.gid,
-                            pat_from,
-                            members,
-                            bare,
-                            cur: u32::MAX,
-                        });
-                    }
-                } else {
-                    child_plain.extend(members);
-                }
-            }
-            k = end;
-        }
-
-        if !child_views.is_empty() || !child_plain.is_empty() {
+        let child = build_child(&node.views, &lvl.cur, r, &mut lvl.member_run, ctx);
+        if !child.views.is_empty() || !child.plain.is_empty() {
             metrics::add("mine.projected_dbs", 1);
-            mine_node(Node { views: child_views, plain: child_plain }, ctx, emitter, sink);
+            mine_node(child, ctx, emitter, sink);
             // The recursion reused the tag arrays; restore this node's.
             ctx.tag_lf(&frequent);
         }
 
         // Relink forward (Fill-RPHeader on the items after r): everything
         // queued at r hops to its next locally frequent rank.
-        for &vi in &bucket.views {
-            bucket_view(&mut node.views, vi, r as i64, &mut buckets, ctx);
+        for &vi in &lvl.cur.views {
+            bucket_view(&mut node.views, vi, r as i64, &mut lvl.buckets, ctx);
         }
-        for &(vi, m) in &bucket.members {
-            bucket_member(&node.views, vi, m, r as i64, &mut buckets, ctx);
+        for &(vi, m) in &lvl.cur.members {
+            bucket_member(&node.views, vi, m, r as i64, &mut lvl.buckets, ctx);
         }
+        lvl.cur.views.clear();
+        lvl.cur.members.clear();
         emitter.pop();
     }
+    ctx.depth = depth;
+    ctx.levels[depth] = lvl;
+}
+
+/// Builds the `r`-projection from one bucket: whole views advance past
+/// `r` (the paper's group-link move), individual members are grouped by
+/// owning view and projected through their `r` entry (the item-link
+/// move). `member_run` is caller-provided grouping scratch. Shared by
+/// the serial loop of [`mine_node`] and the root fan-out units.
+fn build_child(
+    views: &[GroupView],
+    bucket: &Bucket,
+    r: u32,
+    member_run: &mut Vec<(u32, Member)>,
+    ctx: &Ctx<'_>,
+) -> Node {
+    let mut child_views: Vec<GroupView> = Vec::new();
+    let mut child_plain: Vec<Member> = Vec::new();
+    for &vi in &bucket.views {
+        let v = &views[vi as usize];
+        let gpat = &ctx.s.gpat[v.gid as usize];
+        // r is in the residual pattern (it is v's queue rank).
+        let off = gpat[v.pat_from as usize..]
+            .binary_search(&r)
+            .expect("queued view contains its queue rank");
+        let pat_from = v.pat_from + off as u32 + 1;
+        let mut bare = v.bare;
+        let mut members = Vec::with_capacity(v.members.len());
+        for &m in &v.members {
+            match ctx.advance_past(m, r) {
+                Some(e) => members.push((m.0, e)),
+                None => bare += 1,
+            }
+        }
+        if (pat_from as usize) < gpat.len() {
+            child_views.push(GroupView { gid: v.gid, pat_from, members, bare, cur: u32::MAX });
+        } else {
+            child_plain.extend(members);
+        }
+    }
+    // Individual members: group by owning view to rebuild views.
+    member_run.clear();
+    member_run.extend(bucket.members.iter().copied());
+    member_run.sort_unstable_by_key(|&(vi, _)| vi);
+    let mut k = 0;
+    while k < member_run.len() {
+        let vi = member_run[k].0;
+        let mut end = k + 1;
+        while end < member_run.len() && member_run[end].0 == vi {
+            end += 1;
+        }
+        if vi == VNONE {
+            for &(_, m) in &member_run[k..end] {
+                if let Some(e) = ctx.find_entry(m, r) {
+                    if ctx.s.eitem[e as usize + 1] != SENT {
+                        child_plain.push((m.0, e + 1));
+                    }
+                }
+            }
+        } else {
+            let v = &views[vi as usize];
+            let gpat = &ctx.s.gpat[v.gid as usize];
+            let off = gpat[v.pat_from as usize..].partition_point(|&x| x <= r);
+            let pat_from = v.pat_from + off as u32;
+            let keep_pattern = (pat_from as usize) < gpat.len();
+            let mut members = Vec::new();
+            let mut bare = 0u64;
+            for &(_, m) in &member_run[k..end] {
+                let e = ctx.find_entry(m, r).expect("queued member contains its rank");
+                if ctx.s.eitem[e as usize + 1] == SENT {
+                    bare += 1;
+                } else {
+                    members.push((m.0, e + 1));
+                }
+            }
+            if keep_pattern {
+                if bare > 0 || !members.is_empty() {
+                    child_views.push(GroupView {
+                        gid: v.gid,
+                        pat_from,
+                        members,
+                        bare,
+                        cur: u32::MAX,
+                    });
+                }
+            } else {
+                child_plain.extend(members);
+            }
+        }
+        k = end;
+    }
+    Node { views: child_views, plain: child_plain }
 }
 
 #[cfg(test)]

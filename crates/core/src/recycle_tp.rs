@@ -16,10 +16,11 @@
 
 use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
-use gogreen_data::{MinSupport, PatternSink};
-use gogreen_miners::common::{for_each_subset, RankEmitter};
+use gogreen_data::{FList, MinSupport, PatternSink};
+use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter};
 use gogreen_miners::treeproj::PairMatrix;
 use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
 
 /// The TP-recycle miner.
 #[derive(Debug, Default, Clone)]
@@ -48,6 +49,16 @@ impl RecyclingMiner for RecycleTp {
     }
 
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        self.mine_into_par(cdb, min_support, Parallelism::serial(), sink);
+    }
+
+    fn mine_into_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let minsup = min_support.to_absolute(cdb.num_tuples());
         let flist = cdb.flist(minsup);
         if flist.is_empty() {
@@ -55,9 +66,51 @@ impl RecyclingMiner for RecycleTp {
         }
         let rdb = cdb.to_ranks(&flist);
         let (groups, exts) = root_node(&rdb, &flist);
-        let mut emitter = RankEmitter::new(&flist);
-        tp_node(&groups, &exts, minsup, &mut emitter, sink);
+        tp_root(&groups, &exts, minsup, &flist, par, sink);
     }
+}
+
+/// Root dispatch: the Lemma 3.1 shortcut, the root singletons, and the
+/// root pair-counting pass run once on the caller thread; each
+/// extension's subtree is then an independent fan-out unit reading only
+/// the shared groups and matrix.
+fn tp_root(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    minsup: u64,
+    flist: &FList,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    if groups.len() == 1 && groups[0].members.is_empty() && exts.len() <= 62 {
+        let mut emitter = RankEmitter::new(flist);
+        for_each_subset(exts, &mut |locals, sup| emitter.emit_with(sink, locals, sup));
+        return;
+    }
+    {
+        let mut emitter = RankEmitter::new(flist);
+        for &(rank, sup) in exts {
+            emitter.push(rank);
+            emitter.emit(sink, sup);
+            emitter.pop();
+        }
+    }
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    metrics::set_max("mine.max_depth", 1);
+    let matrix = fill_group_matrix(groups, k);
+    let matrix = &matrix;
+    fan_out_ordered(
+        par,
+        k,
+        sink,
+        || (RankEmitter::new(flist), vec![u32::MAX; k]),
+        |(emitter, remap), i, sink| {
+            tp_extend(groups, exts, i as u32, matrix, minsup, remap, emitter, sink);
+        },
+    );
 }
 
 /// Builds the root node: local index = rank.
@@ -106,9 +159,18 @@ fn tp_node(
         return;
     }
     metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
-    // One pass fills all pair supports, group-aware. Pattern × pattern
-    // bumps are group-at-a-time (weight = member count); everything
-    // touching an outlier list is per-member work.
+    let matrix = fill_group_matrix(groups, k);
+    // Children, depth-first.
+    let mut remap = vec![u32::MAX; k];
+    for i in 0..k as u32 {
+        tp_extend(groups, exts, i, &matrix, minsup, &mut remap, emitter, sink);
+    }
+}
+
+/// One group-aware pass fills all pair supports. Pattern × pattern
+/// bumps are group-at-a-time (weight = member count); everything
+/// touching an outlier list is per-member work.
+fn fill_group_matrix(groups: &[TpGroup], k: usize) -> PairMatrix {
     let mut matrix = PairMatrix::new(k);
     let mut group_hits = 0u64;
     let mut touches = 0u64;
@@ -141,32 +203,45 @@ fn tp_node(
     metrics::add("mine.group_hits", group_hits);
     metrics::add("mine.tuple_touches", touches);
     metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
-    // Children, depth-first.
-    let mut remap = vec![u32::MAX; k];
-    for i in 0..k as u32 {
-        let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
-            .filter_map(|j| {
-                let c = matrix.get(i, j);
-                (c >= minsup).then(|| (exts[j as usize].0, c))
-            })
-            .collect();
-        if child_exts.is_empty() {
-            continue;
-        }
-        remap.iter_mut().for_each(|r| *r = u32::MAX);
-        let mut next_local = 0u32;
-        for j in (i + 1)..k as u32 {
-            if matrix.get(i, j) >= minsup {
-                remap[j as usize] = next_local;
-                next_local += 1;
-            }
-        }
-        let child_groups = project(groups, i, &remap);
-        metrics::add("mine.projected_dbs", 1);
-        emitter.push(exts[i as usize].0);
-        tp_node(&child_groups, &child_exts, minsup, emitter, sink);
-        emitter.pop();
+    matrix
+}
+
+/// Builds and recurses into the child node of extension `i`. This is
+/// both the serial loop body of [`tp_node`] and the root fan-out unit.
+#[allow(clippy::too_many_arguments)]
+fn tp_extend(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    i: u32,
+    matrix: &PairMatrix,
+    minsup: u64,
+    remap: &mut [u32],
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let k = exts.len();
+    let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
+        .filter_map(|j| {
+            let c = matrix.get(i, j);
+            (c >= minsup).then(|| (exts[j as usize].0, c))
+        })
+        .collect();
+    if child_exts.is_empty() {
+        return;
     }
+    remap.iter_mut().for_each(|r| *r = u32::MAX);
+    let mut next_local = 0u32;
+    for j in (i + 1)..k as u32 {
+        if matrix.get(i, j) >= minsup {
+            remap[j as usize] = next_local;
+            next_local += 1;
+        }
+    }
+    let child_groups = project(groups, i, remap);
+    metrics::add("mine.projected_dbs", 1);
+    emitter.push(exts[i as usize].0);
+    tp_node(&child_groups, &child_exts, minsup, emitter, sink);
+    emitter.pop();
 }
 
 /// Projects the node's groups on local extension `i`, remapping surviving

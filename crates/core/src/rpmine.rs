@@ -22,9 +22,10 @@
 
 use crate::cdb::{CompressedDb, CompressedRankDb, CrGroup};
 use crate::RecyclingMiner;
-use gogreen_data::{CollectSink, MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
-use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_data::{MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
+use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
 
 /// Per-rank contribution source, for the Lemma 3.1 check.
 const SRC_NONE: u32 = u32::MAX;
@@ -50,20 +51,71 @@ impl RecyclingMiner for RpMine {
     }
 
     fn mine_into(&self, cdb: &CompressedDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        self.mine_into_par(cdb, min_support, Parallelism::serial(), sink);
+    }
+
+    fn mine_into_par(
+        &self,
+        cdb: &CompressedDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let minsup = min_support.to_absolute(cdb.num_tuples());
         let flist = cdb.flist(minsup);
         if flist.is_empty() {
             return;
         }
         let view = cdb.to_ranks(&flist);
-        let mut emitter = RankEmitter::new(&flist);
-        let mut ctx = Ctx {
+        // Root counting and the Lemma 3.1 shortcut run once on the
+        // calling thread; each frequent rank's projection is then one
+        // fan-out unit over the shared (read-only) root view.
+        let mut root_ctx = Ctx {
             scratch: ScratchCounts::new(flist.len()),
             src: vec![SRC_NONE; flist.len()],
             minsup,
             shortcut: self.single_group_shortcut,
         };
-        mine_rec(&view, &mut ctx, &NoPrune, &mut emitter, sink);
+        let counted = count_view(&view, &mut root_ctx);
+        if counted.frequent.is_empty() {
+            return;
+        }
+        if root_ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
+            let mut emitter = RankEmitter::new(&flist);
+            for_each_subset(&counted.frequent, &mut |ranks, sup| {
+                emitter.emit_with(sink, ranks, sup)
+            });
+            return;
+        }
+        let frequent = &counted.frequent;
+        let view = &view;
+        let flist = &flist;
+        let shortcut = self.single_group_shortcut;
+        fan_out_ordered(
+            par,
+            frequent.len(),
+            sink,
+            || {
+                let ctx = Ctx {
+                    scratch: ScratchCounts::new(flist.len()),
+                    src: vec![SRC_NONE; flist.len()],
+                    minsup,
+                    shortcut,
+                };
+                (ctx, RankEmitter::new(flist))
+            },
+            |(ctx, emitter), k, sink| {
+                let (r, c) = frequent[k];
+                emitter.push(r);
+                emitter.emit(sink, c);
+                let sub = project(view, r);
+                if !sub.groups.is_empty() || !sub.plain.is_empty() {
+                    metrics::add("mine.projected_dbs", 1);
+                    mine_rec(&sub, ctx, &NoPrune, emitter, sink);
+                }
+                emitter.pop();
+            },
+        );
     }
 }
 
@@ -279,16 +331,13 @@ fn mine_rec(
 }
 
 impl RpMine {
-    /// Parallel recycled mining: the root's frequent ranks are
-    /// partitioned round-robin across `threads` workers; each worker
-    /// mines its share of first-level projections over the shared
-    /// (read-only) compressed view, and the per-worker results are
-    /// merged. Exactness is unaffected — the first-level subtrees are
-    /// disjoint by construction.
-    ///
-    /// The paper is single-threaded; this is the extension a modern
-    /// multi-core deployment wants, and it composes with recycling
-    /// because the compressed view is immutable during mining.
+    /// Parallel recycled mining over `threads` workers. Since the
+    /// deterministic fan-out driver landed, this is a thin wrapper over
+    /// [`RecyclingMiner::mine_par`]: workers steal first-level
+    /// projections from an atomic rank cursor over the shared
+    /// (read-only) compressed view, and per-rank buffers merge in rank
+    /// order — the stream (not just the set) is identical to the serial
+    /// run at any thread count.
     pub fn mine_parallel(
         &self,
         cdb: &CompressedDb,
@@ -296,75 +345,7 @@ impl RpMine {
         threads: usize,
     ) -> PatternSet {
         assert!(threads >= 1, "at least one thread");
-        let minsup = min_support.to_absolute(cdb.num_tuples());
-        let flist = cdb.flist(minsup);
-        let mut out = PatternSet::new();
-        if flist.is_empty() {
-            return out;
-        }
-        let view = cdb.to_ranks(&flist);
-        // Root counting (shared once).
-        let mut ctx = Ctx {
-            scratch: ScratchCounts::new(flist.len()),
-            src: vec![SRC_NONE; flist.len()],
-            minsup,
-            shortcut: self.single_group_shortcut,
-        };
-        let counted = count_view(&view, &mut ctx);
-        if counted.frequent.is_empty() {
-            return out;
-        }
-        if ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
-            let emitter = RankEmitter::new(&flist);
-            let mut sink = CollectSink::new();
-            for_each_subset(&counted.frequent, &mut |ranks, sup| {
-                emitter.emit_with(&mut sink, ranks, sup)
-            });
-            return sink.into_set();
-        }
-        // Root singletons on the calling thread.
-        for &(r, c) in &counted.frequent {
-            out.insert(gogreen_data::Pattern::new(vec![flist.item(r)], c));
-        }
-        let shortcut = self.single_group_shortcut;
-        let frequent = &counted.frequent;
-        let view_ref = &view;
-        let flist_ref = &flist;
-        let results: Vec<PatternSet> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let mut sink = CollectSink::new();
-                        let mut ctx = Ctx {
-                            scratch: ScratchCounts::new(flist_ref.len()),
-                            src: vec![SRC_NONE; flist_ref.len()],
-                            minsup,
-                            shortcut,
-                        };
-                        let mut emitter = RankEmitter::new(flist_ref);
-                        for (k, &(r, _)) in frequent.iter().enumerate() {
-                            if k % threads != w {
-                                continue;
-                            }
-                            emitter.push(r);
-                            let sub = project(view_ref, r);
-                            if !sub.groups.is_empty() || !sub.plain.is_empty() {
-                                mine_rec(&sub, &mut ctx, &NoPrune, &mut emitter, &mut sink);
-                            }
-                            emitter.pop();
-                        }
-                        sink.into_set()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        for set in results {
-            for p in set.iter() {
-                out.insert(p.clone());
-            }
-        }
-        out
+        self.mine_par(cdb, min_support, Parallelism::threads(threads))
     }
 }
 

@@ -176,9 +176,11 @@ impl MiningSession {
         self
     }
 
-    /// Sets the worker-thread budget for recycled rounds (compression
-    /// plus, where the engine supports it, compressed-database setup).
-    /// Results are identical for every setting.
+    /// Sets the worker-thread budget for every round: fresh and recycled
+    /// mining fan their first-level projections out over this many
+    /// threads, and recycled rounds also parallelize compression and
+    /// compressed-database setup. Results are identical for every
+    /// setting.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
         self
@@ -242,16 +244,21 @@ impl MiningSession {
                             .with_parallelism(self.parallelism)
                             .compress_with_stats(&self.db, fodder);
                         let n = fodder.len();
-                        let full = self
-                            .engine
-                            .recycling(self.parallelism)
-                            .mine(&cdb, constraints.min_support());
+                        let full = self.engine.recycling(self.parallelism).mine_par(
+                            &cdb,
+                            constraints.min_support(),
+                            self.parallelism,
+                        );
                         (RunMode::Recycled, full, Some(stats), Some(n))
                     }
                 }
             }
             None => {
-                let full = self.engine.fresh().mine(&self.db, constraints.min_support());
+                let full = self.engine.fresh().mine_par(
+                    &self.db,
+                    constraints.min_support(),
+                    self.parallelism,
+                );
                 (RunMode::Fresh, full, None, None)
             }
         };

@@ -39,6 +39,6 @@ pub use flist::{FList, NO_RANK};
 pub use item::{Item, ItemCatalog};
 pub use pattern::{Pattern, PatternSet};
 pub use prune::{NoPrune, SearchPrune};
-pub use sink::{CollectSink, CountSink, PatternSink};
+pub use sink::{CollectSink, CountSink, FnSink, PatternSink};
 pub use support::MinSupport;
 pub use transaction::Transaction;

@@ -1,6 +1,10 @@
-//! Shared plumbing for rank-space miners.
+//! Shared plumbing for rank-space miners: the DFS emitter, subset
+//! enumeration, scratch counting, and the parallel first-level fan-out
+//! driver every projected-database miner routes its root loop through.
 
 use gogreen_data::{FList, Item, PatternSink};
+use gogreen_util::pool::Parallelism;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maintains the current prefix pattern during a depth-first search over
 /// the F-list, translating ranks back to items on emission.
@@ -13,12 +17,16 @@ pub struct RankEmitter<'a> {
     flist: &'a FList,
     /// Current prefix as items (unsorted: DFS push order).
     prefix: Vec<Item>,
+    /// Reusable buffer for [`Self::emit_with`]: subset enumeration emits
+    /// once per subset, and a fresh allocation per emission dominates the
+    /// single-path/single-group shortcut paths.
+    scratch: Vec<Item>,
 }
 
 impl<'a> RankEmitter<'a> {
     /// Creates an emitter with an empty prefix.
     pub fn new(flist: &'a FList) -> Self {
-        RankEmitter { flist, prefix: Vec::with_capacity(16) }
+        RankEmitter { flist, prefix: Vec::with_capacity(16), scratch: Vec::new() }
     }
 
     /// The F-list being decoded against.
@@ -59,12 +67,121 @@ impl<'a> RankEmitter<'a> {
     }
 
     /// Emits `prefix + extra_ranks` (used by single-path/single-group
-    /// combination enumeration) without mutating the prefix.
-    pub fn emit_with(&self, sink: &mut dyn PatternSink, extra_ranks: &[u32], support: u64) {
-        let mut items = Vec::with_capacity(self.prefix.len() + extra_ranks.len());
-        items.extend_from_slice(&self.prefix);
-        items.extend(extra_ranks.iter().map(|&r| self.flist.item(r)));
-        sink.emit(&items, support);
+    /// combination enumeration) without mutating the prefix. Reuses an
+    /// internal scratch buffer, so repeated calls allocate at most once.
+    pub fn emit_with(&mut self, sink: &mut dyn PatternSink, extra_ranks: &[u32], support: u64) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.prefix);
+        self.scratch.extend(extra_ranks.iter().map(|&r| self.flist.item(r)));
+        sink.emit(&self.scratch, support);
+    }
+}
+
+/// A flat, append-only pattern buffer used as the thread-local sink
+/// during parallel fan-out: items from all emissions live in one `Vec`
+/// with a `(len, support)` side array, so buffering a subtree costs two
+/// amortized appends per pattern and replay is a linear sweep.
+#[derive(Debug, Default)]
+pub struct PatternBuffer {
+    items: Vec<Item>,
+    meta: Vec<(u32, u64)>,
+}
+
+impl PatternSink for PatternBuffer {
+    fn emit(&mut self, items: &[Item], support: u64) {
+        self.items.extend_from_slice(items);
+        self.meta.push((items.len() as u32, support));
+    }
+}
+
+impl PatternBuffer {
+    /// Number of buffered patterns.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Re-emits every buffered pattern, in emission order, into `sink`.
+    pub fn replay(&self, sink: &mut dyn PatternSink) {
+        let mut off = 0usize;
+        for &(len, support) in &self.meta {
+            let end = off + len as usize;
+            sink.emit(&self.items[off..end], support);
+            off = end;
+        }
+    }
+}
+
+/// The first-level fan-out driver shared by every miner and recycler.
+///
+/// Runs `unit(state, i, sink)` for `i in 0..n` and delivers the emitted
+/// patterns to `sink` **in unit order**, regardless of thread count:
+///
+/// * Serial (or `n < 2`): one `init()` state, units run in order directly
+///   against the real sink — no buffering, no overhead.
+/// * Parallel: workers steal unit indices from a shared atomic cursor
+///   (skewed prefixes don't straggle behind a static partition), emit
+///   each unit into a private [`PatternBuffer`], and the buffers are
+///   replayed in index order after the scoped join.
+///
+/// Because the serial path runs the *same* per-unit code as each worker,
+/// the output stream is byte-identical at any thread count, and every
+/// commutative metrics counter (`metrics::is_thread_invariant`) sums to
+/// the same total. `init()` builds per-worker scratch state (emitters,
+/// count arrays, DFS arenas) once per worker, not once per unit.
+pub fn fan_out_ordered<S, I, F>(
+    par: Parallelism,
+    n: usize,
+    sink: &mut dyn PatternSink,
+    init: I,
+    unit: F,
+) where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut dyn PatternSink) + Sync,
+{
+    let workers = par.for_items(n);
+    if workers <= 1 {
+        let mut state = init();
+        for i in 0..n {
+            unit(&mut state, i, sink);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, PatternBuffer)>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut state = init();
+                let mut done: Vec<(usize, PatternBuffer)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut buf = PatternBuffer::default();
+                    unit(&mut state, i, &mut buf);
+                    done.push((i, buf));
+                }
+                done
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("mining worker panicked"));
+        }
+    });
+    let mut slots: Vec<Option<PatternBuffer>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, buf) in parts.into_iter().flatten() {
+        slots[i] = Some(buf);
+    }
+    for slot in slots {
+        slot.expect("every unit index visited exactly once").replay(sink);
     }
 }
 
@@ -225,6 +342,50 @@ mod tests {
         c.clear();
         assert_eq!(c.get(3), 0);
         assert!(c.touched().is_empty());
+    }
+
+    #[test]
+    fn pattern_buffer_replays_in_emission_order() {
+        let mut buf = PatternBuffer::default();
+        buf.emit(&[Item(3), Item(5)], 7);
+        buf.emit(&[Item(1)], 2);
+        assert_eq!(buf.len(), 2);
+        let mut seen: Vec<(Vec<Item>, u64)> = Vec::new();
+        {
+            let mut sink = gogreen_data::FnSink(|items: &[Item], s| seen.push((items.to_vec(), s)));
+            buf.replay(&mut sink);
+        }
+        assert_eq!(seen, vec![(vec![Item(3), Item(5)], 7), (vec![Item(1)], 2)]);
+    }
+
+    #[test]
+    fn fan_out_ordered_is_thread_invariant() {
+        // Unit i emits i+1 patterns tagged with its index; the merged
+        // stream must equal the serial one at any thread count.
+        let run = |par: Parallelism| {
+            let mut seen: Vec<(Vec<Item>, u64)> = Vec::new();
+            {
+                let mut sink =
+                    gogreen_data::FnSink(|items: &[Item], s| seen.push((items.to_vec(), s)));
+                fan_out_ordered(
+                    par,
+                    9,
+                    &mut sink,
+                    || 0u32,
+                    |state, i, sink| {
+                        *state += 1;
+                        for k in 0..=i {
+                            sink.emit(&[Item(i as u32), Item(k as u32)], (i * 100 + k) as u64);
+                        }
+                    },
+                );
+            }
+            seen
+        };
+        let serial = run(Parallelism::serial());
+        for t in [2, 4, 8] {
+            assert_eq!(run(Parallelism::threads(t)), serial, "threads={t}");
+        }
     }
 
     #[test]

@@ -17,10 +17,11 @@
 //! This implementation replaces raw pointers with `u32` indices into entry
 //! arenas — same layout, memory-safe.
 
-use crate::common::{RankEmitter, ScratchCounts};
+use crate::common::{fan_out_ordered, RankEmitter, ScratchCounts};
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
 use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
 
 /// Link/arena sentinel.
 const NIL: u32 = u32::MAX;
@@ -93,6 +94,16 @@ impl Miner for HMine {
     }
 
     fn mine_into(&self, db: &TransactionDb, min_support: MinSupport, sink: &mut dyn PatternSink) {
+        self.mine_into_par(db, min_support, Parallelism::serial(), sink);
+    }
+
+    fn mine_into_par(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
         let minsup = min_support.to_absolute(db.len());
         let flist = FList::from_db(db, minsup);
         if flist.is_empty() {
@@ -100,8 +111,19 @@ impl Miner for HMine {
         }
         let tuples: Vec<Vec<u32>> =
             db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        self.mine_encoded(&tuples, &flist, &[], minsup, sink);
+        self.mine_encoded_par(&tuples, &flist, &[], minsup, par, sink);
     }
+}
+
+/// Per-worker reusable state for the first-level fan-out: count scratch,
+/// the level-activity arrays (allocated once per worker, not once per
+/// rank), the suffix-slice buffer, and the DFS emitter.
+struct HmWorker<'a> {
+    emitter: RankEmitter<'a>,
+    scratch: ScratchCounts,
+    active: Vec<u32>,
+    cell_of: Vec<u32>,
+    subs: Vec<&'a [u32]>,
 }
 
 impl HMine {
@@ -122,7 +144,94 @@ impl HMine {
         minsup: u64,
         sink: &mut dyn PatternSink,
     ) {
-        self.mine_encoded_pruned(tuples, flist, prefix_items, minsup, &NoPrune, sink);
+        self.mine_encoded_par(tuples, flist, prefix_items, minsup, Parallelism::serial(), sink);
+    }
+
+    /// [`HMine::mine_encoded`] with the root header table fanned out over
+    /// `par` scoped threads.
+    ///
+    /// Instead of threading one shared hyper-structure through a mutable
+    /// root queue pass (inherently sequential), each top-level rank `r`
+    /// becomes an independent work unit: the suffixes following `r` in
+    /// every tuple form `r`'s projected database, and a per-worker arena
+    /// is built over those suffix *slices* — the relink invariant then
+    /// holds privately within each unit. Queue order never affects
+    /// H-Mine's output (cells are processed in ascending rank order and
+    /// supports are order-independent sums), so the per-unit streams
+    /// concatenated in rank order are byte-identical to the serial run.
+    pub fn mine_encoded_par(
+        &self,
+        tuples: &[Vec<u32>],
+        flist: &gogreen_data::FList,
+        prefix_items: &[gogreen_data::Item],
+        minsup: u64,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
+        let n = flist.len();
+        let mut scratch = ScratchCounts::new(n);
+        let mut touches = 0u64;
+        for t in tuples {
+            for &r in t {
+                scratch.add(r, 1);
+                touches += 1;
+            }
+        }
+        metrics::add("mine.tuple_touches", touches);
+        metrics::add("mine.candidate_tests", scratch.touched().len() as u64);
+        let frequent = scratch.drain_frequent(minsup);
+        if frequent.is_empty() {
+            return;
+        }
+        metrics::set_max("mine.max_depth", prefix_items.len() as u64 + 1);
+        // Occurrence index: for each frequent rank, where its (non-empty)
+        // suffixes start. One pass over the tuples replaces the per-rank
+        // scans a naive fan-out would need, so the serial driver does no
+        // more work than the queue-relink top level it replaces.
+        let mut unit_of: Vec<u32> = vec![NIL; n];
+        for (li, &(r, _)) in frequent.iter().enumerate() {
+            unit_of[r as usize] = li as u32;
+        }
+        let mut occ: Vec<Vec<(u32, u32)>> = vec![Vec::new(); frequent.len()];
+        for (ti, t) in tuples.iter().enumerate() {
+            for (p, &r) in t.iter().enumerate() {
+                let li = unit_of[r as usize];
+                if li != NIL && p + 1 < t.len() {
+                    occ[li as usize].push((ti as u32, p as u32 + 1));
+                }
+            }
+        }
+        let occ = &occ;
+        let frequent = &frequent;
+        fan_out_ordered(
+            par,
+            frequent.len(),
+            sink,
+            || {
+                let mut emitter = RankEmitter::new(flist);
+                for &it in prefix_items {
+                    emitter.push_item(it);
+                }
+                HmWorker {
+                    emitter,
+                    scratch: ScratchCounts::new(n),
+                    active: vec![0; n],
+                    cell_of: vec![NIL; n],
+                    subs: Vec::new(),
+                }
+            },
+            |w, li, sink| {
+                let (r, c) = frequent[li];
+                w.emitter.push(r);
+                w.emitter.emit(sink, c);
+                w.subs.clear();
+                w.subs.extend(occ[li].iter().map(|&(ti, o)| &tuples[ti as usize][o as usize..]));
+                if !w.subs.is_empty() {
+                    mine_suffixes(w, minsup, sink);
+                }
+                w.emitter.pop();
+            },
+        );
     }
 
     /// Constrained mining over a plain database: `prune` strips
@@ -218,6 +327,67 @@ impl HMine {
     }
 }
 
+/// Mines one top-level rank's projected database (its suffix slices) in
+/// a private arena, reusing the worker's scratch and activity buffers so
+/// the per-unit cost is the arena build plus the usual level passes.
+fn mine_suffixes(w: &mut HmWorker<'_>, minsup: u64, sink: &mut dyn PatternSink) {
+    let mut touches = 0u64;
+    for t in &w.subs {
+        for &r in *t {
+            w.scratch.add(r, 1);
+            touches += 1;
+        }
+    }
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", w.scratch.touched().len() as u64);
+    let sub = w.scratch.drain_frequent(minsup);
+    if sub.is_empty() {
+        return;
+    }
+    metrics::add("mine.projected_dbs", 1);
+    let occurrences: usize = w.subs.iter().map(|t| t.len()).sum();
+    let (hs, firsts) = HStruct::build(w.subs.iter().copied(), occurrences + w.subs.len());
+    let mut ctx = Ctx {
+        hs,
+        active: std::mem::take(&mut w.active),
+        cell_of: std::mem::take(&mut w.cell_of),
+        scratch: std::mem::replace(&mut w.scratch, ScratchCounts::new(0)),
+        minsup,
+    };
+    let mut cells: Vec<Cell> =
+        sub.iter().map(|&(x, c)| Cell { rank: x, count: c, head: NIL }).collect();
+    for (i, c) in cells.iter().enumerate() {
+        ctx.active[c.rank as usize] = 1;
+        ctx.cell_of[c.rank as usize] = i as u32;
+    }
+    for &first in &firsts {
+        let mut e = first as usize;
+        loop {
+            let r = ctx.hs.item[e];
+            if r == SENT {
+                break;
+            }
+            if ctx.active[r as usize] == 1 {
+                let ci = ctx.cell_of[r as usize] as usize;
+                ctx.hs.next[e] = cells[ci].head;
+                cells[ci].head = e as u32;
+                break;
+            }
+            e += 1;
+        }
+    }
+    mine_level(&mut ctx, &mut cells, 1, &NoPrune, &mut w.emitter, sink);
+    // Return the buffers to the worker, un-tagging this unit's ranks so
+    // the next unit starts from a clean activity map.
+    for &(x, _) in &sub {
+        ctx.active[x as usize] = 0;
+        ctx.cell_of[x as usize] = NIL;
+    }
+    w.active = ctx.active;
+    w.cell_of = ctx.cell_of;
+    w.scratch = ctx.scratch;
+}
+
 /// Processes one header table: for each cell in ascending rank order, emit
 /// its pattern, count its locally frequent extensions, build and recurse
 /// into the sub-header, then relink its queue forward within this level.
@@ -229,7 +399,7 @@ fn mine_level<P: SearchPrune>(
     emitter: &mut RankEmitter<'_>,
     sink: &mut dyn PatternSink,
 ) {
-    metrics::set_max("mine.max_depth", depth as u64);
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
     for idx in 0..cells.len() {
         let r = cells[idx].rank;
         emitter.push(r);

@@ -24,6 +24,7 @@ pub mod naive;
 pub mod treeproj;
 
 use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink, TransactionDb};
+use gogreen_util::pool::Parallelism;
 
 pub use apriori::Apriori;
 pub use fpgrowth::FpGrowth;
@@ -51,11 +52,37 @@ pub trait Miner {
     /// `min_support`, emitting each pattern exactly once into `sink`.
     fn mine_into(&self, db: &TransactionDb, min_support: MinSupport, sink: &mut dyn PatternSink);
 
+    /// Like [`Miner::mine_into`], mining the first-level projections on
+    /// `par` scoped threads where the algorithm supports it. The emitted
+    /// stream is byte-identical to the serial run at any thread count;
+    /// miners without a parallel driver (Apriori, the naive baseline)
+    /// fall back to the serial path.
+    fn mine_into_par(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        par: Parallelism,
+        sink: &mut dyn PatternSink,
+    ) {
+        let _ = par;
+        self.mine_into(db, min_support, sink);
+    }
+
     /// Convenience wrapper collecting the result into a [`PatternSet`].
     fn mine(&self, db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+        self.mine_par(db, min_support, Parallelism::serial())
+    }
+
+    /// Parallel convenience wrapper collecting into a [`PatternSet`].
+    fn mine_par(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        par: Parallelism,
+    ) -> PatternSet {
         let mut sp = gogreen_obs::span("mine");
         let mut sink = CollectSink::new();
-        self.mine_into(db, min_support, &mut sink);
+        self.mine_into_par(db, min_support, par, &mut sink);
         let set = sink.into_set();
         sp.field("engine", self.name()).field("patterns", set.len());
         set

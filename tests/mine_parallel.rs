@@ -1,0 +1,136 @@
+//! Differential tests for the parallel mining phase: at any thread count
+//! the emitted pattern stream must be *byte-identical* to the serial run
+//! (same patterns, same supports, same order), and every `mine.*`
+//! counter total must be *bit-identical* — parallelism redistributes the
+//! work without changing it.
+//!
+//! Covers all baseline miners on the raw weather analog and all
+//! recycling miners on both an uncompressed view and an MCP-compressed
+//! database.
+//!
+//! The metrics registry is process-global, so every test holds
+//! `TEST_LOCK` for its whole body.
+
+use gogreen::data::FnSink;
+use gogreen::miners::{FpGrowth, HMine, TreeProjection};
+use gogreen::obs::metrics;
+use gogreen::prelude::*;
+use gogreen::util::pool::Parallelism;
+use gogreen_datagen::{DatasetPreset, PresetKind};
+use std::sync::Mutex;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+const XI_NEW: MinSupport = MinSupport::Relative(0.02);
+
+fn weather() -> (TransactionDb, CompressedDb) {
+    let preset = DatasetPreset::new(PresetKind::Weather, 0.005);
+    let db = preset.generate();
+    let fp = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+    (db, cdb)
+}
+
+/// The exact emission sequence of one mining run.
+type Stream = Vec<(Vec<Item>, u64)>;
+
+fn stream_of(f: &mut dyn FnMut(&mut dyn PatternSink)) -> Stream {
+    let mut out: Stream = Vec::new();
+    {
+        let mut sink = FnSink(|items: &[Item], sup: u64| out.push((items.to_vec(), sup)));
+        f(&mut sink);
+    }
+    out
+}
+
+fn assert_streams_match(serial: &Stream, name: &str, mut run: impl FnMut(Parallelism) -> Stream) {
+    assert!(!serial.is_empty(), "{name}: serial run emitted nothing");
+    for threads in [2usize, 4, 8] {
+        let par = run(Parallelism::threads(threads));
+        assert_eq!(serial.len(), par.len(), "{name} at {threads} threads: stream length");
+        assert!(serial == &par, "{name} at {threads} threads: stream diverged from serial");
+    }
+}
+
+#[test]
+fn baseline_miner_streams_identical_across_thread_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (db, _) = weather();
+    let miners: Vec<Box<dyn Miner>> =
+        vec![Box::new(HMine), Box::new(FpGrowth), Box::new(TreeProjection)];
+    for m in &miners {
+        let serial =
+            stream_of(&mut |sink| m.mine_into_par(&db, XI_NEW, Parallelism::serial(), sink));
+        assert_streams_match(&serial, m.name(), |par| {
+            stream_of(&mut |sink| m.mine_into_par(&db, XI_NEW, par, sink))
+        });
+    }
+}
+
+#[test]
+fn recycling_miner_streams_identical_across_thread_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (db, cdb) = weather();
+    let raw = CompressedDb::uncompressed(&db);
+    let miners: Vec<Box<dyn RecyclingMiner>> = vec![
+        Box::new(RecycleHm),
+        Box::new(RecycleFp::default()),
+        Box::new(RecycleTp),
+        Box::new(RpMine::default()),
+    ];
+    for m in &miners {
+        for (label, view) in [("uncompressed", &raw), ("MCP", &cdb)] {
+            let serial =
+                stream_of(&mut |sink| m.mine_into_par(view, XI_NEW, Parallelism::serial(), sink));
+            assert_streams_match(&serial, &format!("{} on {label}", m.name()), |par| {
+                stream_of(&mut |sink| m.mine_into_par(view, XI_NEW, par, sink))
+            });
+        }
+    }
+}
+
+/// Runs every miner once at `threads` and returns all `mine.*` counter
+/// totals.
+fn mine_counters(
+    db: &TransactionDb,
+    cdb: &CompressedDb,
+    threads: usize,
+) -> Vec<(&'static str, u64)> {
+    let par = Parallelism::threads(threads);
+    metrics::reset();
+    metrics::set_enabled(true);
+    let mut sink = FnSink(|_: &[Item], _: u64| {});
+    for m in [&HMine as &dyn Miner, &FpGrowth, &TreeProjection] {
+        m.mine_into_par(db, XI_NEW, par, &mut sink);
+    }
+    let recyclers: [&dyn RecyclingMiner; 4] =
+        [&RecycleHm, &RecycleFp::default(), &RecycleTp, &RpMine::default()];
+    for m in recyclers {
+        m.mine_into_par(cdb, XI_NEW, par, &mut sink);
+    }
+    metrics::set_enabled(false);
+    let snap: Vec<(&'static str, u64)> = metrics::snapshot()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("mine."))
+        .map(|(name, m)| (name, m.value))
+        .collect();
+    metrics::reset();
+    snap
+}
+
+#[test]
+fn mine_counters_bit_identical_across_thread_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (db, cdb) = weather();
+    let serial = mine_counters(&db, &cdb, 1);
+    let threaded = mine_counters(&db, &cdb, 4);
+    for required in
+        ["mine.candidate_tests", "mine.tuple_touches", "mine.projected_dbs", "mine.max_depth"]
+    {
+        assert!(
+            serial.iter().any(|&(n, v)| n == required && v > 0),
+            "counter {required} missing from {serial:?}"
+        );
+    }
+    assert_eq!(serial, threaded);
+}
