@@ -6,12 +6,9 @@
 //! checksum: every pair member must report the same count for the same
 //! input.
 
-use gogreen_core::recycle_fp::RecycleFp;
-use gogreen_core::recycle_hm::RecycleHm;
-use gogreen_core::recycle_tp::RecycleTp;
-use gogreen_core::{CompressedDb, RecyclingMiner};
+use gogreen_core::engine::{engine_named, MiningEngine};
+use gogreen_core::CompressedDb;
 use gogreen_data::{CountSink, MinSupport, TransactionDb};
-use gogreen_miners::{FpGrowth, HMine, Miner, TreeProjection};
 use gogreen_util::pool::Parallelism;
 use gogreen_util::{Json, ToJson};
 use std::time::Instant;
@@ -72,6 +69,16 @@ impl AlgoFamily {
         self.run_baseline_par(db, ms, Parallelism::serial())
     }
 
+    /// The engine-registry entry backing this family.
+    fn engine(self) -> &'static dyn MiningEngine {
+        let key = match self {
+            AlgoFamily::HMine => "hmine",
+            AlgoFamily::FpTree => "fp",
+            AlgoFamily::TreeProjection => "tp",
+        };
+        engine_named(key).expect("bench families are registered")
+    }
+
     /// Times the baseline miner with its first-level projections fanned
     /// out over `par`.
     pub fn run_baseline_par(
@@ -80,13 +87,10 @@ impl AlgoFamily {
         ms: MinSupport,
         par: Parallelism,
     ) -> TimedRun {
+        let miner = self.engine().raw();
         let mut sink = CountSink::new();
         let start = Instant::now();
-        match self {
-            AlgoFamily::HMine => HMine.mine_into_par(db, ms, par, &mut sink),
-            AlgoFamily::FpTree => FpGrowth.mine_into_par(db, ms, par, &mut sink),
-            AlgoFamily::TreeProjection => TreeProjection.mine_into_par(db, ms, par, &mut sink),
-        }
+        miner.mine_into_par(db, ms, par, &mut sink);
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
     }
 
@@ -103,13 +107,10 @@ impl AlgoFamily {
         ms: MinSupport,
         par: Parallelism,
     ) -> TimedRun {
+        let miner = self.engine().recycling(par).expect("bench families have recycling pairs");
         let mut sink = CountSink::new();
         let start = Instant::now();
-        match self {
-            AlgoFamily::HMine => RecycleHm.mine_into_par(cdb, ms, par, &mut sink),
-            AlgoFamily::FpTree => RecycleFp::default().mine_into_par(cdb, ms, par, &mut sink),
-            AlgoFamily::TreeProjection => RecycleTp.mine_into_par(cdb, ms, par, &mut sink),
-        }
+        miner.mine_into_par(cdb, ms, par, &mut sink);
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
     }
 

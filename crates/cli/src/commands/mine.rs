@@ -4,8 +4,8 @@
 use crate::args::{parse_items, parse_support, Args};
 use crate::commands::{load_db, parse_threads, setup_obs, show_support};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
+use gogreen_core::engine::{engine_keys, engine_named};
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
-use gogreen_miners::{mine_apriori, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
 use gogreen_util::pool::Parallelism;
 use std::time::Instant;
 
@@ -81,36 +81,18 @@ fn mine(
     pushdown: &Pushdown,
     attrs: &ItemAttributes,
 ) -> Result<PatternSet, String> {
-    // Constraint pushdown into the search is serial-only; a `--threads`
-    // run fans the first-level projections out over `par` threads and
-    // post-filters pushed constraints instead. Either way each algorithm
-    // mines its own native structure.
-    let result = match algo {
-        "hmine" if par.is_serial() => {
-            let mut sink = CollectSink::new();
-            HMine.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
-            sink.into_set()
+    // Every algorithm resolves through the engine registry. Constraint
+    // pushdown into the search is serial-only (and only some families
+    // provide it); otherwise mine unconstrained — fanning the
+    // first-level projections out over `par` threads — and post-filter
+    // the pushed constraints.
+    let engine =
+        engine_named(algo).ok_or_else(|| format!("unknown algo {algo:?} ({})", engine_keys()))?;
+    if par.is_serial() {
+        let mut sink = CollectSink::new();
+        if engine.mine_raw_pruned(db, support, &pushdown.search(attrs), &mut sink) {
+            return Ok(sink.into_set());
         }
-        "naive" if par.is_serial() => {
-            let mut sink = CollectSink::new();
-            NaiveProjection.mine_pruned(db, support, &pushdown.search(attrs), &mut sink);
-            sink.into_set()
-        }
-        // The remaining paths post-filter pushed constraints.
-        "hmine" => {
-            HMine.mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs))
-        }
-        "naive" => NaiveProjection
-            .mine_par(db, support, par)
-            .filter(|p| pushdown.prefix_ok(p.items(), attrs)),
-        "fp" => {
-            FpGrowth.mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs))
-        }
-        "tp" => TreeProjection
-            .mine_par(db, support, par)
-            .filter(|p| pushdown.prefix_ok(p.items(), attrs)),
-        "apriori" => mine_apriori(db, support).filter(|p| pushdown.prefix_ok(p.items(), attrs)),
-        other => return Err(format!("unknown algo {other:?} (hmine|fp|tp|apriori|naive)")),
-    };
-    Ok(result)
+    }
+    Ok(engine.raw().mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs)))
 }

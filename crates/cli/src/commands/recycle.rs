@@ -3,10 +3,7 @@
 
 use crate::args::{parse_support, Args};
 use crate::commands::{load_db, parse_strategy, parse_threads, setup_obs, show_support};
-use gogreen_core::recycle_fp::RecycleFp;
-use gogreen_core::recycle_hm::RecycleHm;
-use gogreen_core::recycle_tp::RecycleTp;
-use gogreen_core::rpmine::RpMine;
+use gogreen_core::engine::{engine_keys, engine_named};
 use gogreen_core::{Compressor, RecyclingMiner};
 use std::time::Instant;
 
@@ -21,13 +18,11 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let support = parse_support(args.required("support")?)?;
     let strategy = parse_strategy(args.opt("strategy"))?;
     let par = parse_threads(args.opt("threads"))?;
-    let miner: Box<dyn RecyclingMiner> = match args.opt("algo").unwrap_or("hm") {
-        "hm" => Box::new(RecycleHm),
-        "fp" => Box::new(RecycleFp::default().with_parallelism(par)),
-        "tp" => Box::new(RecycleTp),
-        "naive" => Box::new(RpMine::default()),
-        other => return Err(format!("unknown algo {other:?} (hm|fp|tp|naive)")),
-    };
+    let algo = args.opt("algo").unwrap_or("hm");
+    let miner: Box<dyn RecyclingMiner> = engine_named(algo)
+        .ok_or_else(|| format!("unknown algo {algo:?} ({})", engine_keys()))?
+        .recycling(par)
+        .ok_or_else(|| format!("algo {algo:?} has no recycling adaptation"))?;
 
     let start = Instant::now();
     let (cdb, stats) =

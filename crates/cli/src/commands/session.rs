@@ -68,13 +68,9 @@ pub fn drive_with(
                 );
             }
             "engine" => {
-                let engine = match arg.ok_or("engine expects a name")? {
-                    "hmine" => Engine::HMine,
-                    "fp" => Engine::FpTree,
-                    "tp" => Engine::TreeProjection,
-                    "naive" => Engine::Naive,
-                    other => return Err(format!("unknown engine {other:?}")),
-                };
+                let name = arg.ok_or("engine expects a name")?;
+                let engine =
+                    Engine::from_key(name).ok_or_else(|| format!("unknown engine {name:?}"))?;
                 session = MiningSession::new(session.db().clone())
                     .with_engine(engine)
                     .with_parallelism(par);

@@ -397,6 +397,42 @@ impl CompressedRankDb {
     }
 }
 
+/// The real grouped substrate of the unified mining engines: the
+/// recycling miners instantiate `gogreen_miners::engine::{hm, fp, tp}`
+/// with this, the raw miners with the degenerate
+/// [`gogreen_data::PlainRanks`] view.
+impl gogreen_data::GroupedSource for CompressedRankDb {
+    const GROUPED: bool = true;
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn group_pattern(&self, g: usize) -> &[u32] {
+        &self.groups[g].pattern
+    }
+
+    fn group_outliers(&self, g: usize) -> &[Vec<u32>] {
+        &self.groups[g].outliers
+    }
+
+    fn group_bare(&self, g: usize) -> u64 {
+        self.groups[g].bare
+    }
+
+    fn plain(&self) -> &[Vec<u32>] {
+        &self.plain
+    }
+
+    fn group_count(&self, g: usize) -> u64 {
+        self.groups[g].count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,261 @@
+//! Engine registry: one entry per algorithm family, pairing the raw
+//! miner with its recycling adaptation.
+//!
+//! The traversal of each family is written once, generically over
+//! [`gogreen_data::GroupedSource`], in `gogreen_miners::engine`; the raw
+//! miner instantiates it on the degenerate [`gogreen_data::PlainRanks`]
+//! substrate and the recycling miner on the real
+//! [`crate::cdb::CompressedRankDb`]. This registry is the single place
+//! that knows the pairing, so every front end — the CLI `mine` and
+//! `recycle` commands, the interactive session, the benchmark harness —
+//! dispatches by name through [`engine_named`] instead of hard-coding
+//! its own `match` over algorithm strings.
+
+use crate::recycle_fp::RecycleFp;
+use crate::recycle_hm::RecycleHm;
+use crate::recycle_tp::RecycleTp;
+use crate::rpmine::RpMine;
+use crate::{CompressedDb, RecyclingMiner};
+use gogreen_data::{MinSupport, PatternSink, SearchPrune, TransactionDb};
+use gogreen_miners::{Apriori, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use gogreen_util::pool::Parallelism;
+
+/// One algorithm family: a raw miner plus (usually) a recycling
+/// counterpart sharing the same generic traversal.
+pub trait MiningEngine: Sync {
+    /// Canonical key, the primary `--algo` spelling (`"hmine"`, `"fp"`,
+    /// `"tp"`, `"naive"`, `"apriori"`).
+    fn key(&self) -> &'static str;
+
+    /// Additional accepted spellings (`"hm"` for `"hmine"`, …).
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Human-readable family name for reports.
+    fn family(&self) -> &'static str;
+
+    /// The from-scratch miner over plain databases.
+    fn raw(&self) -> Box<dyn Miner>;
+
+    /// The recycling miner over compressed databases, or `None` when
+    /// the family has no recycling adaptation (Apriori, which exists as
+    /// the differential-testing oracle only).
+    fn recycling(&self, par: Parallelism) -> Option<Box<dyn RecyclingMiner>>;
+
+    /// Serial constrained raw mining with the pushed predicates checked
+    /// *inside* the search. Returns `false` when the family has no
+    /// pushdown-capable driver — callers then mine unconstrained and
+    /// post-filter.
+    fn mine_raw_pruned(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        prune: &dyn SearchPrune,
+        sink: &mut dyn PatternSink,
+    ) -> bool {
+        let _ = (db, min_support, prune, sink);
+        false
+    }
+}
+
+struct HMineEngine;
+
+impl MiningEngine for HMineEngine {
+    fn key(&self) -> &'static str {
+        "hmine"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["hm"]
+    }
+    fn family(&self) -> &'static str {
+        "H-Mine"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(HMine)
+    }
+    fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RecycleHm))
+    }
+    fn mine_raw_pruned(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        prune: &dyn SearchPrune,
+        sink: &mut dyn PatternSink,
+    ) -> bool {
+        HMine.mine_pruned(db, min_support, prune, sink);
+        true
+    }
+}
+
+struct FpEngine;
+
+impl MiningEngine for FpEngine {
+    fn key(&self) -> &'static str {
+        "fp"
+    }
+    fn family(&self) -> &'static str {
+        "FP-growth"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(FpGrowth)
+    }
+    fn recycling(&self, par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RecycleFp::default().with_parallelism(par)))
+    }
+}
+
+struct TpEngine;
+
+impl MiningEngine for TpEngine {
+    fn key(&self) -> &'static str {
+        "tp"
+    }
+    fn family(&self) -> &'static str {
+        "TreeProjection"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(TreeProjection)
+    }
+    fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RecycleTp))
+    }
+}
+
+struct NaiveEngine;
+
+impl MiningEngine for NaiveEngine {
+    fn key(&self) -> &'static str {
+        "naive"
+    }
+    fn family(&self) -> &'static str {
+        "Naive projection"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(NaiveProjection)
+    }
+    fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RpMine::default()))
+    }
+    fn mine_raw_pruned(
+        &self,
+        db: &TransactionDb,
+        min_support: MinSupport,
+        prune: &dyn SearchPrune,
+        sink: &mut dyn PatternSink,
+    ) -> bool {
+        NaiveProjection.mine_pruned(db, min_support, prune, sink);
+        true
+    }
+}
+
+struct AprioriEngine;
+
+impl MiningEngine for AprioriEngine {
+    fn key(&self) -> &'static str {
+        "apriori"
+    }
+    fn family(&self) -> &'static str {
+        "Apriori"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(Apriori)
+    }
+    fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        None
+    }
+}
+
+/// Constrained recycling on the naive engine (the only family with a
+/// pushdown-capable recycling driver). Returns `false` for every other
+/// key.
+pub fn mine_recycled_pruned(
+    key: &str,
+    cdb: &CompressedDb,
+    min_support: MinSupport,
+    prune: &dyn SearchPrune,
+    sink: &mut dyn PatternSink,
+) -> bool {
+    if key == "naive" {
+        RpMine::default().mine_pruned(cdb, min_support, prune, sink);
+        return true;
+    }
+    false
+}
+
+/// All registered engines, in presentation order.
+pub fn engines() -> &'static [&'static dyn MiningEngine] {
+    const ENGINES: [&dyn MiningEngine; 5] =
+        [&HMineEngine, &FpEngine, &TpEngine, &NaiveEngine, &AprioriEngine];
+    &ENGINES
+}
+
+/// Looks an engine up by canonical key or alias.
+pub fn engine_named(name: &str) -> Option<&'static dyn MiningEngine> {
+    engines().iter().copied().find(|e| e.key() == name || e.aliases().contains(&name))
+}
+
+/// The `--algo` help string: every canonical key, `|`-separated.
+pub fn engine_keys() -> String {
+    let keys: Vec<&str> = engines().iter().map(|e| e.key()).collect();
+    keys.join("|")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gogreen_data::CollectSink;
+    use gogreen_miners::mine_apriori;
+
+    #[test]
+    fn lookup_resolves_keys_and_aliases() {
+        for key in ["hmine", "fp", "tp", "naive", "apriori"] {
+            let e = engine_named(key).expect(key);
+            assert_eq!(e.key(), key);
+        }
+        assert_eq!(engine_named("hm").unwrap().key(), "hmine");
+        assert!(engine_named("bogus").is_none());
+    }
+
+    #[test]
+    fn every_raw_engine_matches_the_oracle() {
+        let db = TransactionDb::paper_example();
+        let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+        for e in engines() {
+            let got = e.raw().mine(&db, MinSupport::Absolute(2));
+            assert!(got.same_patterns_as(&oracle), "{}", e.family());
+        }
+    }
+
+    #[test]
+    fn recycling_pairs_are_exact() {
+        let db = TransactionDb::paper_example();
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(3));
+        let cdb = crate::Compressor::new(crate::Strategy::Mcp).compress(&db, &fp_old);
+        let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+        for e in engines() {
+            let Some(rec) = e.recycling(Parallelism::serial()) else {
+                assert_eq!(e.key(), "apriori");
+                continue;
+            };
+            let got = rec.mine(&cdb, MinSupport::Absolute(2));
+            assert!(got.same_patterns_as(&oracle), "{}", e.family());
+        }
+    }
+
+    #[test]
+    fn pruned_hooks_report_support_correctly() {
+        let db = TransactionDb::paper_example();
+        let prune = gogreen_data::NoPrune;
+        for e in engines() {
+            let mut sink = CollectSink::new();
+            let handled = e.mine_raw_pruned(&db, MinSupport::Absolute(2), &prune, &mut sink);
+            assert_eq!(handled, matches!(e.key(), "hmine" | "naive"), "{}", e.key());
+            if handled {
+                let oracle = mine_apriori(&db, MinSupport::Absolute(2));
+                assert!(sink.into_set().same_patterns_as(&oracle), "{}", e.key());
+            }
+        }
+    }
+}

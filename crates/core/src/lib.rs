@@ -22,6 +22,10 @@
 //!    * [`recycle_fp::RecycleFp`] — the FP-tree adaptation (§4.2);
 //!    * [`recycle_tp::RecycleTp`] — the Tree Projection adaptation (§4.2).
 //!
+//! Each pair shares one generic traversal (`gogreen_miners::engine`)
+//! instantiated on either the plain or the grouped substrate; the
+//! [`engine`] registry pairs them up by name for every front end.
+//!
 //! On top of the pipeline sit the interactive pieces the paper motivates:
 //! [`session::MiningSession`] (iterative constraint refinement with
 //! automatic filter-vs-recycle dispatch), [`store::PatternStore`]
@@ -38,6 +42,7 @@
 pub mod cdb;
 pub mod compress;
 pub mod cover;
+pub mod engine;
 pub mod incremental;
 pub mod memory;
 pub mod recycle_fp;

@@ -51,9 +51,9 @@ mod tests {
     use super::*;
     use crate::cdb::CompressedDb;
     use crate::compress::Compressor;
-    use crate::recycle_hm::RpStruct;
     use crate::utility::Strategy;
     use gogreen_data::{MinSupport, TransactionDb};
+    use gogreen_miners::engine::hm::RpStruct;
     use gogreen_miners::mine_apriori;
 
     fn rdb_for(db: &TransactionDb, xi_old: u64, minsup: u64) -> CompressedRankDb {

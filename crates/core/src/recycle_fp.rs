@@ -1,35 +1,21 @@
 //! FP-recycle: the FP-tree adaptation to compressed databases (paper
 //! §4.2).
 //!
-//! The paper sketches the adaptation as "treat each group head as a
-//! special item in the upper part of each prefix-tree branch" and defers
-//! details to an unavailable technical report. Our realization keeps the
-//! group head literally *above* the tree: the compressed database becomes
-//! a forest of **conditional groups**, each a `(residual pattern, member
-//! count, FP-tree over the members' outlying items)` triple. The plain
-//! (uncovered) tuples form one conditional group with an empty pattern —
-//! for them this degenerates to ordinary FP-growth.
-//!
-//! Both compression savings survive in this shape:
-//!
-//! * **Counting**: a group's pattern items are counted once with the
-//!   group count; outlier supports are read off the per-group FP-tree
-//!   header tables.
-//! * **Projection**: on a pattern item, a group is projected in O(1) —
-//!   the pattern shrinks and the (shared, reference-counted) outlier
-//!   tree is kept with a raised *rank bound*, because discarded ranks
-//!   live at the bottom of every branch (trees are built in descending
-//!   rank order). Only projection through an *outlier* item pays for
-//!   conditional-pattern-base extraction, exactly as in FP-growth.
+//! The conditional-group search lives in `gogreen_miners::engine::fp`,
+//! shared with the plain `FpGrowth` baseline: this type instantiates it
+//! on the real [`CompressedRankDb`](crate::cdb::CompressedRankDb)
+//! substrate, where the database becomes a forest of conditional groups
+//! — `(residual pattern, member count, FP-tree over the members'
+//! outlying items)` triples — and both compression savings survive
+//! (group-at-a-time counting via group counts and header tables, O(1)
+//! projection through pattern items via shared trees with rank bounds).
+//! See the engine module docs for the realization details.
 
-use crate::cdb::{CompressedDb, CompressedRankDb};
+use crate::cdb::CompressedDb;
 use crate::RecyclingMiner;
-use gogreen_data::{FList, MinSupport, PatternSink};
-use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
-use gogreen_miners::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
-use gogreen_obs::metrics;
-use gogreen_util::pool::{par_chunks, Parallelism};
-use std::sync::Arc;
+use gogreen_data::{MinSupport, PatternSink};
+use gogreen_miners::engine::fp;
+use gogreen_util::pool::Parallelism;
 
 /// The FP-recycle miner.
 ///
@@ -60,30 +46,6 @@ impl RecycleFp {
     }
 }
 
-const SRC_NONE: u32 = u32::MAX;
-const SRC_MIXED: u32 = u32::MAX - 1;
-
-/// One group in the current projection.
-struct CondGroup {
-    /// Residual pattern ranks (ascending). Empty for the plain partition.
-    pattern: Vec<u32>,
-    /// Members in this projection.
-    count: u64,
-    /// Outlier store; `None` when no member has relevant outliers.
-    /// `Arc` rather than `Rc` so fan-out workers can share root trees.
-    tree: Option<Arc<FpTree>>,
-    /// Ranks ≤ `bound` in the tree are projected away (they sit below
-    /// every relevant prefix, so climbs never see them; header rows with
-    /// rank ≤ bound are skipped).
-    bound: i64,
-}
-
-struct Ctx {
-    scratch: ScratchCounts,
-    src: Vec<u32>,
-    minsup: u64,
-}
-
 impl RecyclingMiner for RecycleFp {
     fn name(&self) -> &'static str {
         "FP-recycle"
@@ -106,281 +68,8 @@ impl RecyclingMiner for RecycleFp {
             return;
         }
         let rdb = cdb.to_ranks(&flist);
-        let mut ctx = Ctx {
-            scratch: ScratchCounts::new(flist.len()),
-            src: vec![SRC_NONE; flist.len()],
-            minsup,
-        };
-        let cgs = build_root(&rdb, &mut ctx, par);
-        mine_root(&cgs, &flist, minsup, par, sink);
+        fp::mine_source_par(&rdb, &flist, minsup, par, sink);
     }
-}
-
-/// Root dispatch: count and the Lemma 3.1 check run once on the calling
-/// thread; each frequent root rank then projects and mines over the
-/// shared conditional groups as one fan-out unit. Pattern-item
-/// projections clone the group's `Arc` tree — the underlying node arenas
-/// are never written after construction, so sharing across workers is
-/// safe by construction.
-fn mine_root(
-    cgs: &[CondGroup],
-    flist: &FList,
-    minsup: u64,
-    par: Parallelism,
-    sink: &mut dyn PatternSink,
-) {
-    let mut root_ctx =
-        Ctx { scratch: ScratchCounts::new(flist.len()), src: vec![SRC_NONE; flist.len()], minsup };
-    let (frequent, single_group) = count_cgs(cgs, &mut root_ctx);
-    if frequent.is_empty() {
-        return;
-    }
-    if single_group.is_some() && frequent.len() <= 62 {
-        let mut emitter = RankEmitter::new(flist);
-        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
-        return;
-    }
-    let frequent = &frequent;
-    fan_out_ordered(
-        par,
-        frequent.len(),
-        sink,
-        || {
-            let ctx = Ctx {
-                scratch: ScratchCounts::new(flist.len()),
-                src: vec![SRC_NONE; flist.len()],
-                minsup,
-            };
-            (ctx, RankEmitter::new(flist), Vec::with_capacity(16))
-        },
-        |(ctx, emitter, climb), k, sink| {
-            let (r, c) = frequent[k];
-            emitter.push(r);
-            emitter.emit(sink, c);
-            let children = project(cgs, r, frequent, ctx, climb);
-            if !children.is_empty() {
-                metrics::add("mine.projected_dbs", 1);
-                mine_node(&children, ctx, emitter, sink);
-            }
-            emitter.pop();
-        },
-    );
-}
-
-/// Builds one group's outlier FP-tree (`None` when there is nothing to
-/// store). Insertion order is the tuple order, so the tree shape is
-/// deterministic wherever this runs.
-fn build_tree(tuples: &[Vec<u32>], scratch: &mut ScratchCounts) -> Option<FpTree> {
-    if tuples.is_empty() {
-        return None;
-    }
-    for t in tuples {
-        for &x in t {
-            scratch.add(x, 1);
-        }
-    }
-    let freq = scratch.drain_frequent(1);
-    let mut b = FpTreeBuilder::new(&freq);
-    for t in tuples {
-        b.insert_desc(t.iter().rev().copied(), 1);
-    }
-    Some(b.finish())
-}
-
-/// Builds the root conditional groups from the rank-space CDB. The
-/// per-group trees are independent, so with a non-serial `par` they are
-/// constructed on worker threads ([`FpTree`] is plain data and `Send`;
-/// the `Arc` sharing wrapper is applied after the join, on this thread).
-fn build_root(rdb: &CompressedRankDb, ctx: &mut Ctx, par: Parallelism) -> Vec<CondGroup> {
-    let mut cgs = Vec::with_capacity(rdb.groups.len() + 1);
-    if par.for_items(rdb.groups.len()) <= 1 {
-        for g in &rdb.groups {
-            let tree = build_tree(&g.outliers, &mut ctx.scratch).map(Arc::new);
-            cgs.push(CondGroup { pattern: g.pattern.clone(), count: g.count(), tree, bound: -1 });
-        }
-    } else {
-        let parts = par_chunks(par, &rdb.groups, |_, chunk| {
-            let mut scratch = ScratchCounts::new(rdb.num_ranks);
-            chunk.iter().map(|g| build_tree(&g.outliers, &mut scratch)).collect::<Vec<_>>()
-        });
-        for (lo, trees) in parts {
-            for (g, tree) in rdb.groups[lo..].iter().zip(trees) {
-                cgs.push(CondGroup {
-                    pattern: g.pattern.clone(),
-                    count: g.count(),
-                    tree: tree.map(Arc::new),
-                    bound: -1,
-                });
-            }
-        }
-    }
-    if !rdb.plain.is_empty() {
-        let tree = build_tree(&rdb.plain, &mut ctx.scratch).map(Arc::new);
-        cgs.push(CondGroup { pattern: Vec::new(), count: rdb.plain.len() as u64, tree, bound: -1 });
-    }
-    cgs
-}
-
-/// Counts one node's conditional groups: pattern items via group counts,
-/// outliers via tree headers. Both paths are group-at-a-time: one
-/// weighted add stands in for a whole group (or header row) of member
-/// tuples. Returns the locally frequent `(rank, count)` pairs (ascending)
-/// and the single source group if Lemma 3.1 applies.
-fn count_cgs(cgs: &[CondGroup], ctx: &mut Ctx) -> (Vec<(u32, u64)>, Option<u32>) {
-    let mut group_hits = 0u64;
-    for (ci, cg) in cgs.iter().enumerate() {
-        for &x in &cg.pattern {
-            ctx.scratch.add(x, cg.count);
-            group_hits += 1;
-            let s = &mut ctx.src[x as usize];
-            *s = match *s {
-                SRC_NONE => ci as u32,
-                cur if cur == ci as u32 => cur,
-                _ => SRC_MIXED,
-            };
-        }
-        if let Some(tree) = &cg.tree {
-            for h in tree.headers() {
-                if (h.rank as i64) > cg.bound {
-                    ctx.scratch.add(h.rank, h.count);
-                    group_hits += 1;
-                    ctx.src[h.rank as usize] = SRC_MIXED;
-                }
-            }
-        }
-    }
-    metrics::add("mine.group_hits", group_hits);
-    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
-    let mut frequent: Vec<(u32, u64)> = ctx
-        .scratch
-        .touched()
-        .iter()
-        .map(|&x| (x, ctx.scratch.get(x)))
-        .filter(|&(_, c)| c >= ctx.minsup)
-        .collect();
-    frequent.sort_unstable_by_key(|&(x, _)| x);
-    let single_group = match frequent.split_first() {
-        Some((&(x0, _), rest)) => {
-            let g0 = ctx.src[x0 as usize];
-            (g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0)).then_some(g0)
-        }
-        None => None,
-    };
-    for &x in ctx.scratch.touched() {
-        ctx.src[x as usize] = SRC_NONE;
-    }
-    ctx.scratch.clear();
-    (frequent, single_group)
-}
-
-/// Mines one node of the search: count, apply Lemma 3.1 if it fires,
-/// otherwise extend by every locally frequent rank.
-fn mine_node(
-    cgs: &[CondGroup],
-    ctx: &mut Ctx,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", emitter.depth() as u64);
-    let (frequent, single_group) = count_cgs(cgs, ctx);
-    if frequent.is_empty() {
-        return;
-    }
-    if single_group.is_some() && frequent.len() <= 62 {
-        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
-        return;
-    }
-    let mut climb = Vec::with_capacity(16);
-    for &(r, c) in &frequent {
-        emitter.push(r);
-        emitter.emit(sink, c);
-        let children = project(cgs, r, &frequent, ctx, &mut climb);
-        if !children.is_empty() {
-            metrics::add("mine.projected_dbs", 1);
-            mine_node(&children, ctx, emitter, sink);
-        }
-        emitter.pop();
-    }
-}
-
-/// Projects every conditional group on rank `r`. `node_frequent` (sorted)
-/// pre-filters conditional bases: ranks infrequent at this node cannot
-/// become frequent deeper (anti-monotonicity).
-fn project(
-    cgs: &[CondGroup],
-    r: u32,
-    node_frequent: &[(u32, u64)],
-    ctx: &mut Ctx,
-    climb: &mut Vec<u32>,
-) -> Vec<CondGroup> {
-    let is_node_frequent = |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
-    let mut out = Vec::new();
-    // Per-path work of conditional-base extraction (the part compression
-    // does NOT save — pattern-item projections above are O(1)).
-    let mut touches = 0u64;
-    for cg in cgs {
-        match cg.pattern.binary_search(&r) {
-            Ok(pos) => {
-                // Pattern item: O(1) projection — every member follows,
-                // the shared tree is kept with a raised bound.
-                let pattern = cg.pattern[pos + 1..].to_vec();
-                let tree_relevant = cg
-                    .tree
-                    .as_ref()
-                    .is_some_and(|t| t.headers().last().is_some_and(|h| h.rank > r));
-                if pattern.is_empty() && !tree_relevant {
-                    continue;
-                }
-                out.push(CondGroup {
-                    pattern,
-                    count: cg.count,
-                    tree: if tree_relevant { cg.tree.clone() } else { None },
-                    bound: r as i64,
-                });
-            }
-            Err(ppos) => {
-                // Outlier item: extract r's conditional pattern base.
-                let Some(tree) = &cg.tree else { continue };
-                if (r as i64) <= cg.bound {
-                    continue;
-                }
-                let Some(hdr) = tree.header_for(r) else { continue };
-                let hdr = *hdr;
-                let pattern = cg.pattern[ppos..].to_vec();
-                let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
-                let mut node = hdr.head;
-                while node != FP_NIL {
-                    let w = tree.count_of(node);
-                    tree.climb_into(node, climb);
-                    climb.retain(|&x| is_node_frequent(x));
-                    if !climb.is_empty() {
-                        for &x in climb.iter() {
-                            ctx.scratch.add(x, w);
-                        }
-                        touches += climb.len() as u64;
-                        base.push((climb.clone(), w));
-                    }
-                    node = tree.next_same_rank(node);
-                }
-                let freq = ctx.scratch.drain_frequent(1);
-                let new_tree = if freq.is_empty() {
-                    None
-                } else {
-                    let mut b = FpTreeBuilder::new(&freq);
-                    for (ranks, w) in &base {
-                        b.insert_desc(ranks.iter().rev().copied(), *w);
-                    }
-                    Some(Arc::new(b.finish()))
-                };
-                if pattern.is_empty() && new_tree.is_none() {
-                    continue;
-                }
-                out.push(CondGroup { pattern, count: hdr.count, tree: new_tree, bound: -1 });
-            }
-        }
-    }
-    metrics::add("mine.tuple_touches", touches);
-    out
 }
 
 #[cfg(test)]

@@ -1,330 +1,24 @@
 //! Recycle-HM: the H-Mine adaptation to compressed databases
 //! (paper §4.1, Figures 4–8).
 //!
-//! H-Mine's defining trait is **pseudo-projection**: tuples are loaded
-//! once into an entry arena and never copied; a projected database is a
-//! set of references into that arena. The paper's *RP-Struct* extends
-//! this with group heads (pattern + member count + member tails), group
-//! tails (the members' outlying items as arena entries), and per-node
-//! RP-Header tables whose *item-links* reach tails and whose
-//! *group-links* reach whole groups.
-//!
-//! Our realization keeps all of that, with one engineering deviation
-//! that matters for *partial* groups — groups projected through an
-//! outlying item, so that only some members remain. The paper's figures
-//! only exercise whole groups; threading each partial member through the
-//! header tables individually (one link hop per remaining pattern item
-//! per member) degenerates to per-member × per-pattern-item work and is
-//! measurably slower than plain H-Mine on dense data. Instead, each
-//! search node holds its groups as **projected group views**: the source
-//! group id, an offset into its pattern, the surviving members as
-//! `(tail, entry position)` pairs, and a bare-member count. Projection
-//! through a pattern item advances the offset and keeps the member list
-//! (the whole group follows — the paper's group-link move); projection
-//! through an outlying item collects the members holding that entry (the
-//! paper's item-link move). Item data is never copied; only member
-//! reference lists are.
-//!
-//! Savings realized (paper §3.1): counting touches each group view once
-//! per pattern item — weight = member count — instead of once per member
-//! tuple; and projecting on a pattern item moves the whole view in one
-//! step. Lemma 3.1 (single-group pattern generation) prunes entire
-//! subtrees into subset enumeration.
+//! The RP-Struct search itself lives in `gogreen_miners::engine::hm`,
+//! shared with the plain `HMine` baseline: this type instantiates it on
+//! the real [`CompressedRankDb`] substrate, where group heads are counted
+//! group-at-a-time (weight = member count), projection on a pattern item
+//! moves whole group views in one step, and Lemma 3.1 collapses
+//! single-group subtrees into subset enumeration. See the engine module
+//! docs for the realization details (projected group views, the single
+//! reusable hyperlink per entry, partial groups).
 
 use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
-use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
-use gogreen_obs::metrics;
+use gogreen_miners::engine::hm;
 use gogreen_util::pool::Parallelism;
-
-/// Entry item marking the end of a tail.
-const SENT: u32 = u32::MAX;
-/// `tail_group` value for plain (uncovered) tuples.
-const GNONE: u32 = u32::MAX;
-
-const SRC_NONE: u32 = u32::MAX;
-const SRC_MIXED: u32 = u32::MAX - 1;
 
 /// The Recycle-HM miner.
 #[derive(Debug, Default, Clone)]
 pub struct RecycleHm;
-
-/// The RP-Struct arenas: all tuple data, loaded once, never copied.
-pub(crate) struct RpStruct {
-    /// Entry items (ranks, ascending within a tail); `SENT` terminates
-    /// each tail.
-    eitem: Vec<u32>,
-    /// First entry of each tail.
-    tail_first: Vec<u32>,
-    /// Owning group of each tail (`GNONE` for plain tuples).
-    tail_group: Vec<u32>,
-    /// Group patterns (ranks ascending).
-    gpat: Vec<Vec<u32>>,
-    /// Group member counts (including bare members).
-    gcount: Vec<u64>,
-    /// Tails of each group (members with outlying items).
-    gtails: Vec<Vec<u32>>,
-}
-
-impl RpStruct {
-    pub(crate) fn build(cdb: &CompressedRankDb) -> Self {
-        let total_entries: usize = cdb
-            .groups
-            .iter()
-            .flat_map(|g| g.outliers.iter())
-            .chain(cdb.plain.iter())
-            .map(|t| t.len() + 1)
-            .sum();
-        let num_tails: usize =
-            cdb.groups.iter().map(|g| g.outliers.len()).sum::<usize>() + cdb.plain.len();
-        let mut s = RpStruct {
-            eitem: Vec::with_capacity(total_entries),
-            tail_first: Vec::with_capacity(num_tails),
-            tail_group: Vec::with_capacity(num_tails),
-            gpat: Vec::with_capacity(cdb.groups.len()),
-            gcount: Vec::with_capacity(cdb.groups.len()),
-            gtails: Vec::with_capacity(cdb.groups.len()),
-        };
-        fn push_tail(s: &mut RpStruct, items: &[u32], group: u32) -> u32 {
-            let t = s.tail_first.len() as u32;
-            s.tail_first.push(s.eitem.len() as u32);
-            s.tail_group.push(group);
-            s.eitem.extend_from_slice(items);
-            s.eitem.push(SENT);
-            t
-        }
-        for g in &cdb.groups {
-            let gid = s.gpat.len() as u32;
-            s.gpat.push(g.pattern.clone());
-            s.gcount.push(g.count());
-            let tails: Vec<u32> = g.outliers.iter().map(|o| push_tail(&mut s, o, gid)).collect();
-            s.gtails.push(tails);
-        }
-        for t in &cdb.plain {
-            push_tail(&mut s, t, GNONE);
-        }
-        s
-    }
-
-    /// Arena bytes — the base quantity the paper's memory estimator
-    /// (§3.3) budgets against.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn arena_bytes(&self) -> usize {
-        self.eitem.capacity() * 4
-            + (self.tail_first.capacity() + self.tail_group.capacity()) * 4
-            + self.gcount.capacity() * 8
-            + self.gpat.iter().map(|p| p.capacity() * 4).sum::<usize>()
-            + self.gtails.iter().map(|t| t.capacity() * 4).sum::<usize>()
-    }
-}
-
-/// A member reference: a tail plus the first arena entry still relevant
-/// (anchors advance as projections consume entries, so no entry is
-/// re-skipped by descendant nodes).
-type Member = (u32, u32);
-
-/// Marks a bucketed member as belonging to the plain partition.
-const VNONE: u32 = u32::MAX;
-
-/// One group's presence in the current projection.
-struct GroupView {
-    /// Source group.
-    gid: u32,
-    /// Residual pattern = `gpat[gid][pat_from..]` (every rank greater
-    /// than the node's projection bound, maintained by construction).
-    pat_from: u32,
-    /// Members with (possibly) relevant outlying items.
-    members: Vec<Member>,
-    /// Members known to have no relevant outliers (counted only).
-    bare: u64,
-    /// The locally frequent pattern rank this view currently queues at
-    /// (its group-link position); `u32::MAX` once the residual pattern
-    /// has no locally frequent item left.
-    cur: u32,
-}
-
-impl GroupView {
-    fn count(&self) -> u64 {
-        self.members.len() as u64 + self.bare
-    }
-}
-
-/// One node of the depth-first search: the paper's RP-Header scope.
-struct Node {
-    views: Vec<GroupView>,
-    plain: Vec<Member>,
-}
-
-/// One header row's queues: the RP-Header's group-link (whole views) and
-/// item-link (individual members; `VNONE` view = plain tuple) chains.
-#[derive(Default)]
-struct Bucket {
-    views: Vec<u32>,
-    members: Vec<(u32, Member)>,
-}
-
-/// Reusable per-depth scratch of the DFS: the bucket array of one node,
-/// the member grouping buffer, and the bucket currently being processed.
-/// Kept in a depth-indexed arena on [`Ctx`] so sibling nodes at the same
-/// depth recycle each other's allocations instead of growing fresh
-/// `Vec<Bucket>`s per node.
-#[derive(Default)]
-struct LevelScratch {
-    buckets: Vec<Bucket>,
-    member_run: Vec<(u32, Member)>,
-    cur: Bucket,
-}
-
-impl LevelScratch {
-    /// Clears all queues and guarantees at least `n` buckets, preserving
-    /// every inner capacity.
-    fn reset(&mut self, n: usize) {
-        for b in &mut self.buckets {
-            b.views.clear();
-            b.members.clear();
-        }
-        if self.buckets.len() < n {
-            self.buckets.resize_with(n, Bucket::default);
-        }
-        self.cur.views.clear();
-        self.cur.members.clear();
-        self.member_run.clear();
-    }
-}
-
-/// Per-worker mining state. The RP-Struct arena is shared by reference:
-/// it is read-only once built, so parallel first-level units each carry
-/// their own `Ctx` over the same arena.
-struct Ctx<'s> {
-    s: &'s RpStruct,
-    scratch: ScratchCounts,
-    src: Vec<u32>,
-    /// Local-frequency tags: `lf_tag[rank] == lf_gen` ⇔ rank is locally
-    /// frequent at the node currently being processed; `lf_pos` then
-    /// holds its bucket index.
-    lf_tag: Vec<u32>,
-    lf_pos: Vec<u32>,
-    lf_gen: u32,
-    minsup: u64,
-    /// Depth-indexed scratch arenas (index = recursion depth below this
-    /// context's root).
-    levels: Vec<LevelScratch>,
-    depth: usize,
-}
-
-impl<'s> Ctx<'s> {
-    fn new(s: &'s RpStruct, num_ranks: usize, minsup: u64) -> Self {
-        Ctx {
-            s,
-            scratch: ScratchCounts::new(num_ranks),
-            src: vec![SRC_NONE; num_ranks],
-            lf_tag: vec![0; num_ranks],
-            lf_pos: vec![0; num_ranks],
-            lf_gen: 0,
-            minsup,
-            levels: Vec::new(),
-            depth: 0,
-        }
-    }
-    /// Finds the entry of rank `r` in `member`'s remaining outliers,
-    /// exploiting the ascending entry order for early exit.
-    #[inline]
-    fn find_entry(&self, (_, pos): Member, r: u32) -> Option<u32> {
-        let mut e = pos as usize;
-        loop {
-            let x = self.s.eitem[e];
-            if x == SENT || x > r {
-                return None;
-            }
-            if x == r {
-                return Some(e as u32);
-            }
-            e += 1;
-        }
-    }
-
-    /// First entry of `member` with rank > `r`, or `None` when the
-    /// remaining outliers are exhausted.
-    #[inline]
-    fn advance_past(&self, (_, pos): Member, r: u32) -> Option<u32> {
-        let mut e = pos as usize;
-        loop {
-            let x = self.s.eitem[e];
-            if x == SENT {
-                return None;
-            }
-            if x > r {
-                return Some(e as u32);
-            }
-            e += 1;
-        }
-    }
-
-    /// First *locally frequent* outlier rank of `member` strictly greater
-    /// than `after` (`-1` = no bound).
-    #[inline]
-    fn first_lf_outlier(&self, (_, pos): Member, after: i64) -> Option<u32> {
-        let mut e = pos as usize;
-        loop {
-            let x = self.s.eitem[e];
-            if x == SENT {
-                return None;
-            }
-            if (x as i64) > after && self.lf_tag[x as usize] == self.lf_gen {
-                return Some(x);
-            }
-            e += 1;
-        }
-    }
-
-    /// First locally frequent residual pattern rank of `view` strictly
-    /// greater than `after`.
-    #[inline]
-    fn first_lf_pattern(&self, view: &GroupView, after: i64) -> Option<u32> {
-        self.s.gpat[view.gid as usize][view.pat_from as usize..]
-            .iter()
-            .copied()
-            .find(|&x| (x as i64) > after && self.lf_tag[x as usize] == self.lf_gen)
-    }
-
-    /// Adds +1 (source MIXED) for each remaining outlier rank of
-    /// `member` (anchors guarantee every remaining entry is in scope);
-    /// returns the number of entries touched.
-    #[inline]
-    fn count_member(&mut self, (_, pos): Member) -> u64 {
-        let mut e = pos as usize;
-        let mut touched = 0u64;
-        loop {
-            let x = self.s.eitem[e];
-            if x == SENT {
-                return touched;
-            }
-            self.scratch.add(x, 1);
-            self.src[x as usize] = SRC_MIXED;
-            touched += 1;
-            e += 1;
-        }
-    }
-
-    fn merge_src(&mut self, x: u32, view_idx: u32) {
-        let s = &mut self.src[x as usize];
-        *s = match *s {
-            SRC_NONE => view_idx,
-            cur if cur == view_idx => cur,
-            _ => SRC_MIXED,
-        };
-    }
-
-    /// Installs `frequent` as the current node's local-frequency tags.
-    fn tag_lf(&mut self, frequent: &[(u32, u64)]) {
-        self.lf_gen = self.lf_gen.wrapping_add(1);
-        for (k, &(x, _)) in frequent.iter().enumerate() {
-            self.lf_tag[x as usize] = self.lf_gen;
-            self.lf_pos[x as usize] = k as u32;
-        }
-    }
-}
 
 impl RecyclingMiner for RecycleHm {
     fn name(&self) -> &'static str {
@@ -374,19 +68,8 @@ impl RecycleHm {
     }
 
     /// Like [`RecycleHm::mine_rank_db`], fanning the first-level
-    /// projections out over `par` scoped threads.
-    ///
-    /// The root node is counted once on the caller thread; each locally
-    /// frequent rank then becomes an independent unit. The serial search
-    /// discovers a rank's root bucket incrementally (H-Mine queue
-    /// relinks), but the bucket contents at rank `r`'s processing time
-    /// are a pure function of the node: a view is queued at `r` iff `r`
-    /// is in its locally frequent residual pattern, and a member is
-    /// queued at `r` iff `r` is one of its locally frequent outliers
-    /// (relinks walk each tuple through exactly those positions in rank
-    /// order, and the `cur` coverage rule only defers a queueing, never
-    /// cancels it). One sweep therefore precomputes every unit's bucket,
-    /// and workers share the read-only RP-Struct and root views.
+    /// projections out over `par` scoped threads; the emitted stream is
+    /// byte-identical to the serial run at any thread count.
     pub fn mine_rank_db_par(
         &self,
         rdb: &CompressedRankDb,
@@ -396,376 +79,8 @@ impl RecycleHm {
         par: Parallelism,
         sink: &mut dyn PatternSink,
     ) {
-        let s = RpStruct::build(rdb);
-        let node = root_views(&s);
-        let num_ranks = flist.len();
-        metrics::set_max("mine.max_depth", prefix_items.len() as u64);
-        let mut root_ctx = Ctx::new(&s, num_ranks, minsup);
-        let counted = count_node(&node, &mut root_ctx);
-        if counted.frequent.is_empty() {
-            return;
-        }
-        if counted.single_group && counted.frequent.len() <= 62 {
-            let mut emitter = RankEmitter::new(flist);
-            for &it in prefix_items {
-                emitter.push_item(it);
-            }
-            for_each_subset(&counted.frequent, &mut |ranks, sup| {
-                emitter.emit_with(sink, ranks, sup)
-            });
-            return;
-        }
-        let frequent = counted.frequent;
-        root_ctx.tag_lf(&frequent);
-        // Root plan sweep (see above): bucket every view at each locally
-        // frequent residual pattern rank, every member at each locally
-        // frequent outlier rank.
-        let mut plan: Vec<Bucket> = (0..frequent.len()).map(|_| Bucket::default()).collect();
-        for (vi, v) in node.views.iter().enumerate() {
-            for &x in &s.gpat[v.gid as usize][v.pat_from as usize..] {
-                if root_ctx.lf_tag[x as usize] == root_ctx.lf_gen {
-                    plan[root_ctx.lf_pos[x as usize] as usize].views.push(vi as u32);
-                }
-            }
-            for &m in &v.members {
-                push_lf_outliers(&root_ctx, vi as u32, m, &mut plan);
-            }
-        }
-        for &m in &node.plain {
-            push_lf_outliers(&root_ctx, VNONE, m, &mut plan);
-        }
-        drop(root_ctx);
-        let (s, node, frequent, plan) = (&s, &node, &frequent, &plan);
-        fan_out_ordered(
-            par,
-            frequent.len(),
-            sink,
-            || {
-                let mut emitter = RankEmitter::new(flist);
-                for &it in prefix_items {
-                    emitter.push_item(it);
-                }
-                (Ctx::new(s, num_ranks, minsup), emitter, Vec::new())
-            },
-            |(ctx, emitter, member_run), li, sink| {
-                let (r, c) = frequent[li];
-                emitter.push(r);
-                emitter.emit(sink, c);
-                let child = build_child(&node.views, &plan[li], r, member_run, ctx);
-                if !child.views.is_empty() || !child.plain.is_empty() {
-                    metrics::add("mine.projected_dbs", 1);
-                    mine_node(child, ctx, emitter, sink);
-                }
-                emitter.pop();
-            },
-        );
+        hm::mine_source_par(rdb, flist, prefix_items, minsup, par, sink);
     }
-}
-
-/// Builds the root node's group views and plain member list over `s`.
-fn root_views(s: &RpStruct) -> Node {
-    let mut views = Vec::with_capacity(s.gpat.len());
-    let mut plain = Vec::new();
-    let mut group_tail_count = 0usize;
-    for gid in 0..s.gpat.len() as u32 {
-        let members: Vec<Member> =
-            s.gtails[gid as usize].iter().map(|&t| (t, s.tail_first[t as usize])).collect();
-        let bare = s.gcount[gid as usize] - members.len() as u64;
-        group_tail_count += members.len();
-        views.push(GroupView { gid, pat_from: 0, members, bare, cur: u32::MAX });
-    }
-    for t in group_tail_count as u32..s.tail_first.len() as u32 {
-        debug_assert_eq!(s.tail_group[t as usize], GNONE);
-        plain.push((t, s.tail_first[t as usize]));
-    }
-    Node { views, plain }
-}
-
-/// Queues `m` (of view `vi`, or plain when `VNONE`) at every locally
-/// frequent outlier rank — the root plan sweep's member rule.
-fn push_lf_outliers(ctx: &Ctx<'_>, vi: u32, m: Member, plan: &mut [Bucket]) {
-    let mut e = m.1 as usize;
-    loop {
-        let x = ctx.s.eitem[e];
-        if x == SENT {
-            return;
-        }
-        if ctx.lf_tag[x as usize] == ctx.lf_gen {
-            plan[ctx.lf_pos[x as usize] as usize].members.push((vi, m));
-        }
-        e += 1;
-    }
-}
-
-/// Counting outcome of one node.
-struct Counted {
-    frequent: Vec<(u32, u64)>,
-    /// Lemma 3.1: every occurrence of every frequent rank lies in a
-    /// single group view's pattern.
-    single_group: bool,
-}
-
-/// Counts candidate extensions of the node: residual pattern items once
-/// per view (weight = member count), outliers and plain tuples per
-/// occurrence.
-fn count_node(node: &Node, ctx: &mut Ctx<'_>) -> Counted {
-    let mut group_hits = 0u64;
-    let mut touches = 0u64;
-    for (vi, v) in node.views.iter().enumerate() {
-        let c = v.count();
-        for k in v.pat_from as usize..ctx.s.gpat[v.gid as usize].len() {
-            let x = ctx.s.gpat[v.gid as usize][k];
-            ctx.scratch.add(x, c);
-            ctx.merge_src(x, vi as u32);
-            group_hits += 1;
-        }
-        for &m in &v.members {
-            touches += ctx.count_member(m);
-        }
-    }
-    for &m in &node.plain {
-        touches += ctx.count_member(m);
-    }
-    metrics::add("mine.group_hits", group_hits);
-    metrics::add("mine.tuple_touches", touches);
-    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
-    let mut frequent: Vec<(u32, u64)> = ctx
-        .scratch
-        .touched()
-        .iter()
-        .map(|&x| (x, ctx.scratch.get(x)))
-        .filter(|&(_, c)| c >= ctx.minsup)
-        .collect();
-    frequent.sort_unstable_by_key(|&(x, _)| x);
-    let single_group = match frequent.split_first() {
-        Some((&(x0, _), rest)) => {
-            let g0 = ctx.src[x0 as usize];
-            g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0)
-        }
-        None => false,
-    };
-    for &x in ctx.scratch.touched() {
-        ctx.src[x as usize] = SRC_NONE;
-    }
-    ctx.scratch.clear();
-    Counted { frequent, single_group }
-}
-
-/// Queues a view on its first locally frequent pattern rank after
-/// `after` (its group-link position), and queues its members whose first
-/// locally frequent outlier precedes that rank on their item-links. A
-/// view with no frequent pattern rank left dissolves: its members carry
-/// on individually.
-fn bucket_view(
-    views: &mut [GroupView],
-    vi: u32,
-    after: i64,
-    buckets: &mut [Bucket],
-    ctx: &Ctx<'_>,
-) {
-    let v = &views[vi as usize];
-    match ctx.first_lf_pattern(v, after) {
-        Some(p) => {
-            buckets[ctx.lf_pos[p as usize] as usize].views.push(vi);
-            for &m in &v.members {
-                if let Some(f) = ctx.first_lf_outlier(m, after) {
-                    if f < p {
-                        buckets[ctx.lf_pos[f as usize] as usize].members.push((vi, m));
-                    }
-                }
-            }
-            views[vi as usize].cur = p;
-        }
-        None => {
-            for &m in &v.members {
-                if let Some(f) = ctx.first_lf_outlier(m, after) {
-                    buckets[ctx.lf_pos[f as usize] as usize].members.push((vi, m));
-                }
-            }
-            views[vi as usize].cur = u32::MAX;
-        }
-    }
-}
-
-/// Queues an individual member (of view `vi`, or plain when `VNONE`) on
-/// its first locally frequent outlier after `after` — unless that rank
-/// is already covered by the owning view's queue position.
-fn bucket_member(
-    views: &[GroupView],
-    vi: u32,
-    m: Member,
-    after: i64,
-    buckets: &mut [Bucket],
-    ctx: &Ctx<'_>,
-) {
-    if let Some(f) = ctx.first_lf_outlier(m, after) {
-        let covered_from = if vi == VNONE { u32::MAX } else { views[vi as usize].cur };
-        if f < covered_from || covered_from == u32::MAX {
-            buckets[ctx.lf_pos[f as usize] as usize].members.push((vi, m));
-        }
-    }
-}
-
-/// Depth-first search over one node (procedure Recycle-HM, Figure 8,
-/// with Lemma 3.1 as lines 1–2). Tuples hop between per-rank buckets
-/// exactly like H-Mine queue relinks, so each extension only pays for
-/// its own projection.
-fn mine_node(
-    mut node: Node,
-    ctx: &mut Ctx<'_>,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", emitter.depth() as u64);
-    let counted = count_node(&node, ctx);
-    if counted.frequent.is_empty() {
-        return;
-    }
-    if counted.single_group && counted.frequent.len() <= 62 {
-        for_each_subset(&counted.frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
-        return;
-    }
-    let frequent = counted.frequent;
-    ctx.tag_lf(&frequent);
-    // Borrow this depth's scratch arena; the recursion below only uses
-    // deeper slots, so taking it out of the context is conflict-free.
-    let depth = ctx.depth;
-    if ctx.levels.len() <= depth {
-        ctx.levels.resize_with(depth + 1, LevelScratch::default);
-    }
-    let mut lvl = std::mem::take(&mut ctx.levels[depth]);
-    lvl.reset(frequent.len());
-    ctx.depth = depth + 1;
-    for vi in 0..node.views.len() as u32 {
-        bucket_view(&mut node.views, vi, -1, &mut lvl.buckets, ctx);
-    }
-    for &m in &node.plain {
-        bucket_member(&node.views, VNONE, m, -1, &mut lvl.buckets, ctx);
-    }
-    // Plain members live only in buckets from here on.
-    node.plain.clear();
-
-    for li in 0..frequent.len() {
-        let (r, c) = frequent[li];
-        emitter.push(r);
-        emitter.emit(sink, c);
-        // `cur` is empty here (reset, or cleared by the previous
-        // iteration), so the swap hands this bucket over while keeping
-        // both allocations alive for reuse.
-        std::mem::swap(&mut lvl.cur, &mut lvl.buckets[li]);
-
-        let child = build_child(&node.views, &lvl.cur, r, &mut lvl.member_run, ctx);
-        if !child.views.is_empty() || !child.plain.is_empty() {
-            metrics::add("mine.projected_dbs", 1);
-            mine_node(child, ctx, emitter, sink);
-            // The recursion reused the tag arrays; restore this node's.
-            ctx.tag_lf(&frequent);
-        }
-
-        // Relink forward (Fill-RPHeader on the items after r): everything
-        // queued at r hops to its next locally frequent rank.
-        for &vi in &lvl.cur.views {
-            bucket_view(&mut node.views, vi, r as i64, &mut lvl.buckets, ctx);
-        }
-        for &(vi, m) in &lvl.cur.members {
-            bucket_member(&node.views, vi, m, r as i64, &mut lvl.buckets, ctx);
-        }
-        lvl.cur.views.clear();
-        lvl.cur.members.clear();
-        emitter.pop();
-    }
-    ctx.depth = depth;
-    ctx.levels[depth] = lvl;
-}
-
-/// Builds the `r`-projection from one bucket: whole views advance past
-/// `r` (the paper's group-link move), individual members are grouped by
-/// owning view and projected through their `r` entry (the item-link
-/// move). `member_run` is caller-provided grouping scratch. Shared by
-/// the serial loop of [`mine_node`] and the root fan-out units.
-fn build_child(
-    views: &[GroupView],
-    bucket: &Bucket,
-    r: u32,
-    member_run: &mut Vec<(u32, Member)>,
-    ctx: &Ctx<'_>,
-) -> Node {
-    let mut child_views: Vec<GroupView> = Vec::new();
-    let mut child_plain: Vec<Member> = Vec::new();
-    for &vi in &bucket.views {
-        let v = &views[vi as usize];
-        let gpat = &ctx.s.gpat[v.gid as usize];
-        // r is in the residual pattern (it is v's queue rank).
-        let off = gpat[v.pat_from as usize..]
-            .binary_search(&r)
-            .expect("queued view contains its queue rank");
-        let pat_from = v.pat_from + off as u32 + 1;
-        let mut bare = v.bare;
-        let mut members = Vec::with_capacity(v.members.len());
-        for &m in &v.members {
-            match ctx.advance_past(m, r) {
-                Some(e) => members.push((m.0, e)),
-                None => bare += 1,
-            }
-        }
-        if (pat_from as usize) < gpat.len() {
-            child_views.push(GroupView { gid: v.gid, pat_from, members, bare, cur: u32::MAX });
-        } else {
-            child_plain.extend(members);
-        }
-    }
-    // Individual members: group by owning view to rebuild views.
-    member_run.clear();
-    member_run.extend(bucket.members.iter().copied());
-    member_run.sort_unstable_by_key(|&(vi, _)| vi);
-    let mut k = 0;
-    while k < member_run.len() {
-        let vi = member_run[k].0;
-        let mut end = k + 1;
-        while end < member_run.len() && member_run[end].0 == vi {
-            end += 1;
-        }
-        if vi == VNONE {
-            for &(_, m) in &member_run[k..end] {
-                if let Some(e) = ctx.find_entry(m, r) {
-                    if ctx.s.eitem[e as usize + 1] != SENT {
-                        child_plain.push((m.0, e + 1));
-                    }
-                }
-            }
-        } else {
-            let v = &views[vi as usize];
-            let gpat = &ctx.s.gpat[v.gid as usize];
-            let off = gpat[v.pat_from as usize..].partition_point(|&x| x <= r);
-            let pat_from = v.pat_from + off as u32;
-            let keep_pattern = (pat_from as usize) < gpat.len();
-            let mut members = Vec::new();
-            let mut bare = 0u64;
-            for &(_, m) in &member_run[k..end] {
-                let e = ctx.find_entry(m, r).expect("queued member contains its rank");
-                if ctx.s.eitem[e as usize + 1] == SENT {
-                    bare += 1;
-                } else {
-                    members.push((m.0, e + 1));
-                }
-            }
-            if keep_pattern {
-                if bare > 0 || !members.is_empty() {
-                    child_views.push(GroupView {
-                        gid: v.gid,
-                        pat_from,
-                        members,
-                        bare,
-                        cur: u32::MAX,
-                    });
-                }
-            } else {
-                child_plain.extend(members);
-            }
-        }
-        k = end;
-    }
-    Node { views: child_views, plain: child_plain }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 use crate::cdb::{CompressedDb, CompressedRankDb, CrGroup};
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
-use gogreen_miners::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
+use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_obs::metrics;
 use gogreen_util::pool::Parallelism;
 
@@ -66,56 +66,19 @@ impl RecyclingMiner for RpMine {
         if flist.is_empty() {
             return;
         }
+        // RP-Mine is the readable specification and differential-testing
+        // partner of the unified engines, so it stays deliberately
+        // serial — the engines own the parallel fan-out.
+        let _ = par;
         let view = cdb.to_ranks(&flist);
-        // Root counting and the Lemma 3.1 shortcut run once on the
-        // calling thread; each frequent rank's projection is then one
-        // fan-out unit over the shared (read-only) root view.
-        let mut root_ctx = Ctx {
+        let mut ctx = Ctx {
             scratch: ScratchCounts::new(flist.len()),
             src: vec![SRC_NONE; flist.len()],
             minsup,
             shortcut: self.single_group_shortcut,
         };
-        let counted = count_view(&view, &mut root_ctx);
-        if counted.frequent.is_empty() {
-            return;
-        }
-        if root_ctx.shortcut && counted.single_group.is_some() && counted.frequent.len() <= 62 {
-            let mut emitter = RankEmitter::new(&flist);
-            for_each_subset(&counted.frequent, &mut |ranks, sup| {
-                emitter.emit_with(sink, ranks, sup)
-            });
-            return;
-        }
-        let frequent = &counted.frequent;
-        let view = &view;
-        let flist = &flist;
-        let shortcut = self.single_group_shortcut;
-        fan_out_ordered(
-            par,
-            frequent.len(),
-            sink,
-            || {
-                let ctx = Ctx {
-                    scratch: ScratchCounts::new(flist.len()),
-                    src: vec![SRC_NONE; flist.len()],
-                    minsup,
-                    shortcut,
-                };
-                (ctx, RankEmitter::new(flist))
-            },
-            |(ctx, emitter), k, sink| {
-                let (r, c) = frequent[k];
-                emitter.push(r);
-                emitter.emit(sink, c);
-                let sub = project(view, r);
-                if !sub.groups.is_empty() || !sub.plain.is_empty() {
-                    metrics::add("mine.projected_dbs", 1);
-                    mine_rec(&sub, ctx, &NoPrune, emitter, sink);
-                }
-                emitter.pop();
-            },
-        );
+        let mut emitter = RankEmitter::new(&flist);
+        mine_rec(&view, &mut ctx, &NoPrune, &mut emitter, sink);
     }
 }
 
@@ -331,13 +294,10 @@ fn mine_rec(
 }
 
 impl RpMine {
-    /// Parallel recycled mining over `threads` workers. Since the
-    /// deterministic fan-out driver landed, this is a thin wrapper over
-    /// [`RecyclingMiner::mine_par`]: workers steal first-level
-    /// projections from an atomic rank cursor over the shared
-    /// (read-only) compressed view, and per-rank buffers merge in rank
-    /// order — the stream (not just the set) is identical to the serial
-    /// run at any thread count.
+    /// Compatibility wrapper over [`RecyclingMiner::mine_par`]. RP-Mine
+    /// itself runs serially regardless of `threads` (it is the readable
+    /// specification the parallel engines are differential-tested
+    /// against), so the result is trivially identical to the serial run.
     pub fn mine_parallel(
         &self,
         cdb: &CompressedDb,

@@ -17,15 +17,12 @@
 //! [`gogreen_constraints::Pushdown`] in callers that mine manually).
 
 use crate::compress::{CompressionStats, Compressor};
-use crate::recycle_fp::RecycleFp;
-use crate::recycle_hm::RecycleHm;
-use crate::recycle_tp::RecycleTp;
-use crate::rpmine::RpMine;
+use crate::engine::engine_named;
 use crate::utility::Strategy;
 use crate::RecyclingMiner;
 use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
 use gogreen_data::{PatternSet, TransactionDb};
-use gogreen_miners::{FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use gogreen_miners::Miner;
 use gogreen_obs::{metrics, span};
 use gogreen_util::pool::Parallelism;
 use std::time::Duration;
@@ -45,22 +42,38 @@ pub enum Engine {
 }
 
 impl Engine {
-    fn fresh(self) -> Box<dyn Miner> {
+    /// The registry key of this family (see [`crate::engine`]).
+    pub fn key(self) -> &'static str {
         match self {
-            Engine::HMine => Box::new(HMine),
-            Engine::FpTree => Box::new(FpGrowth),
-            Engine::TreeProjection => Box::new(TreeProjection),
-            Engine::Naive => Box::new(NaiveProjection),
+            Engine::HMine => "hmine",
+            Engine::FpTree => "fp",
+            Engine::TreeProjection => "tp",
+            Engine::Naive => "naive",
         }
     }
 
-    fn recycling(self, par: Parallelism) -> Box<dyn RecyclingMiner> {
-        match self {
-            Engine::HMine => Box::new(RecycleHm),
-            Engine::FpTree => Box::new(RecycleFp::default().with_parallelism(par)),
-            Engine::TreeProjection => Box::new(RecycleTp),
-            Engine::Naive => Box::new(RpMine::default()),
+    /// Resolves a registry key or alias (`"hmine"`, `"hm"`, `"fp"`, …)
+    /// to a session engine. `None` for unknown names and for families
+    /// without a recycling pair (Apriori).
+    pub fn from_key(name: &str) -> Option<Engine> {
+        match engine_named(name)?.key() {
+            "hmine" => Some(Engine::HMine),
+            "fp" => Some(Engine::FpTree),
+            "tp" => Some(Engine::TreeProjection),
+            "naive" => Some(Engine::Naive),
+            _ => None,
         }
+    }
+
+    fn fresh(self) -> Box<dyn Miner> {
+        engine_named(self.key()).expect("session engines are registered").raw()
+    }
+
+    fn recycling(self, par: Parallelism) -> Box<dyn RecyclingMiner> {
+        engine_named(self.key())
+            .expect("session engines are registered")
+            .recycling(par)
+            .expect("session engines have recycling pairs")
     }
 }
 

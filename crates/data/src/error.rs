@@ -14,6 +14,15 @@ pub enum DataError {
         /// The offending token.
         token: String,
     },
+    /// A structurally malformed line: the tokens may be fine
+    /// individually but the line as a whole is not in the expected
+    /// shape (missing `:` separator, pattern with no items, …).
+    Format {
+        /// 1-based line number.
+        line: usize,
+        /// What about the line's structure is wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -23,6 +32,9 @@ impl fmt::Display for DataError {
             DataError::Parse { line, token } => {
                 write!(f, "line {line}: invalid item id {token:?}")
             }
+            DataError::Format { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
         }
     }
 }
@@ -31,7 +43,7 @@ impl std::error::Error for DataError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DataError::Io(e) => Some(e),
-            DataError::Parse { .. } => None,
+            DataError::Parse { .. } | DataError::Format { .. } => None,
         }
     }
 }
@@ -57,5 +69,12 @@ mod tests {
         let e = DataError::Parse { line: 3, token: "x7".into() };
         let s = e.to_string();
         assert!(s.contains("line 3") && s.contains("x7"));
+    }
+
+    #[test]
+    fn display_format() {
+        let e = DataError::Format { line: 5, reason: "missing ':' separator".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 5") && s.contains("missing ':'"), "{s}");
     }
 }

@@ -1,0 +1,117 @@
+//! The substrate abstraction behind the unified mining engines.
+//!
+//! The paper's central identity — a raw database is just a compressed
+//! database in which every group has an empty head and unit count — lets
+//! one traversal implementation per algorithm family serve both the
+//! baseline miners and their recycling counterparts. [`GroupedSource`]
+//! captures exactly what a root-level engine build needs from either
+//! substrate: groups (a shared pattern head, member outlier lists, a
+//! bare-member count) plus a residue of plain rank tuples.
+//!
+//! Two implementations exist:
+//!
+//! * `CompressedRankDb` (in `gogreen-core`) — the real thing, produced by
+//!   `CompressedDb::to_ranks`;
+//! * [`PlainRanks`] — a zero-cost degenerate view over encoded plain
+//!   tuples: no groups at all, so the group-at-a-time code paths vanish
+//!   statically ([`GroupedSource::GROUPED`] is `false`) and counting
+//!   reduces to per-tuple counting with no branch in the inner loop.
+
+/// Read access to a (possibly degenerately) grouped rank database.
+///
+/// Tuples are rank lists, ascending, against the caller's F-list. Groups
+/// carry a non-empty `pattern` head shared by `group_count` members;
+/// members either contribute an extra non-empty `outliers` rank list or
+/// are counted `bare`. `plain` tuples belong to no group.
+pub trait GroupedSource {
+    /// Whether this substrate can contain groups at all. `false` lets
+    /// monomorphized engines drop group handling statically.
+    const GROUPED: bool;
+
+    /// Rank-space size (length of the F-list the tuples were encoded
+    /// against).
+    fn num_ranks(&self) -> usize;
+
+    /// Number of groups. Always 0 when [`Self::GROUPED`] is `false`.
+    fn num_groups(&self) -> usize;
+
+    /// The shared pattern head of group `g` (ascending ranks, non-empty).
+    fn group_pattern(&self, g: usize) -> &[u32];
+
+    /// Outlier rank lists (each ascending, non-empty) of group `g`'s
+    /// members that have any.
+    fn group_outliers(&self, g: usize) -> &[Vec<u32>];
+
+    /// Members of group `g` whose tuple *is* the pattern head.
+    fn group_bare(&self, g: usize) -> u64;
+
+    /// Tuples covered by no group (ascending ranks, non-empty).
+    fn plain(&self) -> &[Vec<u32>];
+
+    /// Member count of group `g` (outlier members + bare members).
+    fn group_count(&self, g: usize) -> u64 {
+        self.group_outliers(g).len() as u64 + self.group_bare(g)
+    }
+}
+
+/// The degenerate [`GroupedSource`]: a borrowed slice of encoded plain
+/// tuples, no groups (head = ∅, count = 1 per tuple in the paper's
+/// identity). Wrapping is free; the raw miners encode against an F-list
+/// exactly as before and hand the engines this view.
+#[derive(Debug, Clone, Copy)]
+pub struct PlainRanks<'a> {
+    tuples: &'a [Vec<u32>],
+    num_ranks: usize,
+}
+
+impl<'a> PlainRanks<'a> {
+    /// Wraps `tuples` (rank lists, ascending, non-empty) encoded against
+    /// an F-list of `num_ranks` entries.
+    pub fn new(tuples: &'a [Vec<u32>], num_ranks: usize) -> Self {
+        debug_assert!(tuples.iter().all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
+        PlainRanks { tuples, num_ranks }
+    }
+}
+
+impl GroupedSource for PlainRanks<'_> {
+    const GROUPED: bool = false;
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn num_groups(&self) -> usize {
+        0
+    }
+
+    fn group_pattern(&self, _g: usize) -> &[u32] {
+        unreachable!("PlainRanks has no groups")
+    }
+
+    fn group_outliers(&self, _g: usize) -> &[Vec<u32>] {
+        unreachable!("PlainRanks has no groups")
+    }
+
+    fn group_bare(&self, _g: usize) -> u64 {
+        unreachable!("PlainRanks has no groups")
+    }
+
+    fn plain(&self) -> &[Vec<u32>] {
+        self.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_ranks_is_all_residue() {
+        let tuples = vec![vec![0, 2], vec![1]];
+        let v = PlainRanks::new(&tuples, 3);
+        const { assert!(!PlainRanks::GROUPED) };
+        assert_eq!(v.num_ranks(), 3);
+        assert_eq!(v.num_groups(), 0);
+        assert_eq!(v.plain(), &tuples[..]);
+    }
+}

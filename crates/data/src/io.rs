@@ -99,13 +99,10 @@ mod tests {
     #[test]
     fn bad_token_reports_line() {
         let err = read_transactions("1 2\nx 3\n".as_bytes()).unwrap_err();
-        match err {
-            DataError::Parse { line, token } => {
-                assert_eq!(line, 2);
-                assert_eq!(token, "x");
-            }
-            other => panic!("unexpected error {other:?}"),
-        }
+        assert!(
+            matches!(&err, DataError::Parse { line: 2, token } if token == "x"),
+            "unexpected error: {err:?}"
+        );
     }
 
     #[test]

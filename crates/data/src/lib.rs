@@ -17,12 +17,16 @@
 //!   paper's practice of excluding output cost from timings (§5.2).
 //! * [`projected`] — materialized projected databases (paper Definition
 //!   3.2) used by the reference miners.
+//! * [`grouped`] — the [`GroupedSource`] substrate abstraction that lets
+//!   one engine per algorithm family serve both plain and compressed
+//!   databases (the paper's raw-DB-as-degenerate-CDB identity).
 //! * [`io`] / [`pattern_io`] — plain text interchange formats for
 //!   transactions (one per line) and pattern sets (`items : support`).
 
 pub mod database;
 pub mod error;
 pub mod flist;
+pub mod grouped;
 pub mod io;
 pub mod item;
 pub mod pattern;
@@ -36,6 +40,7 @@ pub mod transaction;
 pub use database::{DbStats, TransactionDb};
 pub use error::DataError;
 pub use flist::{FList, NO_RANK};
+pub use grouped::{GroupedSource, PlainRanks};
 pub use item::{Item, ItemCatalog};
 pub use pattern::{Pattern, PatternSet};
 pub use prune::{NoPrune, SearchPrune};

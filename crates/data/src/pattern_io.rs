@@ -27,9 +27,10 @@ pub fn read_patterns<R: Read>(reader: R) -> Result<PatternSet, DataError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let (items_part, support_part) = line
-            .split_once(':')
-            .ok_or_else(|| DataError::Parse { line: line_no, token: line.to_owned() })?;
+        let (items_part, support_part) = line.split_once(':').ok_or_else(|| DataError::Format {
+            line: line_no,
+            reason: "missing ':' separator".into(),
+        })?;
         let mut ids = Vec::new();
         for token in items_part.split_whitespace() {
             let id: u32 = token
@@ -38,7 +39,10 @@ pub fn read_patterns<R: Read>(reader: R) -> Result<PatternSet, DataError> {
             ids.push(id);
         }
         if ids.is_empty() {
-            return Err(DataError::Parse { line: line_no, token: line.to_owned() });
+            return Err(DataError::Format {
+                line: line_no,
+                reason: "pattern has no items before ':'".into(),
+            });
         }
         let support: u64 = support_part.trim().parse().map_err(|_| DataError::Parse {
             line: line_no,
@@ -124,10 +128,21 @@ mod tests {
 
     #[test]
     fn rejects_malformed_lines() {
-        assert!(read_patterns("1 2 7\n".as_bytes()).is_err()); // no colon
-        assert!(read_patterns(": 7\n".as_bytes()).is_err()); // no items
-        assert!(read_patterns("1 : x\n".as_bytes()).is_err()); // bad support
-        assert!(read_patterns("a : 7\n".as_bytes()).is_err()); // bad item
+        // Structural problems are Format errors; bad tokens are Parse.
+        let no_colon = read_patterns("1 2 7\n".as_bytes()).unwrap_err();
+        assert!(matches!(no_colon, DataError::Format { line: 1, .. }), "{no_colon:?}");
+        let no_items = read_patterns(": 7\n".as_bytes()).unwrap_err();
+        assert!(matches!(no_items, DataError::Format { line: 1, .. }), "{no_items:?}");
+        let bad_support = read_patterns("1 : x\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&bad_support, DataError::Parse { line: 1, token } if token == "x"),
+            "{bad_support:?}"
+        );
+        let bad_item = read_patterns("a : 7\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(&bad_item, DataError::Parse { line: 1, token } if token == "a"),
+            "{bad_item:?}"
+        );
     }
 
     #[test]

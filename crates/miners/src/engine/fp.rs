@@ -1,0 +1,546 @@
+//! The FP-growth family engine: conditional-group forests over
+//! [`FpTree`]s (paper §4.2), generic over [`GroupedSource`].
+//!
+//! The paper sketches the adaptation as "treat each group head as a
+//! special item in the upper part of each prefix-tree branch" and defers
+//! details to an unavailable technical report. Our realization keeps the
+//! group head literally *above* the tree: the database becomes a forest
+//! of **conditional groups**, each a `(residual pattern, member count,
+//! FP-tree over the members' outlying items)` triple. The plain
+//! (uncovered) tuples form one conditional group with an empty pattern —
+//! on the degenerate [`gogreen_data::PlainRanks`] substrate that sole
+//! group IS the database and the search is classic FP-growth: one tree,
+//! conditional-pattern-base extraction per header row, and the
+//! single-path subset shortcut.
+//!
+//! Both compression savings survive in this shape:
+//!
+//! * **Counting**: a group's pattern items are counted once with the
+//!   group count; outlier supports are read off the per-group FP-tree
+//!   header tables.
+//! * **Projection**: on a pattern item, a group is projected in O(1) —
+//!   the pattern shrinks and the (shared, reference-counted) outlier
+//!   tree is kept with a raised *rank bound*, because discarded ranks
+//!   live at the bottom of every branch (trees are built in descending
+//!   rank order). Only projection through an *outlier* item pays for
+//!   conditional-pattern-base extraction, exactly as in FP-growth.
+
+use crate::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
+use crate::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
+use gogreen_data::{FList, GroupedSource, PatternSink};
+use gogreen_obs::metrics;
+use gogreen_util::pool::{par_chunks, Parallelism};
+use std::sync::Arc;
+
+const SRC_NONE: u32 = u32::MAX;
+const SRC_MIXED: u32 = u32::MAX - 1;
+
+/// One group in the current projection.
+struct CondGroup {
+    /// Residual pattern ranks (ascending). Empty for the plain partition.
+    pattern: Vec<u32>,
+    /// Members in this projection.
+    count: u64,
+    /// Outlier store; `None` when no member has relevant outliers.
+    /// `Arc` rather than `Rc` so fan-out workers can share root trees.
+    tree: Option<Arc<FpTree>>,
+    /// Ranks ≤ `bound` in the tree are projected away (they sit below
+    /// every relevant prefix, so climbs never see them; header rows with
+    /// rank ≤ bound are skipped).
+    bound: i64,
+}
+
+struct Ctx {
+    scratch: ScratchCounts,
+    src: Vec<u32>,
+    minsup: u64,
+}
+
+/// Mines `src` against `flist` at the absolute threshold `minsup`, the
+/// root's frequent ranks fanned out over `par` scoped threads.
+///
+/// With a non-serial `par`, the per-group outlier trees of the root
+/// forest are also built on worker threads (the forest is embarrassingly
+/// parallel — each tree reads only its own group; trees are shared via
+/// `Arc`, read-only once built). The emitted stream is byte-identical
+/// for any thread count.
+pub fn mine_source_par<S: GroupedSource + Sync>(
+    src: &S,
+    flist: &FList,
+    minsup: u64,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    let mut scratch = ScratchCounts::new(flist.len());
+    let cgs = build_root(src, &mut scratch, par);
+    mine_root(&cgs, !S::GROUPED, flist, minsup, par, sink);
+}
+
+/// Root dispatch: the single-path shortcut, the count, and the Lemma 3.1
+/// check run once on the calling thread; each frequent root rank then
+/// projects and mines over the shared conditional groups as one fan-out
+/// unit. Pattern-item projections clone the group's `Arc` tree — the
+/// underlying node arenas are never written after construction, so
+/// sharing across workers is safe by construction.
+///
+/// `raw` marks the group-free substrate, where the node shape is known
+/// statically: a sole pattern-free group forever (outlier projection of
+/// such a group yields another one). Its units dispatch to the classic
+/// FP-growth recursion ([`mine_sole_row`]), which reads local frequency
+/// straight off header rows instead of running the generic counting
+/// pass — the degenerate substrate promises the group machinery
+/// vanishes, not merely that it tolerates empty groups.
+fn mine_root(
+    cgs: &[CondGroup],
+    raw: bool,
+    flist: &FList,
+    minsup: u64,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    if cgs.is_empty() {
+        return;
+    }
+    {
+        let mut emitter = RankEmitter::new(flist);
+        if try_single_path(cgs, minsup, &mut emitter, sink) {
+            return;
+        }
+    }
+    let mut root_ctx =
+        Ctx { scratch: ScratchCounts::new(flist.len()), src: vec![SRC_NONE; flist.len()], minsup };
+    let (frequent, single_group) = count_cgs(cgs, &mut root_ctx);
+    if frequent.is_empty() {
+        return;
+    }
+    if single_group.is_some() && frequent.len() <= 62 {
+        let mut emitter = RankEmitter::new(flist);
+        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+        return;
+    }
+    metrics::set_max("mine.max_depth", 1);
+    let frequent = &frequent;
+    let sole_tree = if raw { cgs.first().and_then(|cg| cg.tree.as_deref()) } else { None };
+    fan_out_ordered(
+        par,
+        frequent.len(),
+        sink,
+        || {
+            let ctx = Ctx {
+                scratch: ScratchCounts::new(flist.len()),
+                src: vec![SRC_NONE; flist.len()],
+                minsup,
+            };
+            (ctx, RankEmitter::new(flist), Vec::with_capacity(16))
+        },
+        |(ctx, emitter, climb), k, sink| {
+            let (r, _) = frequent[k];
+            if let Some(tree) = sole_tree {
+                let row = tree.headers().binary_search_by_key(&r, |h| h.rank).unwrap();
+                mine_sole_row(tree, row, ctx, climb, emitter, sink);
+                return;
+            }
+            let (r, c) = frequent[k];
+            emitter.push(r);
+            emitter.emit(sink, c);
+            let children = project(cgs, r, frequent, ctx, climb);
+            if !children.is_empty() {
+                metrics::add("mine.projected_dbs", 1);
+                mine_node(&children, ctx, emitter, sink);
+            }
+            emitter.pop();
+        },
+    );
+}
+
+/// Classic FP-growth over one (conditional) tree of the raw substrate.
+///
+/// Reachable only through [`mine_sole_row`], whose conditional trees are
+/// thresholded at `minsup` — so header rows ARE the locally frequent
+/// ranks, ascending, and the generic per-node count/project machinery
+/// (counting pass, source tracking, `CondGroup` vector, `Arc` wrap)
+/// drops out. Emits the byte-identical stream the generic path produces
+/// on a degenerately grouped database (pinned by the engine-unification
+/// suite).
+fn mine_sole_tree(
+    tree: &FpTree,
+    ctx: &mut Ctx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
+    if tree.headers().is_empty() {
+        return;
+    }
+    if let Some(path) = tree.single_path() {
+        let kept: Vec<(u32, u64)> = path.into_iter().filter(|&(_, c)| c >= ctx.minsup).collect();
+        if kept.len() <= 62 {
+            for_each_subset(&kept, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+            return;
+        }
+    }
+    let mut climb = Vec::with_capacity(16);
+    for row in 0..tree.headers().len() {
+        mine_sole_row(tree, row, ctx, &mut climb, emitter, sink);
+    }
+}
+
+/// One header row of a raw-substrate tree: emit its pattern, extract the
+/// conditional pattern base (no local-frequency retain — every climbed
+/// rank has a header row, hence is locally frequent), build the
+/// `minsup`-thresholded conditional tree, and recurse.
+fn mine_sole_row(
+    tree: &FpTree,
+    row: usize,
+    ctx: &mut Ctx,
+    climb: &mut Vec<u32>,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let hdr = tree.headers()[row];
+    emitter.push(hdr.rank);
+    emitter.emit(sink, hdr.count);
+    let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+    let mut touches = 0u64;
+    let mut node = hdr.head;
+    while node != FP_NIL {
+        let w = tree.count_of(node);
+        tree.climb_into(node, climb);
+        if !climb.is_empty() {
+            for &x in climb.iter() {
+                ctx.scratch.add(x, w);
+            }
+            touches += climb.len() as u64;
+            base.push((climb.clone(), w));
+        }
+        node = tree.next_same_rank(node);
+    }
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
+    let freq = ctx.scratch.drain_frequent(ctx.minsup);
+    if !freq.is_empty() {
+        metrics::add("mine.projected_dbs", 1);
+        let mut b = FpTreeBuilder::new(&freq);
+        let mut filtered: Vec<u32> = Vec::new();
+        for (ranks, w) in &base {
+            filtered.clear();
+            filtered.extend(
+                ranks.iter().filter(|&&x| freq.binary_search_by_key(&x, |&(f, _)| f).is_ok()),
+            );
+            if !filtered.is_empty() {
+                b.insert_desc(filtered.iter().rev().copied(), *w);
+            }
+        }
+        mine_sole_tree(&b.finish(), ctx, emitter, sink);
+    }
+    emitter.pop();
+}
+
+/// The FP-growth single-path shortcut, lifted to the conditional-group
+/// node shape: when the node is a sole pattern-free group whose tree is
+/// one downward path, the complete pattern set of the sub-space is all
+/// combinations of the path elements that are themselves frequent
+/// (path counts are non-increasing root-downward, so any subset touching
+/// a filtered element is infrequent too). Returns whether it fired.
+fn try_single_path(
+    cgs: &[CondGroup],
+    minsup: u64,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) -> bool {
+    let [cg] = cgs else { return false };
+    if !cg.pattern.is_empty() {
+        return false;
+    }
+    let Some(tree) = &cg.tree else { return false };
+    let Some(path) = tree.single_path() else { return false };
+    let kept: Vec<(u32, u64)> =
+        path.into_iter().filter(|&(x, c)| (x as i64) > cg.bound && c >= minsup).collect();
+    if kept.len() > 62 {
+        return false;
+    }
+    for_each_subset(&kept, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+    true
+}
+
+/// Builds one group's outlier FP-tree (`None` when there is nothing to
+/// store). Insertion order is the tuple order, so the tree shape is
+/// deterministic wherever this runs. `min` is the header threshold: the
+/// root of a degenerate (plain-only) source keeps only globally frequent
+/// ranks — classic FP-growth — while grouped sources keep every rank
+/// (an outlier that is locally rare may still combine with pattern items
+/// into a frequent extension).
+fn build_tree(tuples: &[Vec<u32>], scratch: &mut ScratchCounts, min: u64) -> Option<FpTree> {
+    if tuples.is_empty() {
+        return None;
+    }
+    for t in tuples {
+        for &x in t {
+            scratch.add(x, 1);
+        }
+    }
+    let freq = scratch.drain_frequent(min);
+    if freq.is_empty() {
+        return None;
+    }
+    let mut b = FpTreeBuilder::new(&freq);
+    if min > 1 {
+        let mut filtered: Vec<u32> = Vec::new();
+        for t in tuples {
+            filtered.clear();
+            filtered
+                .extend(t.iter().filter(|&&x| freq.binary_search_by_key(&x, |&(f, _)| f).is_ok()));
+            if !filtered.is_empty() {
+                b.insert_desc(filtered.iter().rev().copied(), 1);
+            }
+        }
+    } else {
+        for t in tuples {
+            b.insert_desc(t.iter().rev().copied(), 1);
+        }
+    }
+    Some(b.finish())
+}
+
+/// Builds the root conditional groups from the source. The per-group
+/// trees are independent, so with a non-serial `par` they are
+/// constructed on worker threads ([`FpTree`] is plain data and `Send`;
+/// the `Arc` sharing wrapper is applied after the join, on this thread).
+fn build_root<S: GroupedSource + Sync>(
+    src: &S,
+    scratch: &mut ScratchCounts,
+    par: Parallelism,
+) -> Vec<CondGroup> {
+    let num_groups = src.num_groups();
+    let mut cgs = Vec::with_capacity(num_groups + 1);
+    if S::GROUPED {
+        if par.for_items(num_groups) <= 1 {
+            for g in 0..num_groups {
+                let tree = build_tree(src.group_outliers(g), scratch, 1).map(Arc::new);
+                cgs.push(CondGroup {
+                    pattern: src.group_pattern(g).to_vec(),
+                    count: src.group_count(g),
+                    tree,
+                    bound: -1,
+                });
+            }
+        } else {
+            let gs: Vec<u32> = (0..num_groups as u32).collect();
+            let parts = par_chunks(par, &gs, |_, chunk| {
+                let mut scratch = ScratchCounts::new(src.num_ranks());
+                chunk
+                    .iter()
+                    .map(|&g| build_tree(src.group_outliers(g as usize), &mut scratch, 1))
+                    .collect::<Vec<_>>()
+            });
+            for (lo, trees) in parts {
+                for (g, tree) in (lo..num_groups).zip(trees) {
+                    cgs.push(CondGroup {
+                        pattern: src.group_pattern(g).to_vec(),
+                        count: src.group_count(g),
+                        tree: tree.map(Arc::new),
+                        bound: -1,
+                    });
+                }
+            }
+        }
+    }
+    if !src.plain().is_empty() {
+        // Every rank survived global F-list encoding, so threshold 1 and
+        // the real threshold build the identical root tree here.
+        let tree = build_tree(src.plain(), scratch, 1).map(Arc::new);
+        cgs.push(CondGroup {
+            pattern: Vec::new(),
+            count: src.plain().len() as u64,
+            tree,
+            bound: -1,
+        });
+    }
+    cgs
+}
+
+/// Counts one node's conditional groups: pattern items via group counts,
+/// outliers via tree headers. Both paths are group-at-a-time: one
+/// weighted add stands in for a whole group (or header row) of member
+/// tuples. Returns the locally frequent `(rank, count)` pairs (ascending)
+/// and the single source group if Lemma 3.1 applies.
+fn count_cgs(cgs: &[CondGroup], ctx: &mut Ctx) -> (Vec<(u32, u64)>, Option<u32>) {
+    let mut group_hits = 0u64;
+    for (ci, cg) in cgs.iter().enumerate() {
+        for &x in &cg.pattern {
+            ctx.scratch.add(x, cg.count);
+            group_hits += 1;
+            let s = &mut ctx.src[x as usize];
+            *s = match *s {
+                SRC_NONE => ci as u32,
+                cur if cur == ci as u32 => cur,
+                _ => SRC_MIXED,
+            };
+        }
+        if let Some(tree) = &cg.tree {
+            for h in tree.headers() {
+                if (h.rank as i64) > cg.bound {
+                    ctx.scratch.add(h.rank, h.count);
+                    ctx.src[h.rank as usize] = SRC_MIXED;
+                }
+            }
+        }
+    }
+    if group_hits > 0 {
+        metrics::add("mine.group_hits", group_hits);
+    }
+    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
+    let mut frequent: Vec<(u32, u64)> = ctx
+        .scratch
+        .touched()
+        .iter()
+        .map(|&x| (x, ctx.scratch.get(x)))
+        .filter(|&(_, c)| c >= ctx.minsup)
+        .collect();
+    frequent.sort_unstable_by_key(|&(x, _)| x);
+    let single_group = match frequent.split_first() {
+        Some((&(x0, _), rest)) => {
+            let g0 = ctx.src[x0 as usize];
+            (g0 != SRC_MIXED && rest.iter().all(|&(x, _)| ctx.src[x as usize] == g0)).then_some(g0)
+        }
+        None => None,
+    };
+    for &x in ctx.scratch.touched() {
+        ctx.src[x as usize] = SRC_NONE;
+    }
+    ctx.scratch.clear();
+    (frequent, single_group)
+}
+
+/// Mines one node of the search: single-path and Lemma 3.1 shortcuts if
+/// they fire, otherwise extend by every locally frequent rank.
+fn mine_node(
+    cgs: &[CondGroup],
+    ctx: &mut Ctx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    metrics::set_max("mine.max_depth", emitter.depth() as u64);
+    if try_single_path(cgs, ctx.minsup, emitter, sink) {
+        return;
+    }
+    let (frequent, single_group) = count_cgs(cgs, ctx);
+    if frequent.is_empty() {
+        return;
+    }
+    if single_group.is_some() && frequent.len() <= 62 {
+        for_each_subset(&frequent, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
+        return;
+    }
+    let mut climb = Vec::with_capacity(16);
+    for &(r, c) in &frequent {
+        emitter.push(r);
+        emitter.emit(sink, c);
+        let children = project(cgs, r, &frequent, ctx, &mut climb);
+        if !children.is_empty() {
+            metrics::add("mine.projected_dbs", 1);
+            mine_node(&children, ctx, emitter, sink);
+        }
+        emitter.pop();
+    }
+}
+
+/// Projects every conditional group on rank `r`. `node_frequent` (sorted)
+/// pre-filters conditional bases: ranks infrequent at this node cannot
+/// become frequent deeper (anti-monotonicity).
+fn project(
+    cgs: &[CondGroup],
+    r: u32,
+    node_frequent: &[(u32, u64)],
+    ctx: &mut Ctx,
+    climb: &mut Vec<u32>,
+) -> Vec<CondGroup> {
+    let is_node_frequent = |x: u32| node_frequent.binary_search_by_key(&x, |&(fr, _)| fr).is_ok();
+    // A sole pattern-free group is classic FP-growth: its conditional
+    // tree can be thresholded at `minsup` outright (nothing outside the
+    // tree can ever lift a rare rank), which keeps child trees minimal
+    // and the single-path shortcut firing exactly as in the baseline.
+    let sole = matches!(cgs, [cg] if cg.pattern.is_empty());
+    let tree_min = if sole { ctx.minsup } else { 1 };
+    let mut out = Vec::new();
+    // Per-path work of conditional-base extraction (the part compression
+    // does NOT save — pattern-item projections above are O(1)).
+    let mut touches = 0u64;
+    for cg in cgs {
+        match cg.pattern.binary_search(&r) {
+            Ok(pos) => {
+                // Pattern item: O(1) projection — every member follows,
+                // the shared tree is kept with a raised bound.
+                let pattern = cg.pattern[pos + 1..].to_vec();
+                let tree_relevant = cg
+                    .tree
+                    .as_ref()
+                    .is_some_and(|t| t.headers().last().is_some_and(|h| h.rank > r));
+                if pattern.is_empty() && !tree_relevant {
+                    continue;
+                }
+                out.push(CondGroup {
+                    pattern,
+                    count: cg.count,
+                    tree: if tree_relevant { cg.tree.clone() } else { None },
+                    bound: r as i64,
+                });
+            }
+            Err(ppos) => {
+                // Outlier item: extract r's conditional pattern base.
+                let Some(tree) = &cg.tree else { continue };
+                if (r as i64) <= cg.bound {
+                    continue;
+                }
+                let Some(hdr) = tree.header_for(r) else { continue };
+                let hdr = *hdr;
+                let pattern = cg.pattern[ppos..].to_vec();
+                let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+                let mut node = hdr.head;
+                while node != FP_NIL {
+                    let w = tree.count_of(node);
+                    tree.climb_into(node, climb);
+                    climb.retain(|&x| is_node_frequent(x));
+                    if !climb.is_empty() {
+                        for &x in climb.iter() {
+                            ctx.scratch.add(x, w);
+                        }
+                        touches += climb.len() as u64;
+                        base.push((climb.clone(), w));
+                    }
+                    node = tree.next_same_rank(node);
+                }
+                let freq = ctx.scratch.drain_frequent(tree_min);
+                let new_tree =
+                    if freq.is_empty() {
+                        None
+                    } else {
+                        let mut b = FpTreeBuilder::new(&freq);
+                        if tree_min > 1 {
+                            let mut filtered: Vec<u32> = Vec::new();
+                            for (ranks, w) in &base {
+                                filtered.clear();
+                                filtered.extend(ranks.iter().filter(|&&x| {
+                                    freq.binary_search_by_key(&x, |&(f, _)| f).is_ok()
+                                }));
+                                if !filtered.is_empty() {
+                                    b.insert_desc(filtered.iter().rev().copied(), *w);
+                                }
+                            }
+                        } else {
+                            for (ranks, w) in &base {
+                                b.insert_desc(ranks.iter().rev().copied(), *w);
+                            }
+                        }
+                        Some(Arc::new(b.finish()))
+                    };
+                if pattern.is_empty() && new_tree.is_none() {
+                    continue;
+                }
+                out.push(CondGroup { pattern, count: hdr.count, tree: new_tree, bound: -1 });
+            }
+        }
+    }
+    metrics::add("mine.tuple_touches", touches);
+    out
+}

@@ -1,0 +1,29 @@
+//! One traversal implementation per algorithm family, generic over the
+//! [`gogreen_data::GroupedSource`] substrate.
+//!
+//! The paper's central identity — a raw database is a compressed database
+//! in which every group has an empty head and unit count — means the
+//! baseline miners and their recycling adaptations differ only in *what
+//! the root of the search is built from*, never in how the search runs.
+//! Each submodule here is that single search implementation:
+//!
+//! * [`hm`] — H-Mine over the RP-Struct arena (paper §4.1, Figures 4–8);
+//! * [`fp`] — FP-growth over a forest of conditional groups (§4.2);
+//! * [`tp`] — depth-first Tree Projection over grouped partitions (§4.2).
+//!
+//! The raw miners ([`crate::HMine`], [`crate::FpGrowth`],
+//! [`crate::TreeProjection`]) instantiate these with
+//! [`gogreen_data::PlainRanks`] (the degenerate, group-free view); the
+//! recycling miners in `gogreen-core` instantiate them with the real
+//! `CompressedRankDb`. Group handling is driven by the substrate's group
+//! count (zero for the degenerate view), so the plain instantiations pay
+//! nothing for the group machinery.
+//!
+//! Parallelism contract: each engine routes its first-level fan-out
+//! through [`crate::common::fan_out_ordered`] exactly once, so the
+//! emitted stream is byte-identical and every `mine.*` counter
+//! thread-invariant at any thread count — for both substrates.
+
+pub mod fp;
+pub mod hm;
+pub mod tp;

@@ -1,0 +1,305 @@
+//! The Tree Projection family engine: depth-first lexicographic-tree
+//! search with triangular pair-count matrices (paper §4.2), generic over
+//! [`GroupedSource`].
+//!
+//! As in the depth-first Tree Projection baseline, each lexicographic
+//! node materializes its projected transactions and fills a triangular
+//! matrix with the supports of all extension pairs in one pass. The
+//! grouped substrate changes *what gets counted*:
+//!
+//! * pattern × pattern pairs of a group are bumped **once** with the
+//!   group's member count instead of once per member;
+//! * pattern × outlier and outlier × outlier pairs are bumped per member
+//!   tuple, but only over the (short) outlier lists;
+//! * projection moves group heads: on a pattern item the whole group
+//!   moves with a shortened pattern; on an outlier item only the members
+//!   containing it move, carrying the residual pattern.
+//!
+//! On the degenerate [`gogreen_data::PlainRanks`] substrate every tuple
+//! lands in the single pattern-free root partition, the group-at-a-time
+//! arms never execute, and the search is exactly the classic depth-first
+//! Tree Projection of Agarwal, Aggarwal & Prasad.
+
+use crate::common::{fan_out_ordered, for_each_subset, RankEmitter};
+use crate::treeproj::PairMatrix;
+use gogreen_data::{FList, GroupedSource, PatternSink};
+use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
+
+/// A group at one lexicographic node, in node-local extension indices.
+struct TpGroup {
+    /// Residual pattern (local indices, ascending; empty = plain
+    /// partition).
+    pattern: Vec<u32>,
+    /// Member outlier lists (local indices, ascending, non-empty).
+    members: Vec<Vec<u32>>,
+    /// Members with no relevant outliers.
+    bare: u64,
+}
+
+impl TpGroup {
+    fn count(&self) -> u64 {
+        self.members.len() as u64 + self.bare
+    }
+}
+
+/// Mines `src` against `flist` at the absolute threshold `minsup`, the
+/// root extensions fanned out over `par` scoped threads. The emitted
+/// stream is byte-identical for any thread count.
+pub fn mine_source_par<S: GroupedSource>(
+    src: &S,
+    flist: &FList,
+    minsup: u64,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    let (groups, exts) = root_node(src, flist);
+    tp_root(&groups, &exts, minsup, flist, par, sink);
+}
+
+/// Root dispatch: the Lemma 3.1 shortcut, the root singletons, and the
+/// root pair-counting pass run once on the caller thread; each
+/// extension's subtree is then an independent fan-out unit reading only
+/// the shared groups and matrix.
+fn tp_root(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    minsup: u64,
+    flist: &FList,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    if groups.len() == 1 && groups[0].members.is_empty() && exts.len() <= 62 {
+        let mut emitter = RankEmitter::new(flist);
+        for_each_subset(exts, &mut |locals, sup| emitter.emit_with(sink, locals, sup));
+        return;
+    }
+    {
+        let mut emitter = RankEmitter::new(flist);
+        for &(rank, sup) in exts {
+            emitter.push(rank);
+            emitter.emit(sink, sup);
+            emitter.pop();
+        }
+    }
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    metrics::set_max("mine.max_depth", 1);
+    let matrix = fill_group_matrix(groups, k);
+    let matrix = &matrix;
+    fan_out_ordered(
+        par,
+        k,
+        sink,
+        || (RankEmitter::new(flist), vec![u32::MAX; k]),
+        |(emitter, remap), i, sink| {
+            tp_extend(groups, exts, i as u32, matrix, minsup, remap, emitter, sink);
+        },
+    );
+}
+
+/// Builds the root node from the source: local index = rank. The root
+/// partitions are owned copies because projection rewrites index lists
+/// at every node below anyway.
+fn root_node<S: GroupedSource>(src: &S, flist: &FList) -> (Vec<TpGroup>, Vec<(u32, u64)>) {
+    let exts: Vec<(u32, u64)> = (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
+    let mut groups: Vec<TpGroup> = Vec::with_capacity(src.num_groups() + 1);
+    if S::GROUPED {
+        for g in 0..src.num_groups() {
+            groups.push(TpGroup {
+                pattern: src.group_pattern(g).to_vec(),
+                members: src.group_outliers(g).to_vec(),
+                bare: src.group_bare(g),
+            });
+        }
+    }
+    if !src.plain().is_empty() {
+        groups.push(TpGroup { pattern: Vec::new(), members: src.plain().to_vec(), bare: 0 });
+    }
+    (groups, exts)
+}
+
+/// Processes one lexicographic node.
+fn tp_node(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    minsup: u64,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    // Lemma 3.1 degenerate form: a single all-bare group means every
+    // extension is a pattern item with identical support.
+    if groups.len() == 1 && groups[0].members.is_empty() && exts.len() <= 62 {
+        for_each_subset(exts, &mut |locals, sup| {
+            // Local indices map to ranks through `exts`; `for_each_subset`
+            // hands back the elements' first components, which here are
+            // already the global ranks.
+            emitter.emit_with(sink, locals, sup)
+        });
+        return;
+    }
+    for &(rank, sup) in exts {
+        emitter.push(rank);
+        emitter.emit(sink, sup);
+        emitter.pop();
+    }
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
+    let matrix = fill_group_matrix(groups, k);
+    // Children, depth-first.
+    let mut remap = vec![u32::MAX; k];
+    for i in 0..k as u32 {
+        tp_extend(groups, exts, i, &matrix, minsup, &mut remap, emitter, sink);
+    }
+}
+
+/// One group-aware pass fills all pair supports. Pattern × pattern
+/// bumps are group-at-a-time (weight = member count); everything
+/// touching an outlier list is per-member work.
+fn fill_group_matrix(groups: &[TpGroup], k: usize) -> PairMatrix {
+    let mut matrix = PairMatrix::new(k);
+    let mut group_hits = 0u64;
+    let mut touches = 0u64;
+    for g in groups {
+        let c = g.count();
+        for (pi, &a) in g.pattern.iter().enumerate() {
+            for &b in &g.pattern[pi + 1..] {
+                matrix.bump_by(a, b, c);
+                group_hits += 1;
+            }
+        }
+        for m in &g.members {
+            for (oi, &x) in m.iter().enumerate() {
+                // Outlier × outlier.
+                for &y in &m[oi + 1..] {
+                    matrix.bump(x, y);
+                }
+                // Pattern × outlier (ordered by local index).
+                for &p in &g.pattern {
+                    if p < x {
+                        matrix.bump(p, x);
+                    } else {
+                        matrix.bump(x, p);
+                    }
+                }
+                touches += (m.len() - oi - 1) as u64 + g.pattern.len() as u64;
+            }
+        }
+    }
+    if group_hits > 0 {
+        metrics::add("mine.group_hits", group_hits);
+    }
+    metrics::add("mine.tuple_touches", touches);
+    metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
+    matrix
+}
+
+/// Builds and recurses into the child node of extension `i`. This is
+/// both the serial loop body of [`tp_node`] and the root fan-out unit.
+#[allow(clippy::too_many_arguments)]
+fn tp_extend(
+    groups: &[TpGroup],
+    exts: &[(u32, u64)],
+    i: u32,
+    matrix: &PairMatrix,
+    minsup: u64,
+    remap: &mut [u32],
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let k = exts.len();
+    let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
+        .filter_map(|j| {
+            let c = matrix.get(i, j);
+            (c >= minsup).then(|| (exts[j as usize].0, c))
+        })
+        .collect();
+    if child_exts.is_empty() {
+        return;
+    }
+    remap.iter_mut().for_each(|r| *r = u32::MAX);
+    let mut next_local = 0u32;
+    for j in (i + 1)..k as u32 {
+        if matrix.get(i, j) >= minsup {
+            remap[j as usize] = next_local;
+            next_local += 1;
+        }
+    }
+    let child_groups = project(groups, i, remap);
+    metrics::add("mine.projected_dbs", 1);
+    emitter.push(exts[i as usize].0);
+    tp_node(&child_groups, &child_exts, minsup, emitter, sink);
+    emitter.pop();
+}
+
+/// Projects the node's groups on local extension `i`, remapping surviving
+/// indices through `remap`.
+fn project(groups: &[TpGroup], i: u32, remap: &[u32]) -> Vec<TpGroup> {
+    let map_list = |items: &[u32]| -> Vec<u32> {
+        items
+            .iter()
+            .filter_map(|&j| {
+                let l = remap[j as usize];
+                (l != u32::MAX).then_some(l)
+            })
+            .collect()
+    };
+    let mut out = Vec::new();
+    let mut plain_members: Vec<Vec<u32>> = Vec::new();
+    for g in groups {
+        match g.pattern.binary_search(&i) {
+            Ok(pos) => {
+                // Whole group follows.
+                let pattern = map_list(&g.pattern[pos + 1..]);
+                let mut bare = g.bare;
+                let mut members = Vec::new();
+                for m in &g.members {
+                    let cut = m.partition_point(|&x| x <= i);
+                    let rest = map_list(&m[cut..]);
+                    if rest.is_empty() {
+                        bare += 1;
+                    } else {
+                        members.push(rest);
+                    }
+                }
+                if pattern.is_empty() {
+                    plain_members.extend(members);
+                } else if bare > 0 || !members.is_empty() {
+                    out.push(TpGroup { pattern, members, bare });
+                }
+            }
+            Err(ppos) => {
+                // Only members containing i follow.
+                let pattern = map_list(&g.pattern[ppos..]);
+                let mut bare = 0u64;
+                let mut members = Vec::new();
+                for m in &g.members {
+                    if let Ok(opos) = m.binary_search(&i) {
+                        let rest = map_list(&m[opos + 1..]);
+                        if pattern.is_empty() {
+                            if !rest.is_empty() {
+                                plain_members.push(rest);
+                            }
+                        } else if rest.is_empty() {
+                            bare += 1;
+                        } else {
+                            members.push(rest);
+                        }
+                    }
+                }
+                if !pattern.is_empty() && (bare > 0 || !members.is_empty()) {
+                    out.push(TpGroup { pattern, members, bare });
+                }
+            }
+        }
+    }
+    if !plain_members.is_empty() {
+        out.push(TpGroup { pattern: Vec::new(), members: plain_members, bare: 0 });
+    }
+    out
+}

@@ -8,12 +8,14 @@
 //! path short-circuits into subset enumeration — the structural ancestor
 //! of the paper's Lemma 3.1.
 //!
-//! [`FpTree`] is public: the recycling FP miner in `gogreen-core` reuses
-//! it as the per-group outlier store of a compressed database.
+//! [`FpTree`] is public: the conditional-group engine
+//! ([`crate::engine::fp`]) uses it both as the per-group outlier store of
+//! a compressed database and, through the degenerate
+//! [`gogreen_data::PlainRanks`] substrate this type instantiates it with,
+//! as the classic global FP-tree.
 
-use crate::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use crate::Miner;
-use gogreen_data::{FList, MinSupport, PatternSink, TransactionDb};
+use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, TransactionDb};
 use gogreen_obs::metrics;
 use gogreen_util::pool::Parallelism;
 
@@ -228,11 +230,6 @@ impl FpTreeBuilder {
     }
 }
 
-struct Ctx {
-    scratch: ScratchCounts,
-    minsup: u64,
-}
-
 impl Miner for FpGrowth {
     fn name(&self) -> &'static str {
         "FP-growth"
@@ -254,134 +251,11 @@ impl Miner for FpGrowth {
         if flist.is_empty() {
             return;
         }
-        let freq: Vec<(u32, u64)> =
-            (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
-        let mut builder = FpTreeBuilder::new(&freq);
-        for t in db.iter() {
-            let enc = flist.encode(t.items());
-            if !enc.is_empty() {
-                builder.insert_desc(enc.iter().rev().copied(), 1);
-            }
-        }
-        let tree = builder.finish();
-        mine_root(&tree, &flist, minsup, par, sink);
+        let tuples: Vec<Vec<u32>> =
+            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
+        let src = PlainRanks::new(&tuples, flist.len());
+        crate::engine::fp::mine_source_par(&src, &flist, minsup, par, sink);
     }
-}
-
-/// Root dispatch: single-path shortcut on the caller thread, otherwise
-/// each header row of the (read-only, shared) root tree is one fan-out
-/// unit. Rows are already the serial loop's granularity, so per-row
-/// streams concatenated in row order are byte-identical to the serial
-/// run, and workers only share `&FpTree` — all mutable state (count
-/// scratch, climb buffer, emitter) is per-worker.
-fn mine_root(
-    tree: &FpTree,
-    flist: &FList,
-    minsup: u64,
-    par: Parallelism,
-    sink: &mut dyn PatternSink,
-) {
-    if tree.headers().is_empty() {
-        return;
-    }
-    if let Some(path) = tree.single_path() {
-        if path.len() <= 62 {
-            let mut emitter = RankEmitter::new(flist);
-            for_each_subset(&path, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
-            return;
-        }
-    }
-    metrics::set_max("mine.max_depth", 1);
-    fan_out_ordered(
-        par,
-        tree.headers().len(),
-        sink,
-        || {
-            let ctx = Ctx { scratch: ScratchCounts::new(flist.len()), minsup };
-            (ctx, RankEmitter::new(flist), Vec::with_capacity(16))
-        },
-        |(ctx, emitter, climb), row, sink| {
-            mine_header_row(tree, row, ctx, climb, emitter, sink);
-        },
-    );
-}
-
-/// Recursive FP-growth over one (conditional) tree.
-fn mine_tree(
-    tree: &FpTree,
-    ctx: &mut Ctx,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    if tree.headers().is_empty() {
-        return;
-    }
-    if let Some(path) = tree.single_path() {
-        if path.len() <= 62 {
-            for_each_subset(&path, &mut |ranks, sup| emitter.emit_with(sink, ranks, sup));
-            return;
-        }
-    }
-    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
-    let mut climb = Vec::with_capacity(16);
-    for row in 0..tree.headers().len() {
-        mine_header_row(tree, row, ctx, &mut climb, emitter, sink);
-    }
-}
-
-/// One header row: emit its pattern, build the conditional pattern base
-/// and tree, and recurse. This is both the serial loop body and the
-/// parallel work unit.
-fn mine_header_row(
-    tree: &FpTree,
-    row: usize,
-    ctx: &mut Ctx,
-    climb: &mut Vec<u32>,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    let hdr = tree.headers()[row];
-    emitter.push(hdr.rank);
-    emitter.emit(sink, hdr.count);
-
-    // Conditional pattern base: prefix paths of every node of this
-    // rank, weighted by the node count.
-    let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
-    let mut touches = 0u64;
-    let mut node = hdr.head;
-    while node != FP_NIL {
-        let w = tree.count_of(node);
-        tree.climb_into(node, climb);
-        if !climb.is_empty() {
-            for &r in climb.iter() {
-                ctx.scratch.add(r, w);
-            }
-            touches += climb.len() as u64;
-            base.push((climb.clone(), w));
-        }
-        node = tree.next_same_rank(node);
-    }
-    metrics::add("mine.tuple_touches", touches);
-    metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
-    let freq = ctx.scratch.drain_frequent(ctx.minsup);
-    if !freq.is_empty() {
-        metrics::add("mine.projected_dbs", 1);
-        let mut builder = FpTreeBuilder::new(&freq);
-        let mut filtered: Vec<u32> = Vec::new();
-        for (ranks, w) in &base {
-            filtered.clear();
-            filtered.extend(
-                ranks.iter().filter(|&&r| freq.binary_search_by_key(&r, |&(fr, _)| fr).is_ok()),
-            );
-            if !filtered.is_empty() {
-                // `ranks` ascend (climb order), so reverse for
-                // descending insertion.
-                builder.insert_desc(filtered.iter().rev().copied(), *w);
-            }
-        }
-        mine_tree(&builder.finish(), ctx, emitter, sink);
-    }
-    emitter.pop();
 }
 
 #[cfg(test)]

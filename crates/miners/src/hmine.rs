@@ -7,86 +7,20 @@
 //! projected databases are never materialized — "projection" is relinking
 //! a queue.
 //!
-//! The crucial invariant that lets a *single* link field per entry serve
-//! every recursion level: during the depth-first search, an entry `(t, x)`
-//! is live in at most one queue at a time. A tuple's membership in an
-//! ancestor level is held by an entry of a *smaller* rank than anything the
-//! descendant levels relink, and descendants' stale links are dead by the
-//! time the ancestor relinks `(t, x)` forward.
-//!
-//! This implementation replaces raw pointers with `u32` indices into entry
-//! arenas — same layout, memory-safe.
+//! The traversal itself lives in [`crate::engine::hm`], shared with the
+//! recycling H-Mine in `gogreen-core`: this type instantiates it on the
+//! degenerate [`PlainRanks`] substrate (every tuple is its own group with
+//! an empty head), which compiles down to the classic hyper-structure
+//! search — group handling vanishes statically.
 
-use crate::common::{fan_out_ordered, RankEmitter, ScratchCounts};
+use crate::engine::hm;
 use crate::Miner;
-use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
-use gogreen_obs::metrics;
+use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, SearchPrune, TransactionDb};
 use gogreen_util::pool::Parallelism;
-
-/// Link/arena sentinel.
-const NIL: u32 = u32::MAX;
-/// Item marker for tuple-terminating sentinel entries.
-const SENT: u32 = u32::MAX;
 
 /// The H-Mine algorithm.
 #[derive(Debug, Default, Clone)]
 pub struct HMine;
-
-/// The hyper-structure: parallel arrays of entry items (ranks) and
-/// hyperlinks. Tuples are contiguous runs terminated by a [`SENT`] entry.
-pub(crate) struct HStruct {
-    item: Vec<u32>,
-    next: Vec<u32>,
-}
-
-impl HStruct {
-    /// Builds the arena from rank-encoded tuples, returning the structure
-    /// and the arena index of each tuple's first entry.
-    pub(crate) fn build<'a>(
-        tuples: impl Iterator<Item = &'a [u32]>,
-        size_hint: usize,
-    ) -> (Self, Vec<u32>) {
-        let mut item = Vec::with_capacity(size_hint);
-        let mut next = Vec::new();
-        let mut firsts = Vec::new();
-        for t in tuples {
-            debug_assert!(!t.is_empty() && t.windows(2).all(|w| w[0] < w[1]));
-            firsts.push(item.len() as u32);
-            item.extend_from_slice(t);
-            item.push(SENT);
-        }
-        next.resize(item.len(), NIL);
-        (HStruct { item, next }, firsts)
-    }
-
-    /// Bytes of heap owned by the arena — the quantity the paper's memory
-    /// estimator budgets (§3.3): H-Mine's footprint is proportional to the
-    /// number of frequent-item occurrences.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn arena_bytes(&self) -> usize {
-        (self.item.capacity() + self.next.capacity()) * std::mem::size_of::<u32>()
-    }
-}
-
-/// One header-table row: an item (rank), its support in the current
-/// projection, and the head of its tuple queue.
-struct Cell {
-    rank: u32,
-    count: u64,
-    head: u32,
-}
-
-struct Ctx {
-    hs: HStruct,
-    /// `active[rank] == depth` ⇔ rank belongs to the current level's
-    /// header table. Levels nest (child item sets ⊆ parent extension
-    /// sets), so a depth number plus restore-on-exit suffices.
-    active: Vec<u32>,
-    /// Header-cell index of each active rank at the current level.
-    cell_of: Vec<u32>,
-    scratch: ScratchCounts,
-    minsup: u64,
-}
 
 impl Miner for HMine {
     fn name(&self) -> &'static str {
@@ -115,17 +49,6 @@ impl Miner for HMine {
     }
 }
 
-/// Per-worker reusable state for the first-level fan-out: count scratch,
-/// the level-activity arrays (allocated once per worker, not once per
-/// rank), the suffix-slice buffer, and the DFS emitter.
-struct HmWorker<'a> {
-    emitter: RankEmitter<'a>,
-    scratch: ScratchCounts,
-    active: Vec<u32>,
-    cell_of: Vec<u32>,
-    subs: Vec<&'a [u32]>,
-}
-
 impl HMine {
     /// Mines rank-encoded `tuples` against `flist` at the absolute
     /// threshold `minsup`, emitting every pattern prefixed by
@@ -148,17 +71,8 @@ impl HMine {
     }
 
     /// [`HMine::mine_encoded`] with the root header table fanned out over
-    /// `par` scoped threads.
-    ///
-    /// Instead of threading one shared hyper-structure through a mutable
-    /// root queue pass (inherently sequential), each top-level rank `r`
-    /// becomes an independent work unit: the suffixes following `r` in
-    /// every tuple form `r`'s projected database, and a per-worker arena
-    /// is built over those suffix *slices* — the relink invariant then
-    /// holds privately within each unit. Queue order never affects
-    /// H-Mine's output (cells are processed in ascending rank order and
-    /// supports are order-independent sums), so the per-unit streams
-    /// concatenated in rank order are byte-identical to the serial run.
+    /// `par` scoped threads; the emitted stream is byte-identical to the
+    /// serial run at any thread count.
     pub fn mine_encoded_par(
         &self,
         tuples: &[Vec<u32>],
@@ -168,70 +82,8 @@ impl HMine {
         par: Parallelism,
         sink: &mut dyn PatternSink,
     ) {
-        let n = flist.len();
-        let mut scratch = ScratchCounts::new(n);
-        let mut touches = 0u64;
-        for t in tuples {
-            for &r in t {
-                scratch.add(r, 1);
-                touches += 1;
-            }
-        }
-        metrics::add("mine.tuple_touches", touches);
-        metrics::add("mine.candidate_tests", scratch.touched().len() as u64);
-        let frequent = scratch.drain_frequent(minsup);
-        if frequent.is_empty() {
-            return;
-        }
-        metrics::set_max("mine.max_depth", prefix_items.len() as u64 + 1);
-        // Occurrence index: for each frequent rank, where its (non-empty)
-        // suffixes start. One pass over the tuples replaces the per-rank
-        // scans a naive fan-out would need, so the serial driver does no
-        // more work than the queue-relink top level it replaces.
-        let mut unit_of: Vec<u32> = vec![NIL; n];
-        for (li, &(r, _)) in frequent.iter().enumerate() {
-            unit_of[r as usize] = li as u32;
-        }
-        let mut occ: Vec<Vec<(u32, u32)>> = vec![Vec::new(); frequent.len()];
-        for (ti, t) in tuples.iter().enumerate() {
-            for (p, &r) in t.iter().enumerate() {
-                let li = unit_of[r as usize];
-                if li != NIL && p + 1 < t.len() {
-                    occ[li as usize].push((ti as u32, p as u32 + 1));
-                }
-            }
-        }
-        let occ = &occ;
-        let frequent = &frequent;
-        fan_out_ordered(
-            par,
-            frequent.len(),
-            sink,
-            || {
-                let mut emitter = RankEmitter::new(flist);
-                for &it in prefix_items {
-                    emitter.push_item(it);
-                }
-                HmWorker {
-                    emitter,
-                    scratch: ScratchCounts::new(n),
-                    active: vec![0; n],
-                    cell_of: vec![NIL; n],
-                    subs: Vec::new(),
-                }
-            },
-            |w, li, sink| {
-                let (r, c) = frequent[li];
-                w.emitter.push(r);
-                w.emitter.emit(sink, c);
-                w.subs.clear();
-                w.subs.extend(occ[li].iter().map(|&(ti, o)| &tuples[ti as usize][o as usize..]));
-                if !w.subs.is_empty() {
-                    mine_suffixes(w, minsup, sink);
-                }
-                w.emitter.pop();
-            },
-        );
+        let src = PlainRanks::new(tuples, flist.len());
+        hm::mine_source_par(&src, flist, prefix_items, minsup, par, sink);
     }
 
     /// Constrained mining over a plain database: `prune` strips
@@ -239,7 +91,7 @@ impl HMine {
     /// prefix violates a pushed anti-monotone predicate, and bounds the
     /// extension depth. The output equals unconstrained mining filtered
     /// by the pushed checks.
-    pub fn mine_pruned<P: SearchPrune>(
+    pub fn mine_pruned<P: SearchPrune + ?Sized>(
         &self,
         db: &TransactionDb,
         min_support: MinSupport,
@@ -265,9 +117,9 @@ impl HMine {
         self.mine_encoded_pruned(&tuples, &flist, &[], minsup, prune, sink);
     }
 
-    /// [`HMine::mine_encoded`] with pruning hooks (monomorphized; the
-    /// [`NoPrune`] instantiation compiles to the unpruned search).
-    pub fn mine_encoded_pruned<P: SearchPrune>(
+    /// [`HMine::mine_encoded`] with pruning hooks (serial; the
+    /// engine's no-prune instantiation compiles to the unpruned search).
+    pub fn mine_encoded_pruned<P: SearchPrune + ?Sized>(
         &self,
         tuples: &[Vec<u32>],
         flist: &gogreen_data::FList,
@@ -276,231 +128,8 @@ impl HMine {
         prune: &P,
         sink: &mut dyn PatternSink,
     ) {
-        let n = flist.len();
-        let mut scratch = ScratchCounts::new(n);
-        let mut touches = 0u64;
-        for t in tuples {
-            for &r in t {
-                scratch.add(r, 1);
-                touches += 1;
-            }
-        }
-        metrics::add("mine.tuple_touches", touches);
-        metrics::add("mine.candidate_tests", scratch.touched().len() as u64);
-        let frequent = scratch.drain_frequent(minsup);
-        if frequent.is_empty() {
-            return;
-        }
-        let occurrences: usize = tuples.iter().map(Vec::len).sum();
-        let (hs, firsts) =
-            HStruct::build(tuples.iter().map(Vec::as_slice), occurrences + tuples.len());
-        let mut ctx = Ctx { hs, active: vec![0; n], cell_of: vec![NIL; n], scratch, minsup };
-        let mut cells: Vec<Cell> =
-            frequent.iter().map(|&(r, c)| Cell { rank: r, count: c, head: NIL }).collect();
-        for (i, c) in cells.iter().enumerate() {
-            ctx.active[c.rank as usize] = 1;
-            ctx.cell_of[c.rank as usize] = i as u32;
-        }
-        // Queue each tuple on its first *active* entry (a tuple may start
-        // with locally infrequent ranks).
-        for &first in &firsts {
-            let mut e = first as usize;
-            loop {
-                let r = ctx.hs.item[e];
-                if r == SENT {
-                    break;
-                }
-                if ctx.active[r as usize] == 1 {
-                    let ci = ctx.cell_of[r as usize] as usize;
-                    ctx.hs.next[e] = cells[ci].head;
-                    cells[ci].head = e as u32;
-                    break;
-                }
-                e += 1;
-            }
-        }
-        let mut emitter = RankEmitter::new(flist);
-        for &it in prefix_items {
-            emitter.push_item(it);
-        }
-        mine_level(&mut ctx, &mut cells, 1, prune, &mut emitter, sink);
-    }
-}
-
-/// Mines one top-level rank's projected database (its suffix slices) in
-/// a private arena, reusing the worker's scratch and activity buffers so
-/// the per-unit cost is the arena build plus the usual level passes.
-fn mine_suffixes(w: &mut HmWorker<'_>, minsup: u64, sink: &mut dyn PatternSink) {
-    let mut touches = 0u64;
-    for t in &w.subs {
-        for &r in *t {
-            w.scratch.add(r, 1);
-            touches += 1;
-        }
-    }
-    metrics::add("mine.tuple_touches", touches);
-    metrics::add("mine.candidate_tests", w.scratch.touched().len() as u64);
-    let sub = w.scratch.drain_frequent(minsup);
-    if sub.is_empty() {
-        return;
-    }
-    metrics::add("mine.projected_dbs", 1);
-    let occurrences: usize = w.subs.iter().map(|t| t.len()).sum();
-    let (hs, firsts) = HStruct::build(w.subs.iter().copied(), occurrences + w.subs.len());
-    let mut ctx = Ctx {
-        hs,
-        active: std::mem::take(&mut w.active),
-        cell_of: std::mem::take(&mut w.cell_of),
-        scratch: std::mem::replace(&mut w.scratch, ScratchCounts::new(0)),
-        minsup,
-    };
-    let mut cells: Vec<Cell> =
-        sub.iter().map(|&(x, c)| Cell { rank: x, count: c, head: NIL }).collect();
-    for (i, c) in cells.iter().enumerate() {
-        ctx.active[c.rank as usize] = 1;
-        ctx.cell_of[c.rank as usize] = i as u32;
-    }
-    for &first in &firsts {
-        let mut e = first as usize;
-        loop {
-            let r = ctx.hs.item[e];
-            if r == SENT {
-                break;
-            }
-            if ctx.active[r as usize] == 1 {
-                let ci = ctx.cell_of[r as usize] as usize;
-                ctx.hs.next[e] = cells[ci].head;
-                cells[ci].head = e as u32;
-                break;
-            }
-            e += 1;
-        }
-    }
-    mine_level(&mut ctx, &mut cells, 1, &NoPrune, &mut w.emitter, sink);
-    // Return the buffers to the worker, un-tagging this unit's ranks so
-    // the next unit starts from a clean activity map.
-    for &(x, _) in &sub {
-        ctx.active[x as usize] = 0;
-        ctx.cell_of[x as usize] = NIL;
-    }
-    w.active = ctx.active;
-    w.cell_of = ctx.cell_of;
-    w.scratch = ctx.scratch;
-}
-
-/// Processes one header table: for each cell in ascending rank order, emit
-/// its pattern, count its locally frequent extensions, build and recurse
-/// into the sub-header, then relink its queue forward within this level.
-fn mine_level<P: SearchPrune>(
-    ctx: &mut Ctx,
-    cells: &mut [Cell],
-    depth: u32,
-    prune: &P,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
-    for idx in 0..cells.len() {
-        let r = cells[idx].rank;
-        emitter.push(r);
-        // Anti-monotone pushdown: a violating prefix dooms the subtree
-        // (but the queue must still relink for the later rows).
-        let prefix_ok = prune.prefix_ok(emitter.prefix());
-        if prefix_ok {
-            emitter.emit(sink, cells[idx].count);
-        }
-
-        let is_last = idx + 1 == cells.len();
-        let descend = prefix_ok && prune.may_extend(emitter.depth());
-        if !is_last {
-            // Pass 1 — count extensions of r among this queue's tuples
-            // (skipped entirely when pruning forbids descending).
-            if descend {
-                let mut touches = 0u64;
-                let mut e = cells[idx].head;
-                while e != NIL {
-                    let mut p = e as usize + 1;
-                    loop {
-                        let x = ctx.hs.item[p];
-                        if x == SENT {
-                            break;
-                        }
-                        if ctx.active[x as usize] == depth {
-                            ctx.scratch.add(x, 1);
-                            touches += 1;
-                        }
-                        p += 1;
-                    }
-                    e = ctx.hs.next[e as usize];
-                }
-                metrics::add("mine.tuple_touches", touches);
-                metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
-            }
-            let sub = ctx.scratch.drain_frequent(ctx.minsup);
-
-            if !sub.is_empty() {
-                metrics::add("mine.projected_dbs", 1);
-                // Enter sub-level: activate items, saving parent state.
-                let mut subcells: Vec<Cell> =
-                    sub.iter().map(|&(x, c)| Cell { rank: x, count: c, head: NIL }).collect();
-                let saved: Vec<(u32, u32)> =
-                    sub.iter().map(|&(x, _)| (x, ctx.cell_of[x as usize])).collect();
-                for (i, c) in subcells.iter().enumerate() {
-                    ctx.active[c.rank as usize] = depth + 1;
-                    ctx.cell_of[c.rank as usize] = i as u32;
-                }
-                // Pass 2 — thread each tuple into the queue of its first
-                // sub-active entry after r.
-                let mut e = cells[idx].head;
-                while e != NIL {
-                    let succ = ctx.hs.next[e as usize];
-                    let mut p = e as usize + 1;
-                    loop {
-                        let x = ctx.hs.item[p];
-                        if x == SENT {
-                            break;
-                        }
-                        if ctx.active[x as usize] == depth + 1 {
-                            let ci = ctx.cell_of[x as usize] as usize;
-                            ctx.hs.next[p] = subcells[ci].head;
-                            subcells[ci].head = p as u32;
-                            break;
-                        }
-                        p += 1;
-                    }
-                    e = succ;
-                }
-                mine_level(ctx, &mut subcells, depth + 1, prune, emitter, sink);
-                // Exit sub-level: restore parent activity and cell map.
-                for (x, old_cell) in saved {
-                    ctx.active[x as usize] = depth;
-                    ctx.cell_of[x as usize] = old_cell;
-                }
-            }
-
-            // Pass 3 — relink: move each tuple of r's queue to the queue
-            // of its next item active at THIS level, so later cells see it.
-            let mut e = cells[idx].head;
-            while e != NIL {
-                let succ = ctx.hs.next[e as usize];
-                let mut p = e as usize + 1;
-                loop {
-                    let x = ctx.hs.item[p];
-                    if x == SENT {
-                        break;
-                    }
-                    if ctx.active[x as usize] == depth {
-                        let ci = ctx.cell_of[x as usize] as usize;
-                        ctx.hs.next[p] = cells[ci].head;
-                        cells[ci].head = p as u32;
-                        break;
-                    }
-                    p += 1;
-                }
-                e = succ;
-            }
-        }
-        emitter.pop();
+        let src = PlainRanks::new(tuples, flist.len());
+        hm::mine_source_pruned(&src, flist, prefix_items, minsup, prune, sink);
     }
 }
 
@@ -566,15 +195,5 @@ mod tests {
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
             assert!(hm.same_patterns_as(&oracle), "minsup={minsup}");
         }
-    }
-
-    #[test]
-    fn arena_accounts_entries_and_sentinels() {
-        let tuples = [vec![0u32, 1], vec![2]];
-        let (hs, firsts) = HStruct::build(tuples.iter().map(|t| t.as_slice()), 0);
-        assert_eq!(firsts, vec![0, 3]);
-        // 3 item entries + 2 sentinels.
-        assert_eq!(hs.item.len(), 5);
-        assert!(hs.arena_bytes() >= 5 * 8);
     }
 }

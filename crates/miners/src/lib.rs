@@ -15,9 +15,18 @@
 //! All miners implement [`Miner`] and produce the *complete* set of
 //! frequent patterns; the test suites assert they agree pattern-for-pattern
 //! on random databases.
+//!
+//! The three projected-database traversals live in [`engine`], written
+//! once per family over the `GroupedSource` substrate abstraction; the
+//! types here instantiate them on the degenerate all-plain view, and the
+//! recycling miners in `gogreen-core` instantiate the same code on real
+//! compressed databases. The `mine_*` free functions below are thin
+//! convenience wrappers over those unified engines and are kept stable
+//! for examples and external callers.
 
 pub mod apriori;
 pub mod common;
+pub mod engine;
 pub mod fpgrowth;
 pub mod hmine;
 pub mod naive;
@@ -94,17 +103,20 @@ pub fn mine_apriori(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
     Apriori.mine(db, min_support)
 }
 
-/// Mines with [`HMine`].
+/// Mines with [`HMine`] (a thin wrapper over the unified
+/// [`engine::hm`] traversal on the plain substrate).
 pub fn mine_hmine(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
     HMine.mine(db, min_support)
 }
 
-/// Mines with [`FpGrowth`].
+/// Mines with [`FpGrowth`] (a thin wrapper over the unified
+/// [`engine::fp`] traversal on the plain substrate).
 pub fn mine_fpgrowth(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
     FpGrowth.mine(db, min_support)
 }
 
-/// Mines with [`TreeProjection`].
+/// Mines with [`TreeProjection`] (a thin wrapper over the unified
+/// [`engine::tp`] traversal on the plain substrate).
 pub fn mine_treeproj(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
     TreeProjection.mine(db, min_support)
 }

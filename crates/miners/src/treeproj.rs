@@ -6,11 +6,16 @@
 //! and a triangular counting matrix tallies the supports of all pairs of
 //! extensions in one pass — producing every child node's extension set
 //! (two levels of the tree from one counting pass).
+//!
+//! The traversal lives in [`crate::engine::tp`], shared with the
+//! recycling Tree Projection in `gogreen-core`; this type instantiates it
+//! on the degenerate [`gogreen_data::PlainRanks`] substrate, where every
+//! transaction sits in the single pattern-free partition and the search
+//! is the classic depth-first algorithm. [`PairMatrix`] stays public
+//! here: it is the node counting structure both substrates share.
 
-use crate::common::{fan_out_ordered, RankEmitter};
 use crate::Miner;
-use gogreen_data::{FList, MinSupport, PatternSink, TransactionDb};
-use gogreen_obs::metrics;
+use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, TransactionDb};
 use gogreen_util::pool::Parallelism;
 use gogreen_util::FxHashMap;
 
@@ -44,70 +49,11 @@ impl Miner for TreeProjection {
         if flist.is_empty() {
             return;
         }
-        // At the root the local extension index IS the rank.
-        let exts: Vec<(u32, u64)> =
-            (0..flist.len() as u32).map(|r| (r, flist.support(r))).collect();
-        let trans: Vec<Vec<u32>> =
+        let tuples: Vec<Vec<u32>> =
             db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        tp_root(&trans, &exts, minsup, &flist, par, sink);
+        let src = PlainRanks::new(&tuples, flist.len());
+        crate::engine::tp::mine_source_par(&src, &flist, minsup, par, sink);
     }
-}
-
-/// Root dispatch: singletons and the root pair-counting pass run once on
-/// the caller thread (Tree Projection emits a node's extensions *before*
-/// recursing, so root singletons must precede any subtree output); each
-/// extension's subtree is then an independent fan-out unit reading only
-/// the shared transactions and matrix.
-fn tp_root(
-    trans: &[Vec<u32>],
-    exts: &[(u32, u64)],
-    minsup: u64,
-    flist: &FList,
-    par: Parallelism,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", 1);
-    {
-        let mut emitter = RankEmitter::new(flist);
-        for &(rank, sup) in exts {
-            emitter.push(rank);
-            emitter.emit(sink, sup);
-            emitter.pop();
-        }
-    }
-    let k = exts.len();
-    if k < 2 {
-        return;
-    }
-    let matrix = fill_pair_matrix(trans, k);
-    let matrix = &matrix;
-    fan_out_ordered(
-        par,
-        k,
-        sink,
-        || (RankEmitter::new(flist), vec![u32::MAX; k]),
-        |(emitter, remap), i, sink| {
-            tp_extend(trans, exts, i as u32, matrix, minsup, remap, emitter, sink);
-        },
-    );
-}
-
-/// One counting pass filling the supports of all pairs of extensions.
-fn fill_pair_matrix(trans: &[Vec<u32>], k: usize) -> PairMatrix {
-    let mut matrix = PairMatrix::new(k);
-    let mut touches = 0u64;
-    for t in trans {
-        for (p, &a) in t.iter().enumerate() {
-            for &b in &t[p + 1..] {
-                matrix.bump(a, b);
-            }
-        }
-        touches += (t.len() * t.len().saturating_sub(1) / 2) as u64;
-    }
-    metrics::add("mine.tuple_touches", touches);
-    // Every (i, j) pair of the matrix is one candidate support test.
-    metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
-    matrix
 }
 
 /// The pair-support matrix of one lexicographic-tree node: counts the
@@ -172,88 +118,6 @@ impl PairMatrix {
             PairMatrix::Sparse(m) => m.get(&(a, b)).copied().unwrap_or(0),
         }
     }
-}
-
-/// Processes one node: `trans` are the node's projected transactions in
-/// local extension indices (ascending), `exts` the frequent extensions as
-/// `(global rank, support)` indexed by those local indices.
-fn tp_node(
-    trans: &[Vec<u32>],
-    exts: &[(u32, u64)],
-    minsup: u64,
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
-    for &(rank, sup) in exts {
-        emitter.push(rank);
-        emitter.emit(sink, sup);
-        emitter.pop();
-    }
-    let k = exts.len();
-    if k < 2 {
-        return;
-    }
-    let matrix = fill_pair_matrix(trans, k);
-    // Children: extension i spawns a node whose extensions are the j > i
-    // with frequent (i, j) pairs.
-    let mut remap = vec![u32::MAX; k];
-    for i in 0..k as u32 {
-        tp_extend(trans, exts, i, &matrix, minsup, &mut remap, emitter, sink);
-    }
-}
-
-/// Builds and recurses into the child node of extension `i`. This is
-/// both the serial loop body of [`tp_node`] and the root fan-out unit.
-#[allow(clippy::too_many_arguments)]
-fn tp_extend(
-    trans: &[Vec<u32>],
-    exts: &[(u32, u64)],
-    i: u32,
-    matrix: &PairMatrix,
-    minsup: u64,
-    remap: &mut [u32],
-    emitter: &mut RankEmitter<'_>,
-    sink: &mut dyn PatternSink,
-) {
-    let k = exts.len();
-    let child_exts: Vec<(u32, u64)> = ((i + 1)..k as u32)
-        .filter_map(|j| {
-            let c = matrix.get(i, j);
-            (c >= minsup).then(|| (exts[j as usize].0, c))
-        })
-        .collect();
-    if child_exts.is_empty() {
-        return;
-    }
-    // Remap surviving parent-local indices to child-local indices.
-    remap.iter_mut().for_each(|r| *r = u32::MAX);
-    let mut next_local = 0u32;
-    for j in (i + 1)..k as u32 {
-        if matrix.get(i, j) >= minsup {
-            remap[j as usize] = next_local;
-            next_local += 1;
-        }
-    }
-    let mut child_trans: Vec<Vec<u32>> = Vec::new();
-    for t in trans {
-        if let Ok(pos) = t.binary_search(&i) {
-            let proj: Vec<u32> = t[pos + 1..]
-                .iter()
-                .filter_map(|&j| {
-                    let l = remap[j as usize];
-                    (l != u32::MAX).then_some(l)
-                })
-                .collect();
-            if !proj.is_empty() {
-                child_trans.push(proj);
-            }
-        }
-    }
-    metrics::add("mine.projected_dbs", 1);
-    emitter.push(exts[i as usize].0);
-    tp_node(&child_trans, &child_exts, minsup, emitter, sink);
-    emitter.pop();
 }
 
 #[cfg(test)]

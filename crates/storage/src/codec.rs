@@ -13,6 +13,48 @@
 //! Encoding is little-endian `u32`s with `u32` length prefixes — dense,
 //! alignment-free, and trivially seekable record by record. Buffers are
 //! plain `Vec<u8>`; [`ByteReader`] is the matching decode cursor.
+//! Decoding is fallible: truncation and unknown tags surface as
+//! [`DecodeError`] rather than tearing down the process.
+
+/// Why an encoded spill buffer failed to decode.
+///
+/// Spill files are private to the process, so either variant indicates
+/// a bug or on-disk corruption — but the reader surfaces it as a
+/// structured error (propagated as `io::ErrorKind::InvalidData` by the
+/// spill layer) instead of tearing the process down, so a driver can
+/// fail the one partition and report which byte went bad.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended mid-record: `needed` more bytes at `offset`.
+    Truncated {
+        /// Byte offset of the read that ran off the end.
+        offset: usize,
+        /// Bytes the read required.
+        needed: usize,
+    },
+    /// An unknown record tag at `offset`.
+    BadTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The tag found (valid tags are 0 and 1).
+        tag: u8,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { offset, needed } => {
+                write!(f, "spill record truncated at byte {offset} (needed {needed} more bytes)")
+            }
+            DecodeError::BadTag { offset, tag } => {
+                write!(f, "corrupt spill record tag {tag} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// A forward-only cursor over an encoded byte buffer.
 #[derive(Debug, Clone)]
@@ -32,22 +74,25 @@ impl<'a> ByteReader<'a> {
         self.pos < self.data.len()
     }
 
-    fn get_u8(&mut self) -> u8 {
-        let b = self.data[self.pos];
-        self.pos += 1;
-        b
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.data.len() - self.pos < n {
+            return Err(DecodeError::Truncated { offset: self.pos, needed: n });
+        }
+        let raw = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(raw)
     }
 
-    fn get_u32_le(&mut self) -> u32 {
-        let raw: [u8; 4] = self.data[self.pos..self.pos + 4].try_into().expect("truncated");
-        self.pos += 4;
-        u32::from_le_bytes(raw)
+    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
     }
 
-    fn get_u64_le(&mut self) -> u64 {
-        let raw: [u8; 8] = self.data[self.pos..self.pos + 8].try_into().expect("truncated");
-        self.pos += 8;
-        u64::from_le_bytes(raw)
+    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
@@ -114,27 +159,24 @@ impl SpillRecord {
         }
     }
 
-    /// Deserializes one record from the front of `buf`, or `None` when
-    /// the buffer is exhausted.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a truncated or corrupt buffer — spill files are private
-    /// to the process, so corruption is a bug, not an input error.
-    pub fn decode(buf: &mut ByteReader<'_>) -> Option<SpillRecord> {
+    /// Deserializes one record from the front of `buf`; `Ok(None)` when
+    /// the buffer is exhausted, [`DecodeError`] on a truncated or
+    /// corrupt buffer.
+    pub fn decode(buf: &mut ByteReader<'_>) -> Result<Option<SpillRecord>, DecodeError> {
         if !buf.has_remaining() {
-            return None;
+            return Ok(None);
         }
-        match buf.get_u8() {
-            0 => Some(SpillRecord::Plain(get_list(buf))),
+        let tag_offset = buf.pos;
+        match buf.get_u8()? {
+            0 => Ok(Some(SpillRecord::Plain(get_list(buf)?))),
             1 => {
-                let pattern = get_list(buf);
-                let bare = buf.get_u64_le();
-                let n = buf.get_u32_le() as usize;
-                let outliers = (0..n).map(|_| get_list(buf)).collect();
-                Some(SpillRecord::Group { pattern, bare, outliers })
+                let pattern = get_list(buf)?;
+                let bare = buf.get_u64_le()?;
+                let n = buf.get_u32_le()? as usize;
+                let outliers = (0..n).map(|_| get_list(buf)).collect::<Result<Vec<_>, _>>()?;
+                Ok(Some(SpillRecord::Group { pattern, bare, outliers }))
             }
-            tag => panic!("corrupt spill record tag {tag}"),
+            tag => Err(DecodeError::BadTag { offset: tag_offset, tag }),
         }
     }
 }
@@ -146,8 +188,8 @@ fn put_list(buf: &mut Vec<u8>, items: &[u32]) {
     }
 }
 
-fn get_list(buf: &mut ByteReader<'_>) -> Vec<u32> {
-    let n = buf.get_u32_le() as usize;
+fn get_list(buf: &mut ByteReader<'_>) -> Result<Vec<u32>, DecodeError> {
+    let n = buf.get_u32_le()? as usize;
     (0..n).map(|_| buf.get_u32_le()).collect()
 }
 
@@ -162,7 +204,7 @@ mod tests {
         }
         let mut reader = ByteReader::new(&buf);
         let mut back = Vec::new();
-        while let Some(r) = SpillRecord::decode(&mut reader) {
+        while let Some(r) = SpillRecord::decode(&mut reader).unwrap() {
             back.push(r);
         }
         assert_eq!(back, records);
@@ -194,7 +236,7 @@ mod tests {
     #[test]
     fn decode_empty_is_none() {
         let mut b = ByteReader::new(&[]);
-        assert_eq!(SpillRecord::decode(&mut b), None);
+        assert_eq!(SpillRecord::decode(&mut b), Ok(None));
     }
 
     #[test]
@@ -205,11 +247,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "corrupt spill record")]
-    fn corrupt_tag_panics() {
+    fn corrupt_tag_is_an_error() {
         let raw = [7u8, 0, 0, 0, 0];
         let mut b = ByteReader::new(&raw);
-        SpillRecord::decode(&mut b);
+        assert_eq!(SpillRecord::decode(&mut b), Err(DecodeError::BadTag { offset: 0, tag: 7 }));
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        // A Plain record whose length prefix promises more u32s than
+        // the buffer holds.
+        let mut buf = Vec::new();
+        SpillRecord::Plain(vec![1, 2, 3]).encode(&mut buf);
+        for cut in 1..buf.len() {
+            let mut b = ByteReader::new(&buf[..cut]);
+            let got = SpillRecord::decode(&mut b);
+            assert!(matches!(got, Err(DecodeError::Truncated { .. })), "cut={cut}: {got:?}");
+        }
+        // A Group record cut inside its outlier lists.
+        let mut gbuf = Vec::new();
+        SpillRecord::Group { pattern: vec![2], bare: 1, outliers: vec![vec![4, 5]] }
+            .encode(&mut gbuf);
+        let mut b = ByteReader::new(&gbuf[..gbuf.len() - 2]);
+        assert!(matches!(SpillRecord::decode(&mut b), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn decode_errors_render_offsets() {
+        let msg = DecodeError::BadTag { offset: 9, tag: 7 }.to_string();
+        assert!(msg.contains("tag 7") && msg.contains("byte 9"), "{msg}");
+        let msg = DecodeError::Truncated { offset: 3, needed: 4 }.to_string();
+        assert!(msg.contains("byte 3"), "{msg}");
     }
 
     #[test]

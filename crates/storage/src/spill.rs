@@ -143,7 +143,12 @@ impl SpillManager {
         let mut raw = Vec::with_capacity(p.bytes as usize);
         File::open(path)?.read_to_end(&mut raw)?;
         let mut reader = ByteReader::new(&raw);
-        while let Some(rec) = SpillRecord::decode(&mut reader) {
+        // A decode failure means the partition file is corrupt; surface
+        // it as InvalidData so the caller can fail this one partition
+        // instead of the whole process.
+        while let Some(rec) = SpillRecord::decode(&mut reader)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        {
             f(rec);
         }
         Ok(())
@@ -198,6 +203,24 @@ mod tests {
         assert!(mgr.partition_bytes(0) > 0);
         mgr.finish().unwrap();
         assert!(mgr.total_bytes() > 0);
+    }
+
+    #[test]
+    fn corrupted_partition_file_reads_as_invalid_data() {
+        let mut mgr = SpillManager::new(1).unwrap();
+        mgr.append(0, &SpillRecord::Plain(vec![1, 2])).unwrap();
+        mgr.finish().unwrap();
+        // Append a record with an unknown tag behind the valid one.
+        let path = mgr.dir.join("part-0.bin");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[9u8, 0, 0, 0, 0]).unwrap();
+        drop(f);
+        let mut seen = Vec::new();
+        let err = mgr.for_each_record(0, |r| seen.push(r)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("tag 9"), "{err}");
+        // The valid prefix decoded before the corruption surfaced.
+        assert_eq!(seen, vec![SpillRecord::Plain(vec![1, 2])]);
     }
 
     #[test]
