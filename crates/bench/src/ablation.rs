@@ -251,7 +251,8 @@ impl ToJson for IncrementalRow {
 pub fn incremental_experiment(dataset: PresetKind, scale: f64) -> Vec<IncrementalRow> {
     let preset = DatasetPreset::new(dataset, scale);
     let full = preset.generate();
-    let all: Vec<_> = full.iter().cloned().collect();
+    let all: Vec<_> =
+        full.iter().map(|t| gogreen_data::Transaction::from_sorted_unchecked(t.to_vec())).collect();
     let half = all.len() / 2;
     let xi = preset.sweep()[1];
     let mut inc =

@@ -166,7 +166,7 @@ fn write_cdb(cdb: &gogreen_core::CompressedDb, path: &std::path::Path) {
     for t in cdb.plain() {
         line.clear();
         line.push_str("P ");
-        for it in t.items() {
+        for it in t {
             line.push_str(&it.id().to_string());
             line.push(' ');
         }

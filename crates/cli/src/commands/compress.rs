@@ -22,6 +22,13 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     println!("  groups          {}", stats.num_groups);
     println!("  covered tuples  {} / {}", stats.covered_tuples, stats.num_tuples);
     println!("  ratio S_c/S_o   {:.4}", stats.ratio);
+    // In-memory footprint per tuple: compressed CSR sections vs the raw
+    // database's CSR storage.
+    println!(
+        "  bytes/tuple     {:.1} (raw {:.1})",
+        cdb.stats().bytes_per_tuple,
+        db.stats().bytes_per_tuple
+    );
     println!("  time            {:.2?}", stats.duration);
     // Top groups by member count.
     let mut groups: Vec<_> = cdb.groups().iter().collect();

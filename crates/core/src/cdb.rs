@@ -8,9 +8,14 @@
 //!
 //! For mining, the item-space structure is re-encoded against an F-list
 //! into a [`CompressedRankDb`], mirroring how plain databases become
-//! [`gogreen_data::projected::RankDb`]s.
+//! [`gogreen_data::projected::RankDb`]s. Both representations keep their
+//! tuple lists in flat CSR storage ([`CsrTuples`]): the rank database is
+//! three CSR sections — group pattern heads, outlier member rows
+//! (concatenated group by group, delimited by `outlier_start`), and the
+//! plain residue — so engines receive `&[u32]` row slices of shared
+//! buffers and whole-database counting sweeps one allocation per section.
 
-use gogreen_data::{FList, Item, Transaction, TransactionDb};
+use gogreen_data::{CsrTuples, FList, Item, Transaction, TransactionDb, TupleSlices};
 use gogreen_util::pool::{par_chunks, Parallelism};
 use gogreen_util::HeapSize;
 
@@ -20,7 +25,7 @@ pub struct Group {
     /// The covering pattern, sorted ascending by item id. Never empty.
     pattern: Box<[Item]>,
     /// Outlying items (sorted ascending) of members that have any.
-    outliers: Vec<Box<[Item]>>,
+    outliers: CsrTuples<Item>,
     /// Members whose tuple *is* the pattern (no outlying items).
     bare: u32,
 }
@@ -30,6 +35,12 @@ impl Group {
     /// ascending; outlier lists must be non-empty and disjoint from the
     /// pattern.
     pub fn new(pattern: Vec<Item>, outliers: Vec<Vec<Item>>, bare: u32) -> Self {
+        let outliers: CsrTuples<Item> = outliers.into_iter().collect::<CsrTuples<Item>>();
+        Self::from_csr(pattern, outliers, bare)
+    }
+
+    /// [`Group::new`] from outlier rows already in CSR form.
+    pub fn from_csr(pattern: Vec<Item>, outliers: CsrTuples<Item>, bare: u32) -> Self {
         debug_assert!(!pattern.is_empty());
         debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
         debug_assert!(outliers.iter().all(|o| {
@@ -37,11 +48,7 @@ impl Group {
                 && o.windows(2).all(|w| w[0] < w[1])
                 && o.iter().all(|it| pattern.binary_search(it).is_err())
         }));
-        Group {
-            pattern: pattern.into_boxed_slice(),
-            outliers: outliers.into_iter().map(Vec::into_boxed_slice).collect(),
-            bare,
-        }
+        Group { pattern: pattern.into_boxed_slice(), outliers, bare }
     }
 
     /// The group pattern.
@@ -49,9 +56,9 @@ impl Group {
         &self.pattern
     }
 
-    /// Outlying-item lists of members that have any.
-    pub fn outliers(&self) -> &[Box<[Item]>] {
-        &self.outliers
+    /// Outlying-item rows of members that have any, as a CSR view.
+    pub fn outliers(&self) -> TupleSlices<'_, Item> {
+        self.outliers.as_slices()
     }
 
     /// Number of member tuples (the group count the miners exploit).
@@ -69,7 +76,7 @@ impl Group {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CompressedDb {
     groups: Vec<Group>,
-    plain: Vec<Transaction>,
+    plain: CsrTuples<Item>,
     original_items: usize,
 }
 
@@ -87,6 +94,11 @@ pub struct CdbStats {
     pub compressed_size: usize,
     /// Item occurrences of the original database.
     pub original_size: usize,
+    /// Mean heap bytes per represented tuple of the compressed storage;
+    /// 0 for the empty database. Compare against
+    /// [`gogreen_data::DbStats::bytes_per_tuple`] of the source database
+    /// for the in-memory (as opposed to item-count) compression ratio.
+    pub bytes_per_tuple: f64,
 }
 
 impl CdbStats {
@@ -105,17 +117,30 @@ impl CompressedDb {
     /// Assembles a compressed database from parts. `original_items` is
     /// the item-occurrence count of the uncompressed database (for the
     /// compression ratio).
-    pub fn new(groups: Vec<Group>, plain: Vec<Transaction>, original_items: usize) -> Self {
+    pub fn new(groups: Vec<Group>, plain: CsrTuples<Item>, original_items: usize) -> Self {
         CompressedDb { groups, plain, original_items }
+    }
+
+    /// [`CompressedDb::new`] with the plain residue given as owned
+    /// transactions.
+    pub fn from_parts(groups: Vec<Group>, plain: Vec<Transaction>, original_items: usize) -> Self {
+        let mut csr =
+            CsrTuples::with_capacity(plain.len(), plain.iter().map(Transaction::len).sum());
+        for t in &plain {
+            csr.push_row(t.items());
+        }
+        CompressedDb { groups, plain: csr, original_items }
     }
 
     /// Wraps a plain database with no compression at all (every tuple in
     /// the plain residue). Recycling miners on such a "compressed"
     /// database behave exactly like their non-recycling counterparts —
-    /// used as a correctness bridge in tests.
+    /// used as a correctness bridge in tests. The CSR tuple storage is
+    /// cloned wholesale; no per-tuple work.
     pub fn uncompressed(db: &TransactionDb) -> Self {
-        let original_items = db.iter().map(Transaction::len).sum();
-        CompressedDb { groups: Vec::new(), plain: db.iter().cloned().collect(), original_items }
+        let plain = db.csr().clone();
+        let original_items = plain.total_elems();
+        CompressedDb { groups: Vec::new(), plain, original_items }
     }
 
     /// The groups.
@@ -123,9 +148,9 @@ impl CompressedDb {
         &self.groups
     }
 
-    /// The uncovered tuples.
-    pub fn plain(&self) -> &[Transaction] {
-        &self.plain
+    /// The uncovered tuples, as a CSR view.
+    pub fn plain(&self) -> TupleSlices<'_, Item> {
+        self.plain.as_slices()
     }
 
     /// Total number of tuples represented (= original `|DB|`).
@@ -136,18 +161,21 @@ impl CompressedDb {
     /// Size/ratio summary.
     pub fn stats(&self) -> CdbStats {
         let covered: usize = self.groups.iter().map(|g| g.count() as usize).sum();
-        let compressed_size: usize = self
-            .groups
-            .iter()
-            .map(|g| g.pattern.len() + g.outliers.iter().map(|o| o.len()).sum::<usize>())
-            .sum::<usize>()
-            + self.plain.iter().map(Transaction::len).sum::<usize>();
+        let compressed_size: usize =
+            self.groups.iter().map(|g| g.pattern.len() + g.outliers.total_elems()).sum::<usize>()
+                + self.plain.total_elems();
+        let num_tuples = covered + self.plain.len();
         CdbStats {
-            num_tuples: covered + self.plain.len(),
+            num_tuples,
             num_groups: self.groups.len(),
             covered_tuples: covered,
             compressed_size,
             original_size: self.original_items,
+            bytes_per_tuple: if num_tuples == 0 {
+                0.0
+            } else {
+                self.heap_size() as f64 / num_tuples as f64
+            },
         }
     }
 
@@ -161,33 +189,29 @@ impl CompressedDb {
     /// [`Self::item_supports`] with the counting pass chunked across
     /// worker threads. Summing per-chunk `u64` count vectors is exact
     /// and order-independent, so the result is identical to the serial
-    /// pass for any thread count.
+    /// pass for any thread count. The plain residue is chunked over the
+    /// flat item buffer directly — occurrence counting ignores row
+    /// boundaries, so the split needs no offset arithmetic at all.
     pub fn item_supports_par(&self, par: Parallelism) -> Vec<u64> {
         let mut max_id: Option<u32> = None;
-        let mut consider = |items: &[Item]| {
-            if let Some(&last) = items.last() {
-                max_id = Some(max_id.map_or(last.id(), |m| m.max(last.id())));
+        let mut consider = |id: Option<u32>| {
+            if let Some(last) = id {
+                max_id = Some(max_id.map_or(last, |m| m.max(last)));
             }
         };
         for g in &self.groups {
-            consider(&g.pattern);
-            for o in &g.outliers {
-                consider(o);
-            }
+            consider(g.pattern.last().map(|it| it.id()));
+            consider(g.outliers.flat().iter().map(|it| it.id()).max());
         }
-        for t in &self.plain {
-            consider(t.items());
-        }
+        consider(self.plain.flat().iter().map(|it| it.id()).max());
         let slots = max_id.map_or(0, |m| m as usize + 1);
         let mut counts = vec![0u64; slots];
         if par.for_items(self.groups.len().max(self.plain.len())) <= 1 {
             for g in &self.groups {
                 count_group(g, &mut counts);
             }
-            for t in &self.plain {
-                for it in t.items() {
-                    counts[it.index()] += 1;
-                }
+            for &it in self.plain.flat() {
+                counts[it.index()] += 1;
             }
             return counts;
         }
@@ -198,12 +222,10 @@ impl CompressedDb {
             }
             local
         });
-        let plain_parts = par_chunks(par, &self.plain, |_, chunk| {
+        let plain_parts = par_chunks(par, self.plain.flat(), |_, chunk| {
             let mut local = vec![0u64; slots];
-            for t in chunk {
-                for it in t.items() {
-                    local[it.index()] += 1;
-                }
+            for &it in chunk {
+                local[it.index()] += 1;
             }
             local
         });
@@ -232,7 +254,7 @@ impl CompressedDb {
     pub fn reconstruct(&self) -> TransactionDb {
         let mut out = Vec::with_capacity(self.num_tuples());
         for g in &self.groups {
-            for o in &g.outliers {
+            for o in g.outliers.iter() {
                 let mut items = Vec::with_capacity(g.pattern.len() + o.len());
                 items.extend_from_slice(&g.pattern);
                 items.extend_from_slice(o);
@@ -242,46 +264,51 @@ impl CompressedDb {
                 out.push(Transaction::new(g.pattern.to_vec()));
             }
         }
-        out.extend(self.plain.iter().cloned());
+        out.extend(self.plain.iter().map(|t| Transaction::from_sorted_unchecked(t.to_vec())));
         TransactionDb::from_transactions(out)
     }
 
-    /// Re-encodes into rank space against `flist` for mining.
+    /// Re-encodes into rank space against `flist` for mining — one pass,
+    /// straight into the rank database's CSR sections. Each pattern /
+    /// outlier / plain tuple is rank-encoded into an open CSR row and
+    /// committed or discarded in place; no intermediate per-tuple `Vec`
+    /// is ever allocated.
     pub fn to_ranks(&self, flist: &FList) -> CompressedRankDb {
-        let mut groups = Vec::with_capacity(self.groups.len());
-        let mut plain: Vec<Vec<u32>> = Vec::with_capacity(self.plain.len());
+        let mut out = CompressedRankDb::empty(flist.len());
         for g in &self.groups {
-            let pattern = flist.encode(&g.pattern);
-            if pattern.is_empty() {
+            if flist.encode_push(&g.pattern, &mut out.patterns) == 0 {
                 // Every pattern item infrequent: members degrade to plain
                 // tuples of their frequent outliers.
-                for o in &g.outliers {
-                    let enc = flist.encode(o);
-                    if !enc.is_empty() {
-                        plain.push(enc);
+                out.patterns.discard_row();
+                for o in g.outliers.iter() {
+                    if flist.encode_push(o, &mut out.plain) == 0 {
+                        out.plain.discard_row();
+                    } else {
+                        out.plain.commit_row();
                     }
                 }
                 continue;
             }
+            out.patterns.commit_row();
             let mut bare = u64::from(g.bare);
-            let mut outliers = Vec::with_capacity(g.outliers.len());
-            for o in &g.outliers {
-                let enc = flist.encode(o);
-                if enc.is_empty() {
+            for o in g.outliers.iter() {
+                if flist.encode_push(o, &mut out.outliers) == 0 {
+                    out.outliers.discard_row();
                     bare += 1;
                 } else {
-                    outliers.push(enc);
+                    out.outliers.commit_row();
                 }
             }
-            groups.push(CrGroup { pattern, outliers, bare });
+            out.close_group(bare);
         }
-        for t in &self.plain {
-            let enc = flist.encode(t.items());
-            if !enc.is_empty() {
-                plain.push(enc);
+        for t in self.plain.iter() {
+            if flist.encode_push(t, &mut out.plain) == 0 {
+                out.plain.discard_row();
+            } else {
+                out.plain.commit_row();
             }
         }
-        CompressedRankDb { groups, plain, num_ranks: flist.len() }
+        out
     }
 }
 
@@ -292,10 +319,8 @@ fn count_group(g: &Group, counts: &mut [u64]) {
     for it in g.pattern.iter() {
         counts[it.index()] += c;
     }
-    for o in &g.outliers {
-        for it in o.iter() {
-            counts[it.index()] += 1;
-        }
+    for &it in g.outliers.flat() {
+        counts[it.index()] += 1;
     }
 }
 
@@ -304,96 +329,211 @@ impl HeapSize for CompressedDb {
         let groups: usize = self
             .groups
             .iter()
-            .map(|g| {
-                g.pattern.len() * std::mem::size_of::<Item>()
-                    + g.outliers.iter().map(|o| o.heap_size()).sum::<usize>()
-                    + g.outliers.capacity() * std::mem::size_of::<Box<[Item]>>()
-            })
+            .map(|g| g.pattern.len() * std::mem::size_of::<Item>() + g.outliers.heap_size())
             .sum();
         groups + self.plain.heap_size() + self.groups.capacity() * std::mem::size_of::<Group>()
     }
 }
 
-/// A group re-encoded into rank space (ascending ranks everywhere).
+/// A compressed database in rank space — the input of every recycling
+/// miner.
+///
+/// Storage is three flat CSR sections plus two per-group scalars:
+///
+/// ```text
+/// patterns      row g            = group g's pattern head (ranks, asc)
+/// outliers      rows [s_g, s_{g+1})  where s = outlier_start
+///                                = group g's outlier member rows
+/// bare[g]                        = members with no frequent outliers
+/// plain         rows             = tuples covered by no group
+/// ```
+///
+/// Everything engines read comes out as `&[u32]` slices of these three
+/// buffers (see [`gogreen_data::GroupedSource`]); a whole-section scan —
+/// F-list counting, H-Mine struct sizing — walks one allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CrGroup {
-    /// Pattern ranks, ascending. Never empty.
-    pub pattern: Vec<u32>,
-    /// Non-empty outlier rank lists.
-    pub outliers: Vec<Vec<u32>>,
-    /// Members with no frequent outlying items.
-    pub bare: u64,
+pub struct CompressedRankDb {
+    /// Group pattern heads, one row per group. Rows never empty.
+    pub(crate) patterns: CsrTuples<u32>,
+    /// All groups' outlier member rows, concatenated in group order.
+    pub(crate) outliers: CsrTuples<u32>,
+    /// Row partition of `outliers` by group: group `g` owns rows
+    /// `outlier_start[g] .. outlier_start[g + 1]`. Length = groups + 1.
+    pub(crate) outlier_start: Vec<u32>,
+    /// Per-group count of members with no frequent outlying items.
+    pub(crate) bare: Vec<u64>,
+    /// Plain tuples (rank lists, ascending, non-empty).
+    pub(crate) plain: CsrTuples<u32>,
+    /// Rank-space size (F-list length).
+    pub(crate) num_ranks: usize,
 }
 
-impl CrGroup {
-    /// Member count.
-    pub fn count(&self) -> u64 {
-        self.outliers.len() as u64 + self.bare
+impl Default for CompressedRankDb {
+    fn default() -> Self {
+        Self::empty(0)
     }
 }
 
-/// A compressed database in rank space — the input of every recycling
-/// miner.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct CompressedRankDb {
-    /// Groups with non-empty patterns.
-    pub groups: Vec<CrGroup>,
-    /// Plain tuples (rank lists, ascending, non-empty).
-    pub plain: Vec<Vec<u32>>,
-    /// Rank-space size (F-list length).
-    pub num_ranks: usize,
-}
-
 impl CompressedRankDb {
+    /// An empty rank database over `num_ranks` rank slots.
+    pub fn empty(num_ranks: usize) -> Self {
+        CompressedRankDb {
+            patterns: CsrTuples::new(),
+            outliers: CsrTuples::new(),
+            outlier_start: vec![0],
+            bare: Vec::new(),
+            plain: CsrTuples::new(),
+            num_ranks,
+        }
+    }
+
+    /// Appends a group. `pattern` must be non-empty ascending ranks; each
+    /// outlier row non-empty ascending ranks disjoint in meaning (the
+    /// member's extra items). This is the public construction path for
+    /// callers outside the crate (e.g. rebuilding from spilled records).
+    pub fn push_group<'a>(
+        &mut self,
+        pattern: &[u32],
+        outliers: impl IntoIterator<Item = &'a [u32]>,
+        bare: u64,
+    ) {
+        debug_assert!(!pattern.is_empty() && pattern.windows(2).all(|w| w[0] < w[1]));
+        self.patterns.push_row(pattern);
+        for o in outliers {
+            debug_assert!(!o.is_empty() && o.windows(2).all(|w| w[0] < w[1]));
+            self.outliers.push_row(o);
+        }
+        self.close_group(bare);
+    }
+
+    /// Appends a plain tuple (non-empty ascending ranks).
+    pub fn push_plain(&mut self, ranks: &[u32]) {
+        debug_assert!(!ranks.is_empty() && ranks.windows(2).all(|w| w[0] < w[1]));
+        self.plain.push_row(ranks);
+    }
+
+    /// Seals the group whose pattern row and outlier rows were just
+    /// pushed: records the outlier partition boundary and the bare count.
+    pub(crate) fn close_group(&mut self, bare: u64) {
+        self.outlier_start.push(self.outliers.len() as u32);
+        self.bare.push(bare);
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Rank-space size (F-list length at encoding time).
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// The pattern head of group `g`.
+    pub fn group_pattern(&self, g: usize) -> &[u32] {
+        self.patterns.row(g)
+    }
+
+    /// The outlier member rows of group `g`, as a CSR window.
+    pub fn group_outliers(&self, g: usize) -> TupleSlices<'_> {
+        self.outliers
+            .as_slices()
+            .range(self.outlier_start[g] as usize, self.outlier_start[g + 1] as usize)
+    }
+
+    /// Members of group `g` with no frequent outlying items.
+    pub fn group_bare(&self, g: usize) -> u64 {
+        self.bare[g]
+    }
+
+    /// Member count of group `g`.
+    pub fn group_count(&self, g: usize) -> u64 {
+        (self.outlier_start[g + 1] - self.outlier_start[g]) as u64 + self.bare[g]
+    }
+
+    /// The plain residue, as a CSR window.
+    pub fn plain(&self) -> TupleSlices<'_> {
+        self.plain.as_slices()
+    }
+
     /// Returns a copy keeping only ranks accepted by `keep` — the
     /// succinct-constraint pushdown over a compressed database. Groups
     /// whose pattern empties out degrade to plain tuples; supports of
     /// surviving ranks are unchanged (tuples are never removed, only
-    /// shortened).
+    /// shortened). One pass: filtered rows are built in place in the
+    /// output CSR sections and committed or discarded.
     pub fn retain_ranks(&self, keep: impl Fn(u32) -> bool) -> CompressedRankDb {
-        let filter =
-            |v: &Vec<u32>| -> Vec<u32> { v.iter().copied().filter(|&r| keep(r)).collect() };
-        let mut groups = Vec::with_capacity(self.groups.len());
-        let mut plain: Vec<Vec<u32>> = Vec::new();
-        for g in &self.groups {
-            let pattern = filter(&g.pattern);
-            if pattern.is_empty() {
-                for o in &g.outliers {
-                    let f = filter(o);
-                    if !f.is_empty() {
-                        plain.push(f);
+        let filter_push = |src: &[u32], dst: &mut CsrTuples<u32>| -> usize {
+            for &r in src {
+                if keep(r) {
+                    dst.push_elem(r);
+                }
+            }
+            dst.open_len()
+        };
+        let mut out = CompressedRankDb::empty(self.num_ranks);
+        for g in 0..self.num_groups() {
+            if filter_push(self.group_pattern(g), &mut out.patterns) == 0 {
+                out.patterns.discard_row();
+                for o in self.group_outliers(g).iter() {
+                    if filter_push(o, &mut out.plain) == 0 {
+                        out.plain.discard_row();
+                    } else {
+                        out.plain.commit_row();
                     }
                 }
                 continue;
             }
-            let mut bare = g.bare;
-            let mut outliers = Vec::with_capacity(g.outliers.len());
-            for o in &g.outliers {
-                let f = filter(o);
-                if f.is_empty() {
+            out.patterns.commit_row();
+            let mut bare = self.bare[g];
+            for o in self.group_outliers(g).iter() {
+                if filter_push(o, &mut out.outliers) == 0 {
+                    out.outliers.discard_row();
                     bare += 1;
                 } else {
-                    outliers.push(f);
+                    out.outliers.commit_row();
                 }
             }
-            groups.push(CrGroup { pattern, outliers, bare });
+            out.close_group(bare);
         }
-        for t in &self.plain {
-            let f = filter(t);
-            if !f.is_empty() {
-                plain.push(f);
+        for t in self.plain.iter() {
+            if filter_push(t, &mut out.plain) == 0 {
+                out.plain.discard_row();
+            } else {
+                out.plain.commit_row();
             }
         }
-        CompressedRankDb { groups, plain, num_ranks: self.num_ranks }
+        out
     }
 
     /// Total item occurrences stored (patterns once + outliers + plain).
     pub fn stored_occurrences(&self) -> usize {
-        self.groups
-            .iter()
-            .map(|g| g.pattern.len() + g.outliers.iter().map(Vec::len).sum::<usize>())
-            .sum::<usize>()
-            + self.plain.iter().map(Vec::len).sum::<usize>()
+        self.patterns.total_elems() + self.outliers.total_elems() + self.plain.total_elems()
+    }
+
+    /// Total outlier member rows across all groups.
+    pub fn group_outlier_rows(&self) -> usize {
+        self.outliers.len()
+    }
+
+    /// Total outlier item occurrences across all groups.
+    pub fn group_outlier_items(&self) -> usize {
+        self.outliers.total_elems()
+    }
+
+    /// Total pattern-head item occurrences across all groups.
+    pub fn pattern_items(&self) -> usize {
+        self.patterns.total_elems()
+    }
+}
+
+impl HeapSize for CompressedRankDb {
+    fn heap_size(&self) -> usize {
+        self.patterns.heap_size()
+            + self.outliers.heap_size()
+            + self.outlier_start.heap_size()
+            + self.bare.heap_size()
+            + self.plain.heap_size()
     }
 }
 
@@ -409,27 +549,27 @@ impl gogreen_data::GroupedSource for CompressedRankDb {
     }
 
     fn num_groups(&self) -> usize {
-        self.groups.len()
+        CompressedRankDb::num_groups(self)
     }
 
     fn group_pattern(&self, g: usize) -> &[u32] {
-        &self.groups[g].pattern
+        CompressedRankDb::group_pattern(self, g)
     }
 
-    fn group_outliers(&self, g: usize) -> &[Vec<u32>] {
-        &self.groups[g].outliers
+    fn group_outliers(&self, g: usize) -> TupleSlices<'_> {
+        CompressedRankDb::group_outliers(self, g)
     }
 
     fn group_bare(&self, g: usize) -> u64 {
-        self.groups[g].bare
+        CompressedRankDb::group_bare(self, g)
     }
 
-    fn plain(&self) -> &[Vec<u32>] {
-        &self.plain
+    fn plain(&self) -> TupleSlices<'_> {
+        CompressedRankDb::plain(self)
     }
 
     fn group_count(&self, g: usize) -> u64 {
-        self.groups[g].count()
+        CompressedRankDb::group_count(self, g)
     }
 }
 
@@ -451,7 +591,11 @@ mod tests {
             Group::new(items(&[2, 5, 6]), vec![items(&[0, 3, 4]), items(&[1, 3]), items(&[4])], 0);
         // ae = {0,4}; outliers 400: c,i = {2,8}; 500: h = {7}.
         let g2 = Group::new(items(&[0, 4]), vec![items(&[2, 8]), items(&[7])], 0);
-        CompressedDb::new(vec![g1, g2], vec![], 22)
+        CompressedDb::new(vec![g1, g2], CsrTuples::new(), 22)
+    }
+
+    fn rows(v: TupleSlices<'_>) -> Vec<Vec<u32>> {
+        v.iter().map(|r| r.to_vec()).collect()
     }
 
     #[test]
@@ -466,10 +610,10 @@ mod tests {
         let cdb = paper_cdb();
         let rebuilt = cdb.reconstruct();
         let original = TransactionDb::paper_example();
-        let mut a: Vec<_> = rebuilt.iter().cloned().collect();
-        let mut b: Vec<_> = original.iter().cloned().collect();
-        a.sort_by(|x, y| x.items().cmp(y.items()));
-        b.sort_by(|x, y| x.items().cmp(y.items()));
+        let mut a: Vec<Vec<Item>> = rebuilt.iter().map(|t| t.to_vec()).collect();
+        let mut b: Vec<Vec<Item>> = original.iter().map(|t| t.to_vec()).collect();
+        a.sort();
+        b.sort();
         assert_eq!(a, b);
     }
 
@@ -503,6 +647,7 @@ mod tests {
         assert_eq!(s.compressed_size, 14);
         assert_eq!(s.original_size, 22);
         assert!((s.ratio() - 14.0 / 22.0).abs() < 1e-12);
+        assert!(s.bytes_per_tuple > 0.0);
     }
 
     #[test]
@@ -523,71 +668,65 @@ mod tests {
         let cdb = paper_cdb();
         let fl = cdb.flist(2);
         let r = cdb.to_ranks(&fl);
-        assert_eq!(r.groups.len(), 2);
+        assert_eq!(r.num_groups(), 2);
         // Group fgc -> ranks {f,g,c} = {2,3,4}.
-        assert_eq!(r.groups[0].pattern, vec![2, 3, 4]);
+        assert_eq!(r.group_pattern(0), &[2, 3, 4]);
         // Outliers: 100: d,a,e -> {0,1,5}; 200: d (b infrequent) -> {0};
         // 300: e -> {5}.
-        assert_eq!(r.groups[0].outliers, vec![vec![0, 1, 5], vec![0], vec![5]]);
-        assert_eq!(r.groups[0].bare, 0);
+        assert_eq!(rows(r.group_outliers(0)), vec![vec![0, 1, 5], vec![0], vec![5]]);
+        assert_eq!(r.group_bare(0), 0);
         // Group ae -> {1,5}; outliers 400: c -> {4}; 500: h infrequent ->
         // bare.
-        assert_eq!(r.groups[1].pattern, vec![1, 5]);
-        assert_eq!(r.groups[1].outliers, vec![vec![4]]);
-        assert_eq!(r.groups[1].bare, 1);
-        assert!(r.plain.is_empty());
+        assert_eq!(r.group_pattern(1), &[1, 5]);
+        assert_eq!(rows(r.group_outliers(1)), vec![vec![4]]);
+        assert_eq!(r.group_bare(1), 1);
+        assert_eq!(r.group_count(1), 2);
+        assert!(r.plain().is_empty());
         // fgc(3) + outliers(3+1+1) + ae(2) + outlier(1) = 11.
         assert_eq!(r.stored_occurrences(), 11);
     }
 
     #[test]
     fn retain_ranks_filters_and_degrades() {
-        let rdb = CompressedRankDb {
-            groups: vec![
-                CrGroup { pattern: vec![1, 3], outliers: vec![vec![0, 2], vec![2]], bare: 1 },
-                CrGroup { pattern: vec![0], outliers: vec![vec![2, 3]], bare: 0 },
-            ],
-            plain: vec![vec![0, 2], vec![1]],
-            num_ranks: 4,
-        };
+        let mut rdb = CompressedRankDb::empty(4);
+        rdb.push_group(&[1, 3], [&[0u32, 2] as &[u32], &[2]], 1);
+        rdb.push_group(&[0], [&[2u32, 3] as &[u32]], 0);
+        rdb.push_plain(&[0, 2]);
+        rdb.push_plain(&[1]);
         // Drop rank 0 everywhere.
         let f = rdb.retain_ranks(|r| r != 0);
-        assert_eq!(f.groups.len(), 1);
-        assert_eq!(f.groups[0].pattern, vec![1, 3]);
-        assert_eq!(f.groups[0].outliers, vec![vec![2], vec![2]]);
-        assert_eq!(f.groups[0].bare, 1);
+        assert_eq!(f.num_groups(), 1);
+        assert_eq!(f.group_pattern(0), &[1, 3]);
+        assert_eq!(rows(f.group_outliers(0)), vec![vec![2], vec![2]]);
+        assert_eq!(f.group_bare(0), 1);
         // Second group's pattern emptied: its member became plain.
-        assert!(f.plain.contains(&vec![2, 3]));
+        let plain = rows(f.plain());
+        assert!(plain.contains(&vec![2, 3]));
         // Plain tuple [0,2] -> [2]; [1] survives.
-        assert!(f.plain.contains(&vec![2]));
-        assert!(f.plain.contains(&vec![1]));
-        assert_eq!(f.plain.len(), 3);
+        assert!(plain.contains(&vec![2]));
+        assert!(plain.contains(&vec![1]));
+        assert_eq!(plain.len(), 3);
     }
 
     #[test]
     fn retain_ranks_can_empty_everything() {
-        let rdb = CompressedRankDb {
-            groups: vec![CrGroup { pattern: vec![0], outliers: vec![], bare: 3 }],
-            plain: vec![vec![0]],
-            num_ranks: 1,
-        };
+        let mut rdb = CompressedRankDb::empty(1);
+        rdb.push_group(&[0], std::iter::empty(), 3);
+        rdb.push_plain(&[0]);
         let f = rdb.retain_ranks(|_| false);
-        assert!(f.groups.is_empty());
-        assert!(f.plain.is_empty());
+        assert_eq!(f.num_groups(), 0);
+        assert!(f.plain().is_empty());
     }
 
     #[test]
     fn retain_ranks_member_with_empty_filtered_outliers_becomes_bare() {
-        let rdb = CompressedRankDb {
-            groups: vec![CrGroup { pattern: vec![1], outliers: vec![vec![0]], bare: 0 }],
-            plain: vec![],
-            num_ranks: 2,
-        };
+        let mut rdb = CompressedRankDb::empty(2);
+        rdb.push_group(&[1], [&[0u32] as &[u32]], 0);
         let f = rdb.retain_ranks(|r| r == 1);
-        assert_eq!(f.groups.len(), 1);
-        assert!(f.groups[0].outliers.is_empty());
-        assert_eq!(f.groups[0].bare, 1);
-        assert_eq!(f.groups[0].count(), 1);
+        assert_eq!(f.num_groups(), 1);
+        assert!(f.group_outliers(0).is_empty());
+        assert_eq!(f.group_bare(0), 1);
+        assert_eq!(f.group_count(0), 1);
     }
 
     #[test]
@@ -595,7 +734,7 @@ mod tests {
         // A group whose pattern is entirely infrequent at the new
         // threshold: members must survive as plain tuples.
         let g = Group::new(items(&[9]), vec![items(&[1, 2]), items(&[1])], 1);
-        let cdb = CompressedDb::new(vec![g], vec![], 7);
+        let cdb = CompressedDb::new(vec![g], CsrTuples::new(), 7);
         // Supports: 9 -> 3, 1 -> 2, 2 -> 1. At minsup 2: only item 1... and 9.
         let fl = cdb.flist(2);
         assert!(fl.is_frequent(Item(9)));
@@ -603,13 +742,13 @@ mod tests {
         let fl4 = cdb.flist(4);
         assert!(!fl4.is_frequent(Item(9)));
         let r = cdb.to_ranks(&fl4);
-        assert!(r.groups.is_empty());
-        assert!(r.plain.is_empty()); // nothing else frequent either
-                                     // At minsup 2 with 9 frequent: group survives.
+        assert_eq!(r.num_groups(), 0);
+        assert!(r.plain().is_empty()); // nothing else frequent either
+                                       // At minsup 2 with 9 frequent: group survives.
         let r2 = cdb.to_ranks(&fl);
-        assert_eq!(r2.groups.len(), 1);
-        assert_eq!(r2.groups[0].count(), 3);
+        assert_eq!(r2.num_groups(), 1);
+        assert_eq!(r2.group_count(0), 3);
         // Outlier {1,2} keeps 1 (2 infrequent); outlier {1} stays; bare 1.
-        assert_eq!(r2.groups[0].outliers.len(), 2);
+        assert_eq!(r2.group_outliers(0).len(), 2);
     }
 }

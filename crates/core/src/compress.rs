@@ -18,9 +18,9 @@
 use crate::cdb::{CompressedDb, Group};
 use crate::cover::CoverIndex;
 use crate::utility::{order_by_utility, Strategy};
-use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use gogreen_data::{difference_into, CsrTuples, Item, Pattern, PatternSet, TransactionDb};
 use gogreen_obs::{metrics, span};
-use gogreen_util::pool::{par_chunks, Parallelism};
+use gogreen_util::pool::{par_ranges, Parallelism};
 use gogreen_util::{FxHashMap, Stopwatch};
 use std::time::{Duration, Instant};
 
@@ -118,43 +118,50 @@ impl Compressor {
         let index = CoverIndex::new(db, fp, self.strategy);
         let build = watch.lap();
 
-        // Each worker runs the vertical sweep on one contiguous chunk of
-        // the database (`par_chunks` is a single inline chunk when
-        // serial). Merging the partial maps in chunk order concatenates
-        // every pattern's member list exactly as one serial pass over the
-        // whole database would have, so the CDB is identical for any
-        // thread count.
+        // Each worker runs the vertical sweep on one contiguous row range
+        // of the database's CSR storage (`par_ranges` is a single inline
+        // range when serial) — a chunk is a borrowed window, so splitting
+        // costs two offsets. Merging the partial maps in chunk order
+        // concatenates every pattern's member list exactly as one serial
+        // pass over the whole database would have, so the CDB is
+        // identical for any thread count.
         let mut cover_sp = span("cover");
         cover_sp.field("tuples", db.len()).field("patterns", fp.len());
-        let parts = par_chunks(self.parallelism, db.tuples(), |_, chunk| {
+        let tuples = db.tuples();
+        let parts = par_ranges(self.parallelism, db.len(), |_, range| {
+            let chunk = tuples.range(range.start, range.end);
             let assign = index.cover_all(chunk);
             let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
-            let mut plain: Vec<Transaction> = Vec::new();
+            let mut plain: CsrTuples<Item> = CsrTuples::new();
             let mut items = 0usize;
+            let mut rest: Vec<Item> = Vec::new();
             for (t, covered_by) in chunk.iter().zip(assign) {
                 items += t.len();
                 match covered_by {
                     Some(pidx) => {
-                        let rest = t.difference(index.pattern(pidx).items());
+                        rest.clear();
+                        difference_into(t, index.pattern(pidx).items(), &mut rest);
                         let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
                         if rest.is_empty() {
                             slot.1 += 1;
                         } else {
-                            slot.0.push(rest);
+                            slot.0.push(rest.clone());
                         }
                     }
-                    None => plain.push(t.clone()),
+                    None => plain.push_row(t),
                 }
             }
             (by_pattern, plain, items)
         });
         drop(cover_sp);
         let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
-        let mut plain: Vec<Transaction> = Vec::new();
+        let mut plain: CsrTuples<Item> = CsrTuples::new();
         let mut original_items = 0usize;
         for (_, (part, part_plain, items)) in parts {
             original_items += items;
-            plain.extend(part_plain);
+            for t in part_plain.iter() {
+                plain.push_row(t);
+            }
             for (pidx, (outliers, bare)) in part {
                 let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
                 slot.0.extend(outliers);
@@ -203,20 +210,16 @@ impl Compressor {
             rank[pidx as usize] = k as u32;
         }
 
-        let max_item = db
-            .iter()
-            .filter_map(|t| t.items().last())
-            .map(|it| it.index())
-            .max()
-            .map_or(0, |m| m + 1);
+        let max_item =
+            db.iter().filter_map(|t| t.last()).map(|it| it.index()).max().map_or(0, |m| m + 1);
         let mut present = vec![false; max_item];
 
         let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
-        let mut plain: Vec<Transaction> = Vec::new();
+        let mut plain: CsrTuples<Item> = CsrTuples::new();
         let mut original_items = 0usize;
         for t in db.iter() {
             original_items += t.len();
-            for it in t.items() {
+            for it in t {
                 present[it.index()] = true;
             }
             let mut chosen: Option<u32> = None;
@@ -233,12 +236,13 @@ impl Compressor {
                 chosen = Some(pidx);
                 break;
             }
-            for it in t.items() {
+            for it in t {
                 present[it.index()] = false;
             }
             match chosen {
                 Some(pidx) => {
-                    let rest = t.difference(patterns[pidx as usize].items());
+                    let mut rest = Vec::new();
+                    difference_into(t, patterns[pidx as usize].items(), &mut rest);
                     let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
                     if rest.is_empty() {
                         slot.1 += 1;
@@ -246,7 +250,7 @@ impl Compressor {
                         slot.0.push(rest);
                     }
                 }
-                None => plain.push(t.clone()),
+                None => plain.push_row(t),
             }
         }
 
@@ -301,7 +305,7 @@ mod tests {
         assert_eq!(g_ae.count(), 2);
         assert!(cdb.plain().is_empty());
         // Outliers of tuple 100 are a,d,e; of 200 b,d; of 300 e.
-        let o: Vec<&[Item]> = g_fgc.outliers().iter().map(|b| &b[..]).collect();
+        let o: Vec<&[Item]> = g_fgc.outliers().iter().collect();
         assert!(o.contains(&&[Item(0), Item(3), Item(4)][..]));
         assert!(o.contains(&&[Item(1), Item(3)][..]));
         assert!(o.contains(&&[Item(4)][..]));
@@ -312,10 +316,11 @@ mod tests {
         let db = TransactionDb::paper_example();
         for strategy in [Strategy::Mcp, Strategy::Mlp] {
             let cdb = Compressor::new(strategy).compress(&db, &paper_fp());
-            let mut a: Vec<_> = cdb.reconstruct().iter().cloned().collect();
-            let mut b: Vec<_> = db.iter().cloned().collect();
-            a.sort_by(|x, y| x.items().cmp(y.items()));
-            b.sort_by(|x, y| x.items().cmp(y.items()));
+            let rebuilt = cdb.reconstruct();
+            let mut a: Vec<Vec<Item>> = rebuilt.iter().map(|t| t.to_vec()).collect();
+            let mut b: Vec<Vec<Item>> = db.iter().map(|t| t.to_vec()).collect();
+            a.sort();
+            b.sort();
             assert_eq!(a, b, "{strategy:?}");
         }
     }

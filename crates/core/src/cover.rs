@@ -52,7 +52,7 @@
 //! both strategies and any thread count.
 
 use crate::utility::{order_by_utility, Strategy};
-use gogreen_data::{Item, Pattern, PatternSet, Transaction, TransactionDb};
+use gogreen_data::{Item, Pattern, PatternSet, TransactionDb, TupleSlices};
 use gogreen_obs::metrics;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -240,9 +240,9 @@ impl<'a> CoverIndex<'a> {
     /// pattern whose items are all in `t` (see the module docs for the
     /// argument). `scratch` carries the presence bitmap and merge heap so
     /// per-tuple work allocates nothing.
-    pub fn cover(&self, t: &Transaction, scratch: &mut CoverScratch) -> Option<u32> {
+    pub fn cover(&self, t: &[Item], scratch: &mut CoverScratch) -> Option<u32> {
         let tables = self.tables();
-        let items = t.items();
+        let items = t;
         for &it in items {
             if it.index() < self.num_items {
                 scratch.present[it.index()] = true;
@@ -296,7 +296,7 @@ impl<'a> CoverIndex<'a> {
     /// drains. Per-pattern work (ordering its items by rarity) happens
     /// here, lazily, so a sweep that drains after a handful of patterns
     /// pays for just those.
-    pub fn cover_all(&self, tuples: &[Transaction]) -> Vec<Option<u32>> {
+    pub fn cover_all(&self, tuples: TupleSlices<'_, Item>) -> Vec<Option<u32>> {
         let n = tuples.len();
         let mut out = vec![None; n];
         if n == 0 || self.num_slots == 0 {
@@ -305,7 +305,7 @@ impl<'a> CoverIndex<'a> {
         let words = n.div_ceil(64);
         let mut bits = vec![0u64; self.num_slots * words];
         for (i, t) in tuples.iter().enumerate() {
-            for &it in t.items() {
+            for &it in t {
                 let Some(&slot) = self.slot_of_item.get(it.index()) else { continue };
                 if slot != SLOT_NONE {
                     bits[slot as usize * words + i / 64] |= 1 << (i % 64);
@@ -418,10 +418,10 @@ mod tests {
 
     /// The seed behaviour `cover` must replicate: first pattern in
     /// utility order contained in the tuple.
-    fn linear_cover(index: &CoverIndex, t: &Transaction) -> Option<u32> {
+    fn linear_cover(index: &CoverIndex, t: &[Item]) -> Option<u32> {
         index.order().iter().copied().find(|&pidx| {
             let p = index.pattern(pidx);
-            p.len() <= t.len() && p.items().iter().all(|it| t.items().binary_search(it).is_ok())
+            p.len() <= t.len() && p.items().iter().all(|it| t.binary_search(it).is_ok())
         })
     }
 
@@ -520,7 +520,7 @@ mod tests {
         assert!(empty.cover_all(db.tuples()).iter().all(Option::is_none));
         let fp = mine_apriori(&db, MinSupport::Absolute(3));
         let index = CoverIndex::new(&db, &fp, Strategy::Mcp);
-        assert!(index.cover_all(&[]).is_empty());
+        assert!(index.cover_all(gogreen_data::CsrTuples::new().as_slices()).is_empty());
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl IncrementalMiner {
     /// occurrences); returns how many were removed.
     pub fn remove_all(&mut self, tuple: &Transaction) -> usize {
         let before = self.db.len();
-        let kept: Vec<Transaction> = self.db.iter().filter(|t| *t != tuple).cloned().collect();
+        let kept: Vec<Transaction> = self
+            .db
+            .iter()
+            .filter(|t| *t != tuple.items())
+            .map(|t| Transaction::from_sorted_unchecked(t.to_vec()))
+            .collect();
         self.db = TransactionDb::from_transactions(kept);
         before - self.db.len()
     }

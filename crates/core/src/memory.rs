@@ -24,18 +24,16 @@ const BYTES_PER_GROUP: usize = 8 + 2 * std::mem::size_of::<Vec<u32>>();
 /// Estimated heap bytes of the RP-Struct that
 /// [`crate::recycle_hm::RecycleHm`] would build for `rdb`.
 pub fn estimate_rp_struct_bytes(rdb: &CompressedRankDb) -> usize {
-    let num_tails: usize =
-        rdb.groups.iter().map(|g| g.outliers.len()).sum::<usize>() + rdb.plain.len();
-    let outlier_items: usize =
-        rdb.groups.iter().map(|g| g.outliers.iter().map(Vec::len).sum::<usize>()).sum::<usize>()
-            + rdb.plain.iter().map(Vec::len).sum::<usize>();
+    // The CSR sections make these whole-database sums O(1): row counts
+    // and total element counts are offset-array lookups, no per-group
+    // iteration over tuple data at all.
+    let outlier_rows = rdb.group_outlier_rows();
+    let num_tails = outlier_rows + rdb.plain().len();
+    let outlier_items = rdb.group_outlier_items() + rdb.plain().flat().len();
     // Each tail also stores one sentinel entry.
     let entries = outlier_items + num_tails;
-    let group_bytes: usize = rdb
-        .groups
-        .iter()
-        .map(|g| BYTES_PER_GROUP + g.pattern.len() * 4 + g.outliers.len() * 4)
-        .sum();
+    let group_bytes =
+        rdb.num_groups() * BYTES_PER_GROUP + rdb.pattern_items() * 4 + outlier_rows * 4;
     entries * BYTES_PER_ENTRY + num_tails * BYTES_PER_TAIL + group_bytes
 }
 

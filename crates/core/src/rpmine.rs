@@ -20,7 +20,7 @@
 //! structures; RP-Mine doubles as their readable specification and as a
 //! differential-testing partner.
 
-use crate::cdb::{CompressedDb, CompressedRankDb, CrGroup};
+use crate::cdb::{CompressedDb, CompressedRankDb};
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, NoPrune, PatternSet, PatternSink, SearchPrune};
 use gogreen_miners::common::{for_each_subset, RankEmitter, ScratchCounts};
@@ -136,9 +136,9 @@ struct Counted {
 fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
     let mut group_hits = 0u64;
     let mut touches = 0u64;
-    for (gi, g) in view.groups.iter().enumerate() {
-        let c = g.count();
-        for &r in &g.pattern {
+    for gi in 0..view.num_groups() {
+        let c = view.group_count(gi);
+        for &r in view.group_pattern(gi) {
             ctx.scratch.add(r, c);
             group_hits += 1;
             let s = &mut ctx.src[r as usize];
@@ -148,7 +148,7 @@ fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
                 _ => SRC_MIXED,
             };
         }
-        for o in &g.outliers {
+        for o in view.group_outliers(gi) {
             for &r in o {
                 ctx.scratch.add(r, 1);
                 ctx.src[r as usize] = SRC_MIXED;
@@ -156,7 +156,7 @@ fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
             touches += o.len() as u64;
         }
     }
-    for t in &view.plain {
+    for t in view.plain() {
         for &r in t {
             ctx.scratch.add(r, 1);
             ctx.src[r as usize] = SRC_MIXED;
@@ -192,70 +192,80 @@ fn count_view(view: &CompressedRankDb, ctx: &mut Ctx) -> Counted {
     Counted { frequent, single_group }
 }
 
-/// Materializes the `r`-projection of a compressed view.
+/// Materializes the `r`-projection of a compressed view — one pass,
+/// suffix slices copied straight into the projection's CSR sections.
 fn project(view: &CompressedRankDb, r: u32) -> CompressedRankDb {
-    let mut groups = Vec::new();
-    let mut plain = Vec::new();
-    for g in &view.groups {
-        match g.pattern.binary_search(&r) {
+    let mut out = CompressedRankDb::empty(view.num_ranks());
+    for g in 0..view.num_groups() {
+        let pat = view.group_pattern(g);
+        match pat.binary_search(&r) {
             Ok(pos) => {
                 // Pattern item: every member joins the projection.
-                let pattern = g.pattern[pos + 1..].to_vec();
+                let pattern = &pat[pos + 1..];
                 if pattern.is_empty() {
-                    for o in &g.outliers {
+                    for o in view.group_outliers(g) {
                         let cut = o.partition_point(|&x| x <= r);
                         if cut < o.len() {
-                            plain.push(o[cut..].to_vec());
+                            out.plain.push_row(&o[cut..]);
                         }
                     }
                 } else {
-                    let mut bare = g.bare;
-                    let mut outliers = Vec::new();
-                    for o in &g.outliers {
+                    out.patterns.push_row(pattern);
+                    let mut bare = view.group_bare(g);
+                    for o in view.group_outliers(g) {
                         let cut = o.partition_point(|&x| x <= r);
                         if cut < o.len() {
-                            outliers.push(o[cut..].to_vec());
+                            out.outliers.push_row(&o[cut..]);
                         } else {
                             bare += 1;
                         }
                     }
-                    groups.push(CrGroup { pattern, outliers, bare });
+                    out.close_group(bare);
                 }
             }
             Err(ppos) => {
                 // Only members whose outliers contain r join, keeping the
                 // residual pattern (items after r).
-                let pattern = g.pattern[ppos..].to_vec();
-                let mut outliers = Vec::new();
-                let mut bare = 0u64;
-                for o in &g.outliers {
-                    if let Ok(opos) = o.binary_search(&r) {
-                        let rest = &o[opos + 1..];
-                        if pattern.is_empty() {
-                            if !rest.is_empty() {
-                                plain.push(rest.to_vec());
+                let pattern = &pat[ppos..];
+                if pattern.is_empty() {
+                    for o in view.group_outliers(g) {
+                        if let Ok(opos) = o.binary_search(&r) {
+                            if opos + 1 < o.len() {
+                                out.plain.push_row(&o[opos + 1..]);
                             }
-                        } else if rest.is_empty() {
-                            bare += 1;
-                        } else {
-                            outliers.push(rest.to_vec());
                         }
                     }
-                }
-                if !pattern.is_empty() && (bare > 0 || !outliers.is_empty()) {
-                    groups.push(CrGroup { pattern, outliers, bare });
+                } else {
+                    let mut bare = 0u64;
+                    let rows_before = out.outliers.len();
+                    for o in view.group_outliers(g) {
+                        if let Ok(opos) = o.binary_search(&r) {
+                            if opos + 1 < o.len() {
+                                out.outliers.push_row(&o[opos + 1..]);
+                            } else {
+                                bare += 1;
+                            }
+                        }
+                    }
+                    // Keep the group only if any member followed; an
+                    // empty group left no rows behind, so there is
+                    // nothing to roll back.
+                    if bare > 0 || out.outliers.len() > rows_before {
+                        out.patterns.push_row(pattern);
+                        out.close_group(bare);
+                    }
                 }
             }
         }
     }
-    for t in &view.plain {
+    for t in view.plain() {
         if let Ok(pos) = t.binary_search(&r) {
             if pos + 1 < t.len() {
-                plain.push(t[pos + 1..].to_vec());
+                out.plain.push_row(&t[pos + 1..]);
             }
         }
     }
-    CompressedRankDb { groups, plain, num_ranks: view.num_ranks }
+    out
 }
 
 /// Procedure RP-InMemory (paper Figure 3) with the Lemma 3.1 shortcut.
@@ -284,7 +294,7 @@ fn mine_rec(
         emitter.emit(sink, c);
         if prune.may_extend(emitter.depth()) {
             let sub = project(view, r);
-            if !sub.groups.is_empty() || !sub.plain.is_empty() {
+            if sub.num_groups() > 0 || !sub.plain().is_empty() {
                 metrics::add("mine.projected_dbs", 1);
                 mine_rec(&sub, ctx, prune, emitter, sink);
             }
@@ -407,60 +417,44 @@ mod tests {
         assert!(RpMine::default().mine(&cdb, MinSupport::Absolute(1)).is_empty());
     }
 
+    fn rows(v: gogreen_data::TupleSlices<'_>) -> Vec<Vec<u32>> {
+        v.iter().map(|t| t.to_vec()).collect()
+    }
+
     #[test]
     fn projection_moves_whole_group_on_pattern_item() {
-        let view = CompressedRankDb {
-            groups: vec![CrGroup {
-                pattern: vec![1, 3],
-                outliers: vec![vec![0, 2], vec![2]],
-                bare: 1,
-            }],
-            plain: vec![vec![1, 2]],
-            num_ranks: 4,
-        };
+        let mut view = CompressedRankDb::empty(4);
+        view.push_group(&[1, 3], [&[0u32, 2][..], &[2]], 1);
+        view.push_plain(&[1, 2]);
         let p = project(&view, 1);
         // Group: pattern {3}, outliers filtered to {2},{2}; bare stays 1.
-        assert_eq!(p.groups.len(), 1);
-        assert_eq!(p.groups[0].pattern, vec![3]);
-        assert_eq!(p.groups[0].outliers, vec![vec![2], vec![2]]);
-        assert_eq!(p.groups[0].bare, 1);
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.group_pattern(0), &[3]);
+        assert_eq!(rows(p.group_outliers(0)), vec![vec![2], vec![2]]);
+        assert_eq!(p.group_bare(0), 1);
         // Plain tuple [1,2] -> [2].
-        assert_eq!(p.plain, vec![vec![2]]);
+        assert_eq!(rows(p.plain()), vec![vec![2]]);
     }
 
     #[test]
     fn projection_takes_partial_group_on_outlier_item() {
-        let view = CompressedRankDb {
-            groups: vec![CrGroup {
-                pattern: vec![1, 3],
-                outliers: vec![vec![0, 2], vec![2], vec![0]],
-                bare: 2,
-            }],
-            plain: vec![],
-            num_ranks: 4,
-        };
+        let mut view = CompressedRankDb::empty(4);
+        view.push_group(&[1, 3], [&[0u32, 2][..], &[2], &[0]], 2);
         // Project on rank 0 (outlier item): members 1 and 3 contain it.
         let p = project(&view, 0);
-        assert_eq!(p.groups.len(), 1);
-        assert_eq!(p.groups[0].pattern, vec![1, 3]);
-        assert_eq!(p.groups[0].outliers, vec![vec![2]]);
-        assert_eq!(p.groups[0].bare, 1); // member 3's outliers exhausted
-        assert!(p.plain.is_empty());
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.group_pattern(0), &[1, 3]);
+        assert_eq!(rows(p.group_outliers(0)), vec![vec![2]]);
+        assert_eq!(p.group_bare(0), 1); // member 3's outliers exhausted
+        assert!(p.plain().is_empty());
     }
 
     #[test]
     fn projection_degrades_exhausted_pattern_to_plain() {
-        let view = CompressedRankDb {
-            groups: vec![CrGroup {
-                pattern: vec![1],
-                outliers: vec![vec![2, 3], vec![0]],
-                bare: 1,
-            }],
-            plain: vec![],
-            num_ranks: 4,
-        };
+        let mut view = CompressedRankDb::empty(4);
+        view.push_group(&[1], [&[2u32, 3][..], &[0]], 1);
         let p = project(&view, 1);
-        assert!(p.groups.is_empty());
-        assert_eq!(p.plain, vec![vec![2, 3]]);
+        assert_eq!(p.num_groups(), 0);
+        assert_eq!(rows(p.plain()), vec![vec![2, 3]]);
     }
 }

@@ -91,10 +91,11 @@ fn compression_is_lossless() {
         let (db, xi_old, _, strategy) = scenario(&mut rng);
         let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
         let cdb = Compressor::new(strategy).compress(&db, &fp_old);
-        let mut a: Vec<_> = cdb.reconstruct().into_transactions();
-        let mut b: Vec<_> = db.iter().cloned().collect();
-        a.sort_by(|x, y| x.items().cmp(y.items()));
-        b.sort_by(|x, y| x.items().cmp(y.items()));
+        let rebuilt = cdb.reconstruct();
+        let mut a: Vec<_> = rebuilt.iter().map(|t| t.to_vec()).collect();
+        let mut b: Vec<_> = db.iter().map(|t| t.to_vec()).collect();
+        a.sort();
+        b.sort();
         assert_eq!(a, b, "case {case} ({strategy:?})");
     }
 }

@@ -1,15 +1,21 @@
 //! The transaction database `DB`.
 
+use crate::flat::{CsrTuples, TupleSlices};
 use crate::item::Item;
-use crate::transaction::Transaction;
+use crate::transaction::{self, Transaction};
 use gogreen_util::HeapSize;
 
 /// A transaction database: the `DB` of the paper's problem statement.
 ///
 /// Tuples are stored in insertion order; tuple ids are their positions.
+/// Storage is flat CSR ([`CsrTuples`]): one item buffer plus offsets, so
+/// whole-database scans (cover sweeps, F-list counting) walk a single
+/// allocation and parallel kernels split it by index range. Tuples read
+/// out as `&[Item]` slices; [`Transaction`] remains the owned boundary
+/// type for construction and extraction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransactionDb {
-    tuples: Vec<Transaction>,
+    tuples: CsrTuples<Item>,
 }
 
 /// Summary statistics of a database, as reported in the paper's Table 3
@@ -26,6 +32,9 @@ pub struct DbStats {
     pub max_item: Option<Item>,
     /// Total number of item occurrences.
     pub total_items: usize,
+    /// Mean heap bytes per tuple of the CSR storage (elements plus the
+    /// offset entry); 0 for the empty database.
+    pub bytes_per_tuple: f64,
 }
 
 impl TransactionDb {
@@ -36,19 +45,24 @@ impl TransactionDb {
 
     /// Creates a database from transactions.
     pub fn from_transactions(tuples: Vec<Transaction>) -> Self {
-        TransactionDb { tuples }
+        let mut csr =
+            CsrTuples::with_capacity(tuples.len(), tuples.iter().map(Transaction::len).sum());
+        for t in &tuples {
+            csr.push_row(t.items());
+        }
+        TransactionDb { tuples: csr }
     }
 
     /// Convenience constructor from raw id rows (used pervasively in tests).
     pub fn from_rows(rows: &[&[u32]]) -> Self {
-        TransactionDb {
-            tuples: rows.iter().map(|r| Transaction::from_ids(r.iter().copied())).collect(),
-        }
+        Self::from_transactions(
+            rows.iter().map(|r| Transaction::from_ids(r.iter().copied())).collect(),
+        )
     }
 
     /// Appends a tuple, returning its id.
     pub fn push(&mut self, t: Transaction) -> usize {
-        self.tuples.push(t);
+        self.tuples.push_row(t.items());
         self.tuples.len() - 1
     }
 
@@ -64,25 +78,32 @@ impl TransactionDb {
         self.tuples.is_empty()
     }
 
-    /// The tuple with id `idx`.
+    /// The tuple with id `idx` (items sorted ascending).
     #[inline]
-    pub fn tuple(&self, idx: usize) -> &Transaction {
-        &self.tuples[idx]
+    pub fn tuple(&self, idx: usize) -> &[Item] {
+        self.tuples.row(idx)
     }
 
     /// Iterator over tuples in id order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Item]> + Clone + '_ {
         self.tuples.iter()
     }
 
-    /// All tuples as a slice.
-    pub fn tuples(&self) -> &[Transaction] {
+    /// All tuples as a CSR view.
+    #[inline]
+    pub fn tuples(&self) -> TupleSlices<'_, Item> {
+        self.tuples.as_slices()
+    }
+
+    /// The underlying CSR storage.
+    #[inline]
+    pub fn csr(&self) -> &CsrTuples<Item> {
         &self.tuples
     }
 
     /// Consumes the database, yielding its tuples.
     pub fn into_transactions(self) -> Vec<Transaction> {
-        self.tuples
+        self.tuples.iter().map(|row| Transaction::from_sorted_unchecked(row.to_vec())).collect()
     }
 
     /// Exact support of `pattern` (sorted ascending) by a full scan.
@@ -90,45 +111,45 @@ impl TransactionDb {
     /// This is the ground-truth counter used in tests and by the compression
     /// verifier; miners never call it on hot paths.
     pub fn support_of(&self, pattern: &[Item]) -> u64 {
-        self.tuples.iter().filter(|t| t.contains_all(pattern)).count() as u64
+        self.tuples.iter().filter(|t| transaction::contains_all(t, pattern)).count() as u64
     }
 
     /// Computes summary statistics in one pass.
     pub fn stats(&self) -> DbStats {
-        let mut max_item: Option<Item> = None;
-        let mut total_items = 0usize;
-        for t in &self.tuples {
-            total_items += t.len();
-            if let Some(&last) = t.items().last() {
-                max_item = Some(max_item.map_or(last, |m| m.max(last)));
-            }
-        }
+        // max/total come from the flat buffer directly: items are sorted
+        // within a tuple, so the per-row last element is the row max, but
+        // a plain max over the whole buffer is the same answer in one
+        // branch-free sweep.
+        let flat = self.tuples.flat();
+        let total_items = flat.len();
+        let max_item = flat.iter().copied().max();
         let num_items = match max_item {
             None => 0,
             Some(m) => {
                 let mut seen = vec![false; m.index() + 1];
                 let mut n = 0usize;
-                for t in &self.tuples {
-                    for &it in t.items() {
-                        if !seen[it.index()] {
-                            seen[it.index()] = true;
-                            n += 1;
-                        }
+                for &it in flat {
+                    if !seen[it.index()] {
+                        seen[it.index()] = true;
+                        n += 1;
                     }
                 }
                 n
             }
         };
+        let num_tuples = self.tuples.len();
+        let stored_bytes = std::mem::size_of_val(self.tuples.flat()) + (num_tuples + 1) * 4;
         DbStats {
-            num_tuples: self.tuples.len(),
-            avg_len: if self.tuples.is_empty() {
-                0.0
-            } else {
-                total_items as f64 / self.tuples.len() as f64
-            },
+            num_tuples,
+            avg_len: if num_tuples == 0 { 0.0 } else { total_items as f64 / num_tuples as f64 },
             num_items,
             max_item,
             total_items,
+            bytes_per_tuple: if num_tuples == 0 {
+                0.0
+            } else {
+                stored_bytes as f64 / num_tuples as f64
+            },
         }
     }
 
@@ -137,12 +158,12 @@ impl TransactionDb {
         // Single pass: items are sorted within a tuple, so the last one
         // bounds the indices and the vector grows at most once per tuple.
         let mut counts: Vec<u64> = Vec::new();
-        for t in &self.tuples {
-            if let Some(&last) = t.items().last() {
+        for t in self.tuples.iter() {
+            if let Some(&last) = t.last() {
                 if last.index() >= counts.len() {
                     counts.resize(last.index() + 1, 0);
                 }
-                for &it in t.items() {
+                for &it in t {
                     counts[it.index()] += 1;
                 }
             }
@@ -182,15 +203,19 @@ impl HeapSize for TransactionDb {
 
 impl FromIterator<Transaction> for TransactionDb {
     fn from_iter<T: IntoIterator<Item = Transaction>>(iter: T) -> Self {
-        TransactionDb { tuples: iter.into_iter().collect() }
+        let mut db = TransactionDb::new();
+        for t in iter {
+            db.push(t);
+        }
+        db
     }
 }
 
 impl<'a> IntoIterator for &'a TransactionDb {
-    type Item = &'a Transaction;
-    type IntoIter = std::slice::Iter<'a, Transaction>;
+    type Item = &'a [Item];
+    type IntoIter = crate::flat::TupleSlicesIter<'a, Item>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.tuples.as_slices().into_iter()
     }
 }
 
@@ -206,6 +231,7 @@ mod tests {
         assert_eq!(s.avg_len, 0.0);
         assert_eq!(s.num_items, 0);
         assert_eq!(s.max_item, None);
+        assert_eq!(s.bytes_per_tuple, 0.0);
     }
 
     #[test]
@@ -216,6 +242,8 @@ mod tests {
         assert_eq!(s.num_items, 9);
         assert_eq!(s.total_items, 6 + 5 + 4 + 4 + 3);
         assert!((s.avg_len - 22.0 / 5.0).abs() < 1e-12);
+        // 22 items * 4 bytes + 6 offsets * 4 bytes over 5 tuples.
+        assert!((s.bytes_per_tuple - (22.0 * 4.0 + 6.0 * 4.0) / 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -256,5 +284,17 @@ mod tests {
     fn from_iterator_collects() {
         let db: TransactionDb = (0..3).map(|k| Transaction::from_ids([k, k + 1])).collect();
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn csr_storage_round_trips_transactions() {
+        let db = TransactionDb::paper_example();
+        let back = db.clone().into_transactions();
+        assert_eq!(back.len(), 5);
+        for (row, t) in db.iter().zip(&back) {
+            assert_eq!(row, t.items());
+        }
+        assert_eq!(db.csr().total_elems(), 22);
+        assert_eq!(db.tuples().len(), 5);
     }
 }

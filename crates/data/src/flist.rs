@@ -123,6 +123,25 @@ impl FList {
         out
     }
 
+    /// Re-encodes a tuple into rank space directly into the open row of
+    /// a CSR container, returning the number of surviving ranks.
+    ///
+    /// This is the one-pass form of [`FList::encode`]: ranks are pushed
+    /// into `out`'s open row and sorted in place, with no intermediate
+    /// `Vec` per tuple. The row is left **open** — the caller decides to
+    /// `commit_row()` (keep the tuple) or `discard_row()` (drop an
+    /// emptied tuple, count it as bare, …).
+    pub fn encode_push(&self, items: &[Item], out: &mut crate::flat::CsrTuples<u32>) -> usize {
+        debug_assert_eq!(out.open_len(), 0, "encode_push needs a fresh open row");
+        for &it in items {
+            if let Some(r) = self.rank_of(it) {
+                out.push_elem(r);
+            }
+        }
+        out.open_row_mut().sort_unstable();
+        out.open_len()
+    }
+
     /// Decodes a slice of ranks back to items sorted by item id.
     pub fn decode(&self, ranks: &[u32]) -> Vec<Item> {
         let mut out: Vec<Item> = ranks.iter().map(|&r| self.item(r)).collect();
@@ -193,6 +212,25 @@ mod tests {
                                  // Tuple 500: a e h -> h dropped.
         let ranks = fl.encode(&[Item(0), Item(4), Item(7)]);
         assert_eq!(ranks.len(), 2);
+    }
+
+    #[test]
+    fn encode_push_matches_encode() {
+        let fl = paper_flist(2);
+        let db = TransactionDb::paper_example();
+        let mut csr = crate::flat::CsrTuples::new();
+        let mut expect = Vec::new();
+        for t in db.iter() {
+            let n = fl.encode_push(t, &mut csr);
+            assert_eq!(n, csr.open_len());
+            if n == 0 {
+                csr.discard_row();
+            } else {
+                csr.commit_row();
+                expect.push(fl.encode(t));
+            }
+        }
+        assert_eq!(csr.iter().map(|r| r.to_vec()).collect::<Vec<_>>(), expect);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! substrate: groups (a shared pattern head, member outlier lists, a
 //! bare-member count) plus a residue of plain rank tuples.
 //!
+//! Tuples come out as [`TupleSlices`] windows over flat CSR storage —
+//! rows are `&[u32]` slices of one shared buffer, so engine inner loops
+//! are slice-native (binary search, `partition_point`, suffix slicing)
+//! and a whole-substrate scan never chases per-tuple pointers.
+//!
 //! Two implementations exist:
 //!
 //! * `CompressedRankDb` (in `gogreen-core`) — the real thing, produced by
@@ -16,6 +21,8 @@
 //!   tuples: no groups at all, so the group-at-a-time code paths vanish
 //!   statically ([`GroupedSource::GROUPED`] is `false`) and counting
 //!   reduces to per-tuple counting with no branch in the inner loop.
+
+use crate::flat::{CsrTuples, TupleSlices};
 
 /// Read access to a (possibly degenerately) grouped rank database.
 ///
@@ -39,14 +46,15 @@ pub trait GroupedSource {
     fn group_pattern(&self, g: usize) -> &[u32];
 
     /// Outlier rank lists (each ascending, non-empty) of group `g`'s
-    /// members that have any.
-    fn group_outliers(&self, g: usize) -> &[Vec<u32>];
+    /// members that have any, as a CSR window.
+    fn group_outliers(&self, g: usize) -> TupleSlices<'_>;
 
     /// Members of group `g` whose tuple *is* the pattern head.
     fn group_bare(&self, g: usize) -> u64;
 
-    /// Tuples covered by no group (ascending ranks, non-empty).
-    fn plain(&self) -> &[Vec<u32>];
+    /// Tuples covered by no group (ascending ranks, non-empty), as a CSR
+    /// window.
+    fn plain(&self) -> TupleSlices<'_>;
 
     /// Member count of group `g` (outlier members + bare members).
     fn group_count(&self, g: usize) -> u64 {
@@ -54,22 +62,27 @@ pub trait GroupedSource {
     }
 }
 
-/// The degenerate [`GroupedSource`]: a borrowed slice of encoded plain
-/// tuples, no groups (head = ∅, count = 1 per tuple in the paper's
+/// The degenerate [`GroupedSource`]: a borrowed CSR window of encoded
+/// plain tuples, no groups (head = ∅, count = 1 per tuple in the paper's
 /// identity). Wrapping is free; the raw miners encode against an F-list
 /// exactly as before and hand the engines this view.
 #[derive(Debug, Clone, Copy)]
 pub struct PlainRanks<'a> {
-    tuples: &'a [Vec<u32>],
+    tuples: TupleSlices<'a>,
     num_ranks: usize,
 }
 
 impl<'a> PlainRanks<'a> {
     /// Wraps `tuples` (rank lists, ascending, non-empty) encoded against
     /// an F-list of `num_ranks` entries.
-    pub fn new(tuples: &'a [Vec<u32>], num_ranks: usize) -> Self {
+    pub fn new(tuples: TupleSlices<'a>, num_ranks: usize) -> Self {
         debug_assert!(tuples.iter().all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
         PlainRanks { tuples, num_ranks }
+    }
+
+    /// Convenience wrapper over owned CSR storage.
+    pub fn from_csr(tuples: &'a CsrTuples<u32>, num_ranks: usize) -> Self {
+        Self::new(tuples.as_slices(), num_ranks)
     }
 }
 
@@ -88,7 +101,7 @@ impl GroupedSource for PlainRanks<'_> {
         unreachable!("PlainRanks has no groups")
     }
 
-    fn group_outliers(&self, _g: usize) -> &[Vec<u32>] {
+    fn group_outliers(&self, _g: usize) -> TupleSlices<'_> {
         unreachable!("PlainRanks has no groups")
     }
 
@@ -96,7 +109,7 @@ impl GroupedSource for PlainRanks<'_> {
         unreachable!("PlainRanks has no groups")
     }
 
-    fn plain(&self) -> &[Vec<u32>] {
+    fn plain(&self) -> TupleSlices<'_> {
         self.tuples
     }
 }
@@ -107,11 +120,15 @@ mod tests {
 
     #[test]
     fn plain_ranks_is_all_residue() {
-        let tuples = vec![vec![0, 2], vec![1]];
-        let v = PlainRanks::new(&tuples, 3);
+        let mut tuples = CsrTuples::new();
+        tuples.push_row(&[0, 2]);
+        tuples.push_row(&[1]);
+        let v = PlainRanks::from_csr(&tuples, 3);
         const { assert!(!PlainRanks::GROUPED) };
         assert_eq!(v.num_ranks(), 3);
         assert_eq!(v.num_groups(), 0);
-        assert_eq!(v.plain(), &tuples[..]);
+        assert_eq!(v.plain().len(), 2);
+        assert_eq!(v.plain().row(0), &[0, 2]);
+        assert_eq!(v.plain().row(1), &[1]);
     }
 }

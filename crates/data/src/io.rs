@@ -46,7 +46,7 @@ pub fn write_transactions<W: Write>(db: &TransactionDb, writer: W) -> Result<(),
     let mut line = String::new();
     for t in db.iter() {
         line.clear();
-        for (k, it) in t.items().iter().enumerate() {
+        for (k, it) in t.iter().enumerate() {
             if k > 0 {
                 line.push(' ');
             }
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn unsorted_input_is_canonicalized() {
         let db = read_transactions("3 1 2 1\n".as_bytes()).unwrap();
-        assert_eq!(db.tuple(0).items(), &[crate::Item(1), crate::Item(2), crate::Item(3)]);
+        assert_eq!(db.tuple(0), &[crate::Item(1), crate::Item(2), crate::Item(3)]);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`Pattern`], [`PatternSet`], [`PatternSink`] — mining output. Sinks let
 //!   benchmarks count patterns without materializing them, matching the
 //!   paper's practice of excluding output cost from timings (§5.2).
+//! * [`flat`] — CSR tuple storage ([`CsrTuples`] / [`TupleSlices`]) and
+//!   the [`ProjectionArena`] bump slab: the canonical flat memory layout
+//!   every engine scans.
 //! * [`projected`] — materialized projected databases (paper Definition
 //!   3.2) used by the reference miners.
 //! * [`grouped`] — the [`GroupedSource`] substrate abstraction that lets
@@ -25,6 +28,7 @@
 
 pub mod database;
 pub mod error;
+pub mod flat;
 pub mod flist;
 pub mod grouped;
 pub mod io;
@@ -39,6 +43,7 @@ pub mod transaction;
 
 pub use database::{DbStats, TransactionDb};
 pub use error::DataError;
+pub use flat::{CsrTuples, ProjectionArena, TupleSlices};
 pub use flist::{FList, NO_RANK};
 pub use grouped::{GroupedSource, PlainRanks};
 pub use item::{Item, ItemCatalog};
@@ -46,4 +51,4 @@ pub use pattern::{Pattern, PatternSet};
 pub use prune::{NoPrune, SearchPrune};
 pub use sink::{CollectSink, CountSink, FnSink, PatternSink};
 pub use support::MinSupport;
-pub use transaction::Transaction;
+pub use transaction::{contains_all, difference_into, Transaction};

@@ -8,28 +8,31 @@
 //! greater than `r`.
 
 use crate::database::TransactionDb;
+use crate::flat::{CsrTuples, TupleSlices};
 use crate::flist::FList;
 
-/// A rank-encoded database: tuples are ascending rank vectors.
+/// A rank-encoded database: tuples are ascending rank rows in flat CSR
+/// storage.
 ///
 /// This is the representation the reference ("naive") projected-database
 /// miner operates on, and the shape that compressed databases generalize.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RankDb {
-    tuples: Vec<Vec<u32>>,
+    tuples: CsrTuples<u32>,
     /// Number of distinct ranks (the F-list length at encoding time).
     num_ranks: usize,
 }
 
 impl RankDb {
     /// Encodes `db` against `flist`, dropping infrequent items and empty
-    /// tuples.
+    /// tuples — one pass, straight into CSR storage.
     pub fn encode(db: &TransactionDb, flist: &FList) -> Self {
-        let mut tuples = Vec::with_capacity(db.len());
+        let mut tuples = CsrTuples::with_capacity(db.len(), db.csr().total_elems());
         for t in db.iter() {
-            let enc = flist.encode(t.items());
-            if !enc.is_empty() {
-                tuples.push(enc);
+            if flist.encode_push(t, &mut tuples) == 0 {
+                tuples.discard_row();
+            } else {
+                tuples.commit_row();
             }
         }
         RankDb { tuples, num_ranks: flist.len() }
@@ -39,12 +42,18 @@ impl RankDb {
     pub fn from_tuples(tuples: Vec<Vec<u32>>, num_ranks: usize) -> Self {
         debug_assert!(tuples.iter().all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
         debug_assert!(tuples.iter().flatten().all(|&r| (r as usize) < num_ranks));
+        RankDb { tuples: tuples.into_iter().collect(), num_ranks }
+    }
+
+    /// Adopts already-encoded CSR storage (rows ascending, non-empty).
+    pub fn from_csr(tuples: CsrTuples<u32>, num_ranks: usize) -> Self {
+        debug_assert!(tuples.iter().all(|t| !t.is_empty() && t.windows(2).all(|w| w[0] < w[1])));
         RankDb { tuples, num_ranks }
     }
 
-    /// The tuples.
-    pub fn tuples(&self) -> &[Vec<u32>] {
-        &self.tuples
+    /// The tuples as a CSR view.
+    pub fn tuples(&self) -> TupleSlices<'_> {
+        self.tuples.as_slices()
     }
 
     /// Number of tuples.
@@ -63,14 +72,13 @@ impl RankDb {
     }
 
     /// Counts the support of every rank into `counts` (reused workhorse
-    /// buffer; it is zeroed and resized here).
+    /// buffer; it is zeroed and resized here). The count ignores row
+    /// boundaries, so it sweeps the flat buffer directly.
     pub fn count_supports(&self, counts: &mut Vec<u64>) {
         counts.clear();
         counts.resize(self.num_ranks, 0);
-        for t in &self.tuples {
-            for &r in t {
-                counts[r as usize] += 1;
-            }
+        for &r in self.tuples.flat() {
+            counts[r as usize] += 1;
         }
     }
 
@@ -78,11 +86,11 @@ impl RankDb {
     /// `r`, the strictly-greater suffix. Tuples whose suffix is empty are
     /// dropped (they contribute only to `r`'s own support).
     pub fn project(&self, r: u32) -> RankDb {
-        let mut tuples = Vec::new();
-        for t in &self.tuples {
+        let mut tuples = CsrTuples::new();
+        for t in self.tuples.iter() {
             if let Ok(pos) = t.binary_search(&r) {
                 if pos + 1 < t.len() {
-                    tuples.push(t[pos + 1..].to_vec());
+                    tuples.push_row(&t[pos + 1..]);
                 }
             }
         }
@@ -153,7 +161,7 @@ mod tests {
         let rdb = RankDb::from_tuples(vec![vec![0, 2], vec![1, 2]], 3);
         let proj = rdb.project(0);
         assert_eq!(proj.len(), 1);
-        assert_eq!(proj.tuples()[0], vec![2]);
+        assert_eq!(proj.tuples().row(0), &[2]);
     }
 
     #[test]

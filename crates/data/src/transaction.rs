@@ -10,9 +10,56 @@ use std::fmt;
 /// containment tests ([`Transaction::contains_all`]) are linear merges and
 /// the representation is canonical: two transactions with the same item set
 /// compare equal regardless of input order.
+///
+/// Databases store tuples in flat CSR form
+/// ([`crate::TransactionDb`] over [`crate::CsrTuples`]); `Transaction`
+/// is the owned boundary type for constructing and extracting individual
+/// tuples. The slice-level operations ([`contains_all`],
+/// [`difference_into`]) are free functions so CSR rows use them without
+/// materializing a `Transaction`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Transaction {
     items: Box<[Item]>,
+}
+
+/// True when every item of `pattern` occurs in `tuple`. Both slices must
+/// be sorted ascending; the test is a linear merge.
+pub fn contains_all(tuple: &[Item], pattern: &[Item]) -> bool {
+    debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
+    if pattern.len() > tuple.len() {
+        return false;
+    }
+    let mut t = tuple.iter();
+    'outer: for p in pattern {
+        for it in t.by_ref() {
+            match it.cmp(p) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Appends the items of `tuple` not in `pattern` (both sorted ascending)
+/// to `out`: the *outlying items* left over after compressing with
+/// `pattern` (paper §3.1, Table 2). The reusable output buffer is the
+/// no-allocation path the compression kernel runs per tuple.
+pub fn difference_into(tuple: &[Item], pattern: &[Item], out: &mut Vec<Item>) {
+    debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
+    let mut p = 0;
+    for &it in tuple {
+        while p < pattern.len() && pattern[p] < it {
+            p += 1;
+        }
+        if p < pattern.len() && pattern[p] == it {
+            p += 1;
+        } else {
+            out.push(it);
+        }
+    }
 }
 
 impl Transaction {
@@ -65,41 +112,15 @@ impl Transaction {
     /// True when every item of `pattern` occurs in this transaction.
     /// `pattern` must be sorted ascending; the test is a linear merge.
     pub fn contains_all(&self, pattern: &[Item]) -> bool {
-        debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
-        if pattern.len() > self.items.len() {
-            return false;
-        }
-        let mut t = self.items.iter();
-        'outer: for p in pattern {
-            for it in t.by_ref() {
-                match it.cmp(p) {
-                    std::cmp::Ordering::Less => continue,
-                    std::cmp::Ordering::Equal => continue 'outer,
-                    std::cmp::Ordering::Greater => return false,
-                }
-            }
-            return false;
-        }
-        true
+        contains_all(&self.items, pattern)
     }
 
     /// Items of this transaction not in `pattern` (both sorted): the
     /// *outlying items* left over after compressing with `pattern`
     /// (paper §3.1, Table 2).
     pub fn difference(&self, pattern: &[Item]) -> Vec<Item> {
-        debug_assert!(pattern.windows(2).all(|w| w[0] < w[1]));
         let mut out = Vec::with_capacity(self.items.len().saturating_sub(pattern.len()));
-        let mut p = 0;
-        for &it in self.items.iter() {
-            while p < pattern.len() && pattern[p] < it {
-                p += 1;
-            }
-            if p < pattern.len() && pattern[p] == it {
-                p += 1;
-            } else {
-                out.push(it);
-            }
-        }
+        difference_into(&self.items, pattern, &mut out);
         out
     }
 }

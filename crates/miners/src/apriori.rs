@@ -54,7 +54,7 @@ impl Miner for Apriori {
             }
             let mut touches = 0u64;
             for (tid, t) in db.iter().enumerate() {
-                for &it in t.items() {
+                for &it in t {
                     let p = pos[it.index()];
                     if p >= 0 {
                         level[p as usize].tids.push(tid as u32);

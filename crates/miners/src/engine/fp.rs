@@ -27,7 +27,7 @@
 
 use crate::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use crate::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
-use gogreen_data::{FList, GroupedSource, PatternSink};
+use gogreen_data::{FList, GroupedSource, PatternSink, ProjectionArena, TupleSlices};
 use gogreen_obs::metrics;
 use gogreen_util::pool::{par_chunks, Parallelism};
 use std::sync::Arc;
@@ -53,7 +53,23 @@ struct CondGroup {
 struct Ctx {
     scratch: ScratchCounts,
     src: Vec<u32>,
+    /// Conditional-base slab. Every extraction resets it, fills it with
+    /// the climbed prefix paths (one weighted row each), and fully
+    /// consumes it building the child tree *before* recursing — so one
+    /// arena per context suffices and steady-state DFS allocates nothing.
+    arena: ProjectionArena,
     minsup: u64,
+}
+
+impl Ctx {
+    fn new(num_ranks: usize, minsup: u64) -> Self {
+        Ctx {
+            scratch: ScratchCounts::new(num_ranks),
+            src: vec![SRC_NONE; num_ranks],
+            arena: ProjectionArena::new(),
+            minsup,
+        }
+    }
 }
 
 /// Mines `src` against `flist` at the absolute threshold `minsup`, the
@@ -107,8 +123,7 @@ fn mine_root(
             return;
         }
     }
-    let mut root_ctx =
-        Ctx { scratch: ScratchCounts::new(flist.len()), src: vec![SRC_NONE; flist.len()], minsup };
+    let mut root_ctx = Ctx::new(flist.len(), minsup);
     let (frequent, single_group) = count_cgs(cgs, &mut root_ctx);
     if frequent.is_empty() {
         return;
@@ -125,14 +140,7 @@ fn mine_root(
         par,
         frequent.len(),
         sink,
-        || {
-            let ctx = Ctx {
-                scratch: ScratchCounts::new(flist.len()),
-                src: vec![SRC_NONE; flist.len()],
-                minsup,
-            };
-            (ctx, RankEmitter::new(flist), Vec::with_capacity(16))
-        },
+        || (Ctx::new(flist.len(), minsup), RankEmitter::new(flist), Vec::with_capacity(16)),
         |(ctx, emitter, climb), k, sink| {
             let (r, _) = frequent[k];
             if let Some(tree) = sole_tree {
@@ -200,7 +208,7 @@ fn mine_sole_row(
     let hdr = tree.headers()[row];
     emitter.push(hdr.rank);
     emitter.emit(sink, hdr.count);
-    let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+    ctx.arena.reset();
     let mut touches = 0u64;
     let mut node = hdr.head;
     while node != FP_NIL {
@@ -211,7 +219,7 @@ fn mine_sole_row(
                 ctx.scratch.add(x, w);
             }
             touches += climb.len() as u64;
-            base.push((climb.clone(), w));
+            ctx.arena.push_weighted(climb, w);
         }
         node = tree.next_same_rank(node);
     }
@@ -222,13 +230,13 @@ fn mine_sole_row(
         metrics::add("mine.projected_dbs", 1);
         let mut b = FpTreeBuilder::new(&freq);
         let mut filtered: Vec<u32> = Vec::new();
-        for (ranks, w) in &base {
+        for (ranks, &w) in ctx.arena.rows().iter().zip(ctx.arena.weights()) {
             filtered.clear();
             filtered.extend(
                 ranks.iter().filter(|&&x| freq.binary_search_by_key(&x, |&(f, _)| f).is_ok()),
             );
             if !filtered.is_empty() {
-                b.insert_desc(filtered.iter().rev().copied(), *w);
+                b.insert_desc(filtered.iter().rev().copied(), w);
             }
         }
         mine_sole_tree(&b.finish(), ctx, emitter, sink);
@@ -270,14 +278,13 @@ fn try_single_path(
 /// ranks — classic FP-growth — while grouped sources keep every rank
 /// (an outlier that is locally rare may still combine with pattern items
 /// into a frequent extension).
-fn build_tree(tuples: &[Vec<u32>], scratch: &mut ScratchCounts, min: u64) -> Option<FpTree> {
+fn build_tree(tuples: TupleSlices<'_>, scratch: &mut ScratchCounts, min: u64) -> Option<FpTree> {
     if tuples.is_empty() {
         return None;
     }
-    for t in tuples {
-        for &x in t {
-            scratch.add(x, 1);
-        }
+    // Counting ignores row boundaries, so sweep the flat CSR buffer.
+    for &x in tuples.flat() {
+        scratch.add(x, 1);
     }
     let freq = scratch.drain_frequent(min);
     if freq.is_empty() {
@@ -495,7 +502,10 @@ fn project(
                 let Some(hdr) = tree.header_for(r) else { continue };
                 let hdr = *hdr;
                 let pattern = cg.pattern[ppos..].to_vec();
-                let mut base: Vec<(Vec<u32>, u64)> = Vec::new();
+                // The base lives in the context arena only until the
+                // child tree below is built — one generation per
+                // extraction, no per-path allocation.
+                ctx.arena.reset();
                 let mut node = hdr.head;
                 while node != FP_NIL {
                     let w = tree.count_of(node);
@@ -506,7 +516,7 @@ fn project(
                             ctx.scratch.add(x, w);
                         }
                         touches += climb.len() as u64;
-                        base.push((climb.clone(), w));
+                        ctx.arena.push_weighted(climb, w);
                     }
                     node = tree.next_same_rank(node);
                 }
@@ -516,20 +526,21 @@ fn project(
                         None
                     } else {
                         let mut b = FpTreeBuilder::new(&freq);
+                        let base = ctx.arena.rows().iter().zip(ctx.arena.weights());
                         if tree_min > 1 {
                             let mut filtered: Vec<u32> = Vec::new();
-                            for (ranks, w) in &base {
+                            for (ranks, &w) in base {
                                 filtered.clear();
                                 filtered.extend(ranks.iter().filter(|&&x| {
                                     freq.binary_search_by_key(&x, |&(f, _)| f).is_ok()
                                 }));
                                 if !filtered.is_empty() {
-                                    b.insert_desc(filtered.iter().rev().copied(), *w);
+                                    b.insert_desc(filtered.iter().rev().copied(), w);
                                 }
                             }
                         } else {
-                            for (ranks, w) in &base {
-                                b.insert_desc(ranks.iter().rev().copied(), *w);
+                            for (ranks, &w) in base {
+                                b.insert_desc(ranks.iter().rev().copied(), w);
                             }
                         }
                         Some(Arc::new(b.finish()))

@@ -90,8 +90,8 @@ impl RpStruct {
     pub fn build<S: GroupedSource>(src: &S) -> Self {
         let num_groups = src.num_groups();
         let total_entries: usize = (0..num_groups)
-            .flat_map(|g| src.group_outliers(g).iter())
-            .chain(src.plain().iter())
+            .flat_map(|g| src.group_outliers(g))
+            .chain(src.plain())
             .map(|t| t.len() + 1)
             .sum();
         let num_tails: usize =
@@ -118,7 +118,7 @@ impl RpStruct {
                 s.gpat.push(src.group_pattern(g).to_vec());
                 s.gcount.push(src.group_count(g));
                 let tails: Vec<u32> =
-                    src.group_outliers(g).iter().map(|o| push_tail(&mut s, o, gid)).collect();
+                    src.group_outliers(g).into_iter().map(|o| push_tail(&mut s, o, gid)).collect();
                 s.gtails.push(tails);
             }
         }
@@ -928,6 +928,12 @@ struct RawUnit {
     active: Vec<u32>,
     cell_of: Vec<u32>,
     scratch: ScratchCounts,
+    /// Slab-accounting mirror of [`gogreen_data::ProjectionArena`]: bytes
+    /// *used* (not reserved) by each unit's compacted hyper-structure and
+    /// the number of non-empty fills, flushed to the `alloc.*` counters
+    /// on drop. Used-bytes, unlike capacity, is thread-invariant.
+    used_bytes: u64,
+    reuses: u64,
 }
 
 impl RawUnit {
@@ -939,6 +945,8 @@ impl RawUnit {
             active: vec![0; num_ranks],
             cell_of: vec![NIL; num_ranks],
             scratch: ScratchCounts::new(num_ranks),
+            used_bytes: 0,
+            reuses: 0,
         }
     }
 
@@ -978,6 +986,10 @@ impl RawUnit {
         }
         metrics::add("mine.tuple_touches", touches);
         metrics::add("mine.candidate_tests", self.scratch.touched().len() as u64);
+        if !self.firsts.is_empty() {
+            self.reuses += 1;
+            self.used_bytes += (self.eitem.len() + self.firsts.len()) as u64 * 4;
+        }
         let sub = self.scratch.drain_frequent(minsup);
         if sub.is_empty() {
             return;
@@ -985,6 +997,7 @@ impl RawUnit {
         metrics::add("mine.projected_dbs", 1);
         self.next.clear();
         self.next.resize(self.eitem.len(), NIL);
+        self.used_bytes += self.next.len() as u64 * 4;
         let mut cells: Vec<RawCell> =
             sub.iter().map(|&(x, c)| RawCell { rank: x, count: c, head: NIL }).collect();
         for (i, c) in cells.iter().enumerate() {
@@ -1014,6 +1027,15 @@ impl RawUnit {
         for &(x, _) in &sub {
             self.active[x as usize] = 0;
             self.cell_of[x as usize] = NIL;
+        }
+    }
+}
+
+impl Drop for RawUnit {
+    fn drop(&mut self) {
+        if self.used_bytes > 0 {
+            metrics::add("alloc.projection_bytes", self.used_bytes);
+            metrics::add("alloc.arena_reuses", self.reuses);
         }
     }
 }

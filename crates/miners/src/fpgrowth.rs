@@ -14,6 +14,7 @@
 //! [`gogreen_data::PlainRanks`] substrate this type instantiates it with,
 //! as the classic global FP-tree.
 
+use crate::common::encode_db;
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, TransactionDb};
 use gogreen_obs::metrics;
@@ -251,9 +252,8 @@ impl Miner for FpGrowth {
         if flist.is_empty() {
             return;
         }
-        let tuples: Vec<Vec<u32>> =
-            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        let src = PlainRanks::new(&tuples, flist.len());
+        let tuples = encode_db(db, &flist);
+        let src = PlainRanks::from_csr(&tuples, flist.len());
         crate::engine::fp::mine_source_par(&src, &flist, minsup, par, sink);
     }
 }

@@ -13,9 +13,12 @@
 //! an empty head), which compiles down to the classic hyper-structure
 //! search — group handling vanishes statically.
 
+use crate::common::{encode_db, encode_db_pruned};
 use crate::engine::hm;
 use crate::Miner;
-use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, SearchPrune, TransactionDb};
+use gogreen_data::{
+    FList, MinSupport, PatternSink, PlainRanks, SearchPrune, TransactionDb, TupleSlices,
+};
 use gogreen_util::pool::Parallelism;
 
 /// The H-Mine algorithm.
@@ -43,9 +46,8 @@ impl Miner for HMine {
         if flist.is_empty() {
             return;
         }
-        let tuples: Vec<Vec<u32>> =
-            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        self.mine_encoded_par(&tuples, &flist, &[], minsup, par, sink);
+        let tuples = encode_db(db, &flist);
+        self.mine_encoded_par(tuples.as_slices(), &flist, &[], minsup, par, sink);
     }
 }
 
@@ -58,10 +60,12 @@ impl HMine {
     /// a spilled `i`-projected partition is mined by passing the
     /// partition's tuples with `prefix_items = [item(i)]`. Supports are
     /// counted from the tuples themselves (a partition's local supports
-    /// differ from the F-list's global ones).
+    /// differ from the F-list's global ones). Tuples come in as a CSR
+    /// window, so a reloaded spill partition is handed over without
+    /// re-boxing rows.
     pub fn mine_encoded(
         &self,
-        tuples: &[Vec<u32>],
+        tuples: TupleSlices<'_>,
         flist: &gogreen_data::FList,
         prefix_items: &[gogreen_data::Item],
         minsup: u64,
@@ -75,7 +79,7 @@ impl HMine {
     /// serial run at any thread count.
     pub fn mine_encoded_par(
         &self,
-        tuples: &[Vec<u32>],
+        tuples: TupleSlices<'_>,
         flist: &gogreen_data::FList,
         prefix_items: &[gogreen_data::Item],
         minsup: u64,
@@ -105,23 +109,15 @@ impl HMine {
         }
         let allowed: Vec<bool> =
             (0..flist.len() as u32).map(|r| prune.item_allowed(flist.item(r))).collect();
-        let tuples: Vec<Vec<u32>> = db
-            .iter()
-            .map(|t| {
-                let mut enc = flist.encode(t.items());
-                enc.retain(|&r| allowed[r as usize]);
-                enc
-            })
-            .filter(|t| !t.is_empty())
-            .collect();
-        self.mine_encoded_pruned(&tuples, &flist, &[], minsup, prune, sink);
+        let tuples = encode_db_pruned(db, &flist, &allowed);
+        self.mine_encoded_pruned(tuples.as_slices(), &flist, &[], minsup, prune, sink);
     }
 
     /// [`HMine::mine_encoded`] with pruning hooks (serial; the
     /// engine's no-prune instantiation compiles to the unpruned search).
     pub fn mine_encoded_pruned<P: SearchPrune + ?Sized>(
         &self,
-        tuples: &[Vec<u32>],
+        tuples: TupleSlices<'_>,
         flist: &gogreen_data::FList,
         prefix_items: &[gogreen_data::Item],
         minsup: u64,

@@ -8,7 +8,7 @@
 //! exactly this recursion, which is why this miner doubles as readable
 //! documentation and as a second oracle.
 
-use crate::common::{RankEmitter, ScratchCounts};
+use crate::common::{encode_db_pruned, RankEmitter, ScratchCounts};
 use crate::Miner;
 use gogreen_data::projected::RankDb;
 use gogreen_data::{FList, MinSupport, NoPrune, PatternSink, SearchPrune, TransactionDb};
@@ -49,16 +49,7 @@ impl NaiveProjection {
         // space. Supports of the remaining items are unaffected.
         let allowed: Vec<bool> =
             (0..flist.len() as u32).map(|r| prune.item_allowed(flist.item(r))).collect();
-        let tuples: Vec<Vec<u32>> = db
-            .iter()
-            .map(|t| {
-                let mut enc = flist.encode(t.items());
-                enc.retain(|&r| allowed[r as usize]);
-                enc
-            })
-            .filter(|t| !t.is_empty())
-            .collect();
-        let rdb = RankDb::from_tuples(tuples, flist.len());
+        let rdb = RankDb::from_csr(encode_db_pruned(db, &flist, &allowed), flist.len());
         let mut emitter = RankEmitter::new(&flist);
         let mut scratch = ScratchCounts::new(flist.len());
         let root: Vec<(u32, u64)> = (0..flist.len() as u32)

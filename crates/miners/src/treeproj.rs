@@ -14,6 +14,7 @@
 //! is the classic depth-first algorithm. [`PairMatrix`] stays public
 //! here: it is the node counting structure both substrates share.
 
+use crate::common::encode_db;
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, TransactionDb};
 use gogreen_util::pool::Parallelism;
@@ -49,9 +50,8 @@ impl Miner for TreeProjection {
         if flist.is_empty() {
             return;
         }
-        let tuples: Vec<Vec<u32>> =
-            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        let src = PlainRanks::new(&tuples, flist.len());
+        let tuples = encode_db(db, &flist);
+        let src = PlainRanks::from_csr(&tuples, flist.len());
         crate::engine::tp::mine_source_par(&src, &flist, minsup, par, sink);
     }
 }

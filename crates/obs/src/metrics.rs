@@ -8,6 +8,11 @@
 //!   work**: quantities determined by the input and the algorithm, not by
 //!   the machine. These are bit-identical at any thread count (updates
 //!   are additive or max-merged, both order-independent).
+//! * `alloc.*` — projection-arena accounting (`alloc.projection_bytes`,
+//!   `alloc.arena_reuses`). Also logical work: each arena generation
+//!   records its *used* bytes (never capacity), so the totals equal a
+//!   sum over projections regardless of how projections were spread
+//!   across workers.
 //! * `cover.*` — **machine work** inside the cover kernel (bitmap words
 //!   scanned, AND-chains run). Chunked parallel sweeps legitimately do a
 //!   different amount of machine work than one serial sweep, so these
@@ -161,7 +166,9 @@ pub fn reset() {
 }
 
 /// True when `name` measures logical work (thread-invariant totals), as
-/// opposed to machine work inside the chunked cover kernel.
+/// opposed to machine work inside the chunked cover kernel. The
+/// `alloc.*` arena counters are in the invariant class: they record
+/// used bytes per projection, so worker count cannot move them.
 pub fn is_thread_invariant(name: &str) -> bool {
     !name.starts_with("cover.")
 }
@@ -281,6 +288,8 @@ mod tests {
     fn thread_invariance_classification() {
         assert!(is_thread_invariant("mine.candidate_tests"));
         assert!(is_thread_invariant("compress.tuples_covered"));
+        assert!(is_thread_invariant("alloc.projection_bytes"));
+        assert!(is_thread_invariant("alloc.arena_reuses"));
         assert!(!is_thread_invariant("cover.words_scanned"));
     }
 }

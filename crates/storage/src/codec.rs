@@ -15,6 +15,12 @@
 //! plain `Vec<u8>`; [`ByteReader`] is the matching decode cursor.
 //! Decoding is fallible: truncation and unknown tags surface as
 //! [`DecodeError`] rather than tearing down the process.
+//!
+//! In memory a group's outlier lists live in one [`CsrTuples`] slab —
+//! decode writes straight into it (no per-member `Vec`), and encode
+//! walks its rows. The wire format is unchanged.
+
+use gogreen_data::CsrTuples;
 
 /// Why an encoded spill buffer failed to decode.
 ///
@@ -107,8 +113,9 @@ pub enum SpillRecord {
         pattern: Vec<u32>,
         /// Members with no relevant outlying items.
         bare: u64,
-        /// Outlier lists of the remaining members (each non-empty).
-        outliers: Vec<Vec<u32>>,
+        /// Outlier lists of the remaining members (each non-empty),
+        /// one CSR row per member.
+        outliers: CsrTuples<u32>,
     },
 }
 
@@ -152,7 +159,7 @@ impl SpillRecord {
                 put_list(buf, pattern);
                 buf.extend_from_slice(&bare.to_le_bytes());
                 buf.extend_from_slice(&(outliers.len() as u32).to_le_bytes());
-                for o in outliers {
+                for o in outliers.iter() {
                     put_list(buf, o);
                 }
             }
@@ -173,7 +180,14 @@ impl SpillRecord {
                 let pattern = get_list(buf)?;
                 let bare = buf.get_u64_le()?;
                 let n = buf.get_u32_le()? as usize;
-                let outliers = (0..n).map(|_| get_list(buf)).collect::<Result<Vec<_>, _>>()?;
+                let mut outliers = CsrTuples::new();
+                for _ in 0..n {
+                    let m = buf.get_u32_le()? as usize;
+                    for _ in 0..m {
+                        outliers.push_elem(buf.get_u32_le()?);
+                    }
+                    outliers.commit_row();
+                }
                 Ok(Some(SpillRecord::Group { pattern, bare, outliers }))
             }
             tag => Err(DecodeError::BadTag { offset: tag_offset, tag }),
@@ -196,6 +210,14 @@ fn get_list(buf: &mut ByteReader<'_>) -> Result<Vec<u32>, DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn csr(rows: &[&[u32]]) -> CsrTuples<u32> {
+        let mut c = CsrTuples::new();
+        for r in rows {
+            c.push_row(r);
+        }
+        c
+    }
 
     fn round_trip(records: &[SpillRecord]) {
         let mut buf = Vec::new();
@@ -220,7 +242,7 @@ mod tests {
         round_trip(&[SpillRecord::Group {
             pattern: vec![2, 3],
             bare: 7,
-            outliers: vec![vec![4], vec![5, 6]],
+            outliers: csr(&[&[4], &[5, 6]]),
         }]);
     }
 
@@ -228,7 +250,7 @@ mod tests {
     fn mixed_stream_round_trip() {
         round_trip(&[
             SpillRecord::Plain(vec![1]),
-            SpillRecord::Group { pattern: vec![0], bare: 0, outliers: vec![vec![9]] },
+            SpillRecord::Group { pattern: vec![0], bare: 0, outliers: csr(&[&[9]]) },
             SpillRecord::Plain(vec![2, 3]),
         ]);
     }
@@ -242,7 +264,7 @@ mod tests {
     #[test]
     fn tuple_counts() {
         assert_eq!(SpillRecord::Plain(vec![1]).tuple_count(), 1);
-        let g = SpillRecord::Group { pattern: vec![1], bare: 2, outliers: vec![vec![2]] };
+        let g = SpillRecord::Group { pattern: vec![1], bare: 2, outliers: csr(&[&[2]]) };
         assert_eq!(g.tuple_count(), 3);
     }
 
@@ -264,12 +286,16 @@ mod tests {
             let got = SpillRecord::decode(&mut b);
             assert!(matches!(got, Err(DecodeError::Truncated { .. })), "cut={cut}: {got:?}");
         }
-        // A Group record cut inside its outlier lists.
+        // A Group record cut at every interior byte — exercises the CSR
+        // decode path at each list boundary.
         let mut gbuf = Vec::new();
-        SpillRecord::Group { pattern: vec![2], bare: 1, outliers: vec![vec![4, 5]] }
+        SpillRecord::Group { pattern: vec![2], bare: 1, outliers: csr(&[&[4, 5], &[6]]) }
             .encode(&mut gbuf);
-        let mut b = ByteReader::new(&gbuf[..gbuf.len() - 2]);
-        assert!(matches!(SpillRecord::decode(&mut b), Err(DecodeError::Truncated { .. })));
+        for cut in 1..gbuf.len() {
+            let mut b = ByteReader::new(&gbuf[..cut]);
+            let got = SpillRecord::decode(&mut b);
+            assert!(matches!(got, Err(DecodeError::Truncated { .. })), "cut={cut}: {got:?}");
+        }
     }
 
     #[test]
@@ -283,11 +309,8 @@ mod tests {
     #[test]
     fn memory_estimate_grows_with_content() {
         let small = SpillRecord::Plain(vec![1]);
-        let big = SpillRecord::Group {
-            pattern: vec![1, 2, 3],
-            bare: 0,
-            outliers: vec![vec![4, 5], vec![6]],
-        };
+        let big =
+            SpillRecord::Group { pattern: vec![1, 2, 3], bare: 0, outliers: csr(&[&[4, 5], &[6]]) };
         assert!(big.estimated_memory() > small.estimated_memory());
     }
 }

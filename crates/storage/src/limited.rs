@@ -15,10 +15,12 @@
 use crate::budget::MemoryBudget;
 use crate::codec::SpillRecord;
 use crate::spill::SpillManager;
-use gogreen_core::cdb::{CompressedDb, CompressedRankDb, CrGroup};
+use gogreen_core::cdb::{CompressedDb, CompressedRankDb};
 use gogreen_core::memory::{estimate_hmine_bytes, estimate_rp_struct_bytes};
 use gogreen_core::recycle_hm::RecycleHm;
-use gogreen_data::{CollectSink, FList, Item, MinSupport, PatternSet, PatternSink, TransactionDb};
+use gogreen_data::{
+    CollectSink, CsrTuples, FList, Item, MinSupport, PatternSet, PatternSink, TransactionDb,
+};
 use gogreen_miners::HMine;
 use gogreen_obs::metrics;
 use gogreen_util::FxHashMap;
@@ -62,20 +64,25 @@ impl LimitedHMine {
         if flist.is_empty() {
             return Ok(report);
         }
-        let tuples: Vec<Vec<u32>> =
-            db.iter().map(|t| flist.encode(t.items())).filter(|t| !t.is_empty()).collect();
-        let occurrences: usize = tuples.iter().map(Vec::len).sum();
+        let mut tuples: CsrTuples<u32> = CsrTuples::with_capacity(db.len(), 0);
+        for t in db.iter() {
+            let enc = flist.encode(t);
+            if !enc.is_empty() {
+                tuples.push_row(&enc);
+            }
+        }
+        let occurrences = tuples.total_elems();
         let est = estimate_hmine_bytes(occurrences, tuples.len());
         metrics::set_max("storage.budget_high_water", est as u64);
         if self.budget.fits(est) {
-            HMine.mine_encoded(&tuples, &flist, &[], minsup, sink);
+            HMine.mine_encoded(tuples.as_slices(), &flist, &[], minsup, sink);
             return Ok(report);
         }
         // Parallel projection of the root (paper §3.3).
         report.spills += 1;
         report.max_depth = 1;
         let mut mgr = SpillManager::new(flist.len())?;
-        for t in &tuples {
+        for t in tuples.iter() {
             for (i, &r) in t.iter().enumerate() {
                 if i + 1 < t.len() {
                     mgr.append(r, &SpillRecord::Plain(t[i + 1..].to_vec()))?;
@@ -122,14 +129,15 @@ impl LimitedHMine {
         }
         metrics::set_max("storage.budget_high_water", mgr.estimated_memory(r) as u64);
         if self.budget.fits(mgr.estimated_memory(r)) {
-            let mut tuples = Vec::with_capacity(mgr.partition_records(r) as usize);
+            let mut tuples: CsrTuples<u32> =
+                CsrTuples::with_capacity(mgr.partition_records(r) as usize, 0);
             mgr.for_each_record(r, |rec| {
                 if let SpillRecord::Plain(v) = rec {
-                    tuples.push(v);
+                    tuples.push_row(&v);
                 }
             })?;
             report.loads += 1;
-            HMine.mine_encoded(&tuples, flist, prefix, minsup, sink);
+            HMine.mine_encoded(tuples.as_slices(), flist, prefix, minsup, sink);
             return Ok(());
         }
         // Too big: respill one level deeper.
@@ -222,16 +230,20 @@ impl LimitedRecycleHm {
         report.spills += 1;
         report.max_depth = 1;
         let mut mgr = SpillManager::new(flist.len())?;
-        for g in &rdb.groups {
+        for g in 0..rdb.num_groups() {
+            let mut outliers = CsrTuples::new();
+            for o in rdb.group_outliers(g) {
+                outliers.push_row(o);
+            }
             let rec = SpillRecord::Group {
-                pattern: g.pattern.clone(),
-                bare: g.bare,
-                outliers: g.outliers.clone(),
+                pattern: rdb.group_pattern(g).to_vec(),
+                bare: rdb.group_bare(g),
+                outliers,
             };
             project_record(&rec, None, &mut mgr)?;
         }
-        for t in &rdb.plain {
-            project_record(&SpillRecord::Plain(t.clone()), None, &mut mgr)?;
+        for t in rdb.plain() {
+            project_record(&SpillRecord::Plain(t.to_vec()), None, &mut mgr)?;
         }
         mgr.finish()?;
         report.disk_bytes += mgr.total_bytes();
@@ -273,12 +285,11 @@ impl LimitedRecycleHm {
         }
         metrics::set_max("storage.budget_high_water", mgr.estimated_memory(r) as u64);
         if self.budget.fits(mgr.estimated_memory(r)) {
-            let mut rdb =
-                CompressedRankDb { groups: Vec::new(), plain: Vec::new(), num_ranks: flist.len() };
+            let mut rdb = CompressedRankDb::empty(flist.len());
             mgr.for_each_record(r, |rec| match rec {
-                SpillRecord::Plain(v) => rdb.plain.push(v),
+                SpillRecord::Plain(v) => rdb.push_plain(&v),
                 SpillRecord::Group { pattern, bare, outliers } => {
-                    rdb.groups.push(CrGroup { pattern, outliers, bare })
+                    rdb.push_group(&pattern, outliers.iter(), bare)
                 }
             })?;
             report.loads += 1;
@@ -300,10 +311,8 @@ impl LimitedRecycleHm {
                 for &x in &pattern {
                     counts[x as usize] += c;
                 }
-                for o in &outliers {
-                    for &x in o {
-                        counts[x as usize] += 1;
-                    }
+                for &x in outliers.flat() {
+                    counts[x as usize] += 1;
                 }
             }
         })?;
@@ -359,16 +368,28 @@ fn project_record(
         }
         SpillRecord::Group { pattern, bare, outliers } => {
             let pattern_f: Vec<u32> = pattern.iter().copied().filter(|&x| keeps(x)).collect();
-            let outliers_f: Vec<Vec<u32>> = outliers
-                .iter()
-                .map(|o| o.iter().copied().filter(|&x| keeps(x)).collect())
-                .collect();
-            let base_bare = bare + outliers_f.iter().filter(|o| o.is_empty()).count() as u64;
+            // Filter each member's outliers into one CSR slab; members
+            // whose lists empty out fold straight into the bare count
+            // (every surviving row is non-empty by construction).
+            let mut outliers_f: CsrTuples<u32> = CsrTuples::new();
+            let mut base_bare = *bare;
+            for o in outliers.iter() {
+                for &x in o {
+                    if keeps(x) {
+                        outliers_f.push_elem(x);
+                    }
+                }
+                if outliers_f.open_len() > 0 {
+                    outliers_f.commit_row();
+                } else {
+                    base_bare += 1;
+                }
+            }
             // Projections on pattern items: the whole group follows.
             for (k, &p) in pattern_f.iter().enumerate() {
                 let residual = pattern_f[k + 1..].to_vec();
                 if residual.is_empty() {
-                    for o in &outliers_f {
+                    for o in outliers_f.iter() {
                         let cut = o.partition_point(|&x| x <= p);
                         if cut < o.len() {
                             mgr.append(p, &SpillRecord::Plain(o[cut..].to_vec()))?;
@@ -376,12 +397,12 @@ fn project_record(
                     }
                 } else {
                     let mut g_bare = base_bare;
-                    let mut g_outliers = Vec::new();
-                    for o in &outliers_f {
+                    let mut g_outliers: CsrTuples<u32> = CsrTuples::new();
+                    for o in outliers_f.iter() {
                         let cut = o.partition_point(|&x| x <= p);
                         if cut < o.len() {
-                            g_outliers.push(o[cut..].to_vec());
-                        } else if !o.is_empty() {
+                            g_outliers.push_row(&o[cut..]);
+                        } else {
                             g_bare += 1;
                         }
                     }
@@ -400,15 +421,15 @@ fn project_record(
             // same group are aggregated into ONE record per partition so
             // the pattern is written once per (partition, group) — not
             // once per member occurrence, which would balloon the spill.
-            let mut by_rank: FxHashMap<u32, (u64, Vec<Vec<u32>>)> = FxHashMap::default();
-            for o in &outliers_f {
+            let mut by_rank: FxHashMap<u32, (u64, CsrTuples<u32>)> = FxHashMap::default();
+            for o in outliers_f.iter() {
                 for (j, &x) in o.iter().enumerate() {
                     let slot = by_rank.entry(x).or_default();
                     let rest = &o[j + 1..];
                     if rest.is_empty() {
                         slot.0 += 1;
                     } else {
-                        slot.1.push(rest.to_vec());
+                        slot.1.push_row(rest);
                     }
                 }
             }
@@ -419,8 +440,8 @@ fn project_record(
                 let cut = pattern_f.partition_point(|&p| p <= x);
                 let residual = pattern_f[cut..].to_vec();
                 if residual.is_empty() {
-                    for rest in members {
-                        mgr.append(x, &SpillRecord::Plain(rest))?;
+                    for rest in members.iter() {
+                        mgr.append(x, &SpillRecord::Plain(rest.to_vec()))?;
                     }
                 } else {
                     mgr.append(

@@ -170,7 +170,15 @@ mod tests {
         let mut mgr = SpillManager::new(3).unwrap();
         mgr.append(0, &SpillRecord::Plain(vec![1, 2])).unwrap();
         mgr.append(0, &SpillRecord::Plain(vec![3])).unwrap();
-        mgr.append(2, &SpillRecord::Group { pattern: vec![4], bare: 1, outliers: vec![] }).unwrap();
+        mgr.append(
+            2,
+            &SpillRecord::Group {
+                pattern: vec![4],
+                bare: 1,
+                outliers: gogreen_data::CsrTuples::new(),
+            },
+        )
+        .unwrap();
         mgr.finish().unwrap();
         let mut got = Vec::new();
         mgr.for_each_record(0, |r| got.push(r)).unwrap();

@@ -137,6 +137,39 @@ where
     out
 }
 
+/// Splits `0..n` into one contiguous index range per worker and maps `f`
+/// over the ranges, returning `(range_start, result)` pairs in range
+/// order.
+///
+/// This is [`par_chunks`] for storage that cannot be sliced as `&[T]` —
+/// CSR buffers, where a "chunk" is a range of row indices into one flat
+/// allocation. Range boundaries depend only on `n` and the thread count
+/// (the same [`chunk_bounds`] split `par_chunks` uses), so merging the
+/// per-range results in order reproduces a single serial pass.
+pub fn par_ranges<R, F>(par: Parallelism, n: usize, f: F) -> Vec<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    let workers = par.for_items(n);
+    if workers <= 1 {
+        return vec![(0, f(0, 0..n))];
+    }
+    let bounds = chunk_bounds(n, workers);
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for &(lo, hi) in bounds.iter().take(workers) {
+            let f = &f;
+            handles.push(scope.spawn(move || (lo, f(lo, lo..hi))));
+        }
+        for h in handles {
+            out.push(h.join().expect("pool worker panicked"));
+        }
+    });
+    out
+}
+
 /// Contiguous `[lo, hi)` bounds splitting `n` items into `workers` chunks
 /// whose sizes differ by at most one.
 pub fn chunk_bounds(n: usize, workers: usize) -> Vec<(usize, usize)> {
@@ -192,6 +225,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ranges_cover_input_in_order() {
+        for n in [0usize, 1, 7, 103] {
+            let parts = par_ranges(Parallelism::threads(8), n, |_, r| r.collect::<Vec<usize>>());
+            let mut expect_lo = 0;
+            let mut glued = Vec::new();
+            for (lo, part) in parts {
+                assert_eq!(lo, expect_lo);
+                expect_lo += part.len();
+                glued.extend(part);
+            }
+            assert_eq!(glued, (0..n).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn ranges_match_chunks_split() {
+        let items: Vec<u32> = (0..103).collect();
+        let a = par_chunks(Parallelism::threads(4), &items, |_, c| c.len());
+        let b = par_ranges(Parallelism::threads(4), items.len(), |_, r| r.len());
+        assert_eq!(a, b);
     }
 
     #[test]

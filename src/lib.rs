@@ -65,8 +65,8 @@ pub mod prelude {
     pub use gogreen_core::utility::Strategy;
     pub use gogreen_core::RecyclingMiner;
     pub use gogreen_data::{
-        CollectSink, CountSink, FList, Item, ItemCatalog, MinSupport, Pattern, PatternSet,
-        PatternSink, Transaction, TransactionDb,
+        contains_all, CollectSink, CountSink, CsrTuples, FList, Item, ItemCatalog, MinSupport,
+        Pattern, PatternSet, PatternSink, ProjectionArena, Transaction, TransactionDb, TupleSlices,
     };
     pub use gogreen_miners::{mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner};
 }
