@@ -31,7 +31,7 @@ fn main() {
         for threads in [1usize, 2, 4, 8] {
             let par = Parallelism::threads(threads);
             let param = format!("{}/t{}", preset.name(), threads);
-            for family in AlgoFamily::all() {
+            for family in AlgoFamily::with_vertical() {
                 group.bench(family.baseline_name(), &param, || {
                     family.run_baseline_par(&db, xi_new, par).patterns
                 });

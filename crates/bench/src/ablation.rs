@@ -551,3 +551,54 @@ pub fn mine_par_experiment(dataset: PresetKind, scale: f64) -> Vec<MineParRow> {
     }
     rows
 }
+
+/// Horizontal vs vertical head-to-head: all four algorithm families
+/// (the paper's three plus the Eclat extension) at the same `ξ_new`,
+/// fresh on the raw database and recycled on the MCP-compressed one,
+/// serial and with the first-level fan-out at 4 threads. Because the
+/// threshold is matched, *every* row of one dataset must report the
+/// same pattern count — cross-family, cross-substrate, cross-thread —
+/// and the experiment asserts exactly that before returning.
+pub fn mine_vertical_experiment(dataset: PresetKind, scale: f64) -> Vec<MineParRow> {
+    let name = match dataset {
+        PresetKind::Weather => "weather",
+        PresetKind::Forest => "forest",
+        PresetKind::Connect4 => "connect4",
+        PresetKind::Pumsb => "pumsb",
+    };
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    let mut rows = Vec::new();
+    let mut reference: Option<u64> = None;
+    for family in AlgoFamily::with_vertical() {
+        for threads in [1usize, 4] {
+            let par = Parallelism::threads(threads);
+            let fresh = family.run_baseline_par(&db, xi_new, par);
+            let rec = family.run_recycled_par(&cdb, xi_new, par);
+            for (engine, run) in
+                [(family.baseline_name().to_owned(), fresh), (format!("{}-MCP", family.tag()), rec)]
+            {
+                match reference {
+                    None => reference = Some(run.patterns),
+                    Some(n) => {
+                        assert_eq!(
+                            n, run.patterns,
+                            "{engine} t={threads}: count drift at matched ξ"
+                        )
+                    }
+                }
+                rows.push(MineParRow {
+                    dataset: name,
+                    engine,
+                    threads,
+                    secs: run.secs,
+                    patterns: run.patterns,
+                });
+            }
+        }
+    }
+    rows
+}

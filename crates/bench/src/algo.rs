@@ -22,6 +22,9 @@ pub enum AlgoFamily {
     FpTree,
     /// Tree Projection / TP-MCP / TP-MLP.
     TreeProjection,
+    /// Vertical bitmap Eclat / VT-MCP / VT-MLP (not in the paper's
+    /// evaluation — the extension family, see `EXPERIMENTS.md` E8).
+    Eclat,
 }
 
 /// Wall time and emitted-pattern count of one run.
@@ -52,6 +55,7 @@ impl AlgoFamily {
             AlgoFamily::HMine => "H-Mine",
             AlgoFamily::FpTree => "FP-tree",
             AlgoFamily::TreeProjection => "TreeProjection",
+            AlgoFamily::Eclat => "Eclat",
         }
     }
 
@@ -61,6 +65,7 @@ impl AlgoFamily {
             AlgoFamily::HMine => "HM",
             AlgoFamily::FpTree => "FP",
             AlgoFamily::TreeProjection => "TP",
+            AlgoFamily::Eclat => "VT",
         }
     }
 
@@ -75,6 +80,7 @@ impl AlgoFamily {
             AlgoFamily::HMine => "hmine",
             AlgoFamily::FpTree => "fp",
             AlgoFamily::TreeProjection => "tp",
+            AlgoFamily::Eclat => "vt",
         };
         engine_named(key).expect("bench families are registered")
     }
@@ -114,9 +120,16 @@ impl AlgoFamily {
         TimedRun { secs: start.elapsed().as_secs_f64(), patterns: sink.count() }
     }
 
-    /// All three families in the paper's presentation order.
+    /// The three families of the paper's evaluation, in its presentation
+    /// order. Paper-reproduction experiments iterate this set.
     pub fn all() -> [AlgoFamily; 3] {
         [AlgoFamily::HMine, AlgoFamily::FpTree, AlgoFamily::TreeProjection]
+    }
+
+    /// The paper families plus the vertical Eclat extension — for the
+    /// extension experiments and benches that compare all four.
+    pub fn with_vertical() -> [AlgoFamily; 4] {
+        [AlgoFamily::HMine, AlgoFamily::FpTree, AlgoFamily::TreeProjection, AlgoFamily::Eclat]
     }
 }
 
@@ -131,7 +144,7 @@ mod tests {
         let db = TransactionDb::paper_example();
         let fp_old = mine_apriori(&db, MinSupport::Absolute(3));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
-        for family in AlgoFamily::all() {
+        for family in AlgoFamily::with_vertical() {
             let base = family.run_baseline(&db, MinSupport::Absolute(2));
             let rec = family.run_recycled(&cdb, MinSupport::Absolute(2));
             assert_eq!(base.patterns, rec.patterns, "{family:?}");
@@ -141,8 +154,8 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: Vec<_> = AlgoFamily::all().iter().map(|f| f.baseline_name()).collect();
-        assert_eq!(names.len(), 3);
-        assert!(names.iter().collect::<std::collections::BTreeSet<_>>().len() == 3);
+        let names: Vec<_> = AlgoFamily::with_vertical().iter().map(|f| f.baseline_name()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().collect::<std::collections::BTreeSet<_>>().len() == 4);
     }
 }

@@ -18,6 +18,10 @@
 //!                parallel mining phase: every fresh/recycled engine
 //!                pair with first-level projections fanned out over
 //!                1/2/4/8 threads
+//!   ext-mine-vertical
+//!                horizontal vs vertical head-to-head: all four
+//!                families (including bitmap Eclat) at matched ξ_new,
+//!                fresh and MCP-recycled, serial and 4 threads
 //!   quick        CI smoke: one mine→compress→recycle round on the
 //!                weather analog at a tiny scale
 //!   check-metrics <file>
@@ -91,6 +95,7 @@ fn main() {
             cmd_ablation(scale, &reporter);
             cmd_compress_par(scale, &reporter);
             cmd_mine_par(scale, &reporter);
+            cmd_mine_vertical(scale, &reporter);
         }
         "table3" => cmd_table3(scale, &reporter),
         "figs" => {
@@ -117,6 +122,7 @@ fn main() {
         "ablation" => cmd_ablation(scale, &reporter),
         "ext-compress-par" => cmd_compress_par(scale, &reporter),
         "ext-mine-par" => cmd_mine_par(scale, &reporter),
+        "ext-mine-vertical" => cmd_mine_vertical(scale, &reporter),
         "quick" | "--quick" => cmd_quick(scale),
         "check-metrics" => {
             let file = rest.get(1).cloned().unwrap_or_else(|| die("check-metrics expects a file"));
@@ -141,7 +147,8 @@ fn die(msg: &str) -> ! {
 fn print_usage() {
     println!(
         "repro [--scale S] [--results DIR] [--metrics-out F] [--quiet-metrics] \
-         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|quick|check-metrics F>\n\
+         <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|ext-mine-vertical|\n\
+         quick|check-metrics F>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -537,6 +544,44 @@ fn cmd_mine_par(scale: f64, reporter: &Reporter) {
         );
         for r in &rows {
             reporter.save_json("ext_mine_par", r).expect("save extension");
+        }
+    }
+}
+
+fn cmd_mine_vertical(scale: f64, reporter: &Reporter) {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for dataset in [PresetKind::Connect4, PresetKind::Weather] {
+        println!(
+            "\n== Extension: horizontal vs vertical mining on {} (ξ_new = sweep floor, matched \
+             across families, scale {scale}; {cores} core(s) available) ==\n",
+            dataset_name(dataset)
+        );
+        let rows = ablation::mine_vertical_experiment(dataset, scale);
+        let best_horizontal_of = |threads: usize| {
+            rows.iter()
+                .filter(|r| r.threads == threads && !r.engine.starts_with("Eclat"))
+                .filter(|r| !r.engine.starts_with("VT"))
+                .map(|r| r.secs)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.engine.clone(),
+                    r.threads.to_string(),
+                    fmt_secs(r.secs),
+                    fmt_speedup(best_horizontal_of(r.threads), r.secs),
+                    r.patterns.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(&["engine", "threads", "time", "vs best horiz.", "patterns"], &table)
+        );
+        for r in &rows {
+            reporter.save_json("ext_mine_vertical", r).expect("save extension");
         }
     }
 }

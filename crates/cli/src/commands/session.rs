@@ -9,7 +9,7 @@
 //! run                mine under the current constraints
 //! top [N]            show the N (default 10) best patterns of the last run
 //! save <file>        write the last result as `items : support` lines
-//! engine <name>      hmine | fp | tp | naive
+//! engine <name>      hmine | fp | tp | vt | naive
 //! quit               exit
 //! ```
 
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn threaded_session_runs_and_survives_engine_reset() {
-        let script = "support 2\nrun\nengine fp\nrun\nengine naive\nrun\nquit\n";
+        let script = "support 2\nrun\nengine fp\nrun\nengine vt\nrun\nengine naive\nrun\nquit\n";
         drive_with(TransactionDb::paper_example(), Parallelism::threads(3), script.as_bytes())
             .unwrap();
     }

@@ -73,7 +73,7 @@ gogreen — recycle and reuse frequent patterns (ICDE 2004)
 USAGE
   gogreen stats    <db.txt>
   gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
-  gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|apriori|naive]
+  gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|vt|apriori|naive]
                    [--max-length K] [--items 1,2,3] [--filter closed|maximal]
                    [--threads N] [-o patterns.txt]
   gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]

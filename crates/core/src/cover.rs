@@ -52,6 +52,7 @@
 //! both strategies and any thread count.
 
 use crate::utility::{order_by_utility, Strategy};
+use gogreen_data::bitmap;
 use gogreen_data::{Item, Pattern, PatternSet, TransactionDb, TupleSlices};
 use gogreen_obs::metrics;
 use std::cmp::Reverse;
@@ -302,13 +303,13 @@ impl<'a> CoverIndex<'a> {
         if n == 0 || self.num_slots == 0 {
             return out;
         }
-        let words = n.div_ceil(64);
+        let words = bitmap::words_for(n);
         let mut bits = vec![0u64; self.num_slots * words];
         for (i, t) in tuples.iter().enumerate() {
             for &it in t {
                 let Some(&slot) = self.slot_of_item.get(it.index()) else { continue };
                 if slot != SLOT_NONE {
-                    bits[slot as usize * words + i / 64] |= 1 << (i % 64);
+                    bitmap::set_bit(&mut bits[slot as usize * words..][..words], i);
                 }
             }
         }
@@ -341,25 +342,18 @@ impl<'a> CoverIndex<'a> {
                 chain.push((self.rarity[it.index()], self.slot_of_item[it.index()]));
             }
             chain.sort_unstable();
+            // The AND-chain runs on the shared bitmap kernels (the same
+            // SIMD/unrolled code the vertical miner counts with), each
+            // returning the OR of the result for the early-exit test.
             let col = &bits[chain[0].1 as usize * words..][..words];
-            let mut any = 0u64;
             words_scanned += words as u64;
-            for w in 0..words {
-                acc[w] = uncovered[w] & col[w];
-                any |= acc[w];
-            }
-            if any == 0 {
+            if bitmap::select_and(&mut acc, &uncovered, col) == 0 {
                 continue;
             }
             for &(_, slot) in &chain[1..] {
                 let col = &bits[slot as usize * words..][..words];
-                let mut any = 0u64;
                 words_scanned += words as u64;
-                for w in 0..words {
-                    acc[w] &= col[w];
-                    any |= acc[w];
-                }
-                if any == 0 {
+                if bitmap::and_into(&mut acc, col) == 0 {
                     continue 'patterns;
                 }
             }
@@ -509,6 +503,39 @@ mod tests {
         let batch = index.cover_all(db.tuples());
         for (t, got) in db.iter().zip(batch) {
             assert_eq!(got, index.cover(t, &mut scratch));
+        }
+    }
+
+    /// Regression for the shared-kernel refactor: the sweep (now running
+    /// on `gogreen_data::bitmap::select_and`/`and_into`) must still
+    /// reproduce the seed linear scan exactly, across word boundaries
+    /// and with patterns the AND-chain rejects at every position.
+    #[test]
+    fn batch_sweep_on_shared_kernels_matches_linear_scan() {
+        let rows: Vec<Vec<u32>> = (0..200u32)
+            .map(|i| {
+                let mut r = vec![i % 7, 7 + i % 11, 50];
+                if i % 13 == 0 {
+                    r.push(60);
+                }
+                r.sort_unstable();
+                r
+            })
+            .collect();
+        let row_refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+        let db = TransactionDb::from_rows(&row_refs);
+        let mut fp = PatternSet::new();
+        fp.insert(Pattern::from_ids([0, 50], 29));
+        fp.insert(Pattern::from_ids([1, 9, 50], 2));
+        fp.insert(Pattern::from_ids([50, 60], 16));
+        fp.insert(Pattern::from_ids([2, 3], 0)); // never contained
+        fp.insert(Pattern::from_ids([50], 200));
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let index = CoverIndex::new(&db, &fp, strategy);
+            let batch = index.cover_all(db.tuples());
+            for (t, got) in db.iter().zip(batch) {
+                assert_eq!(got, linear_cover(&index, t), "{strategy:?}");
+            }
         }
     }
 

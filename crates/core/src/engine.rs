@@ -14,17 +14,18 @@
 use crate::recycle_fp::RecycleFp;
 use crate::recycle_hm::RecycleHm;
 use crate::recycle_tp::RecycleTp;
+use crate::recycle_vt::RecycleVt;
 use crate::rpmine::RpMine;
 use crate::{CompressedDb, RecyclingMiner};
 use gogreen_data::{MinSupport, PatternSink, SearchPrune, TransactionDb};
-use gogreen_miners::{Apriori, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
+use gogreen_miners::{Apriori, Eclat, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
 use gogreen_util::pool::Parallelism;
 
 /// One algorithm family: a raw miner plus (usually) a recycling
 /// counterpart sharing the same generic traversal.
 pub trait MiningEngine: Sync {
     /// Canonical key, the primary `--algo` spelling (`"hmine"`, `"fp"`,
-    /// `"tp"`, `"naive"`, `"apriori"`).
+    /// `"tp"`, `"vt"`, `"naive"`, `"apriori"`).
     fn key(&self) -> &'static str;
 
     /// Additional accepted spellings (`"hm"` for `"hmine"`, …).
@@ -123,6 +124,26 @@ impl MiningEngine for TpEngine {
     }
 }
 
+struct VtEngine;
+
+impl MiningEngine for VtEngine {
+    fn key(&self) -> &'static str {
+        "vt"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["eclat"]
+    }
+    fn family(&self) -> &'static str {
+        "Eclat"
+    }
+    fn raw(&self) -> Box<dyn Miner> {
+        Box::new(Eclat)
+    }
+    fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RecycleVt))
+    }
+}
+
 struct NaiveEngine;
 
 impl MiningEngine for NaiveEngine {
@@ -186,8 +207,8 @@ pub fn mine_recycled_pruned(
 
 /// All registered engines, in presentation order.
 pub fn engines() -> &'static [&'static dyn MiningEngine] {
-    const ENGINES: [&dyn MiningEngine; 5] =
-        [&HMineEngine, &FpEngine, &TpEngine, &NaiveEngine, &AprioriEngine];
+    const ENGINES: [&dyn MiningEngine; 6] =
+        [&HMineEngine, &FpEngine, &TpEngine, &VtEngine, &NaiveEngine, &AprioriEngine];
     &ENGINES
 }
 
@@ -210,11 +231,12 @@ mod tests {
 
     #[test]
     fn lookup_resolves_keys_and_aliases() {
-        for key in ["hmine", "fp", "tp", "naive", "apriori"] {
+        for key in ["hmine", "fp", "tp", "vt", "naive", "apriori"] {
             let e = engine_named(key).expect(key);
             assert_eq!(e.key(), key);
         }
         assert_eq!(engine_named("hm").unwrap().key(), "hmine");
+        assert_eq!(engine_named("eclat").unwrap().key(), "vt");
         assert!(engine_named("bogus").is_none());
     }
 

@@ -13,14 +13,17 @@
 //! 2. **Mining the compressed database** ([`cdb`]): projected-database
 //!    miners run directly on the grouped representation, saving work in
 //!    support counting (group counts stand in for per-tuple scans) and in
-//!    projection construction (group heads are touched once). Four miners
+//!    projection construction (group heads are touched once). Five miners
 //!    are provided:
 //!    * [`rpmine::RpMine`] — the paper's naive Algorithm *Recycling*
 //!      (Fig. 3) with the Lemma 3.1 single-group shortcut;
 //!    * [`recycle_hm::RecycleHm`] — the RP-Struct adaptation of H-Mine
 //!      (Figs. 4–8);
 //!    * [`recycle_fp::RecycleFp`] — the FP-tree adaptation (§4.2);
-//!    * [`recycle_tp::RecycleTp`] — the Tree Projection adaptation (§4.2).
+//!    * [`recycle_tp::RecycleTp`] — the Tree Projection adaptation (§4.2);
+//!    * [`recycle_vt::RecycleVt`] — the vertical (Eclat) adaptation:
+//!      group runs become word-wise bitmap fills, mining becomes tidset
+//!      intersection.
 //!
 //! Each pair shares one generic traversal (`gogreen_miners::engine`)
 //! instantiated on either the plain or the grouped substrate; the
@@ -48,6 +51,7 @@ pub mod memory;
 pub mod recycle_fp;
 pub mod recycle_hm;
 pub mod recycle_tp;
+pub mod recycle_vt;
 pub mod rpmine;
 pub mod session;
 pub mod store;

@@ -37,6 +37,8 @@ pub enum Engine {
     FpTree,
     /// Tree Projection / TP-recycle.
     TreeProjection,
+    /// Vertical bitmap Eclat / VT-recycle.
+    Eclat,
     /// Naive projected-database miner / RP-Mine.
     Naive,
 }
@@ -48,6 +50,7 @@ impl Engine {
             Engine::HMine => "hmine",
             Engine::FpTree => "fp",
             Engine::TreeProjection => "tp",
+            Engine::Eclat => "vt",
             Engine::Naive => "naive",
         }
     }
@@ -60,6 +63,7 @@ impl Engine {
             "hmine" => Some(Engine::HMine),
             "fp" => Some(Engine::FpTree),
             "tp" => Some(Engine::TreeProjection),
+            "vt" => Some(Engine::Eclat),
             "naive" => Some(Engine::Naive),
             _ => None,
         }
@@ -361,7 +365,9 @@ mod tests {
     fn all_engines_agree_across_a_session() {
         let db = TransactionDb::paper_example();
         let oracle2 = mine_apriori(&db, MinSupport::Absolute(2));
-        for engine in [Engine::HMine, Engine::FpTree, Engine::TreeProjection, Engine::Naive] {
+        for engine in
+            [Engine::HMine, Engine::FpTree, Engine::TreeProjection, Engine::Eclat, Engine::Naive]
+        {
             let mut s = MiningSession::new(db.clone()).with_engine(engine);
             s.run(cs(4));
             let relaxed = s.run(cs(2));
@@ -413,7 +419,7 @@ mod tests {
     #[test]
     fn threaded_session_matches_serial() {
         let db = TransactionDb::paper_example();
-        for engine in [Engine::HMine, Engine::FpTree, Engine::Naive] {
+        for engine in [Engine::HMine, Engine::FpTree, Engine::Eclat, Engine::Naive] {
             let mut serial = MiningSession::new(db.clone()).with_engine(engine);
             let mut threaded = MiningSession::new(db.clone()).with_engine(engine).with_threads(4);
             serial.run(cs(3));

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 
 //! Transaction-database substrate for the `gogreen` workspace.
 //!
@@ -18,6 +19,10 @@
 //! * [`flat`] — CSR tuple storage ([`CsrTuples`] / [`TupleSlices`]) and
 //!   the [`ProjectionArena`] bump slab: the canonical flat memory layout
 //!   every engine scans.
+//! * [`bitmap`] — the shared word-wise AND/popcount kernels (4-way
+//!   unrolled scalar by default, `std::simd` behind the `portable-simd`
+//!   feature) and the [`BitsetArena`] tidset slab used by the cover
+//!   sweep and the vertical mining engine.
 //! * [`projected`] — materialized projected databases (paper Definition
 //!   3.2) used by the reference miners.
 //! * [`grouped`] — the [`GroupedSource`] substrate abstraction that lets
@@ -26,6 +31,7 @@
 //! * [`io`] / [`pattern_io`] — plain text interchange formats for
 //!   transactions (one per line) and pattern sets (`items : support`).
 
+pub mod bitmap;
 pub mod database;
 pub mod error;
 pub mod flat;
@@ -41,6 +47,7 @@ pub mod sink;
 pub mod support;
 pub mod transaction;
 
+pub use bitmap::BitsetArena;
 pub use database::{DbStats, TransactionDb};
 pub use error::DataError;
 pub use flat::{CsrTuples, ProjectionArena, TupleSlices};

@@ -1,0 +1,198 @@
+//! The Geerts–Goethals–Van den Bussche candidate upper bound.
+//!
+//! "A Tight Upper Bound on the Number of Candidate Patterns" (ICDM
+//! 2001) proves, via the Kruskal–Katona theorem, that if a level of the
+//! search holds `n` frequent `k`-itemsets then the next level can hold
+//! at most a cascade-computable number of `(k+1)`-candidates: write `n`
+//! in its *k-canonical representation*
+//!
+//! ```text
+//! n = C(m_k, k) + C(m_{k-1}, k-1) + … + C(m_r, r)
+//! ```
+//!
+//! with `m_k > m_{k-1} > … > m_r ≥ r ≥ 1`, and then
+//!
+//! ```text
+//! #candidates(k+1) ≤ C(m_k, k+1) + C(m_{k-1}, k) + … + C(m_r, r+1).
+//! ```
+//!
+//! Iterating the bound over successive levels upper-bounds *everything
+//! still to come*. The vertical engine uses both forms: a node whose
+//! realized pair level admits zero deeper candidates terminates without
+//! materializing any child tidset (`mine.bound_prunes`), and the level
+//! bounds pre-size the tidset arenas before a level is filled.
+//!
+//! All arithmetic saturates at `u64::MAX` — the bound is an upper
+//! bound, so saturation keeps it sound (never smaller than the truth).
+
+/// Binomial coefficient `C(m, k)`, saturating at `u64::MAX`.
+pub fn binomial(m: u64, k: u64) -> u64 {
+    if k > m {
+        return 0;
+    }
+    let k = k.min(m - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // Multiply before dividing: the running product of i+1
+        // consecutive ratios is always integral.
+        acc = acc.saturating_mul((m - i) as u128) / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// Largest `m` with `C(m, k) <= n` (for `n ≥ 1`, `k ≥ 1`).
+fn canonical_m(n: u64, k: u64) -> u64 {
+    debug_assert!(n >= 1 && k >= 1);
+    if k == 1 {
+        return n; // C(m, 1) = m
+    }
+    // Exponential search for an exclusive upper limit, then binary
+    // search. Saturated binomials only compare `<= n` when `n` itself
+    // is at the saturation point, where any such `m` is acceptable —
+    // the caller's subtraction zeroes the remainder either way.
+    let mut lo = k; // C(k, k) = 1 <= n
+    let mut hi = k + 1;
+    while binomial(hi, k) <= n {
+        lo = hi;
+        hi = match hi.checked_mul(2) {
+            Some(h) => h,
+            None => {
+                hi = u64::MAX;
+                break;
+            }
+        };
+    }
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if binomial(mid, k) <= n {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The Kruskal–Katona cascade: given `n` frequent `k`-itemsets, the
+/// maximum possible number of `(k+1)`-itemsets whose every `k`-subset
+/// is among them — i.e. the maximum number of candidates the next
+/// level can hold.
+pub fn candidate_bound(n: u64, k: u64) -> u64 {
+    debug_assert!(k >= 1);
+    let mut rem = n;
+    let mut level = k;
+    let mut bound = 0u64;
+    while rem > 0 && level >= 1 {
+        let m = canonical_m(rem, level);
+        bound = bound.saturating_add(binomial(m, level + 1));
+        rem -= binomial(m, level);
+        level -= 1;
+    }
+    bound
+}
+
+/// Upper bound on the number of frequent itemsets at *all* levels
+/// strictly above `k`, given `n` frequent `k`-itemsets: the cascade
+/// iterated until it reaches zero. Saturates.
+pub fn total_bound(n: u64, k: u64) -> u64 {
+    let mut total = 0u64;
+    let mut cur = n;
+    let mut level = k;
+    while cur > 0 {
+        let next = candidate_bound(cur, level);
+        total = total.saturating_add(next);
+        if next == 0 || total == u64::MAX {
+            break;
+        }
+        cur = next;
+        level += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomials() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(3, 5), 0);
+        assert_eq!(binomial(64, 32), 1832624140942590534);
+        // Saturates instead of overflowing.
+        assert_eq!(binomial(200, 100), u64::MAX);
+    }
+
+    #[test]
+    fn zero_sets_admit_nothing() {
+        for k in 1..5 {
+            assert_eq!(candidate_bound(0, k), 0);
+            assert_eq!(total_bound(0, k), 0);
+        }
+    }
+
+    #[test]
+    fn pair_cascade_hand_values() {
+        // n frequent 2-sets -> max frequent 3-sets.
+        // 1 pair or 2 pairs can never close a triangle.
+        assert_eq!(candidate_bound(1, 2), 0);
+        assert_eq!(candidate_bound(2, 2), 0);
+        // 3 = C(3,2): one triangle.
+        assert_eq!(candidate_bound(3, 2), 1);
+        // 4 = C(3,2) + C(1,1): still only the one triangle.
+        assert_eq!(candidate_bound(4, 2), 1);
+        // 6 = C(4,2): K4 has C(4,3) = 4 triangles.
+        assert_eq!(candidate_bound(6, 2), 4);
+        // 10 = C(5,2): C(5,3) = 10.
+        assert_eq!(candidate_bound(10, 2), 10);
+    }
+
+    #[test]
+    fn singleton_cascade_is_choose_two() {
+        // n frequent 1-sets -> at most C(n, 2) pairs.
+        for n in 1..20u64 {
+            assert_eq!(candidate_bound(n, 1), n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn triple_cascade_hand_values() {
+        // 4 = C(4,3): the four faces of a tetrahedron allow C(4,4) = 1.
+        assert_eq!(candidate_bound(4, 3), 1);
+        // 3 triples can't close a 4-set.
+        assert_eq!(candidate_bound(3, 3), 0);
+    }
+
+    #[test]
+    fn total_bound_sums_the_cascade() {
+        // 3 pairs -> 1 triple -> 0 quads: total 1.
+        assert_eq!(total_bound(3, 2), 1);
+        // 6 pairs (K4) -> 4 triples -> 1 quad -> 0: total 5.
+        assert_eq!(total_bound(6, 2), 5);
+        // n singletons: the whole powerset above level 1.
+        assert_eq!(total_bound(4, 1), 6 + 4 + 1);
+    }
+
+    #[test]
+    fn total_bound_saturates_gracefully() {
+        assert_eq!(total_bound(u64::MAX, 1), u64::MAX);
+        assert_eq!(total_bound(1 << 40, 2), u64::MAX);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_n() {
+        let mut prev = 0;
+        for n in 0..200 {
+            let b = candidate_bound(n, 2);
+            assert!(b >= prev, "n={n}");
+            prev = b;
+        }
+    }
+}

@@ -9,7 +9,10 @@
 //!
 //! * [`hm`] — H-Mine over the RP-Struct arena (paper §4.1, Figures 4–8);
 //! * [`fp`] — FP-growth over a forest of conditional groups (§4.2);
-//! * [`tp`] — depth-first Tree Projection over grouped partitions (§4.2).
+//! * [`tp`] — depth-first Tree Projection over grouped partitions (§4.2);
+//! * [`vt`] — vertical (Eclat-style) mining over per-rank tid-bitmaps,
+//!   the fourth family: support counting is word-wise AND + popcount,
+//!   with group runs filled word-at-a-time on the compressed substrate.
 //!
 //! The raw miners ([`crate::HMine`], [`crate::FpGrowth`],
 //! [`crate::TreeProjection`]) instantiate these with
@@ -27,3 +30,4 @@
 pub mod fp;
 pub mod hm;
 pub mod tp;
+pub mod vt;

@@ -1,0 +1,367 @@
+//! The vertical (Eclat-style) family engine: tidset intersection mining
+//! over per-rank `u64` bitmaps, generic over [`GroupedSource`].
+//!
+//! Where the three horizontal families walk tuples, this engine walks
+//! *columns*: every rank owns a bitmap with one bit per database tuple,
+//! support is a popcount, and a candidate test is a fused word-wise
+//! AND + popcount ([`gogreen_data::bitmap`], the kernel module shared
+//! with the compressor's cover sweep). The grouped substrate changes how
+//! the root columns are *built*, never how the search runs:
+//!
+//! * a group's members occupy one contiguous tid run, so each pattern
+//!   item of the group sets its whole run word-wise
+//!   ([`gogreen_data::bitmap::set_run`]) — one O(count/64) fill per
+//!   item instead of per-member work;
+//! * outlier residues and plain tuples set individual bits.
+//!
+//! On the degenerate [`gogreen_data::PlainRanks`] substrate the run
+//! arm vanishes statically and the build is the classic per-tuple
+//! vertical conversion.
+//!
+//! Each lexicographic node counts all extension pairs with fused
+//! AND + popcounts (no materialization), then prunes with two devices
+//! before any child tidset is built:
+//!
+//! * **inclusion-chain shortcut** — when every pair support equals the
+//!   smaller member's support the tidsets form a chain under ⊆, every
+//!   subset's support is the minimum member support, and the node
+//!   finishes by direct subset enumeration (the vertical analog of the
+//!   paper's Lemma 3.1 single-group shortcut);
+//! * **candidate-bound termination** — the Kruskal–Katona cascade of
+//!   [`crate::bound`] applied to the realized pair level: when zero
+//!   deeper candidates are possible the frequent pairs are emitted flat
+//!   and the whole subtree below them is skipped
+//!   (`mine.bound_prunes`).
+//!
+//! Surviving children materialize their tidsets into a per-depth
+//! [`BitsetArena`] whose capacity is pre-reserved from the level bound
+//! before the level is filled, and which `reset()`s between siblings —
+//! steady-state descent allocates nothing.
+//!
+//! The root fans out over [`crate::common::fan_out_ordered`] like every
+//! other family: each first-level extension is one unit computing its
+//! own pair row against the shared read-only root columns, so the
+//! stream is byte-identical and all `mine.*` counters (including the
+//! new `mine.bitmap_words_scanned`, words fed through the AND kernels)
+//! bit-identical at any thread count.
+
+use crate::bound;
+use crate::common::{fan_out_ordered, for_each_subset, RankEmitter};
+use crate::treeproj::PairMatrix;
+use gogreen_data::bitmap::{self, BitsetArena};
+use gogreen_data::{FList, GroupedSource, PatternSink};
+use gogreen_obs::metrics;
+use gogreen_util::pool::Parallelism;
+
+/// Reusable per-depth scratch: the child tidsets materialized by one
+/// extension at this depth. Sibling extensions recycle the buffers.
+#[derive(Default)]
+struct VtLevel {
+    /// The child node's tidset columns, one generation per sibling.
+    arena: BitsetArena,
+    /// The child's frequent extensions: `(global rank, support)`.
+    exts: Vec<(u32, u64)>,
+    /// Parent-local column index of each child extension (parallel to
+    /// `exts`), for the materialization pass.
+    srcs: Vec<u32>,
+}
+
+/// Per-worker mining state: one [`VtLevel`] per depth below the root.
+#[derive(Default)]
+struct VtCtx {
+    levels: Vec<VtLevel>,
+    depth: usize,
+}
+
+/// Mines `src` against `flist` at the absolute threshold `minsup`, the
+/// root extensions fanned out over `par` scoped threads. The emitted
+/// stream is byte-identical for any thread count.
+pub fn mine_source_par<S: GroupedSource>(
+    src: &S,
+    flist: &FList,
+    minsup: u64,
+    par: Parallelism,
+    sink: &mut dyn PatternSink,
+) {
+    let k = flist.len();
+    if k == 0 {
+        return;
+    }
+    let (cols, words) = build_columns(src, k);
+    let exts: Vec<(u32, u64)> = (0..k as u32).map(|r| (r, flist.support(r))).collect();
+    {
+        let mut emitter = RankEmitter::new(flist);
+        for &(rank, sup) in &exts {
+            emitter.push(rank);
+            emitter.emit(sink, sup);
+            emitter.pop();
+        }
+    }
+    if k < 2 {
+        return;
+    }
+    metrics::set_max("mine.max_depth", 1);
+    let cols = &cols[..];
+    let exts = &exts[..];
+    fan_out_ordered(
+        par,
+        k,
+        sink,
+        || (RankEmitter::new(flist), VtCtx::default()),
+        |(emitter, ctx), a, sink| {
+            // At the root, column index == rank == extension position,
+            // and each unit computes its own pair row with fused
+            // popcounts against the shared columns.
+            let col_a = &cols[a * words..][..words];
+            metrics::add("mine.candidate_tests", (k - 1 - a) as u64);
+            metrics::add("mine.bitmap_words_scanned", ((k - 1 - a) * words) as u64);
+            vt_extend(
+                exts,
+                cols,
+                words,
+                a,
+                |b| bitmap::and_popcount(col_a, &cols[b * words..][..words]),
+                minsup,
+                ctx,
+                emitter,
+                sink,
+            );
+        },
+    );
+}
+
+/// Builds the root tid-bitmaps: one column of `words` words per rank.
+///
+/// Tids are assigned group-at-a-time — group `g`'s members occupy one
+/// contiguous run (outlier members first, then bare members), so every
+/// pattern item of the group is a single word-wise run fill. Plain
+/// tuples follow, one bit each. Column popcounts are exact supports.
+fn build_columns<S: GroupedSource>(src: &S, num_ranks: usize) -> (Vec<u64>, usize) {
+    let mut n = src.plain().len();
+    if S::GROUPED {
+        for g in 0..src.num_groups() {
+            n += src.group_count(g) as usize;
+        }
+    }
+    let words = bitmap::words_for(n);
+    let mut cols = vec![0u64; num_ranks * words];
+    let mut tid = 0usize;
+    let mut touches = 0u64;
+    let mut group_hits = 0u64;
+    if S::GROUPED {
+        for g in 0..src.num_groups() {
+            let count = src.group_count(g) as usize;
+            for &r in src.group_pattern(g) {
+                bitmap::set_run(&mut cols[r as usize * words..][..words], tid, count);
+                group_hits += 1;
+            }
+            for (idx, m) in src.group_outliers(g).into_iter().enumerate() {
+                for &r in m {
+                    bitmap::set_bit(&mut cols[r as usize * words..][..words], tid + idx);
+                }
+                touches += m.len() as u64;
+            }
+            tid += count;
+        }
+    }
+    for t in src.plain() {
+        for &r in t {
+            bitmap::set_bit(&mut cols[r as usize * words..][..words], tid);
+        }
+        touches += t.len() as u64;
+        tid += 1;
+    }
+    if group_hits > 0 {
+        metrics::add("mine.group_hits", group_hits);
+    }
+    metrics::add("mine.tuple_touches", touches);
+    (cols, words)
+}
+
+/// Processes one lexicographic node whose extension singletons were
+/// already emitted by the caller: counts all pairs, applies the chain
+/// shortcut and the candidate-bound termination, then descends.
+///
+/// `cols` holds one materialized tidset per extension, in extension
+/// order (ignored when there are fewer than two extensions).
+fn vt_node(
+    exts: &[(u32, u64)],
+    cols: &[u64],
+    words: usize,
+    minsup: u64,
+    ctx: &mut VtCtx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let k = exts.len();
+    if k < 2 {
+        return;
+    }
+    metrics::set_max("mine.max_depth", emitter.depth() as u64 + 1);
+    // Pair pass: fused AND + popcount over all extension pairs — the
+    // whole next level counted without materializing anything.
+    let mut matrix = PairMatrix::new(k);
+    let mut n2 = 0u64;
+    for a in 0..k {
+        let col_a = &cols[a * words..][..words];
+        for b in (a + 1)..k {
+            let c = bitmap::and_popcount(col_a, &cols[b * words..][..words]);
+            if c > 0 {
+                matrix.bump_by(a as u32, b as u32, c);
+            }
+            if c >= minsup {
+                n2 += 1;
+            }
+        }
+    }
+    let pairs = (k * (k - 1) / 2) as u64;
+    metrics::add("mine.candidate_tests", pairs);
+    metrics::add("mine.bitmap_words_scanned", pairs * words as u64);
+    if n2 == 0 {
+        return;
+    }
+    // Inclusion-chain shortcut: if every pair support equals the
+    // smaller member support, the tidsets are pairwise ⊆-comparable —
+    // a chain — and any subset's support is its minimum member
+    // support. Enumerate subsets directly (singletons were already
+    // emitted by the caller).
+    if k <= 62 && n2 == pairs && is_chain(exts, &matrix) {
+        for_each_subset(exts, &mut |ranks, sup| {
+            if ranks.len() >= 2 {
+                emitter.emit_with(sink, ranks, sup);
+            }
+        });
+        return;
+    }
+    // Candidate-bound termination: the Kruskal–Katona cascade of the
+    // realized pair level. Zero means no 3-candidate — and hence
+    // nothing deeper — can be frequent anywhere below this node, so
+    // the frequent pairs are emitted flat and no tidset is built.
+    let bound3 = bound::candidate_bound(n2, 2);
+    if bound3 == 0 {
+        metrics::add("mine.bound_prunes", 1);
+        for a in 0..k {
+            let mut pushed = false;
+            for b in (a + 1)..k {
+                let c = matrix.get(a as u32, b as u32);
+                if c >= minsup {
+                    if !pushed {
+                        emitter.push(exts[a].0);
+                        pushed = true;
+                    }
+                    emitter.push(exts[b].0);
+                    emitter.emit(sink, c);
+                    emitter.pop();
+                }
+            }
+            if pushed {
+                emitter.pop();
+            }
+        }
+        return;
+    }
+    // Bound-driven pre-size: any child class at this node materializes
+    // at most min(n₂, k−1) tidsets, so reserving that capacity up
+    // front makes every child's fill allocation-free, first descent
+    // included.
+    let depth = ctx.depth;
+    if ctx.levels.len() <= depth {
+        ctx.levels.resize_with(depth + 1, VtLevel::default);
+    }
+    ctx.levels[depth].arena.reserve_words(n2.min((k - 1) as u64) as usize * words);
+    for a in 0..k {
+        vt_extend(
+            exts,
+            cols,
+            words,
+            a,
+            |b| matrix.get(a as u32, b as u32),
+            minsup,
+            ctx,
+            emitter,
+            sink,
+        );
+    }
+}
+
+/// True when every pair support equals the smaller member support —
+/// the tidsets are pairwise comparable under inclusion.
+fn is_chain(exts: &[(u32, u64)], matrix: &PairMatrix) -> bool {
+    let k = exts.len();
+    for a in 0..k {
+        for b in (a + 1)..k {
+            if matrix.get(a as u32, b as u32) != exts[a].1.min(exts[b].1) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Builds and recurses into the child node of extension `a`: collects
+/// the frequent pairs `(a, b)` from `pair_support`, emits the child's
+/// extension singletons via the recursion, and materializes the child
+/// tidsets only when the child can itself have pairs. This is both the
+/// inner loop body of [`vt_node`] and the root fan-out unit.
+#[allow(clippy::too_many_arguments)]
+fn vt_extend(
+    exts: &[(u32, u64)],
+    cols: &[u64],
+    words: usize,
+    a: usize,
+    pair_support: impl Fn(usize) -> u64,
+    minsup: u64,
+    ctx: &mut VtCtx,
+    emitter: &mut RankEmitter<'_>,
+    sink: &mut dyn PatternSink,
+) {
+    let depth = ctx.depth;
+    if ctx.levels.len() <= depth {
+        ctx.levels.resize_with(depth + 1, VtLevel::default);
+    }
+    // Borrow this depth's scratch; the recursion below only uses deeper
+    // slots, so taking it out of the context is conflict-free.
+    let mut lvl = std::mem::take(&mut ctx.levels[depth]);
+    lvl.exts.clear();
+    lvl.srcs.clear();
+    for (b, &(rank, _)) in exts.iter().enumerate().skip(a + 1) {
+        let c = pair_support(b);
+        if c >= minsup {
+            lvl.exts.push((rank, c));
+            lvl.srcs.push(b as u32);
+        }
+    }
+    if lvl.exts.is_empty() {
+        ctx.levels[depth] = lvl;
+        return;
+    }
+    emitter.push(exts[a].0);
+    if lvl.exts.len() == 1 {
+        // A single extension cannot pair: emit it without building its
+        // (never-read) tidset.
+        let (rank, sup) = lvl.exts[0];
+        emitter.push(rank);
+        emitter.emit(sink, sup);
+        emitter.pop();
+    } else {
+        let col_a = &cols[a * words..][..words];
+        lvl.arena.reset();
+        lvl.arena.reserve_words(lvl.exts.len() * words);
+        for &b in &lvl.srcs {
+            lvl.arena.append_and(col_a, &cols[b as usize * words..][..words]);
+        }
+        metrics::add("mine.projected_dbs", 1);
+        metrics::add("mine.bitmap_words_scanned", (lvl.exts.len() * words) as u64);
+        // Child extension singletons, then the child node proper.
+        for &(rank, sup) in &lvl.exts {
+            emitter.push(rank);
+            emitter.emit(sink, sup);
+            emitter.pop();
+        }
+        ctx.depth = depth + 1;
+        vt_node(&lvl.exts, lvl.arena.words(), words, minsup, ctx, emitter, sink);
+        ctx.depth = depth;
+    }
+    emitter.pop();
+    ctx.levels[depth] = lvl;
+}

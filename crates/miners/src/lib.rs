@@ -12,6 +12,11 @@
 //! * [`naive`] — the plain recursive projected-database miner, the
 //!   skeleton the paper's Definition 3.2/3.3 framework describes.
 //!
+//! A fourth *vertical* family, [`eclat`], mines tidset bitmaps by
+//! word-wise AND + popcount instead of walking tuples, with extension
+//! levels pre-sized and terminated by the Kruskal–Katona candidate
+//! upper bound of [`bound`].
+//!
 //! All miners implement [`Miner`] and produce the *complete* set of
 //! frequent patterns; the test suites assert they agree pattern-for-pattern
 //! on random databases.
@@ -25,7 +30,9 @@
 //! for examples and external callers.
 
 pub mod apriori;
+pub mod bound;
 pub mod common;
+pub mod eclat;
 pub mod engine;
 pub mod fpgrowth;
 pub mod hmine;
@@ -36,6 +43,7 @@ use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink, Transaction
 use gogreen_util::pool::Parallelism;
 
 pub use apriori::Apriori;
+pub use eclat::Eclat;
 pub use fpgrowth::FpGrowth;
 pub use hmine::HMine;
 pub use naive::NaiveProjection;
@@ -121,6 +129,12 @@ pub fn mine_treeproj(db: &TransactionDb, min_support: MinSupport) -> PatternSet 
     TreeProjection.mine(db, min_support)
 }
 
+/// Mines with [`Eclat`] (a thin wrapper over the unified vertical
+/// [`engine::vt`] traversal on the plain substrate).
+pub fn mine_eclat(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
+    Eclat.mine(db, min_support)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +151,7 @@ mod tests {
             Box::new(HMine),
             Box::new(FpGrowth),
             Box::new(TreeProjection),
+            Box::new(Eclat),
         ];
         for m in &miners {
             let fp = m.mine(&db, MinSupport::Absolute(3));
@@ -179,6 +194,7 @@ mod tests {
             mine_hmine(&db, MinSupport::Absolute(2)),
             mine_fpgrowth(&db, MinSupport::Absolute(2)),
             mine_treeproj(&db, MinSupport::Absolute(2)),
+            mine_eclat(&db, MinSupport::Absolute(2)),
             NaiveProjection.mine(&db, MinSupport::Absolute(2)),
         ] {
             assert!(m.same_patterns_as(&oracle));

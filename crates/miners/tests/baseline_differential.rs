@@ -1,11 +1,11 @@
-//! Randomized differential tests across the four baseline miners: on any
-//! database and threshold, H-Mine, FP-growth, Tree Projection and the
-//! naive projected-database miner must produce exactly Apriori's set.
+//! Randomized differential tests across the baseline miners: on any
+//! database and threshold, H-Mine, FP-growth, Tree Projection, Eclat and
+//! the naive projected-database miner must produce exactly Apriori's set.
 //! Cases come from a seeded in-repo PRNG for deterministic replay.
 
 use gogreen_data::{MinSupport, Transaction, TransactionDb};
 use gogreen_miners::{
-    mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner, NaiveProjection,
+    mine_apriori, mine_eclat, mine_fpgrowth, mine_hmine, mine_treeproj, Miner, NaiveProjection,
 };
 use gogreen_util::rng::{Rng, SmallRng};
 use std::collections::BTreeSet;
@@ -63,6 +63,11 @@ fn treeproj_matches_oracle() {
 #[test]
 fn naive_matches_oracle() {
     check_against_oracle("naive", 0x6a3e_0004, |db, ms| NaiveProjection.mine(db, ms));
+}
+
+#[test]
+fn eclat_matches_oracle() {
+    check_against_oracle("eclat", 0x6a3e_0005, mine_eclat);
 }
 
 /// Anti-monotonicity of the output itself: every subset-closed property

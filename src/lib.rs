@@ -12,7 +12,7 @@
 //! * [`data`] — items, transactions, databases, F-lists, patterns.
 //! * [`datagen`] — synthetic dataset generators and paper-analog presets.
 //! * [`miners`] — baseline miners: Apriori, H-Mine, FP-growth,
-//!   Tree Projection.
+//!   Tree Projection, vertical bitmap Eclat.
 //! * [`constraints`] — the constrained-mining framework (anti-monotone,
 //!   monotone, succinct, convertible constraint classes).
 //! * [`core`] — the paper's contribution: MCP/MLP compression, compressed
@@ -60,6 +60,7 @@ pub mod prelude {
     pub use gogreen_core::recycle_fp::RecycleFp;
     pub use gogreen_core::recycle_hm::RecycleHm;
     pub use gogreen_core::recycle_tp::RecycleTp;
+    pub use gogreen_core::recycle_vt::RecycleVt;
     pub use gogreen_core::rpmine::RpMine;
     pub use gogreen_core::session::MiningSession;
     pub use gogreen_core::utility::Strategy;
@@ -68,5 +69,7 @@ pub mod prelude {
         contains_all, CollectSink, CountSink, CsrTuples, FList, Item, ItemCatalog, MinSupport,
         Pattern, PatternSet, PatternSink, ProjectionArena, Transaction, TransactionDb, TupleSlices,
     };
-    pub use gogreen_miners::{mine_apriori, mine_fpgrowth, mine_hmine, mine_treeproj, Miner};
+    pub use gogreen_miners::{
+        mine_apriori, mine_eclat, mine_fpgrowth, mine_hmine, mine_treeproj, Miner,
+    };
 }

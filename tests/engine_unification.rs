@@ -64,8 +64,65 @@ fn paired_families() -> Vec<&'static str> {
 #[test]
 fn registry_pairs_every_family() {
     let keys = paired_families();
-    assert_eq!(keys, vec!["hmine", "fp", "tp", "naive"]);
+    assert_eq!(keys, vec!["hmine", "fp", "tp", "vt", "naive"]);
     assert!(engine_named("apriori").unwrap().recycling(Parallelism::serial()).is_none());
+}
+
+/// A dense connect4-style analog: few distinct items, long tuples, heavy
+/// overlap — the regime where tidset bitmaps stay word-dense and the
+/// vertical engine's chain shortcut and bound pruning matter most. Every
+/// family must stay exact and thread-invariant here too.
+fn dense_analog_db() -> TransactionDb {
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for i in 0..90u32 {
+        // Ten base items, each row dropping two rotating positions plus
+        // a sparse tail item: supports cluster near the top like a
+        // game-position database.
+        let mut r: Vec<u32> =
+            (0..10u32).filter(|&x| x != i % 10 && x != (i * 3 + 1) % 10).collect();
+        if i % 9 == 0 {
+            r.push(10 + i % 4);
+        }
+        rows.push(r);
+    }
+    let row_refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+    TransactionDb::from_rows(&row_refs)
+}
+
+#[test]
+fn dense_analog_is_exact_for_every_family() {
+    use gogreen::core::Compressor;
+    let db = dense_analog_db();
+    let fp_old = mine_apriori(&db, MinSupport::Absolute(60));
+    for key in paired_families() {
+        let engine = engine_named(key).unwrap();
+        for minsup in [30u64, 50, 70] {
+            let ms = MinSupport::Absolute(minsup);
+            let oracle = mine_apriori(&db, ms);
+            let raw = stream_of(&mut |sink| {
+                engine.raw().mine_into_par(&db, ms, Parallelism::serial(), sink)
+            });
+            assert!(
+                as_set(&raw).same_patterns_as(&oracle),
+                "{key} raw ξ={minsup}: {} vs oracle {}",
+                raw.len(),
+                oracle.len()
+            );
+            for strategy in [Strategy::Mcp, Strategy::Mlp] {
+                let cdb = Compressor::new(strategy).compress(&db, &fp_old);
+                for threads in [1usize, 4] {
+                    let par = Parallelism::threads(threads);
+                    let got = stream_of(&mut |sink| {
+                        engine.recycling(par).unwrap().mine_into_par(&cdb, ms, par, sink)
+                    });
+                    assert!(
+                        as_set(&got).same_patterns_as(&oracle),
+                        "{key} {strategy:?} ξ={minsup} t={threads}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -12,7 +12,7 @@
 //! `TEST_LOCK` for its whole body.
 
 use gogreen::data::FnSink;
-use gogreen::miners::{FpGrowth, HMine, TreeProjection};
+use gogreen::miners::{Eclat, FpGrowth, HMine, TreeProjection};
 use gogreen::obs::metrics;
 use gogreen::prelude::*;
 use gogreen::util::pool::Parallelism;
@@ -57,7 +57,7 @@ fn baseline_miner_streams_identical_across_thread_counts() {
     let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (db, _) = weather();
     let miners: Vec<Box<dyn Miner>> =
-        vec![Box::new(HMine), Box::new(FpGrowth), Box::new(TreeProjection)];
+        vec![Box::new(HMine), Box::new(FpGrowth), Box::new(TreeProjection), Box::new(Eclat)];
     for m in &miners {
         let serial =
             stream_of(&mut |sink| m.mine_into_par(&db, XI_NEW, Parallelism::serial(), sink));
@@ -76,6 +76,7 @@ fn recycling_miner_streams_identical_across_thread_counts() {
         Box::new(RecycleHm),
         Box::new(RecycleFp::default()),
         Box::new(RecycleTp),
+        Box::new(RecycleVt),
         Box::new(RpMine::default()),
     ];
     for m in &miners {
@@ -100,11 +101,11 @@ fn mine_counters(
     metrics::reset();
     metrics::set_enabled(true);
     let mut sink = FnSink(|_: &[Item], _: u64| {});
-    for m in [&HMine as &dyn Miner, &FpGrowth, &TreeProjection] {
+    for m in [&HMine as &dyn Miner, &FpGrowth, &TreeProjection, &Eclat] {
         m.mine_into_par(db, XI_NEW, par, &mut sink);
     }
-    let recyclers: [&dyn RecyclingMiner; 4] =
-        [&RecycleHm, &RecycleFp::default(), &RecycleTp, &RpMine::default()];
+    let recyclers: [&dyn RecyclingMiner; 5] =
+        [&RecycleHm, &RecycleFp::default(), &RecycleTp, &RecycleVt, &RpMine::default()];
     for m in recyclers {
         m.mine_into_par(cdb, XI_NEW, par, &mut sink);
     }
@@ -124,9 +125,13 @@ fn mine_counters_bit_identical_across_thread_counts() {
     let (db, cdb) = weather();
     let serial = mine_counters(&db, &cdb, 1);
     let threaded = mine_counters(&db, &cdb, 4);
-    for required in
-        ["mine.candidate_tests", "mine.tuple_touches", "mine.projected_dbs", "mine.max_depth"]
-    {
+    for required in [
+        "mine.candidate_tests",
+        "mine.tuple_touches",
+        "mine.projected_dbs",
+        "mine.max_depth",
+        "mine.bitmap_words_scanned",
+    ] {
         assert!(
             serial.iter().any(|&(n, v)| n == required && v > 0),
             "counter {required} missing from {serial:?}"
