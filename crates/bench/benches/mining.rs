@@ -22,7 +22,7 @@ fn main() {
     gogreen_obs::metrics::set_enabled(true);
     let mut group = BenchGroup::new("mining");
     group.sample_size(5);
-    for kind in [PresetKind::Connect4, PresetKind::Weather] {
+    for kind in [PresetKind::Connect4, PresetKind::Weather, PresetKind::Pumsb] {
         let preset = DatasetPreset::new(kind, 0.01);
         let db = preset.generate();
         let fp = mine_hmine(&db, preset.xi_old());

@@ -22,11 +22,18 @@
 //!                horizontal vs vertical head-to-head: all four
 //!                families (including bitmap Eclat) at matched ξ_new,
 //!                fresh and MCP-recycled, serial and 4 threads
+//!   ext-obs-hist histogram study: the projected-DB size distribution,
+//!                raw vs MCP-recycled, per engine family (E9)
 //!   quick        CI smoke: one mine→compress→recycle round on the
 //!                weather analog at a tiny scale
 //!   check-metrics <file>
 //!                validate a --metrics-out JSONL file (parses, and the
 //!                core mining/compression counters are present)
+//!   check-perf [mining.json] [compression.json]
+//!                deterministic perf gate: replay each committed
+//!                BENCH_*.json row's workload once and require its
+//!                thread-invariant counters and histogram totals to
+//!                match the archive exactly
 //! ```
 //!
 //! `--scale` multiplies the paper's tuple counts (default 0.05).
@@ -35,21 +42,24 @@
 
 use gogreen_bench::ablation;
 use gogreen_bench::figures::{run_figure, run_mem_figure, FigureResult, MemFigureResult};
+use gogreen_bench::perfgate;
 use gogreen_bench::report::{fmt_secs, fmt_speedup, render_table, Reporter};
 use gogreen_bench::table3::run_table3;
+use gogreen_bench::AlgoFamily;
 use gogreen_bench::DEFAULT_SCALE;
 use gogreen_core::recycle_hm::RecycleHm;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::MinSupport;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics, profile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = DEFAULT_SCALE;
     let mut results_dir = "results".to_owned();
     let mut metrics_out: Option<String> = None;
+    let mut profile_out: Option<String> = None;
     let mut rest: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -67,6 +77,10 @@ fn main() {
                 metrics_out =
                     Some(it.next().unwrap_or_else(|| die("--metrics-out expects a file")));
             }
+            "--profile-out" => {
+                profile_out =
+                    Some(it.next().unwrap_or_else(|| die("--profile-out expects a file")));
+            }
             "--quiet-metrics" => gogreen_obs::set_quiet(true),
             "--help" | "-h" => {
                 print_usage();
@@ -80,6 +94,10 @@ fn main() {
     }
     if metrics_out.is_some() {
         metrics::set_enabled(true);
+    }
+    if profile_out.is_some() {
+        profile::reset();
+        profile::set_enabled(true);
     }
     let reporter = Reporter::new(&results_dir);
     let command = rest.first().map(String::as_str).unwrap_or("all");
@@ -123,18 +141,37 @@ fn main() {
         "ext-compress-par" => cmd_compress_par(scale, &reporter),
         "ext-mine-par" => cmd_mine_par(scale, &reporter),
         "ext-mine-vertical" => cmd_mine_vertical(scale, &reporter),
+        "ext-obs-hist" => cmd_obs_hist(scale, &reporter),
         "quick" | "--quick" => cmd_quick(scale),
         "check-metrics" => {
             let file = rest.get(1).cloned().unwrap_or_else(|| die("check-metrics expects a file"));
             cmd_check_metrics(&file);
         }
+        "check-perf" => {
+            let mining = rest.get(1).cloned().unwrap_or_else(|| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json").to_owned()
+            });
+            let compression = rest.get(2).cloned().unwrap_or_else(|| {
+                concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compression.json").to_owned()
+            });
+            cmd_check_perf(&mining, &compression);
+        }
         other => die(&format!("unknown command {other:?} (try --help)")),
     }
     if let Some(path) = metrics_out {
-        std::fs::write(&path, metrics::to_jsonl())
-            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        let mut body = metrics::to_jsonl();
+        body.push_str(&histogram::to_jsonl());
+        std::fs::write(&path, body).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
         if !gogreen_obs::quiet() {
             eprintln!("metrics ({path}):\n{}", metrics::render_table());
+        }
+    }
+    if let Some(path) = profile_out {
+        profile::set_enabled(false);
+        std::fs::write(&path, profile::to_collapsed())
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        if !gogreen_obs::quiet() {
+            eprintln!("profile ({path}):\n{}", profile::render_table());
         }
     }
 }
@@ -146,9 +183,9 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     println!(
-        "repro [--scale S] [--results DIR] [--metrics-out F] [--quiet-metrics] \
+        "repro [--scale S] [--results DIR] [--metrics-out F] [--profile-out F] [--quiet-metrics] \
          <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|ext-mine-vertical|\n\
-         quick|check-metrics F>\n\
+         ext-obs-hist|quick|check-metrics F|check-perf [F F]>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -185,7 +222,8 @@ fn cmd_quick(scale: f64) {
 }
 
 /// Validates a `--metrics-out` file: every line parses as a JSON object
-/// with `metric`/`kind`/`value`, and the core counters are present.
+/// — a counter line with `metric`/`kind`/`value` or a histogram line
+/// with `hist`/`count`/`sum` — and the core counters are present.
 fn cmd_check_metrics(path: &str) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
@@ -193,6 +231,17 @@ fn cmd_check_metrics(path: &str) {
     for (lineno, line) in text.lines().enumerate() {
         let json = gogreen_util::Json::parse(line)
             .unwrap_or_else(|e| die(&format!("{path}:{}: invalid JSON: {e}", lineno + 1)));
+        if let Some(hist) = json.get("hist").and_then(|j| j.as_str()) {
+            for field in ["count", "sum"] {
+                if json.get(field).and_then(|j| j.as_u64()).is_none() {
+                    die(&format!(
+                        "{path}:{}: hist {hist:?} missing numeric \"{field}\"",
+                        lineno + 1
+                    ));
+                }
+            }
+            continue;
+        }
         let metric = json
             .get("metric")
             .and_then(|j| j.as_str())
@@ -211,6 +260,210 @@ fn cmd_check_metrics(path: &str) {
         }
     }
     println!("check-metrics: {path} ok ({} metrics, all required counters present)", seen.len());
+}
+
+/// Deterministic perf gate: replays every committed `BENCH_*.json`
+/// row's workload once — serially, since the gated names are
+/// thread-invariant and one run therefore covers every `tN` row — and
+/// fails listing every counter or histogram-total drift.
+fn cmd_check_perf(mining_path: &str, compression_path: &str) {
+    let mut drifts: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    check_perf_mining(mining_path, &mut drifts, &mut compared);
+    check_perf_compression(compression_path, &mut drifts, &mut compared);
+    if drifts.is_empty() {
+        println!(
+            "check-perf: {compared} baseline rows match \
+             (thread-invariant counters and histogram totals)"
+        );
+    } else {
+        for d in &drifts {
+            eprintln!("check-perf: DRIFT {d}");
+        }
+        die(&format!("{} drift(s) across {} compared rows", drifts.len(), compared));
+    }
+}
+
+fn load_baseline(path: &str) -> Vec<perfgate::BaselineRow> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
+    perfgate::parse_baseline(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Compares `obs` against every baseline row with this exact
+/// `(id, param)`, accumulating drifts and marking the rows consumed so
+/// leftovers can be reported as un-replayable.
+fn compare_rows(
+    rows: &[perfgate::BaselineRow],
+    matched: &mut [bool],
+    id: &str,
+    param: &str,
+    obs: &perfgate::Observed,
+    drifts: &mut Vec<String>,
+    compared: &mut usize,
+) {
+    for (i, row) in rows.iter().enumerate() {
+        if row.id == id && row.param == param {
+            drifts.extend(perfgate::compare(row, obs));
+            matched[i] = true;
+            *compared += 1;
+        }
+    }
+}
+
+fn check_perf_mining(path: &str, drifts: &mut Vec<String>, compared: &mut usize) {
+    let rows = load_baseline(path);
+    let mut matched = vec![false; rows.len()];
+    for kind in [PresetKind::Connect4, PresetKind::Weather, PresetKind::Pumsb] {
+        let prefix = format!("{}/t", dataset_name(kind));
+        if !rows.iter().any(|r| r.param.starts_with(&prefix)) {
+            continue;
+        }
+        // The mining bench archives at scale 0.01; replaying the same
+        // preset at the same scale and ξ reproduces the same work.
+        let preset = DatasetPreset::new(kind, 0.01);
+        let db = preset.generate();
+        let fp = mine_hmine(&db, preset.xi_old());
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+        let xi_new = *preset.sweep().last().expect("non-empty sweep");
+        for family in AlgoFamily::with_vertical() {
+            perfgate::reset_registries();
+            let raw = perfgate::measure(|| family.run_baseline(&db, xi_new).patterns);
+            perfgate::reset_registries();
+            let rec = perfgate::measure(|| family.run_recycled(&cdb, xi_new).patterns);
+            let recycled_id = format!("{}-MCP", family.tag());
+            for (i, row) in rows.iter().enumerate() {
+                if !row.param.starts_with(&prefix) {
+                    continue;
+                }
+                let obs = if row.id == family.baseline_name() {
+                    &raw
+                } else if row.id == recycled_id {
+                    &rec
+                } else {
+                    continue;
+                };
+                drifts.extend(perfgate::compare(row, obs));
+                matched[i] = true;
+                *compared += 1;
+            }
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if !matched[i] {
+            drifts.push(format!(
+                "{}/{}: no replay workload for this baseline row",
+                row.id, row.param
+            ));
+        }
+    }
+}
+
+fn check_perf_compression(path: &str, drifts: &mut Vec<String>, compared: &mut usize) {
+    let rows = load_baseline(path);
+    let mut matched = vec![false; rows.len()];
+    for kind in [PresetKind::Connect4, PresetKind::Weather] {
+        let preset = DatasetPreset::new(kind, 0.01);
+        let db = preset.generate();
+        let fp = mine_hmine(&db, preset.xi_old());
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            perfgate::reset_registries();
+            let obs = perfgate::measure(|| Compressor::new(strategy).compress(&db, &fp));
+            compare_rows(
+                &rows,
+                &mut matched,
+                strategy.suffix(),
+                preset.name(),
+                &obs,
+                drifts,
+                compared,
+            );
+        }
+        // Kernel-sweep replica (same ξ_old ladder as the bench). The
+        // recycled-pattern count is embedded in the param, so a miner
+        // drift changes the key and both sides report unmatched rows.
+        let supports: &[f64] = match kind {
+            PresetKind::Connect4 => &[0.95, 0.85, 0.75],
+            _ => &[0.05, 0.02, 0.01],
+        };
+        for &rel in supports {
+            let fp = mine_hmine(&db, MinSupport::Relative(rel));
+            let compressor = Compressor::new(Strategy::Mcp);
+            let param = format!("{}/fp{}", preset.name(), fp.len());
+            perfgate::reset_registries();
+            let linear = perfgate::measure(|| compressor.compress_reference(&db, &fp));
+            compare_rows(&rows, &mut matched, "linear", &param, &linear, drifts, compared);
+            perfgate::reset_registries();
+            let indexed = perfgate::measure(|| compressor.compress(&db, &fp));
+            compare_rows(&rows, &mut matched, "indexed", &param, &indexed, drifts, compared);
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        if !matched[i] {
+            drifts.push(format!(
+                "{}/{}: no replay workload for this baseline row",
+                row.id, row.param
+            ));
+        }
+    }
+}
+
+/// E9: the projected-DB size distribution, raw vs MCP-recycled, per
+/// engine family on the dense connect4 analog. Recycling shrinks the
+/// database every projection slices, so the whole distribution should
+/// shift left at an unchanged pattern count.
+fn cmd_obs_hist(scale: f64, reporter: &Reporter) {
+    println!(
+        "\n== Extension: projected-DB size distribution, raw vs MCP-recycled \
+         (connect4, ξ_new = sweep floor, scale {scale}) ==\n"
+    );
+    let preset = DatasetPreset::new(PresetKind::Connect4, scale);
+    let db = preset.generate();
+    let fp = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    let was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for family in AlgoFamily::with_vertical() {
+        for recycled in [false, true] {
+            histogram::reset();
+            let (engine, patterns) = if recycled {
+                (format!("{}-MCP", family.tag()), family.run_recycled(&cdb, xi_new).patterns)
+            } else {
+                (family.baseline_name().to_owned(), family.run_baseline(&db, xi_new).patterns)
+            };
+            let h = histogram::get("mine.projected_db_size").unwrap_or_default();
+            table.push(vec![
+                engine.clone(),
+                h.count.to_string(),
+                format!("{:.1}", h.mean()),
+                h.quantile_upper(0.5).to_string(),
+                h.quantile_upper(0.9).to_string(),
+                h.quantile_upper(1.0).to_string(),
+                patterns.to_string(),
+            ]);
+            reporter
+                .save_json(
+                    "ext_obs_hist",
+                    &gogreen_util::Json::obj([
+                        ("engine", gogreen_util::Json::from(engine.as_str())),
+                        ("recycled", gogreen_util::Json::from(recycled)),
+                        ("patterns", gogreen_util::Json::from(patterns)),
+                        ("hist", h.to_json()),
+                    ]),
+                )
+                .expect("save extension");
+        }
+    }
+    metrics::set_enabled(was_enabled);
+    print!(
+        "{}",
+        render_table(
+            &["engine", "projections", "mean size", "p50 ≤", "p90 ≤", "max ≤", "patterns"],
+            &table
+        )
+    );
 }
 
 fn cmd_table3(scale: f64, reporter: &Reporter) {

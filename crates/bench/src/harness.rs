@@ -8,7 +8,7 @@
 //! the per-run counter deltas, so archived rows explain *what work* the
 //! timed code did, not just how long it took.
 
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use gogreen_util::{Json, Stopwatch, ToJson};
 
 /// One benchmark's measured timings.
@@ -31,6 +31,11 @@ pub struct BenchResult {
     /// Per-run counter deltas (counters only, averaged over warmup +
     /// samples). Empty unless `gogreen_obs::metrics` is enabled.
     pub counters: Vec<(&'static str, u64)>,
+    /// Per-run histogram totals as `(name, count, sum)` deltas, averaged
+    /// the same way. Bucket vectors stay out of the archive: count+sum
+    /// already pin the distribution for the perf gate, and the full
+    /// vectors are available live via `--metrics-out`.
+    pub hists: Vec<(&'static str, u64, u64)>,
 }
 
 impl ToJson for BenchResult {
@@ -47,6 +52,12 @@ impl ToJson for BenchResult {
         if !self.counters.is_empty() {
             let counters = self.counters.iter().map(|&(n, v)| (n, Json::from(v)));
             fields.push(("counters", Json::obj(counters)));
+        }
+        if !self.hists.is_empty() {
+            let hists = self.hists.iter().map(|&(n, count, sum)| {
+                (n, Json::obj([("count", Json::from(count)), ("sum", Json::from(sum))]))
+            });
+            fields.push(("hists", Json::obj(hists)));
         }
         Json::obj(fields)
     }
@@ -76,6 +87,7 @@ impl BenchGroup {
     /// via `std::hint::black_box` so the work is not optimized away.
     pub fn bench<T>(&mut self, id: &str, param: &str, mut f: impl FnMut() -> T) -> &BenchResult {
         let before: Vec<(&'static str, u64)> = counter_values();
+        let hists_before = hist_totals();
         std::hint::black_box(f());
         let mut times = Vec::with_capacity(self.samples);
         // One stopwatch for the whole loop; each `lap()` reads the split
@@ -97,6 +109,17 @@ impl BenchGroup {
             })
             .filter(|&(_, delta)| delta > 0)
             .collect();
+        let hists = hist_totals()
+            .into_iter()
+            .map(|(name, count, sum)| {
+                let (pc, ps) = hists_before
+                    .iter()
+                    .find(|(n, _, _)| *n == name)
+                    .map_or((0, 0), |&(_, c, s)| (c, s));
+                (name, count.saturating_sub(pc) / runs, sum.saturating_sub(ps) / runs)
+            })
+            .filter(|&(_, count, _)| count > 0)
+            .collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         let result = BenchResult {
             group: self.name.clone(),
@@ -107,6 +130,7 @@ impl BenchGroup {
             mean_s: times.iter().sum::<f64>() / times.len() as f64,
             samples: times.len(),
             counters,
+            hists,
         };
         println!(
             "{}/{}/{}: min {} median {} ({} samples)",
@@ -142,6 +166,11 @@ fn counter_values() -> Vec<(&'static str, u64)> {
         .collect()
 }
 
+/// Current histogram totals as `(name, count, sum)`.
+fn hist_totals() -> Vec<(&'static str, u64, u64)> {
+    histogram::snapshot().into_iter().map(|(n, h)| (n, h.count, h.sum)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,10 +197,12 @@ mod tests {
             mean_s: 0.2,
             samples: 3,
             counters: vec![("mine.candidate_tests", 7)],
+            hists: vec![("mine.projected_db_size", 3, 12)],
         };
         let s = r.to_json().dump();
         assert!(s.contains("\"group\":\"g\"") && s.contains("\"samples\":3"));
         assert!(s.contains("\"counters\":{\"mine.candidate_tests\":7}"));
+        assert!(s.contains("\"hists\":{\"mine.projected_db_size\":{\"count\":3,\"sum\":12}}"));
     }
 
     #[test]

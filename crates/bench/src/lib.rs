@@ -23,6 +23,7 @@ pub mod ablation;
 pub mod algo;
 pub mod figures;
 pub mod harness;
+pub mod perfgate;
 pub mod report;
 pub mod table3;
 

@@ -1,0 +1,253 @@
+//! Deterministic perf gates: replay a committed benchmark's workload
+//! once and require its thread-invariant counters and histogram totals
+//! to match the archived `BENCH_*.json` row **exactly**.
+//!
+//! Wall-clock gates are noise-bound: a CI runner two generations behind
+//! a laptop fails every threshold, and a 5% budget hides a 4% real
+//! regression forever. Counters are different — the workspace's
+//! `mine.*`/`compress.*`/`alloc.*` counters and histogram totals measure
+//! *logical work* and are bit-identical for a given workload at any
+//! thread count (see `gogreen_obs::registry`). A PR that grows
+//! `mine.tuple_touches` by one has changed the datapath, and this gate
+//! says so with an exact diff instead of a shrug.
+//!
+//! The flow (`repro check-perf`): parse the committed baseline rows,
+//! re-run each row's workload once (serially — invariance makes the
+//! thread count irrelevant), [`measure`] the counter/histogram deltas,
+//! and [`compare`] them against every matching row. Thread-variant
+//! names (`cover.*`) are skipped on both sides; everything else must
+//! match in both directions — a counter that drifted, vanished, or
+//! newly appeared is a failure naming the exact metric and values.
+
+use gogreen_obs::metrics::{self, Kind};
+use gogreen_obs::{histogram, MetricsSnapshot};
+use gogreen_util::Json;
+
+/// One archived benchmark row's identity and work fingerprint.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineRow {
+    /// Benchmark id (`"H-Mine"`, `"FP-MCP"`, `"indexed"`, …).
+    pub id: String,
+    /// Input parameter (`"connect4/t4"`, `"weather"`, …).
+    pub param: String,
+    /// Archived per-run counter deltas, as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Archived per-run histogram totals, as `(name, count, sum)`.
+    pub hists: Vec<(String, u64, u64)>,
+}
+
+/// The counter and histogram deltas of one measured run, in the same
+/// shape as [`BaselineRow`] so [`compare`] treats both sides uniformly.
+#[derive(Debug, Clone, Default)]
+pub struct Observed {
+    /// Counter deltas `(name, value)`, zero deltas dropped.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram total deltas `(name, count, sum)`, empty ones dropped.
+    pub hists: Vec<(String, u64, u64)>,
+}
+
+/// Parses a `BENCH_*.json` archive (one JSON array of row objects) into
+/// baseline rows. Rows without counters parse to empty fingerprints —
+/// [`compare`] then only checks that the observation is empty too.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineRow>, String> {
+    let json = Json::parse(text).map_err(|e| format!("invalid baseline JSON: {e}"))?;
+    let Json::Arr(rows) = json else {
+        return Err("baseline is not a JSON array".to_owned());
+    };
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |k: &str| {
+                row.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("row {i}: missing \"{k}\""))
+            };
+            let mut out =
+                BaselineRow { id: field("id")?, param: field("param")?, ..Default::default() };
+            if let Some(Json::Obj(pairs)) = row.get("counters") {
+                for (name, v) in pairs {
+                    let v = v
+                        .as_u64()
+                        .ok_or_else(|| format!("row {i}: counter {name:?} not an integer"))?;
+                    out.counters.push((name.clone(), v));
+                }
+            }
+            if let Some(Json::Obj(pairs)) = row.get("hists") {
+                for (name, h) in pairs {
+                    let count = h.get("count").and_then(Json::as_u64);
+                    let sum = h.get("sum").and_then(Json::as_u64);
+                    let (Some(count), Some(sum)) = (count, sum) else {
+                        return Err(format!("row {i}: hist {name:?} missing count/sum"));
+                    };
+                    out.hists.push((name.clone(), count, sum));
+                }
+            }
+            Ok(out)
+        })
+        .collect()
+}
+
+/// Runs `f` once with the metrics registry enabled and returns its exact
+/// counter and histogram-total deltas (thread-variant and zero entries
+/// included; [`compare`] does the filtering so the caller sees the raw
+/// fingerprint).
+pub fn measure<T>(f: impl FnOnce() -> T) -> Observed {
+    let was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    let before = MetricsSnapshot::capture();
+    std::hint::black_box(f());
+    let delta = MetricsSnapshot::capture().delta_since(&before);
+    metrics::set_enabled(was_enabled);
+    Observed {
+        counters: delta
+            .metrics
+            .iter()
+            .filter(|(_, m)| m.kind == Kind::Counter && m.value > 0)
+            .map(|(&n, m)| (n.to_owned(), m.value))
+            .collect(),
+        hists: delta
+            .hists
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(&n, h)| (n.to_owned(), h.count, h.sum))
+            .collect(),
+    }
+}
+
+/// True when `name` participates in the gate: thread-invariant per the
+/// registry (the archived rows span thread counts, so variant machine
+/// work like `cover.*` can never gate) and not a histogram the archive
+/// predates.
+fn gated(name: &str) -> bool {
+    metrics::is_thread_invariant(name)
+}
+
+/// Compares one observed fingerprint against one baseline row. Returns
+/// the drift messages (empty = pass): every gated baseline counter and
+/// histogram total must be present and exactly equal in the observation,
+/// and every gated observed name must exist in the baseline.
+pub fn compare(row: &BaselineRow, observed: &Observed) -> Vec<String> {
+    let ctx = format!("{}/{}", row.id, row.param);
+    let mut drifts = Vec::new();
+    for (name, want) in row.counters.iter().filter(|(n, _)| gated(n)) {
+        match observed.counters.iter().find(|(n, _)| n == name) {
+            Some((_, got)) if got == want => {}
+            Some((_, got)) => {
+                drifts.push(format!("{ctx}: counter {name} = {got}, baseline {want}"))
+            }
+            None => drifts.push(format!("{ctx}: counter {name} missing (baseline {want})")),
+        }
+    }
+    for (name, got) in observed.counters.iter().filter(|(n, _)| gated(n)) {
+        if !row.counters.iter().any(|(n, _)| n == name) {
+            drifts.push(format!("{ctx}: new counter {name} = {got} not in baseline"));
+        }
+    }
+    for (name, want_count, want_sum) in row.hists.iter().filter(|(n, _, _)| gated(n)) {
+        match observed.hists.iter().find(|(n, _, _)| n == name) {
+            Some((_, c, s)) if c == want_count && s == want_sum => {}
+            Some((_, c, s)) => drifts.push(format!(
+                "{ctx}: hist {name} = (count {c}, sum {s}), baseline (count {want_count}, sum {want_sum})"
+            )),
+            None => drifts.push(format!(
+                "{ctx}: hist {name} missing (baseline count {want_count}, sum {want_sum})"
+            )),
+        }
+    }
+    for (name, c, s) in observed.hists.iter().filter(|(n, _, _)| gated(n)) {
+        if !row.hists.iter().any(|(n, _, _)| n == name) {
+            drifts.push(format!("{ctx}: new hist {name} (count {c}, sum {s}) not in baseline"));
+        }
+    }
+    drifts
+}
+
+/// Resets counters and histograms between measured workloads so deltas
+/// never bleed across rows. (Snapshot deltas already isolate runs; the
+/// reset additionally keeps [`measure`]'s captures small.)
+pub fn reset_registries() {
+    metrics::reset();
+    histogram::reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"[
+      {"group":"mining","id":"H-Mine","param":"connect4/t1","min_s":0.01,"median_s":0.01,"mean_s":0.01,"samples":5,
+       "counters":{"mine.tuple_touches":100,"cover.words_scanned":7},
+       "hists":{"mine.projected_db_size":{"count":4,"sum":40}}},
+      {"group":"compression","id":"linear","param":"connect4/fp297","min_s":0.01,"median_s":0.01,"mean_s":0.01,"samples":5}
+    ]"#;
+
+    fn observed() -> Observed {
+        Observed {
+            counters: vec![("mine.tuple_touches".into(), 100), ("cover.words_scanned".into(), 999)],
+            hists: vec![("mine.projected_db_size".into(), 4, 40)],
+        }
+    }
+
+    #[test]
+    fn parses_rows_with_and_without_fingerprints() {
+        let rows = parse_baseline(BASELINE).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "H-Mine");
+        assert_eq!(rows[0].counters.len(), 2);
+        assert_eq!(rows[0].hists, vec![("mine.projected_db_size".to_owned(), 4, 40)]);
+        assert!(rows[1].counters.is_empty() && rows[1].hists.is_empty());
+    }
+
+    #[test]
+    fn exact_match_passes_and_variant_counters_never_gate() {
+        let rows = parse_baseline(BASELINE).unwrap();
+        // cover.words_scanned differs (999 vs 7) but is thread-variant:
+        // skipped on both sides.
+        assert_eq!(compare(&rows[0], &observed()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn corrupted_baseline_counter_fails() {
+        let corrupted =
+            BASELINE.replace(r#""mine.tuple_touches":100"#, r#""mine.tuple_touches":101"#);
+        let rows = parse_baseline(&corrupted).unwrap();
+        let drifts = compare(&rows[0], &observed());
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("mine.tuple_touches = 100, baseline 101"), "{drifts:?}");
+    }
+
+    #[test]
+    fn corrupted_hist_total_fails() {
+        let corrupted = BASELINE.replace(r#""sum":40"#, r#""sum":41"#);
+        let rows = parse_baseline(&corrupted).unwrap();
+        let drifts = compare(&rows[0], &observed());
+        assert_eq!(drifts.len(), 1, "{drifts:?}");
+        assert!(drifts[0].contains("mine.projected_db_size"), "{drifts:?}");
+    }
+
+    #[test]
+    fn missing_and_novel_names_fail_in_both_directions() {
+        let rows = parse_baseline(BASELINE).unwrap();
+        let mut obs = observed();
+        obs.counters.retain(|(n, _)| n != "mine.tuple_touches");
+        obs.counters.push(("mine.bound_prunes".into(), 3));
+        let drifts = compare(&rows[0], &obs);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+        assert!(drifts.iter().any(|d| d.contains("missing")), "{drifts:?}");
+        assert!(drifts.iter().any(|d| d.contains("new counter mine.bound_prunes")), "{drifts:?}");
+    }
+
+    #[test]
+    fn measure_fingerprints_one_run() {
+        let obs = measure(|| {
+            metrics::add("mine.candidate_tests", 5);
+            histogram::observe("mine.projected_db_size", 8);
+        });
+        assert!(obs.counters.iter().any(|(n, v)| n == "mine.candidate_tests" && *v >= 5));
+        assert!(obs
+            .hists
+            .iter()
+            .any(|(n, c, s)| n == "mine.projected_db_size" && *c >= 1 && *s >= 8));
+    }
+}

@@ -45,15 +45,19 @@ pub fn show_support(ms: MinSupport, db_len: usize) -> String {
 }
 
 /// Observability wiring shared by the mining subcommands: honours
-/// `--trace-out <file>`, `--metrics-out <file>` and `--quiet-metrics`.
-/// Build one right after [`Args::parse`] and call [`ObsGuard::finish`]
-/// once the command's work is done.
+/// `--trace-out <file>`, `--metrics-out <file>`, `--profile-out <file>`,
+/// `--snapshot-out <file>` and `--quiet-metrics`. Build one right after
+/// [`Args::parse`] and call [`ObsGuard::finish`] once the command's work
+/// is done.
 pub struct ObsGuard {
     metrics_out: Option<String>,
+    profile_out: Option<String>,
+    snapshot_out: bool,
 }
 
-/// Installs the trace writer, enables the metrics registry, and records
-/// where to write metrics on [`ObsGuard::finish`].
+/// Installs the trace writer, enables the metrics registry and the
+/// profile/snapshot layers as requested, and records where to write
+/// each output on [`ObsGuard::finish`].
 pub fn setup_obs(args: &Args) -> Result<ObsGuard, String> {
     gogreen_obs::set_quiet(args.switch("quiet-metrics"));
     if let Some(path) = args.opt("trace-out") {
@@ -61,23 +65,64 @@ pub fn setup_obs(args: &Args) -> Result<ObsGuard, String> {
         gogreen_obs::set_trace_writer(Box::new(std::io::BufWriter::new(f)));
     }
     let metrics_out = args.opt("metrics-out").map(str::to_owned);
-    if metrics_out.is_some() || args.opt("trace-out").is_some() {
+    let profile_out = args.opt("profile-out").map(str::to_owned);
+    let snapshot_out = args.opt("snapshot-out").map(str::to_owned);
+    if metrics_out.is_some() || snapshot_out.is_some() || args.opt("trace-out").is_some() {
         gogreen_obs::metrics::set_enabled(true);
     }
-    Ok(ObsGuard { metrics_out })
+    if profile_out.is_some() {
+        gogreen_obs::profile::reset();
+        gogreen_obs::profile::set_enabled(true);
+    }
+    if let Some(path) = &snapshot_out {
+        // Each emitted snapshot (e.g. one per session round) becomes one
+        // JSON line: {"snapshot":label,"counters":{..},..}.
+        let f = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(f);
+        gogreen_obs::snapshot::set_exporter(Box::new(move |label, snap| {
+            let mut line = vec![("snapshot", gogreen_util::Json::from(label))];
+            if let gogreen_util::Json::Obj(fields) = snap.to_json() {
+                line.extend(fields.into_iter().map(|(k, v)| match k.as_str() {
+                    "counters" => ("counters", v),
+                    "maxes" => ("maxes", v),
+                    _ => ("hists", v),
+                }));
+            }
+            let _ = writeln!(w, "{}", gogreen_util::Json::obj(line).dump());
+        }));
+    }
+    Ok(ObsGuard { metrics_out, profile_out, snapshot_out: snapshot_out.is_some() })
 }
 
 impl ObsGuard {
-    /// Writes the metric snapshot as JSONL, prints the human-readable
-    /// table to stderr (unless `--quiet-metrics`), and flushes/closes
-    /// the trace writer.
+    /// Writes the metric snapshot as JSONL (counters + histograms),
+    /// writes the collapsed-stack profile, prints the human-readable
+    /// tables to stderr (unless `--quiet-metrics`), and flushes/closes
+    /// the trace and snapshot writers.
     pub fn finish(self) -> Result<(), String> {
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, gogreen_obs::metrics::to_jsonl())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+            let mut body = gogreen_obs::metrics::to_jsonl();
+            body.push_str(&gogreen_obs::histogram::to_jsonl());
+            std::fs::write(path, body).map_err(|e| format!("writing {path}: {e}"))?;
             if !gogreen_obs::quiet() {
                 eprintln!("metrics ({path}):\n{}", gogreen_obs::metrics::render_table());
+                let hists = gogreen_obs::histogram::render_table();
+                if !hists.contains("no histograms") {
+                    eprintln!("histograms ({path}):\n{hists}");
+                }
             }
+        }
+        if let Some(path) = &self.profile_out {
+            gogreen_obs::profile::set_enabled(false);
+            std::fs::write(path, gogreen_obs::profile::to_collapsed())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !gogreen_obs::quiet() {
+                eprintln!("profile ({path}):\n{}", gogreen_obs::profile::render_table());
+            }
+        }
+        if self.snapshot_out {
+            // Dropping the exporter flushes its BufWriter.
+            drop(gogreen_obs::snapshot::take_exporter());
         }
         if let Some(mut w) = gogreen_obs::take_trace_writer() {
             w.flush().map_err(|e| format!("flushing trace: {e}"))?;

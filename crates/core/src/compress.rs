@@ -19,7 +19,7 @@ use crate::cdb::{CompressedDb, Group};
 use crate::cover::CoverIndex;
 use crate::utility::{order_by_utility, Strategy};
 use gogreen_data::{difference_into, CsrTuples, Item, Pattern, PatternSet, TransactionDb};
-use gogreen_obs::{metrics, span};
+use gogreen_obs::{histogram, metrics, span};
 use gogreen_util::pool::{par_ranges, Parallelism};
 use gogreen_util::{FxHashMap, Stopwatch};
 use std::time::{Duration, Instant};
@@ -115,7 +115,10 @@ impl Compressor {
         let start = Instant::now();
         let mut sp = span("compress");
         let mut watch = Stopwatch::started();
-        let index = CoverIndex::new(db, fp, self.strategy);
+        let index = {
+            let _build_sp = span("cover.build");
+            CoverIndex::new(db, fp, self.strategy)
+        };
         let build = watch.lap();
 
         // Each worker runs the vertical sweep on one contiguous row range
@@ -276,6 +279,7 @@ fn emit_groups(
     used.into_iter()
         .map(|pidx| {
             let (outliers, bare) = by_pattern.remove(&pidx).expect("used key vanished");
+            histogram::observe("compress.group_size", outliers.len() as u64 + bare as u64);
             Group::new(items_of(pidx), outliers, bare)
         })
         .collect()

@@ -54,7 +54,7 @@
 use crate::utility::{order_by_utility, Strategy};
 use gogreen_data::bitmap;
 use gogreen_data::{Item, Pattern, PatternSet, TransactionDb, TupleSlices};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -358,6 +358,7 @@ impl<'a> CoverIndex<'a> {
                 }
             }
             let pidx = self.order[k];
+            let before = remaining;
             for w in 0..words {
                 let mut claimed = acc[w];
                 uncovered[w] &= !claimed;
@@ -367,6 +368,7 @@ impl<'a> CoverIndex<'a> {
                     remaining -= 1;
                 }
             }
+            histogram::observe("cover.run_len", (before - remaining) as u64);
             if remaining == 0 {
                 break;
             }

@@ -23,7 +23,7 @@ use crate::RecyclingMiner;
 use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
 use gogreen_data::{PatternSet, TransactionDb};
 use gogreen_miners::Miner;
-use gogreen_obs::{metrics, span};
+use gogreen_obs::{metrics, snapshot, span};
 use gogreen_util::pool::Parallelism;
 use std::time::Duration;
 
@@ -116,6 +116,33 @@ impl RunMode {
     }
 }
 
+/// Per-round snapshot emission: captures the merged metric state when a
+/// round opens and delivers the delta (exactly the round's own activity)
+/// to the installed [`snapshot`] exporter when it closes, on every exit
+/// path including the cached early return. When no exporter is installed
+/// — the common library case — opening and closing cost two lock-free
+/// checks and no capture.
+struct RoundScope {
+    before: Option<(u64, snapshot::MetricsSnapshot)>,
+}
+
+impl RoundScope {
+    fn open(round: u64) -> RoundScope {
+        let before =
+            snapshot::exporter_installed().then(|| (round, snapshot::MetricsSnapshot::capture()));
+        RoundScope { before }
+    }
+}
+
+impl Drop for RoundScope {
+    fn drop(&mut self) {
+        if let Some((round, before)) = self.before.take() {
+            let delta = snapshot::MetricsSnapshot::capture().delta_since(&before);
+            snapshot::emit(&format!("session.round/{round}"), &delta);
+        }
+    }
+}
+
 /// Metrics of one session round.
 #[derive(Debug, Clone)]
 pub struct RoundReport {
@@ -164,6 +191,9 @@ pub struct MiningSession {
     /// threshold) — the best recycling fodder (paper §5: lower `ξ_old`
     /// recycles better).
     richest: Option<(u64, PatternSet)>,
+    /// Rounds run by *this* session — labels the per-round metric
+    /// snapshots (the global `session.rounds` counter spans sessions).
+    rounds_run: u64,
 }
 
 impl MiningSession {
@@ -178,6 +208,7 @@ impl MiningSession {
             parallelism: Parallelism::serial(),
             last: None,
             richest: None,
+            rounds_run: 0,
         }
     }
 
@@ -229,6 +260,8 @@ impl MiningSession {
     pub fn run_with_report(&mut self, constraints: ConstraintSet) -> (PatternSet, RoundReport) {
         let db_len = self.db.len();
         let xi = constraints.min_support().to_absolute(db_len);
+        self.rounds_run += 1;
+        let _snap_scope = RoundScope::open(self.rounds_run);
         let mut sp = span("session.round");
         let started = std::time::Instant::now();
         let (mode, full, compression, fodder_patterns) = match &self.last {

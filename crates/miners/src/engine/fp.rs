@@ -28,7 +28,7 @@
 use crate::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use crate::fpgrowth::{FpTree, FpTreeBuilder, FP_NIL};
 use gogreen_data::{FList, GroupedSource, PatternSink, ProjectionArena, TupleSlices};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use gogreen_util::pool::{par_chunks, Parallelism};
 use std::sync::Arc;
 
@@ -154,6 +154,7 @@ fn mine_root(
             let children = project(cgs, r, frequent, ctx, climb);
             if !children.is_empty() {
                 metrics::add("mine.projected_dbs", 1);
+                histogram::observe("mine.projected_db_size", children.len() as u64);
                 mine_node(&children, ctx, emitter, sink);
             }
             emitter.pop();
@@ -224,10 +225,12 @@ fn mine_sole_row(
         node = tree.next_same_rank(node);
     }
     metrics::add("mine.tuple_touches", touches);
+    histogram::observe("mine.touches_per_projection", touches);
     metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
     let freq = ctx.scratch.drain_frequent(ctx.minsup);
     if !freq.is_empty() {
         metrics::add("mine.projected_dbs", 1);
+        histogram::observe("mine.projected_db_size", ctx.arena.rows().len() as u64);
         let mut b = FpTreeBuilder::new(&freq);
         let mut filtered: Vec<u32> = Vec::new();
         for (ranks, &w) in ctx.arena.rows().iter().zip(ctx.arena.weights()) {
@@ -446,6 +449,7 @@ fn mine_node(
         let children = project(cgs, r, &frequent, ctx, &mut climb);
         if !children.is_empty() {
             metrics::add("mine.projected_dbs", 1);
+            histogram::observe("mine.projected_db_size", children.len() as u64);
             mine_node(&children, ctx, emitter, sink);
         }
         emitter.pop();
@@ -553,5 +557,6 @@ fn project(
         }
     }
     metrics::add("mine.tuple_touches", touches);
+    histogram::observe("mine.touches_per_projection", touches);
     out
 }

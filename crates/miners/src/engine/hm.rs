@@ -53,7 +53,7 @@
 
 use crate::common::{fan_out_ordered, for_each_subset, RankEmitter, ScratchCounts};
 use gogreen_data::{FList, GroupedSource, Item, NoPrune, PatternSink, SearchPrune};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use gogreen_util::pool::Parallelism;
 
 /// Entry item marking the end of a tail.
@@ -474,6 +474,10 @@ pub fn mine_source_par<S: GroupedSource>(
                         let child = build_child(&node.views, &plan[li], r, run, ctx);
                         if !child.views.is_empty() || !child.plain.is_empty() {
                             metrics::add("mine.projected_dbs", 1);
+                            histogram::observe(
+                                "mine.projected_db_size",
+                                (child.views.len() + child.plain.len()) as u64,
+                            );
                             mine_node(child, ctx, &NoPrune, emitter, sink);
                         }
                     }
@@ -593,6 +597,7 @@ fn count_node(node: &Node, ctx: &mut Ctx<'_>) -> Counted {
         metrics::add("mine.group_hits", group_hits);
     }
     metrics::add("mine.tuple_touches", touches);
+    histogram::observe("mine.touches_per_projection", touches);
     metrics::add("mine.candidate_tests", ctx.scratch.touched().len() as u64);
     let mut frequent: Vec<(u32, u64)> = ctx
         .scratch
@@ -762,6 +767,10 @@ fn mine_node<P: SearchPrune + ?Sized>(
             let child = build_child(&node.views, &lvl.cur, r, &mut lvl.member_run, ctx);
             if !child.views.is_empty() || !child.plain.is_empty() {
                 metrics::add("mine.projected_dbs", 1);
+                histogram::observe(
+                    "mine.projected_db_size",
+                    (child.views.len() + child.plain.len()) as u64,
+                );
                 mine_node(child, ctx, prune, emitter, sink);
                 // The recursion reused the tag arrays; restore this node's.
                 ctx.tag_lf(&frequent);
@@ -985,6 +994,7 @@ impl RawUnit {
             self.eitem.push(SENT);
         }
         metrics::add("mine.tuple_touches", touches);
+        histogram::observe("mine.touches_per_projection", touches);
         metrics::add("mine.candidate_tests", self.scratch.touched().len() as u64);
         if !self.firsts.is_empty() {
             self.reuses += 1;
@@ -995,6 +1005,7 @@ impl RawUnit {
             return;
         }
         metrics::add("mine.projected_dbs", 1);
+        histogram::observe("mine.projected_db_size", self.firsts.len() as u64);
         self.next.clear();
         self.next.resize(self.eitem.len(), NIL);
         self.used_bytes += self.next.len() as u64 * 4;
@@ -1067,7 +1078,9 @@ fn mine_level_raw(
         // can be frequent deeper).
         let mut touches = 0u64;
         let mut e = cells[idx].head;
+        let mut rows = 0u64;
         while e != NIL {
+            rows += 1;
             let mut p = e as usize + 1;
             loop {
                 let x = u.eitem[p];
@@ -1083,10 +1096,12 @@ fn mine_level_raw(
             e = u.next[e as usize];
         }
         metrics::add("mine.tuple_touches", touches);
+        histogram::observe("mine.touches_per_projection", touches);
         metrics::add("mine.candidate_tests", u.scratch.touched().len() as u64);
         let sub = u.scratch.drain_frequent(minsup);
         if !sub.is_empty() {
             metrics::add("mine.projected_dbs", 1);
+            histogram::observe("mine.projected_db_size", rows);
             // Enter sub-level: activate its ranks, saving parent state.
             let mut subcells: Vec<RawCell> =
                 sub.iter().map(|&(x, c)| RawCell { rank: x, count: c, head: NIL }).collect();

@@ -30,7 +30,7 @@
 use crate::common::{fan_out_ordered, for_each_subset, RankEmitter};
 use crate::treeproj::PairMatrix;
 use gogreen_data::{CsrTuples, FList, GroupedSource, PatternSink, ProjectionArena, TupleSlices};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use gogreen_util::pool::Parallelism;
 
 /// A group at one lexicographic node, in node-local extension indices.
@@ -247,6 +247,7 @@ fn fill_group_matrix(groups: &[TpGroup], members: TupleSlices<'_>, k: usize) -> 
         metrics::add("mine.group_hits", group_hits);
     }
     metrics::add("mine.tuple_touches", touches);
+    histogram::observe("mine.touches_per_projection", touches);
     metrics::add("mine.candidate_tests", (k * (k - 1) / 2) as u64);
     matrix
 }
@@ -297,6 +298,7 @@ fn tp_extend(
     }
     project(groups, members, i, &lvl.remap, &mut lvl.groups, &mut lvl.members, &mut lvl.plain);
     metrics::add("mine.projected_dbs", 1);
+    histogram::observe("mine.projected_db_size", (lvl.groups.len() + lvl.plain.len()) as u64);
     emitter.push(exts[i as usize].0);
     ctx.depth = depth + 1;
     tp_node(&lvl.groups, lvl.members.rows().as_slices(), &lvl.exts, minsup, ctx, emitter, sink);

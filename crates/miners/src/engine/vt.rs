@@ -50,7 +50,7 @@ use crate::common::{fan_out_ordered, for_each_subset, RankEmitter};
 use crate::treeproj::PairMatrix;
 use gogreen_data::bitmap::{self, BitsetArena};
 use gogreen_data::{FList, GroupedSource, PatternSink};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use gogreen_util::pool::Parallelism;
 
 /// Reusable per-depth scratch: the child tidsets materialized by one
@@ -175,6 +175,8 @@ fn build_columns<S: GroupedSource>(src: &S, num_ranks: usize) -> (Vec<u64>, usiz
         metrics::add("mine.group_hits", group_hits);
     }
     metrics::add("mine.tuple_touches", touches);
+    histogram::observe("mine.touches_per_projection", touches);
+    histogram::observe("mine.tidset_words", cols.len() as u64);
     (cols, words)
 }
 
@@ -352,6 +354,8 @@ fn vt_extend(
         }
         metrics::add("mine.projected_dbs", 1);
         metrics::add("mine.bitmap_words_scanned", (lvl.exts.len() * words) as u64);
+        histogram::observe("mine.projected_db_size", lvl.exts.len() as u64);
+        histogram::observe("mine.tidset_words", (lvl.exts.len() * words) as u64);
         // Child extension singletons, then the child node proper.
         for &(rank, sup) in &lvl.exts {
             emitter.push(rank);

@@ -22,17 +22,37 @@
 //!   configurable writer. When no writer is installed, entering a span
 //!   reads no clock and allocates nothing.
 //!
-//! Both layers are *off* by default so that library users and the test
+//! On top of those two primitives sit the profiling layers added for
+//! the perf-gate work:
+//!
+//! * [`histogram`] — deterministic log₂-bucketed distributions, sharded
+//!   and merged exactly like the counters, sharing their master switch.
+//! * [`profile`] — the span stream folded in-process into a
+//!   self-time/total-time/call-count tree, exported as a table or
+//!   collapsed-stack format for flamegraph tooling.
+//! * [`snapshot`] — point-in-time captures of all metric state,
+//!   delta-able and deliverable through a periodic exporter hook (the
+//!   interface a long-running server polls).
+//! * [`registry`] — the central declaration of every observable name
+//!   with its thread-invariance class, linted against the source tree.
+//!
+//! All layers are *off* by default so that library users and the test
 //! suite pay (nearly) nothing; the CLI's `--trace-out` / `--metrics-out`
-//! flags switch them on per process.
+//! / `--profile-out` / `--snapshot-out` flags switch them on per
+//! process.
 //!
 //! The crate depends only on `gogreen-util` (for [`gogreen_util::Json`]
 //! and the hasher), so every other workspace crate can depend on it
 //! without cycles.
 
+pub mod histogram;
 pub mod metrics;
+pub mod profile;
+pub mod registry;
+pub mod snapshot;
 pub mod span;
 
+pub use snapshot::MetricsSnapshot;
 pub use span::{event, set_trace_writer, span, take_trace_writer, tracing_enabled, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -169,8 +169,15 @@ pub fn reset() {
 /// opposed to machine work inside the chunked cover kernel. The
 /// `alloc.*` arena counters are in the invariant class: they record
 /// used bytes per projection, so worker count cannot move them.
+///
+/// Declared names answer from [`crate::registry`]; names outside the
+/// registry (test-only counters, ad-hoc experiments) fall back to the
+/// historical prefix rule.
 pub fn is_thread_invariant(name: &str) -> bool {
-    !name.starts_with("cover.")
+    match crate::registry::lookup(name) {
+        Some(def) => def.invariant,
+        None => !name.starts_with("cover."),
+    }
 }
 
 /// Renders the registry as an aligned, `gogreen stats`-style table.

@@ -13,9 +13,13 @@
 //! microseconds since the first span/event of the process, making a
 //! trace self-contained and diffable.
 //!
-//! With no writer installed (the default), [`span`] reads no clock,
-//! allocates nothing, and the guard's drop is a branch.
+//! With no writer installed and profiling off (the default), [`span`]
+//! reads no clock, allocates nothing, and the guard's drop is a branch.
+//! When [`crate::profile`] is enabled, each span additionally folds its
+//! duration into the in-process profile tree — with or without a trace
+//! writer.
 
+use crate::profile;
 use gogreen_util::{Json, Stopwatch};
 use std::cell::RefCell;
 use std::io::Write;
@@ -74,37 +78,48 @@ fn write_line(json: &Json) {
 /// ```
 #[derive(Debug)]
 pub struct Span {
-    /// 0 = inactive (tracing was off at enter).
+    /// 0 = inactive for tracing (off at enter, or profile-only span).
     id: u64,
     name: &'static str,
     parent: Option<u64>,
     start_us: u64,
+    /// True when enter pushed a [`crate::profile`] frame that drop must
+    /// pop.
+    profiled: bool,
     watch: Stopwatch,
     fields: Vec<(&'static str, Json)>,
 }
 
-/// Enters a span named `name`. While tracing is off this is free and the
-/// returned guard does nothing.
+/// Enters a span named `name`. While tracing and profiling are both off
+/// this is free and the returned guard does nothing.
 pub fn span(name: &'static str) -> Span {
-    if !tracing_enabled() {
+    let tracing = tracing_enabled();
+    let profiled = profile::enabled() && profile::on_enter(name);
+    if !tracing && !profiled {
         return Span {
             id: 0,
             name,
             parent: None,
             start_us: 0,
+            profiled: false,
             watch: Stopwatch::new(),
             fields: Vec::new(),
         };
     }
-    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
-    let start_us = epoch().elapsed().as_micros() as u64;
-    let parent = STACK.with(|s| {
-        let mut s = s.borrow_mut();
-        let parent = s.last().copied();
-        s.push(id);
-        parent
-    });
-    Span { id, name, parent, start_us, watch: Stopwatch::started(), fields: Vec::new() }
+    let (id, start_us, parent) = if tracing {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let start_us = epoch().elapsed().as_micros() as u64;
+        let parent = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        (id, start_us, parent)
+    } else {
+        (0, 0, None)
+    };
+    Span { id, name, parent, start_us, profiled, watch: Stopwatch::started(), fields: Vec::new() }
 }
 
 impl Span {
@@ -119,11 +134,17 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if self.id == 0 {
+        if self.id == 0 && !self.profiled {
             return;
         }
         // `lap` reads the split since enter; a span is one lap long.
         let dur_us = self.watch.lap().as_micros() as u64;
+        if self.profiled {
+            profile::on_exit(dur_us);
+        }
+        if self.id == 0 {
+            return;
+        }
         STACK.with(|s| {
             let mut s = s.borrow_mut();
             if s.last() == Some(&self.id) {

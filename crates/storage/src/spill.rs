@@ -7,7 +7,7 @@
 //! beyond the decode buffer. Everything is deleted on drop.
 
 use crate::codec::{ByteReader, SpillRecord};
-use gogreen_obs::metrics;
+use gogreen_obs::{histogram, metrics};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -62,7 +62,9 @@ impl SpillManager {
     /// Appends a record to partition `rank`.
     pub fn append(&mut self, rank: u32, record: &SpillRecord) -> std::io::Result<()> {
         let p = &mut self.partitions[rank as usize];
+        let before = p.buf.len();
         record.encode(&mut p.buf);
+        histogram::observe("storage.spill_record_bytes", (p.buf.len() - before) as u64);
         p.records += 1;
         p.tuples += record.tuple_count();
         p.est_memory += record.estimated_memory();

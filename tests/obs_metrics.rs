@@ -6,13 +6,20 @@
 //! 2. Span JSONL round-trips through `gogreen_util::json` with intact
 //!    parent links and fields for the compress/cover/mine phases.
 //! 3. The disabled instrumentation costs < 2% of a compression run even
-//!    at 10⁴ metric updates (near-zero-cost when off).
+//!    at 10⁴ metric updates (near-zero-cost when off) — and the same
+//!    holds for the histogram path against a vertical (vt) mining run.
+//! 4. Histogram bucket vectors — not just counts and sums — are
+//!    bit-identical at 1/2/4/8 threads on the weather and connect4
+//!    analogs, for every registry-invariant histogram.
 //!
 //! The registry and trace sink are process-global, so every test holds
 //! `TEST_LOCK` for its whole body.
 
+use gogreen::core::engine::engine_named;
+use gogreen::obs::histogram::{self, Histogram};
 use gogreen::obs::{metrics, set_trace_writer, take_trace_writer};
 use gogreen::prelude::*;
+use gogreen::util::pool::Parallelism;
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_util::{Json, Stopwatch};
 use std::io::Write;
@@ -147,4 +154,89 @@ fn disabled_instrumentation_is_nearly_free() {
         overhead < budget,
         "10k disabled updates took {overhead:?}, budget {budget:?} (compress {compress_time:?})"
     );
+
+    // Same story on the vertical engine and the histogram path: a vt
+    // mining run is full of disabled `histogram::observe` calls (tidset
+    // word counts, projected sizes), and 10⁴ explicit disabled observes
+    // must stay under the same 2% budget.
+    histogram::reset();
+    let vt = engine_named("vt").expect("vt engine registered").raw();
+    let mut sink = CountSink::new();
+    vt.mine_into_par(&db, MinSupport::percent(5.0), Parallelism::serial(), &mut sink);
+    let mut watch = Stopwatch::started();
+    let mut sink = CountSink::new();
+    vt.mine_into_par(&db, MinSupport::percent(5.0), Parallelism::serial(), &mut sink);
+    let vt_time = watch.lap();
+    for k in 0..10_000u64 {
+        histogram::observe("obs.disabled_probe_hist", k);
+    }
+    let hist_overhead = watch.lap();
+    assert!(sink.count() > 0);
+    assert_eq!(
+        histogram::get("obs.disabled_probe_hist"),
+        None,
+        "disabled observe must record nothing"
+    );
+    let budget = std::cmp::max(vt_time.mul_f64(0.02), std::time::Duration::from_millis(2));
+    assert!(
+        hist_overhead < budget,
+        "10k disabled observes took {hist_overhead:?}, budget {budget:?} (vt mine {vt_time:?})"
+    );
+}
+
+/// Mines `db` fresh and recycled on the hmine and vt engines at
+/// `threads` and returns the registry-invariant histogram totals.
+fn invariant_histograms(
+    db: &TransactionDb,
+    cdb: &gogreen::core::cdb::CompressedDb,
+    xi_new: MinSupport,
+    threads: usize,
+) -> Vec<(&'static str, Histogram)> {
+    metrics::reset();
+    histogram::reset();
+    metrics::set_enabled(true);
+    let par = Parallelism::threads(threads);
+    for key in ["hmine", "vt"] {
+        let engine = engine_named(key).expect("engine registered");
+        let mut sink = CountSink::new();
+        engine.raw().mine_into_par(db, xi_new, par, &mut sink);
+        let mut sink = CountSink::new();
+        engine.recycling(par).expect("recycling pair").mine_into_par(cdb, xi_new, par, &mut sink);
+    }
+    metrics::set_enabled(false);
+    let snap: Vec<(&'static str, Histogram)> = histogram::snapshot()
+        .into_iter()
+        .filter(|(name, _)| metrics::is_thread_invariant(name))
+        .collect();
+    metrics::reset();
+    histogram::reset();
+    snap
+}
+
+#[test]
+fn histogram_buckets_identical_across_thread_counts() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for kind in [PresetKind::Weather, PresetKind::Connect4] {
+        let preset = DatasetPreset::new(kind, 0.005);
+        let db = preset.generate();
+        let fp = mine_hmine(&db, preset.xi_old());
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+        let xi_new = *preset.sweep().last().expect("non-empty sweep");
+        let serial = invariant_histograms(&db, &cdb, xi_new, 1);
+        // The horizontal and vertical shape histograms actually fired…
+        for required in ["mine.projected_db_size", "mine.tidset_words"] {
+            assert!(
+                serial.iter().any(|(n, h)| *n == required && h.count > 0),
+                "{required} missing on {} from {:?}",
+                preset.name(),
+                serial.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            );
+        }
+        // …and every bucket vector (Histogram's PartialEq covers all 65
+        // buckets, count and sum) is identical at any fan-out.
+        for threads in [2usize, 4, 8] {
+            let threaded = invariant_histograms(&db, &cdb, xi_new, threads);
+            assert_eq!(serial, threaded, "{} at {threads} threads", preset.name());
+        }
+    }
 }
