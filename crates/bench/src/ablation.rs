@@ -13,12 +13,15 @@
 //!    round's patterns, against from-scratch re-mining.
 
 use gogreen_core::incremental::IncrementalMiner;
+use gogreen_core::recycle_vt::RecycleVt;
 use gogreen_core::rpmine::RpMine;
 use gogreen_core::twostep::TwoStepMiner;
 use gogreen_core::{Compressor, RecyclingMiner, Strategy};
 use gogreen_data::{CountSink, MinSupport};
 use gogreen_datagen::{DatasetPreset, PresetKind};
-use gogreen_miners::mine_hmine;
+use gogreen_miners::engine::vt::VtRepr;
+use gogreen_miners::{mine_hmine, Eclat, Miner};
+use gogreen_obs::metrics;
 use gogreen_util::pool::Parallelism;
 use gogreen_util::{Json, ToJson};
 use std::time::Instant;
@@ -219,6 +222,35 @@ mod tests {
         let a = lemma_ablation(PresetKind::Connect4, 0.001);
         assert!(a.patterns > 0);
         assert!(a.with_shortcut_s >= 0.0 && a.without_shortcut_s >= 0.0);
+    }
+
+    #[test]
+    fn vt_repr_ablation_rows_agree_across_modes() {
+        let rows = vt_repr_ablation(PresetKind::Connect4, 0.001);
+        // 4 modes × {raw, MCP}.
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.patterns == rows[0].patterns));
+        // Each forced mode accounts its traffic in its own unit: pure
+        // bitmap scans no list elements, pure tid-list runs count list
+        // elements, and forced modes never switch representation.
+        for r in &rows {
+            match r.mode {
+                "bitmap" => {
+                    assert_eq!(r.tidlist_elems + r.diffset_words, 0, "bitmap mode scanned lists")
+                }
+                "tidlist" => {
+                    assert_eq!(r.bitmap_words + r.diffset_words, 0, "tidlist scanned {r:?}")
+                }
+                // Forced diffset roots as tid-lists and goes
+                // differential from depth 1, so it touches no bitmap
+                // words but does record the root→depth-1 switches.
+                "diffset" => assert_eq!(r.bitmap_words, 0, "diffset scanned bitmaps {r:?}"),
+                _ => {}
+            }
+            if matches!(r.mode, "bitmap" | "tidlist") {
+                assert_eq!(r.repr_switches, 0, "forced mode switched: {r:?}");
+            }
+        }
     }
 }
 
@@ -598,6 +630,110 @@ pub fn mine_vertical_experiment(dataset: PresetKind, scale: f64) -> Vec<MineParR
                     patterns: run.patterns,
                 });
             }
+        }
+    }
+    rows
+}
+
+/// One forced-representation outcome in the vertical repr ablation.
+#[derive(Debug, Clone)]
+pub struct VtReprRow {
+    /// Dataset analog name.
+    pub dataset: &'static str,
+    /// `--vt-repr` mode (auto/bitmap/tidlist/diffset).
+    pub mode: &'static str,
+    /// Substrate: fresh on the raw database or MCP-recycled.
+    pub substrate: &'static str,
+    /// Mining wall seconds (output excluded — `CountSink`).
+    pub secs: f64,
+    /// Patterns found (asserted identical across every mode and row).
+    pub patterns: u64,
+    /// `mine.bitmap_words_scanned` for the run.
+    pub bitmap_words: u64,
+    /// `mine.tidlist_elems` for the run.
+    pub tidlist_elems: u64,
+    /// `mine.diffset_words` for the run.
+    pub diffset_words: u64,
+    /// Nodes materialized in a different representation than their
+    /// parent (`mine.repr_switches`).
+    pub repr_switches: u64,
+    /// Column-arena bytes flushed (`alloc.projection_bytes`) — the
+    /// memory side of the representation trade.
+    pub arena_bytes: u64,
+}
+
+impl ToJson for VtReprRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dataset", self.dataset.into()),
+            ("mode", self.mode.into()),
+            ("substrate", self.substrate.into()),
+            ("secs", self.secs.into()),
+            ("patterns", self.patterns.into()),
+            ("bitmap_words", self.bitmap_words.into()),
+            ("tidlist_elems", self.tidlist_elems.into()),
+            ("diffset_words", self.diffset_words.into()),
+            ("repr_switches", self.repr_switches.into()),
+            ("arena_bytes", self.arena_bytes.into()),
+        ])
+    }
+}
+
+/// Vertical representation ablation: the vt family under each
+/// `--vt-repr` mode, fresh and MCP-recycled, serial, reporting the
+/// per-mode kernel traffic (`mine.bitmap_words_scanned`,
+/// `mine.tidlist_elems`, `mine.diffset_words`), the switch count, and
+/// the arena-byte peak. Pattern counts are asserted identical across
+/// every mode and row — the representation is an encoding, never a
+/// semantic.
+pub fn vt_repr_ablation(dataset: PresetKind, scale: f64) -> Vec<VtReprRow> {
+    let name = match dataset {
+        PresetKind::Weather => "weather",
+        PresetKind::Forest => "forest",
+        PresetKind::Connect4 => "connect4",
+        PresetKind::Pumsb => "pumsb",
+    };
+    let preset = DatasetPreset::new(dataset, scale);
+    let db = preset.generate();
+    let fp_old = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+    let mut rows = Vec::new();
+    let mut reference: Option<u64> = None;
+    for repr in VtRepr::ALL {
+        for substrate in ["raw", "MCP"] {
+            metrics::reset();
+            metrics::set_enabled(true);
+            let mut sink = CountSink::new();
+            let start = Instant::now();
+            if substrate == "raw" {
+                Eclat::with_repr(repr).mine_into(&db, xi_new, &mut sink);
+            } else {
+                RecycleVt::with_repr(repr).mine_into(&cdb, xi_new, &mut sink);
+            }
+            let secs = start.elapsed().as_secs_f64();
+            metrics::set_enabled(false);
+            let get = |name: &str| metrics::get(name).unwrap_or(0);
+            let row = VtReprRow {
+                dataset: name,
+                mode: repr.as_str(),
+                substrate,
+                secs,
+                patterns: sink.count(),
+                bitmap_words: get("mine.bitmap_words_scanned"),
+                tidlist_elems: get("mine.tidlist_elems"),
+                diffset_words: get("mine.diffset_words"),
+                repr_switches: get("mine.repr_switches"),
+                arena_bytes: get("alloc.projection_bytes"),
+            };
+            metrics::reset();
+            match reference {
+                None => reference = Some(row.patterns),
+                Some(n) => {
+                    assert_eq!(n, row.patterns, "{name} --vt-repr {repr} {substrate}: count drift")
+                }
+            }
+            rows.push(row);
         }
     }
     rows

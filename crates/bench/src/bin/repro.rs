@@ -836,6 +836,46 @@ fn cmd_mine_vertical(scale: f64, reporter: &Reporter) {
         for r in &rows {
             reporter.save_json("ext_mine_vertical", r).expect("save extension");
         }
+
+        println!(
+            "\n-- Representation ablation on {} (vt family, forced --vt-repr modes, serial) --\n",
+            dataset_name(dataset)
+        );
+        let ablation_rows = ablation::vt_repr_ablation(dataset, scale);
+        let table: Vec<Vec<String>> = ablation_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.to_string(),
+                    r.substrate.to_string(),
+                    fmt_secs(r.secs),
+                    r.bitmap_words.to_string(),
+                    (r.tidlist_elems + r.diffset_words).to_string(),
+                    r.repr_switches.to_string(),
+                    format!("{:.1}", r.arena_bytes as f64 / 1024.0),
+                    r.patterns.to_string(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &[
+                    "repr",
+                    "substrate",
+                    "time",
+                    "bm words",
+                    "list elems",
+                    "switches",
+                    "arena KiB",
+                    "patterns"
+                ],
+                &table
+            )
+        );
+        for r in &ablation_rows {
+            reporter.save_json("ext_mine_vertical", r).expect("save extension");
+        }
     }
 }
 

@@ -2,9 +2,12 @@
 //! optionally with pushed constraints, writing `items : support` lines.
 
 use crate::args::{parse_items, parse_support, Args};
-use crate::commands::{load_db, parse_threads, setup_obs, show_support};
+use crate::commands::{
+    load_db, measure_arena_bytes, parse_engine_opts, parse_threads, setup_obs, show_bytes,
+    show_support,
+};
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
-use gogreen_core::engine::{engine_keys, engine_named};
+use gogreen_core::engine::{engine_keys, engine_named, EngineOpts};
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
 use gogreen_util::pool::Parallelism;
 use std::time::Instant;
@@ -17,6 +20,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let support = parse_support(args.required("support")?)?;
     let algo = args.opt("algo").unwrap_or("hmine");
     let par = parse_threads(args.opt("threads"))?;
+    let opts = parse_engine_opts(&args)?;
 
     // Pushable constraints.
     let mut cs = ConstraintSet::support_only(support);
@@ -32,12 +36,15 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let pushdown = Pushdown::from_constraints(&cs, &attrs);
 
     let start = Instant::now();
-    let mut patterns = {
+    let (patterns, arena_bytes) = measure_arena_bytes(|| {
         let mut sp = gogreen_obs::span("mine");
-        let patterns = mine(&db, support, algo, par, &pushdown, &attrs)?;
-        sp.field("algo", algo).field("patterns", patterns.len());
+        let patterns = mine(&db, support, algo, par, opts, &pushdown, &attrs);
+        if let Ok(p) = &patterns {
+            sp.field("algo", algo).field("patterns", p.len());
+        }
         patterns
-    };
+    });
+    let mut patterns = patterns?;
     let elapsed = start.elapsed();
     // Optional condensed-representation post-filters.
     match args.opt("filter") {
@@ -48,9 +55,10 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     }
 
     println!(
-        "{path}: {} patterns at {} in {elapsed:.2?} [{algo}]",
+        "{path}: {} patterns at {} in {elapsed:.2?} [{algo}, arena {}]",
         patterns.len(),
         show_support(support, db.len()),
+        show_bytes(arena_bytes),
     );
     match args.opt("o") {
         Some(out) => {
@@ -78,6 +86,7 @@ fn mine(
     support: MinSupport,
     algo: &str,
     par: Parallelism,
+    opts: EngineOpts,
     pushdown: &Pushdown,
     attrs: &ItemAttributes,
 ) -> Result<PatternSet, String> {
@@ -94,5 +103,8 @@ fn mine(
             return Ok(sink.into_set());
         }
     }
-    Ok(engine.raw().mine_par(db, support, par).filter(|p| pushdown.prefix_ok(p.items(), attrs)))
+    Ok(engine
+        .raw_with(opts)
+        .mine_par(db, support, par)
+        .filter(|p| pushdown.prefix_ok(p.items(), attrs)))
 }

@@ -9,6 +9,7 @@ pub mod session;
 pub mod stats;
 
 use crate::args::Args;
+use gogreen_core::engine::{EngineOpts, VtRepr};
 use gogreen_core::utility::Strategy;
 use gogreen_data::{MinSupport, TransactionDb};
 use gogreen_util::pool::Parallelism;
@@ -39,9 +40,49 @@ pub fn parse_threads(opt: Option<&str>) -> Result<Parallelism, String> {
     }
 }
 
+/// Parses the per-engine options shared by `mine` and `recycle`:
+/// currently just `--vt-repr auto|bitmap|tidlist|diffset`.
+pub fn parse_engine_opts(args: &Args) -> Result<EngineOpts, String> {
+    let vt_repr = match args.opt("vt-repr") {
+        None => VtRepr::Auto,
+        Some(v) => VtRepr::parse(v)
+            .ok_or_else(|| format!("unknown --vt-repr {v:?} (auto|bitmap|tidlist|diffset)"))?,
+    };
+    Ok(EngineOpts { vt_repr })
+}
+
 /// Renders a support back for messages.
 pub fn show_support(ms: MinSupport, db_len: usize) -> String {
     format!("{ms} (≥ {} tuples)", ms.to_absolute(db_len))
+}
+
+/// Measures a mining closure's arena traffic: runs `f` with the metrics
+/// registry enabled and returns the `alloc.projection_bytes` delta —
+/// the bytes every engine family's slab arenas (horizontal projection
+/// slabs and vertical column arenas alike) report on flush. Restores
+/// the registry's enabled state, so `--metrics-out` accounting is
+/// unaffected.
+pub fn measure_arena_bytes<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let was_enabled = gogreen_obs::metrics::enabled();
+    if !was_enabled {
+        gogreen_obs::metrics::set_enabled(true);
+    }
+    let before = gogreen_obs::metrics::get("alloc.projection_bytes").unwrap_or(0);
+    let out = f();
+    let after = gogreen_obs::metrics::get("alloc.projection_bytes").unwrap_or(0);
+    if !was_enabled {
+        gogreen_obs::metrics::set_enabled(false);
+    }
+    (out, after.saturating_sub(before))
+}
+
+/// Renders a byte count for summary rows (`1.4 MiB`, `312 KiB`, `96 B`).
+pub fn show_bytes(bytes: u64) -> String {
+    match bytes {
+        b if b >= 1 << 20 => format!("{:.1} MiB", b as f64 / (1 << 20) as f64),
+        b if b >= 1 << 10 => format!("{:.1} KiB", b as f64 / (1 << 10) as f64),
+        b => format!("{b} B"),
+    }
 }
 
 /// Observability wiring shared by the mining subcommands: honours

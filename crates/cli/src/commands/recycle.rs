@@ -2,7 +2,10 @@
 //! paper's two-phase pipeline from the command line.
 
 use crate::args::{parse_support, Args};
-use crate::commands::{load_db, parse_strategy, parse_threads, setup_obs, show_support};
+use crate::commands::{
+    load_db, measure_arena_bytes, parse_engine_opts, parse_strategy, parse_threads, setup_obs,
+    show_bytes, show_support,
+};
 use gogreen_core::engine::{engine_keys, engine_named};
 use gogreen_core::{Compressor, RecyclingMiner};
 use std::time::Instant;
@@ -19,9 +22,10 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let strategy = parse_strategy(args.opt("strategy"))?;
     let par = parse_threads(args.opt("threads"))?;
     let algo = args.opt("algo").unwrap_or("hm");
+    let opts = parse_engine_opts(&args)?;
     let miner: Box<dyn RecyclingMiner> = engine_named(algo)
         .ok_or_else(|| format!("unknown algo {algo:?} ({})", engine_keys()))?
-        .recycling(par)
+        .recycling_with(par, opts)
         .ok_or_else(|| format!("algo {algo:?} has no recycling adaptation"))?;
 
     let start = Instant::now();
@@ -29,7 +33,7 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         Compressor::new(strategy).with_parallelism(par).compress_with_stats(&db, &fp);
     let compress_time = start.elapsed();
     let start = Instant::now();
-    let patterns = miner.mine_par(&cdb, support, par);
+    let (patterns, arena_bytes) = measure_arena_bytes(|| miner.mine_par(&cdb, support, par));
     let mine_time = start.elapsed();
 
     println!("{path}: recycled {} patterns [{}-{}]", fp.len(), miner.name(), strategy.suffix());
@@ -38,9 +42,10 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         stats.ratio, stats.num_groups, stats.covered_tuples, stats.num_tuples
     );
     println!(
-        "  mining       {mine_time:.2?} → {} patterns at {}",
+        "  mining       {mine_time:.2?} → {} patterns at {} (arena {})",
         patterns.len(),
         show_support(support, db.len()),
+        show_bytes(arena_bytes),
     );
     if let Some(out) = args.opt("o") {
         gogreen_data::pattern_io::write_patterns_file(&patterns, out)

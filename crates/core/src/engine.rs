@@ -21,6 +21,18 @@ use gogreen_data::{MinSupport, PatternSink, SearchPrune, TransactionDb};
 use gogreen_miners::{Apriori, Eclat, FpGrowth, HMine, Miner, NaiveProjection, TreeProjection};
 use gogreen_util::pool::Parallelism;
 
+pub use gogreen_miners::engine::vt::VtRepr;
+
+/// Per-invocation engine options a front end may carry alongside the
+/// algorithm name. Families ignore what doesn't apply to them, so one
+/// options value can be parsed once and handed to any engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineOpts {
+    /// Vertical representation mode (`--vt-repr`); only the vt family
+    /// reads it.
+    pub vt_repr: VtRepr,
+}
+
 /// One algorithm family: a raw miner plus (usually) a recycling
 /// counterpart sharing the same generic traversal.
 pub trait MiningEngine: Sync {
@@ -43,6 +55,23 @@ pub trait MiningEngine: Sync {
     /// the family has no recycling adaptation (Apriori, which exists as
     /// the differential-testing oracle only).
     fn recycling(&self, par: Parallelism) -> Option<Box<dyn RecyclingMiner>>;
+
+    /// Like [`MiningEngine::raw`], honouring `opts` where the family
+    /// has a matching knob (currently only the vt family's `vt_repr`).
+    fn raw_with(&self, opts: EngineOpts) -> Box<dyn Miner> {
+        let _ = opts;
+        self.raw()
+    }
+
+    /// Like [`MiningEngine::recycling`], honouring `opts`.
+    fn recycling_with(
+        &self,
+        par: Parallelism,
+        opts: EngineOpts,
+    ) -> Option<Box<dyn RecyclingMiner>> {
+        let _ = opts;
+        self.recycling(par)
+    }
 
     /// Serial constrained raw mining with the pushed predicates checked
     /// *inside* the search. Returns `false` when the family has no
@@ -137,10 +166,20 @@ impl MiningEngine for VtEngine {
         "Eclat"
     }
     fn raw(&self) -> Box<dyn Miner> {
-        Box::new(Eclat)
+        Box::new(Eclat::new())
     }
     fn recycling(&self, _par: Parallelism) -> Option<Box<dyn RecyclingMiner>> {
-        Some(Box::new(RecycleVt))
+        Some(Box::new(RecycleVt::new()))
+    }
+    fn raw_with(&self, opts: EngineOpts) -> Box<dyn Miner> {
+        Box::new(Eclat::with_repr(opts.vt_repr))
+    }
+    fn recycling_with(
+        &self,
+        _par: Parallelism,
+        opts: EngineOpts,
+    ) -> Option<Box<dyn RecyclingMiner>> {
+        Some(Box::new(RecycleVt::with_repr(opts.vt_repr)))
     }
 }
 

@@ -59,6 +59,30 @@ pub fn estimate_vt_bitmap_bytes(rdb: &CompressedRankDb) -> usize {
     rdb.num_ranks() * gogreen_data::bitmap::words_for(n) * 8
 }
 
+/// Estimated heap bytes of the root sparse tid-list columns for `rdb`:
+/// 4 bytes per rank occurrence. A group contributes its full expanded
+/// run per pattern item (`count × |pattern|`), outliers and plain tuples
+/// one entry per rank. Unlike the bitmap figure this scales with data
+/// density, not rank count × width, so on sparse databases it is the
+/// smaller of the two.
+pub fn estimate_vt_tidlist_bytes(rdb: &CompressedRankDb) -> usize {
+    let mut occurrences = rdb.group_outlier_items() + rdb.plain().flat().len();
+    for g in 0..rdb.num_groups() {
+        occurrences += rdb.group_count(g) as usize * rdb.group_pattern(g).len();
+    }
+    occurrences * 4
+}
+
+/// Estimated heap bytes of the root vertical columns under the
+/// density-adaptive default ([`VtRepr::Auto`]): the cheaper of the
+/// bitmap and tid-list layouts, which is exactly the choice the engine
+/// makes at the root.
+///
+/// [`VtRepr::Auto`]: gogreen_miners::engine::vt::VtRepr::Auto
+pub fn estimate_vt_root_bytes(rdb: &CompressedRankDb) -> usize {
+    estimate_vt_bitmap_bytes(rdb).min(estimate_vt_tidlist_bytes(rdb))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +165,45 @@ mod tests {
         assert_eq!(estimate_vt_bitmap_bytes(&rdb2), 9 * 8);
     }
 
+    #[test]
+    fn vt_tidlist_estimate_counts_occurrences() {
+        // Paper example, uncompressed: 22 frequent-item occurrences at
+        // ξ = 1, 4 bytes each.
+        let db = TransactionDb::paper_example();
+        let cdb = CompressedDb::uncompressed(&db);
+        let flist = cdb.flist(1);
+        let rdb = cdb.to_ranks(&flist);
+        assert_eq!(estimate_vt_tidlist_bytes(&rdb), 22 * 4);
+        // The compressed view re-expands group members, so the
+        // occurrence total is preserved (groups store each pattern item
+        // once but weight it by the member count).
+        let rdb2 = rdb_for(&db, 3, 1);
+        assert_eq!(estimate_vt_tidlist_bytes(&rdb2), 22 * 4);
+        // Auto takes the cheaper layout; here the 9-rank bitmap (72 B)
+        // wins over the 88 B of lists.
+        assert_eq!(estimate_vt_root_bytes(&rdb), 9 * 8);
+    }
+
+    #[test]
+    fn vt_root_estimate_prefers_lists_when_sparse() {
+        // 200 single-item tuples over 64 items: bitmaps need
+        // 64 ranks × 4 words × 8 = 2048 B, lists only 200 × 4 = 800 B.
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for k in 0..200u32 {
+            rows.push(vec![k % 64]);
+        }
+        let db = TransactionDb::from_transactions(
+            rows.into_iter().map(gogreen_data::Transaction::from_ids).collect(),
+        );
+        let cdb = CompressedDb::uncompressed(&db);
+        let flist = cdb.flist(1);
+        let rdb = cdb.to_ranks(&flist);
+        let bm = estimate_vt_bitmap_bytes(&rdb);
+        let tl = estimate_vt_tidlist_bytes(&rdb);
+        assert!(tl < bm, "lists {tl} must beat bitmaps {bm} here");
+        assert_eq!(estimate_vt_root_bytes(&rdb), tl);
+    }
+
     /// The vertical miner's tidset arenas report under the same
     /// `alloc.projection_bytes` / `alloc.arena_reuses` counters as the
     /// horizontal projection slabs.
@@ -151,7 +214,7 @@ mod tests {
         let cdb = CompressedDb::uncompressed(&db);
         gogreen_obs::metrics::reset();
         gogreen_obs::metrics::set_enabled(true);
-        let fp = crate::recycle_vt::RecycleVt.mine(&cdb, MinSupport::Absolute(2));
+        let fp = crate::recycle_vt::RecycleVt::new().mine(&cdb, MinSupport::Absolute(2));
         gogreen_obs::metrics::set_enabled(false);
         let bytes = gogreen_obs::metrics::get("alloc.projection_bytes").unwrap_or(0);
         gogreen_obs::metrics::reset();

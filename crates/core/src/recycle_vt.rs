@@ -14,12 +14,29 @@
 use crate::cdb::CompressedDb;
 use crate::RecyclingMiner;
 use gogreen_data::{MinSupport, PatternSink};
-use gogreen_miners::engine::vt;
+use gogreen_miners::engine::vt::{self, VtRepr};
 use gogreen_util::pool::Parallelism;
 
 /// The VT-recycle miner.
 #[derive(Debug, Default, Clone)]
-pub struct RecycleVt;
+pub struct RecycleVt {
+    repr: VtRepr,
+}
+
+impl RecycleVt {
+    /// The default density-adaptive miner ([`VtRepr::Auto`]).
+    pub fn new() -> Self {
+        RecycleVt::default()
+    }
+
+    /// A miner pinned to one vertical representation (ablation and the
+    /// CLI `--vt-repr` flag). A group's contiguous tid run keeps its
+    /// cheap fill in every representation: a word-wise run fill for
+    /// bitmaps, one `lo..hi` range push for tid-lists.
+    pub fn with_repr(repr: VtRepr) -> Self {
+        RecycleVt { repr }
+    }
+}
 
 impl RecyclingMiner for RecycleVt {
     fn name(&self) -> &'static str {
@@ -43,7 +60,7 @@ impl RecyclingMiner for RecycleVt {
             return;
         }
         let rdb = cdb.to_ranks(&flist);
-        vt::mine_source_par(&rdb, &flist, minsup, par, sink);
+        vt::mine_source_par_repr(&rdb, &flist, minsup, par, self.repr, sink);
     }
 }
 
@@ -68,7 +85,7 @@ mod tests {
             for xi_old in [3, 4] {
                 let cdb = compressed(&db, xi_old, strategy);
                 for minsup in 1..=5 {
-                    let fp = RecycleVt.mine(&cdb, MinSupport::Absolute(minsup));
+                    let fp = RecycleVt::new().mine(&cdb, MinSupport::Absolute(minsup));
                     let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
                     assert!(
                         fp.same_patterns_as(&oracle),
@@ -96,7 +113,7 @@ mod tests {
         ]);
         let cdb = CompressedDb::uncompressed(&db);
         for minsup in 1..=4 {
-            let fp = RecycleVt.mine(&cdb, MinSupport::Absolute(minsup));
+            let fp = RecycleVt::new().mine(&cdb, MinSupport::Absolute(minsup));
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
             assert!(fp.same_patterns_as(&oracle), "minsup={minsup}");
         }
@@ -110,7 +127,7 @@ mod tests {
         let db = TransactionDb::from_rows(&[&[1, 2, 3], &[1, 2, 3], &[1, 2, 3], &[1, 2, 3]]);
         let fp_old = mine_apriori(&db, MinSupport::Absolute(4));
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
-        let fp = RecycleVt.mine(&cdb, MinSupport::Absolute(2));
+        let fp = RecycleVt::new().mine(&cdb, MinSupport::Absolute(2));
         assert_eq!(fp.len(), 7);
     }
 
@@ -129,7 +146,7 @@ mod tests {
         for strategy in [Strategy::Mcp, Strategy::Mlp] {
             let cdb = compressed(&db, 2, strategy);
             for minsup in 1..=4 {
-                let a = RecycleVt.mine(&cdb, MinSupport::Absolute(minsup));
+                let a = RecycleVt::new().mine(&cdb, MinSupport::Absolute(minsup));
                 let b = RpMine::default().mine(&cdb, MinSupport::Absolute(minsup));
                 assert!(a.same_patterns_as(&b), "{strategy:?} minsup={minsup}");
             }
@@ -139,6 +156,6 @@ mod tests {
     #[test]
     fn empty_cdb() {
         let cdb = CompressedDb::uncompressed(&TransactionDb::new());
-        assert!(RecycleVt.mine(&cdb, MinSupport::Absolute(1)).is_empty());
+        assert!(RecycleVt::new().mine(&cdb, MinSupport::Absolute(1)).is_empty());
     }
 }

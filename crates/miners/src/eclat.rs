@@ -10,18 +10,36 @@
 //! The traversal lives in [`crate::engine::vt`], shared with the
 //! recycling adaptation in `gogreen-core`; this type instantiates it on
 //! the degenerate [`gogreen_data::PlainRanks`] substrate, where every
-//! bitmap is built bit-by-bit from the encoded tuples and the search is
-//! classic Eclat with a pair-matrix counting pass, an inclusion-chain
-//! shortcut, and Kruskal–Katona candidate-bound termination.
+//! column is built from the encoded tuples and the search is classic
+//! Eclat/dEclat with a pair-matrix counting pass, an inclusion-chain
+//! shortcut, Kruskal–Katona candidate-bound termination, and per-node
+//! representation switching between bitmaps, tid-lists and diffsets
+//! ([`VtRepr`], forceable for ablation via [`Eclat::with_repr`]).
 
 use crate::common::encode_db;
+use crate::engine::vt::VtRepr;
 use crate::Miner;
 use gogreen_data::{FList, MinSupport, PatternSink, PlainRanks, TransactionDb};
 use gogreen_util::pool::Parallelism;
 
-/// The vertical bitmap Eclat algorithm.
+/// The vertical tidset Eclat algorithm.
 #[derive(Debug, Default, Clone)]
-pub struct Eclat;
+pub struct Eclat {
+    repr: VtRepr,
+}
+
+impl Eclat {
+    /// The default density-adaptive miner ([`VtRepr::Auto`]).
+    pub fn new() -> Self {
+        Eclat::default()
+    }
+
+    /// A miner pinned to one vertical representation (ablation and the
+    /// CLI `--vt-repr` flag).
+    pub fn with_repr(repr: VtRepr) -> Self {
+        Eclat { repr }
+    }
+}
 
 impl Miner for Eclat {
     fn name(&self) -> &'static str {
@@ -46,7 +64,7 @@ impl Miner for Eclat {
         }
         let tuples = encode_db(db, &flist);
         let src = PlainRanks::from_csr(&tuples, flist.len());
-        crate::engine::vt::mine_source_par(&src, &flist, minsup, par, sink);
+        crate::engine::vt::mine_source_par_repr(&src, &flist, minsup, par, self.repr, sink);
     }
 }
 
@@ -64,7 +82,7 @@ mod tests {
         let db = TransactionDb::paper_example();
         for minsup in 1..=5 {
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
-            let vt = Eclat.mine(&db, MinSupport::Absolute(minsup));
+            let vt = Eclat::new().mine(&db, MinSupport::Absolute(minsup));
             assert!(vt.same_patterns_as(&oracle), "minsup={minsup}");
         }
     }
@@ -79,7 +97,7 @@ mod tests {
         let oracle = mine_apriori(&db, MinSupport::Absolute(2));
         metrics::reset();
         metrics::set_enabled(true);
-        let vt = Eclat.mine(&db, MinSupport::Absolute(2));
+        let vt = Eclat::new().mine(&db, MinSupport::Absolute(2));
         metrics::set_enabled(false);
         let prunes = metrics::get("mine.bound_prunes").unwrap_or(0);
         let words = metrics::get("mine.bitmap_words_scanned").unwrap_or(0);
@@ -111,7 +129,7 @@ mod tests {
             let db = random_db(&mut rng);
             let minsup = 1 + rng.gen_below(7);
             let oracle = mine_apriori(&db, MinSupport::Absolute(minsup));
-            let vt = Eclat.mine(&db, MinSupport::Absolute(minsup));
+            let vt = Eclat::new().mine(&db, MinSupport::Absolute(minsup));
             assert!(vt.same_patterns_as(&oracle), "case={case} minsup={minsup}");
         }
     }
@@ -124,7 +142,7 @@ mod tests {
             let mut out: Vec<(Vec<Item>, u64)> = Vec::new();
             {
                 let mut sink = FnSink(|items: &[Item], sup: u64| out.push((items.to_vec(), sup)));
-                Eclat.mine_into_par(&db, MinSupport::Absolute(2), par, &mut sink);
+                Eclat::new().mine_into_par(&db, MinSupport::Absolute(2), par, &mut sink);
             }
             out
         };
@@ -138,9 +156,9 @@ mod tests {
     #[test]
     fn empty_and_singleton_databases() {
         let empty = TransactionDb::from_rows(&[]);
-        assert_eq!(Eclat.mine(&empty, MinSupport::Absolute(1)).len(), 0);
+        assert_eq!(Eclat::new().mine(&empty, MinSupport::Absolute(1)).len(), 0);
         let one = TransactionDb::from_rows(&[&[4][..]]);
-        let fp = Eclat.mine(&one, MinSupport::Absolute(1));
+        let fp = Eclat::new().mine(&one, MinSupport::Absolute(1));
         assert_eq!(fp.len(), 1);
     }
 }

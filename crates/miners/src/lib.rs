@@ -132,7 +132,7 @@ pub fn mine_treeproj(db: &TransactionDb, min_support: MinSupport) -> PatternSet 
 /// Mines with [`Eclat`] (a thin wrapper over the unified vertical
 /// [`engine::vt`] traversal on the plain substrate).
 pub fn mine_eclat(db: &TransactionDb, min_support: MinSupport) -> PatternSet {
-    Eclat.mine(db, min_support)
+    Eclat::new().mine(db, min_support)
 }
 
 #[cfg(test)]
@@ -151,7 +151,7 @@ mod tests {
             Box::new(HMine),
             Box::new(FpGrowth),
             Box::new(TreeProjection),
-            Box::new(Eclat),
+            Box::new(Eclat::new()),
         ];
         for m in &miners {
             let fp = m.mine(&db, MinSupport::Absolute(3));

@@ -106,9 +106,22 @@ pub const ALL: &[MetricDef] = defs![
         "extension levels terminated early by the Geerts-Goethals-Van den Bussche bound"
     ),
     ("mine.candidate_tests", Counter, true, "support tests performed against min-support"),
+    (
+        "mine.diffset_words",
+        Counter,
+        true,
+        "u32 diffset entries produced or read by the vertical engine's dEclat kernels"
+    ),
     ("mine.fp_nodes", Counter, true, "FP-tree nodes allocated by the legacy fpgrowth miner"),
     ("mine.group_hits", Counter, true, "compressed groups consulted during counting"),
     ("mine.max_depth", Max, true, "deepest projection recursion reached"),
+    (
+        "mine.node_density",
+        Hist,
+        true,
+        "per-node tidset density (set bits per 1024 bitmap slots) observed at each vertical \
+         materialization, the signal behind representation switching"
+    ),
     (
         "mine.projected_db_size",
         Hist,
@@ -116,6 +129,19 @@ pub const ALL: &[MetricDef] = defs![
         "rows (tuples or groups) in each projected database at build time"
     ),
     ("mine.projected_dbs", Counter, true, "projected databases materialized"),
+    (
+        "mine.repr_switches",
+        Counter,
+        true,
+        "vertical nodes whose children were materialized in a different representation than \
+         their parent (bitmap to tid-list, bitmap to diffset, or tid-list to diffset)"
+    ),
+    (
+        "mine.tidlist_elems",
+        Counter,
+        true,
+        "u32 tid-list entries produced or read by the vertical engine's sparse kernels"
+    ),
     (
         "mine.tidset_words",
         Hist,

@@ -12,7 +12,7 @@
 //! 3. MCP- and MLP-compressed databases mine to the oracle set too,
 //!    serial and at 4 threads.
 
-use gogreen::core::engine::{engine_named, engines};
+use gogreen::core::engine::{engine_named, engines, EngineOpts, VtRepr};
 use gogreen::data::FnSink;
 use gogreen::prelude::*;
 use gogreen::util::pool::Parallelism;
@@ -120,6 +120,75 @@ fn dense_analog_is_exact_for_every_family() {
                         "{key} {strategy:?} ξ={minsup} t={threads}"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// A sparse pumsb-style analog: a wide universe (census categories),
+/// short tuples, and a support distribution with a handful of heavy
+/// items over a long light tail — the regime where tid-lists beat
+/// bitmaps and the adaptive engine switches representations early.
+fn sparse_pumsb_analog_db() -> TransactionDb {
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for i in 0..240u32 {
+        // Two heavy demographic codes most rows share, one mid-frequency
+        // band, and a sparse tail over a 200-item universe.
+        let mut r = vec![i % 2, 2 + i % 3];
+        r.push(5 + i % 12);
+        r.push(17 + (i * 7) % 83);
+        if i % 4 == 0 {
+            r.push(100 + (i * 13) % 100);
+        }
+        r.sort_unstable();
+        r.dedup();
+        rows.push(r);
+    }
+    let row_refs: Vec<&[u32]> = rows.iter().map(|r| r.as_slice()).collect();
+    TransactionDb::from_rows(&row_refs)
+}
+
+/// The vertical family under every `--vt-repr` mode: on both the dense
+/// connect4-style and sparse pumsb-style analogs, raw and recycled,
+/// every forced representation must emit the byte-identical stream the
+/// adaptive default emits (which in turn matches the oracle), serial
+/// and threaded alike.
+#[test]
+fn vt_repr_modes_emit_identical_streams() {
+    use gogreen::core::Compressor;
+    let engine = engine_named("vt").unwrap();
+    for (db, xi_old, minsup) in
+        [(dense_analog_db(), 60u64, 40u64), (sparse_pumsb_analog_db(), 100, 20)]
+    {
+        let ms = MinSupport::Absolute(minsup);
+        let oracle = mine_apriori(&db, ms);
+        let fp_old = mine_apriori(&db, MinSupport::Absolute(xi_old));
+        let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp_old);
+        let mut raw_auto: Option<Stream> = None;
+        let mut rec_auto: Option<Stream> = None;
+        for repr in VtRepr::ALL {
+            let opts = EngineOpts { vt_repr: repr };
+            for threads in [1usize, 4] {
+                let par = Parallelism::threads(threads);
+                let raw =
+                    stream_of(&mut |sink| engine.raw_with(opts).mine_into_par(&db, ms, par, sink));
+                let rec = stream_of(&mut |sink| {
+                    engine.recycling_with(par, opts).unwrap().mine_into_par(&cdb, ms, par, sink)
+                });
+                assert!(
+                    as_set(&raw).same_patterns_as(&oracle),
+                    "vt --vt-repr {repr} t={threads}: raw diverges from oracle"
+                );
+                assert_eq!(
+                    &raw,
+                    raw_auto.get_or_insert_with(|| raw.clone()),
+                    "vt --vt-repr {repr} t={threads}: raw stream differs from auto"
+                );
+                assert_eq!(
+                    &rec,
+                    rec_auto.get_or_insert_with(|| rec.clone()),
+                    "vt --vt-repr {repr} t={threads}: recycled stream differs from auto"
+                );
             }
         }
     }

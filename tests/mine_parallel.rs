@@ -12,6 +12,7 @@
 //! `TEST_LOCK` for its whole body.
 
 use gogreen::data::FnSink;
+use gogreen::miners::engine::vt::VtRepr;
 use gogreen::miners::{Eclat, FpGrowth, HMine, TreeProjection};
 use gogreen::obs::metrics;
 use gogreen::prelude::*;
@@ -29,6 +30,18 @@ fn weather() -> (TransactionDb, CompressedDb) {
     let fp = mine_hmine(&db, preset.xi_old());
     let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
     (db, cdb)
+}
+
+/// The census analog at its own sweep floor (75% — pumsb supports are
+/// two orders above weather's; relaxing further explodes the lattice):
+/// the regime where the adaptive engine mixes representations per node.
+fn pumsb() -> (TransactionDb, CompressedDb, MinSupport) {
+    let preset = DatasetPreset::new(PresetKind::Pumsb, 0.005);
+    let db = preset.generate();
+    let fp = mine_hmine(&db, preset.xi_old());
+    let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
+    let xi_new = *preset.sweep().last().expect("pumsb sweep");
+    (db, cdb, xi_new)
 }
 
 /// The exact emission sequence of one mining run.
@@ -57,7 +70,7 @@ fn baseline_miner_streams_identical_across_thread_counts() {
     let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let (db, _) = weather();
     let miners: Vec<Box<dyn Miner>> =
-        vec![Box::new(HMine), Box::new(FpGrowth), Box::new(TreeProjection), Box::new(Eclat)];
+        vec![Box::new(HMine), Box::new(FpGrowth), Box::new(TreeProjection), Box::new(Eclat::new())];
     for m in &miners {
         let serial =
             stream_of(&mut |sink| m.mine_into_par(&db, XI_NEW, Parallelism::serial(), sink));
@@ -76,7 +89,7 @@ fn recycling_miner_streams_identical_across_thread_counts() {
         Box::new(RecycleHm),
         Box::new(RecycleFp::default()),
         Box::new(RecycleTp),
-        Box::new(RecycleVt),
+        Box::new(RecycleVt::new()),
         Box::new(RpMine::default()),
     ];
     for m in &miners {
@@ -86,6 +99,44 @@ fn recycling_miner_streams_identical_across_thread_counts() {
             assert_streams_match(&serial, &format!("{} on {label}", m.name()), |par| {
                 stream_of(&mut |sink| m.mine_into_par(view, XI_NEW, par, sink))
             });
+        }
+    }
+}
+
+/// The vertical family under every `--vt-repr` mode, raw and recycled,
+/// on the sparse weather and pumsb analogs: every forced representation
+/// must emit the byte-identical stream the adaptive default emits, at
+/// every thread count.
+#[test]
+fn vt_repr_streams_identical_across_modes_and_threads() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (wdb, wcdb) = weather();
+    for (db, cdb, xi) in [(wdb, wcdb, XI_NEW), pumsb()] {
+        let mut raw_first: Option<Stream> = None;
+        let mut rec_first: Option<Stream> = None;
+        for repr in VtRepr::ALL {
+            let raw = Eclat::with_repr(repr);
+            let serial =
+                stream_of(&mut |sink| raw.mine_into_par(&db, xi, Parallelism::serial(), sink));
+            assert_streams_match(&serial, &format!("Eclat --vt-repr {repr}"), |par| {
+                stream_of(&mut |sink| raw.mine_into_par(&db, xi, par, sink))
+            });
+            assert_eq!(
+                &serial,
+                raw_first.get_or_insert_with(|| serial.clone()),
+                "Eclat --vt-repr {repr}: stream differs across modes"
+            );
+            let rec = RecycleVt::with_repr(repr);
+            let serial =
+                stream_of(&mut |sink| rec.mine_into_par(&cdb, xi, Parallelism::serial(), sink));
+            assert_streams_match(&serial, &format!("VT-recycle --vt-repr {repr}"), |par| {
+                stream_of(&mut |sink| rec.mine_into_par(&cdb, xi, par, sink))
+            });
+            assert_eq!(
+                &serial,
+                rec_first.get_or_insert_with(|| serial.clone()),
+                "VT-recycle --vt-repr {repr}: stream differs across modes"
+            );
         }
     }
 }
@@ -101,11 +152,12 @@ fn mine_counters(
     metrics::reset();
     metrics::set_enabled(true);
     let mut sink = FnSink(|_: &[Item], _: u64| {});
-    for m in [&HMine as &dyn Miner, &FpGrowth, &TreeProjection, &Eclat] {
+    let eclat = Eclat::new();
+    for m in [&HMine as &dyn Miner, &FpGrowth, &TreeProjection, &eclat] {
         m.mine_into_par(db, XI_NEW, par, &mut sink);
     }
-    let recyclers: [&dyn RecyclingMiner; 5] =
-        [&RecycleHm, &RecycleFp::default(), &RecycleTp, &RecycleVt, &RpMine::default()];
+    let (rvt, rfp, rp) = (RecycleVt::new(), RecycleFp::default(), RpMine::default());
+    let recyclers: [&dyn RecyclingMiner; 5] = [&RecycleHm, &rfp, &RecycleTp, &rvt, &rp];
     for m in recyclers {
         m.mine_into_par(cdb, XI_NEW, par, &mut sink);
     }
