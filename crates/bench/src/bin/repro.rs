@@ -24,11 +24,17 @@
 //!                fresh and MCP-recycled, serial and 4 threads
 //!   ext-obs-hist histogram study: the projected-DB size distribution,
 //!                raw vs MCP-recycled, per engine family (E9)
+//!   ext-ooc      out-of-core datapath (E11): stream the connect4 analog
+//!                into on-disk segments, mine it under a resident budget
+//!                of 1/4 the dataset, and require one pass per segment
+//!                and byte-identical patterns vs in-memory at 1 and 4
+//!                threads
 //!   quick        CI smoke: one mine→compress→recycle round on the
 //!                weather analog at a tiny scale
 //!   check-metrics <file>
-//!                validate a --metrics-out JSONL file (parses, and the
-//!                core mining/compression counters are present)
+//!                validate a --metrics-out JSONL file (parses, every
+//!                name is declared in the obs registry, and the core
+//!                mining/compression counters are present)
 //!   check-perf [mining.json] [compression.json]
 //!                deterministic perf gate: replay each committed
 //!                BENCH_*.json row's workload once and require its
@@ -142,6 +148,7 @@ fn main() {
         "ext-mine-par" => cmd_mine_par(scale, &reporter),
         "ext-mine-vertical" => cmd_mine_vertical(scale, &reporter),
         "ext-obs-hist" => cmd_obs_hist(scale, &reporter),
+        "ext-ooc" => cmd_ext_ooc(scale, &reporter),
         "quick" | "--quick" => cmd_quick(scale),
         "check-metrics" => {
             let file = rest.get(1).cloned().unwrap_or_else(|| die("check-metrics expects a file"));
@@ -185,7 +192,7 @@ fn print_usage() {
     println!(
         "repro [--scale S] [--results DIR] [--metrics-out F] [--profile-out F] [--quiet-metrics] \
          <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|ext-mine-vertical|\n\
-         ext-obs-hist|quick|check-metrics F|check-perf [F F]>\n\
+         ext-obs-hist|ext-ooc|quick|check-metrics F|check-perf [F F]>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -221,9 +228,134 @@ fn cmd_quick(scale: f64) {
     );
 }
 
+/// E11: the out-of-core datapath. Streams the connect4 analog into
+/// on-disk segments (never materializing it), mines at the sweep floor
+/// under a resident budget of 1/4 the dataset, and **requires** one full
+/// payload pass per segment and a pattern stream byte-identical to the
+/// in-memory run at 1 and 4 threads — this is the acceptance gate CI's
+/// ooc-smoke job runs.
+fn cmd_ext_ooc(scale: f64, reporter: &Reporter) {
+    use gogreen_storage::{MemoryBudget, OocMiner, SegmentWriter, SegmentedDb};
+    use gogreen_util::pool::Parallelism;
+    use std::time::Instant;
+
+    println!(
+        "\n== Extension: out-of-core mining under a bounded resident budget \
+         (connect4, ξ_new = sweep floor, scale {scale}) ==\n"
+    );
+    let preset = DatasetPreset::new(PresetKind::Connect4, scale);
+    let dir = std::env::temp_dir().join(format!("gogreen-ext-ooc-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap_or_else(|e| die(&format!("clearing {dir:?}: {e}")));
+    }
+    // Stream rows straight into segments — peak write-side memory is one
+    // open segment, regardless of dataset size.
+    let mut w = SegmentWriter::create(&dir, 32 << 10)
+        .unwrap_or_else(|e| die(&format!("creating {dir:?}: {e}")));
+    preset.for_each_transaction(|row| {
+        w.push_row(row).unwrap_or_else(|e| die(&format!("writing segment row: {e}")));
+    });
+    let segments = w.finish().unwrap_or_else(|e| die(&format!("sealing {dir:?}: {e}")));
+    let seg = SegmentedDb::open(&dir).unwrap_or_else(|e| die(&format!("opening {dir:?}: {e}")));
+    let budget = (seg.total_payload_bytes() / 4) as usize;
+    if seg.max_segment_bytes() > budget {
+        die("a single segment exceeds the 1/4 budget; raise --scale");
+    }
+    let seg = seg.with_budget(MemoryBudget::bytes(budget));
+    let xi_new = *preset.sweep().last().expect("non-empty sweep");
+
+    // In-memory reference stream (canonical sorted pattern file bytes).
+    let db = preset.generate();
+    let t0 = Instant::now();
+    let reference = mine_hmine(&db, xi_new);
+    let mem_s = t0.elapsed().as_secs_f64();
+    let fp_file = |tag: &str, set: &gogreen_data::PatternSet| -> Vec<u8> {
+        let p =
+            std::env::temp_dir().join(format!("gogreen-ext-ooc-fp-{tag}-{}", std::process::id()));
+        gogreen_data::pattern_io::write_patterns_file(set, p.display().to_string())
+            .unwrap_or_else(|e| die(&format!("writing {p:?}: {e}")));
+        let bytes = std::fs::read(&p).unwrap_or_else(|e| die(&format!("reading {p:?}: {e}")));
+        let _ = std::fs::remove_file(&p);
+        bytes
+    };
+    let expected = fp_file("mem", &reference);
+
+    let was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    let mut table: Vec<Vec<String>> = vec![vec![
+        "in-memory".into(),
+        "1".into(),
+        fmt_secs(mem_s),
+        reference.len().to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]];
+    for threads in [1usize, 4] {
+        let before = metrics::get("storage.segments_read").unwrap_or(0);
+        let t0 = Instant::now();
+        let patterns = OocMiner::new(&seg)
+            .with_parallelism(Parallelism::threads(threads))
+            .mine(xi_new)
+            .unwrap_or_else(|e| die(&format!("out-of-core mining: {e}")));
+        let secs = t0.elapsed().as_secs_f64();
+        let passes = metrics::get("storage.segments_read").unwrap_or(0) - before;
+        let peak = metrics::get("storage.resident_peak").unwrap_or(0);
+        if passes != segments as u64 {
+            die(&format!("expected one pass per segment ({segments}), measured {passes}"));
+        }
+        if peak as usize > budget {
+            die(&format!("resident peak {peak} exceeds the {budget}-byte budget"));
+        }
+        if fp_file(&format!("t{threads}"), &patterns) != expected {
+            die(&format!("t{threads}: out-of-core pattern stream diverges from in-memory"));
+        }
+        table.push(vec![
+            "out-of-core".into(),
+            threads.to_string(),
+            fmt_secs(secs),
+            patterns.len().to_string(),
+            format!("{segments}"),
+            format!("{passes}"),
+            format!("{} KiB", peak >> 10),
+        ]);
+        reporter
+            .save_json(
+                "ext_ooc",
+                &gogreen_util::Json::obj([
+                    ("threads", gogreen_util::Json::from(threads)),
+                    ("secs", gogreen_util::Json::from(secs)),
+                    ("patterns", gogreen_util::Json::from(patterns.len())),
+                    ("segments", gogreen_util::Json::from(segments)),
+                    ("passes", gogreen_util::Json::from(passes)),
+                    ("resident_peak", gogreen_util::Json::from(peak)),
+                    ("budget", gogreen_util::Json::from(budget)),
+                    ("identical", gogreen_util::Json::from(true)),
+                ]),
+            )
+            .expect("save extension");
+    }
+    metrics::set_enabled(was_enabled);
+    std::fs::remove_dir_all(&dir).unwrap_or_else(|e| die(&format!("removing {dir:?}: {e}")));
+    print!(
+        "{}",
+        render_table(
+            &["datapath", "threads", "time", "patterns", "segments", "passes", "resident peak"],
+            &table
+        )
+    );
+    println!(
+        "\next-ooc: ok — {segments} segments, budget {} KiB (dataset {} KiB), \
+         byte-identical pattern stream at 1 and 4 threads",
+        budget >> 10,
+        seg.total_payload_bytes() >> 10,
+    );
+}
+
 /// Validates a `--metrics-out` file: every line parses as a JSON object
 /// — a counter line with `metric`/`kind`/`value` or a histogram line
-/// with `hist`/`count`/`sum` — and the core counters are present.
+/// with `hist`/`count`/`sum` — every name (`mine.*`, `storage.*`, …) is
+/// declared in the obs registry, and the core counters are present.
 fn cmd_check_metrics(path: &str) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("reading {path}: {e}")));
@@ -240,12 +372,18 @@ fn cmd_check_metrics(path: &str) {
                     ));
                 }
             }
+            if gogreen_obs::registry::lookup(hist).is_none() {
+                die(&format!("{path}:{}: hist {hist:?} not in the metric registry", lineno + 1));
+            }
             continue;
         }
         let metric = json
             .get("metric")
             .and_then(|j| j.as_str())
             .unwrap_or_else(|| die(&format!("{path}:{}: missing \"metric\"", lineno + 1)));
+        if gogreen_obs::registry::lookup(metric).is_none() {
+            die(&format!("{path}:{}: metric {metric:?} not in the metric registry", lineno + 1));
+        }
         if json.get("value").and_then(|j| j.as_u64()).is_none() {
             die(&format!("{path}:{}: missing numeric \"value\"", lineno + 1));
         }

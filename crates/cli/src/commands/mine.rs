@@ -3,20 +3,24 @@
 
 use crate::args::{parse_items, parse_support, Args};
 use crate::commands::{
-    load_db, measure_arena_bytes, parse_engine_opts, parse_threads, setup_obs, show_bytes,
-    show_support,
+    load_db, measure_arena_bytes, measure_storage, parse_bytes, parse_engine_opts, parse_threads,
+    setup_obs, show_bytes, show_support,
 };
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
 use gogreen_core::engine::{engine_keys, engine_named, EngineOpts};
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
+use gogreen_storage::{MemoryBudget, OocEngine, OocMiner, SegmentedDb};
 use gogreen_util::pool::Parallelism;
 use std::time::Instant;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
     let args = Args::parse(argv)?;
     let obs = setup_obs(&args)?;
-    let path = args.positional(0, "database path")?;
-    let db = load_db(path)?;
+    let db_dir = args.opt("db-dir").map(str::to_owned);
+    let path = match &db_dir {
+        Some(dir) => dir.clone(),
+        None => args.positional(0, "database path (or --db-dir)")?.to_owned(),
+    };
     let support = parse_support(args.required("support")?)?;
     let algo = args.opt("algo").unwrap_or("hmine");
     let par = parse_threads(args.opt("threads"))?;
@@ -36,15 +40,54 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     let pushdown = Pushdown::from_constraints(&cs, &attrs);
 
     let start = Instant::now();
-    let (patterns, arena_bytes) = measure_arena_bytes(|| {
-        let mut sp = gogreen_obs::span("mine");
-        let patterns = mine(&db, support, algo, par, opts, &pushdown, &attrs);
-        if let Ok(p) = &patterns {
-            sp.field("algo", algo).field("patterns", p.len());
+    let (mut patterns, db_len, summary) = match &db_dir {
+        Some(dir) => {
+            // Out-of-core: one rank-encode pass per segment, identical
+            // output to materializing the store. Pushed constraints are
+            // applied as post-filters (same result set).
+            let engine = match OocEngine::from_key(algo) {
+                Some(OocEngine::Eclat(_)) => OocEngine::Eclat(opts.vt_repr),
+                Some(e) => e,
+                None => {
+                    return Err(format!("--db-dir supports --algo hmine|fp|tp|vt, not {algo:?}"))
+                }
+            };
+            let mut seg = SegmentedDb::open(dir).map_err(|e| format!("opening {dir}: {e}"))?;
+            if let Some(b) = args.opt("budget") {
+                seg = seg.with_budget(MemoryBudget::bytes(parse_bytes(b)?));
+            }
+            let (patterns, arena_bytes, traffic) = measure_storage(|| {
+                let mut sp = gogreen_obs::span("mine");
+                let patterns = OocMiner::new(&seg)
+                    .with_engine(engine)
+                    .with_parallelism(par)
+                    .mine(support)
+                    .map_err(|e| format!("mining {dir}: {e}"))?;
+                sp.field("algo", algo).field("patterns", patterns.len());
+                Ok::<_, String>(patterns.filter(|p| pushdown.prefix_ok(p.items(), &attrs)))
+            });
+            let summary = format!(
+                "{algo}, arena {}, {} segments in {} passes, resident peak {}",
+                show_bytes(arena_bytes),
+                seg.num_segments(),
+                traffic.passes,
+                show_bytes(traffic.resident_peak),
+            );
+            (patterns?, seg.total_rows(), summary)
         }
-        patterns
-    });
-    let mut patterns = patterns?;
+        None => {
+            let db = load_db(&path)?;
+            let (patterns, arena_bytes) = measure_arena_bytes(|| {
+                let mut sp = gogreen_obs::span("mine");
+                let patterns = mine(&db, support, algo, par, opts, &pushdown, &attrs);
+                if let Ok(p) = &patterns {
+                    sp.field("algo", algo).field("patterns", p.len());
+                }
+                patterns
+            });
+            (patterns?, db.len(), format!("{algo}, arena {}", show_bytes(arena_bytes)))
+        }
+    };
     let elapsed = start.elapsed();
     // Optional condensed-representation post-filters.
     match args.opt("filter") {
@@ -55,10 +98,9 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
     }
 
     println!(
-        "{path}: {} patterns at {} in {elapsed:.2?} [{algo}, arena {}]",
+        "{path}: {} patterns at {} in {elapsed:.2?} [{summary}]",
         patterns.len(),
-        show_support(support, db.len()),
-        show_bytes(arena_bytes),
+        show_support(support, db_len),
     );
     match args.opt("o") {
         Some(out) => {

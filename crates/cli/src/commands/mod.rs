@@ -1,5 +1,6 @@
 //! One module per subcommand.
 
+pub mod compact;
 pub mod compress;
 pub mod diff;
 pub mod generate;
@@ -74,6 +75,59 @@ pub fn measure_arena_bytes<T>(f: impl FnOnce() -> T) -> (T, u64) {
         gogreen_obs::metrics::set_enabled(false);
     }
     (out, after.saturating_sub(before))
+}
+
+/// Segment traffic of an out-of-core command, for the summary row.
+pub struct StorageTraffic {
+    /// Full segment payload loads (`storage.segments_read` delta).
+    pub passes: u64,
+    /// Largest segment payload resident at once.
+    pub resident_peak: u64,
+}
+
+/// Measures a closure's segment traffic alongside its arena bytes: the
+/// out-of-core analog of [`measure_arena_bytes`], returning how many
+/// segment passes the work made and the resident high-water mark.
+pub fn measure_storage<T>(f: impl FnOnce() -> T) -> (T, u64, StorageTraffic) {
+    let was_enabled = gogreen_obs::metrics::enabled();
+    if !was_enabled {
+        gogreen_obs::metrics::set_enabled(true);
+    }
+    let arena_before = gogreen_obs::metrics::get("alloc.projection_bytes").unwrap_or(0);
+    let passes_before = gogreen_obs::metrics::get("storage.segments_read").unwrap_or(0);
+    let out = f();
+    let arena_after = gogreen_obs::metrics::get("alloc.projection_bytes").unwrap_or(0);
+    let passes_after = gogreen_obs::metrics::get("storage.segments_read").unwrap_or(0);
+    let resident_peak = gogreen_obs::metrics::get("storage.resident_peak").unwrap_or(0);
+    if !was_enabled {
+        gogreen_obs::metrics::set_enabled(false);
+    }
+    let traffic =
+        StorageTraffic { passes: passes_after.saturating_sub(passes_before), resident_peak };
+    (out, arena_after.saturating_sub(arena_before), traffic)
+}
+
+/// Parses a byte count with an optional binary suffix: `4096`, `64k`,
+/// `4M`, `1g`, `8MiB`.
+pub fn parse_bytes(text: &str) -> Result<usize, String> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = lower.strip_suffix("kib").or(lower.strip_suffix("kb")) {
+        (d, 1usize << 10)
+    } else if let Some(d) = lower.strip_suffix("mib").or(lower.strip_suffix("mb")) {
+        (d, 1 << 20)
+    } else if let Some(d) = lower.strip_suffix("gib").or(lower.strip_suffix("gb")) {
+        (d, 1 << 30)
+    } else if let Some(d) = lower.strip_suffix('k') {
+        (d, 1 << 10)
+    } else if let Some(d) = lower.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = lower.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let n: usize = digits.trim().parse().map_err(|_| format!("invalid byte count {text:?}"))?;
+    n.checked_mul(mult).ok_or_else(|| format!("byte count {text:?} overflows"))
 }
 
 /// Renders a byte count for summary rows (`1.4 MiB`, `312 KiB`, `96 B`).

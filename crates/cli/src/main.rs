@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate::run(rest),
         "mine" => commands::mine::run(rest),
         "compress" => commands::compress::run(rest),
+        "compact" => commands::compact::run(rest),
         "diff" => commands::diff::run(rest),
         "recycle" => commands::recycle::run(rest),
         "session" => commands::session::run(rest),
@@ -73,16 +74,26 @@ gogreen — recycle and reuse frequent patterns (ICDE 2004)
 USAGE
   gogreen stats    <db.txt>
   gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
+                   [--db-dir DIR] [--segment-bytes B]
   gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|vt|apriori|naive]
                    [--max-length K] [--items 1,2,3] [--filter closed|maximal]
                    [--threads N] [-o patterns.txt]
   gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
                    [--threads N]
+  gogreen compact  <db-dir> [--segment-bytes B]
   gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
                    [--algo hm|fp|tp|naive] [--strategy mcp|mlp] [--threads N]
                    [-o patterns.txt]
   gogreen diff     <new.txt> <old.txt> [--limit N]
   gogreen session  <db.txt> [--threads N]
+
+OUT-OF-CORE (mine | compress)
+  --db-dir <dir>   mine/compress an on-disk segment store (written by
+                   `generate --db-dir`) instead of a text database: one
+                   pass per segment, output byte-identical to in-memory
+  --budget <B>     cap resident segment bytes (e.g. 8MiB); errors if any
+                   single segment exceeds it
+  byte counts accept 4096, 64k, 8MiB, 1g
 
 FORMATS
   databases: one transaction per line, whitespace-separated item ids

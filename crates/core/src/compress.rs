@@ -18,7 +18,9 @@
 use crate::cdb::{CompressedDb, Group};
 use crate::cover::CoverIndex;
 use crate::utility::{order_by_utility, Strategy};
-use gogreen_data::{difference_into, CsrTuples, Item, Pattern, PatternSet, TransactionDb};
+use gogreen_data::{
+    difference_into, CsrTuples, Item, Pattern, PatternSet, TransactionDb, TupleSlices,
+};
 use gogreen_obs::{histogram, metrics, span};
 use gogreen_util::pool::{par_ranges, Parallelism};
 use gogreen_util::{FxHashMap, Stopwatch};
@@ -201,6 +203,38 @@ impl Compressor {
         (cdb, stats)
     }
 
+    /// Begins a streaming compression: the caller supplies the *global*
+    /// item supports and tuple count up front (a segmented store reads
+    /// them from its per-segment sidecars) and then feeds tuple chunks —
+    /// e.g. one loaded segment at a time — in database order. The
+    /// finished [`CompressedDb`] is identical to
+    /// [`Compressor::compress_with_stats`] over the concatenated
+    /// database: cover assignment is tuple-local once the utility order
+    /// and rarity ranks are fixed, group members and plain rows
+    /// accumulate in tuple order, and groups are emitted in utility-rank
+    /// order regardless of which chunk their members arrived in.
+    pub fn stream<'a>(
+        &self,
+        patterns: &'a [Pattern],
+        supports: Vec<u64>,
+        db_len: usize,
+    ) -> StreamCompressor<'a> {
+        let index = {
+            let _build_sp = span("cover.build");
+            CoverIndex::from_supports(patterns, self.strategy, supports, db_len)
+        };
+        StreamCompressor {
+            index,
+            strategy: self.strategy,
+            parallelism: self.parallelism,
+            by_pattern: FxHashMap::default(),
+            plain: CsrTuples::new(),
+            original_items: 0,
+            num_tuples: 0,
+            started: Instant::now(),
+        }
+    }
+
     /// The seed's O(|DB|·|FP|·|X|) linear-scan cover, kept as the
     /// reference implementation: the differential tests assert the
     /// indexed kernel (serial and parallel) reproduces its output
@@ -263,6 +297,100 @@ impl Compressor {
             |pidx| patterns[pidx as usize].items().to_vec(),
         );
         CompressedDb::new(groups, plain, original_items)
+    }
+}
+
+/// An in-progress streaming compression (see [`Compressor::stream`]).
+///
+/// Feed tuple chunks in database order, then [`StreamCompressor::finish`].
+/// Only the accumulating group members, plain residue, and the cover
+/// index are resident between feeds — never the database itself.
+#[derive(Debug)]
+pub struct StreamCompressor<'a> {
+    index: CoverIndex<'a>,
+    strategy: Strategy,
+    parallelism: Parallelism,
+    by_pattern: FxHashMap<u32, Members>,
+    plain: CsrTuples<Item>,
+    original_items: usize,
+    num_tuples: usize,
+    started: Instant,
+}
+
+impl StreamCompressor<'_> {
+    /// Covers one chunk of tuples (fanned out over the configured
+    /// thread budget; partial results merge in chunk order, so the
+    /// accumulated state only depends on the tuples fed so far).
+    pub fn feed(&mut self, tuples: TupleSlices<'_, Item>) {
+        let mut cover_sp = span("cover");
+        cover_sp.field("tuples", tuples.len());
+        let index = &self.index;
+        let parts = par_ranges(self.parallelism, tuples.len(), |_, range| {
+            let chunk = tuples.range(range.start, range.end);
+            let assign = index.cover_all(chunk);
+            let mut by_pattern: FxHashMap<u32, Members> = FxHashMap::default();
+            let mut plain: CsrTuples<Item> = CsrTuples::new();
+            let mut items = 0usize;
+            let mut rest: Vec<Item> = Vec::new();
+            for (t, covered_by) in chunk.iter().zip(assign) {
+                items += t.len();
+                match covered_by {
+                    Some(pidx) => {
+                        rest.clear();
+                        difference_into(t, index.pattern(pidx).items(), &mut rest);
+                        let slot = by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
+                        if rest.is_empty() {
+                            slot.1 += 1;
+                        } else {
+                            slot.0.push(rest.clone());
+                        }
+                    }
+                    None => plain.push_row(t),
+                }
+            }
+            (by_pattern, plain, items)
+        });
+        self.num_tuples += tuples.len();
+        for (_, (part, part_plain, items)) in parts {
+            self.original_items += items;
+            for t in part_plain.iter() {
+                self.plain.push_row(t);
+            }
+            for (pidx, (outliers, bare)) in part {
+                let slot = self.by_pattern.entry(pidx).or_insert_with(|| (Vec::new(), 0));
+                slot.0.extend(outliers);
+                slot.1 += bare;
+            }
+        }
+    }
+
+    /// Seals the stream into a compressed database plus stats, emitting
+    /// the same `compress.*` counters as a whole-database run.
+    pub fn finish(self) -> (CompressedDb, CompressionStats) {
+        let mut sp = span("compress");
+        let groups = emit_groups(
+            self.by_pattern,
+            |pidx| self.index.rank_of(pidx),
+            |pidx| self.index.pattern(pidx).items().to_vec(),
+        );
+        let cdb = CompressedDb::new(groups, self.plain, self.original_items);
+        let s = cdb.stats();
+        let stats = CompressionStats {
+            duration: self.started.elapsed(),
+            ratio: s.ratio(),
+            num_groups: s.num_groups,
+            covered_tuples: s.covered_tuples,
+            num_tuples: s.num_tuples,
+        };
+        metrics::add("compress.runs", 1);
+        metrics::add("compress.tuples_total", stats.num_tuples as u64);
+        metrics::add("compress.tuples_covered", stats.covered_tuples as u64);
+        metrics::add("compress.groups_emitted", stats.num_groups as u64);
+        sp.field("strategy", self.strategy.suffix())
+            .field("tuples", stats.num_tuples)
+            .field("covered", stats.covered_tuples)
+            .field("groups", stats.num_groups);
+        (cdb, stats)
     }
 }
 
@@ -398,6 +526,26 @@ mod tests {
                 let par =
                     Compressor::new(strategy).with_threads(threads).compress(&db, &paper_fp());
                 assert_eq!(serial, par, "{strategy:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_chunks_match_whole_database_run() {
+        let db = TransactionDb::paper_example();
+        let fp = paper_fp();
+        let patterns: Vec<Pattern> = fp.iter().cloned().collect();
+        for strategy in [Strategy::Mcp, Strategy::Mlp] {
+            let c = Compressor::new(strategy);
+            let whole = c.compress(&db, &fp);
+            // Feed the same tuples split at every possible boundary.
+            for split in 0..=db.len() {
+                let mut sc = c.stream(&patterns, db.item_supports(), db.len());
+                sc.feed(db.tuples().range(0, split));
+                sc.feed(db.tuples().range(split, db.len()));
+                let (streamed, stats) = sc.finish();
+                assert_eq!(streamed, whole, "{strategy:?} split={split}");
+                assert_eq!(stats.num_tuples, db.len());
             }
         }
     }

@@ -122,9 +122,25 @@ impl<'a> CoverIndex<'a> {
 
     /// Builds the index from a pattern slice.
     pub fn from_patterns(db: &TransactionDb, patterns: &'a [Pattern], strategy: Strategy) -> Self {
-        let supports = db.item_supports();
+        Self::from_supports(patterns, strategy, db.item_supports(), db.len())
+    }
+
+    /// Builds the index from explicit global item `supports` (index =
+    /// item id) and database length, without touching the database
+    /// itself. This is the out-of-core entry point: a segmented store
+    /// supplies whole-database supports from its per-segment sidecars,
+    /// and the resulting index covers tuples segment by segment with the
+    /// *same* assignment a whole-database build would make — the cover
+    /// choice is tuple-local once the utility order (a function of
+    /// `db_len` under MLP) and rarity ranks are fixed globally.
+    pub fn from_supports(
+        patterns: &'a [Pattern],
+        strategy: Strategy,
+        supports: Vec<u64>,
+        db_len: usize,
+    ) -> Self {
         let num_items = supports.len();
-        let order = order_by_utility(patterns, strategy, db.len());
+        let order = order_by_utility(patterns, strategy, db_len);
         let mut rank = vec![0u32; patterns.len()];
         for (k, &pidx) in order.iter().enumerate() {
             rank[pidx as usize] = k as u32;

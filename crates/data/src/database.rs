@@ -60,6 +60,14 @@ impl TransactionDb {
         )
     }
 
+    /// Wraps already-validated CSR storage (each row sorted ascending,
+    /// duplicate-free) as a database without copying — the zero-copy
+    /// path from a loaded on-disk segment into the mining engines.
+    pub fn from_csr(tuples: CsrTuples<Item>) -> Self {
+        debug_assert!(tuples.iter().all(|t| t.windows(2).all(|w| w[0] < w[1])));
+        TransactionDb { tuples }
+    }
+
     /// Appends a tuple, returning its id.
     pub fn push(&mut self, t: Transaction) -> usize {
         self.tuples.push_row(t.items());

@@ -60,6 +60,37 @@ impl<T: Copy> CsrTuples<T> {
         CsrTuples { data: Vec::with_capacity(elems), offsets }
     }
 
+    /// Reassembles a container from its raw CSR parts — the layout a
+    /// sealed on-disk segment stores verbatim, so loading a segment is a
+    /// bulk read of two arrays straight into place, no per-row work.
+    ///
+    /// `offsets` must be non-empty, start at 0, be non-decreasing, and
+    /// end at `data.len()`; violations panic rather than constructing a
+    /// container whose accessors would slice out of bounds.
+    pub fn from_raw_parts(data: Vec<T>, offsets: Vec<u32>) -> Self {
+        assert_eq!(offsets.first(), Some(&0), "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("offsets non-empty") as usize,
+            data.len(),
+            "last offset must equal data length"
+        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
+        CsrTuples { data, offsets }
+    }
+
+    /// Consumes the container, returning `(data, offsets)` — the inverse
+    /// of [`CsrTuples::from_raw_parts`], used to write a segment out as
+    /// two flat arrays.
+    pub fn into_raw_parts(self) -> (Vec<T>, Vec<u32>) {
+        (self.data, self.offsets)
+    }
+
+    /// The raw offsets array (`len() + 1` entries starting at 0).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
     /// Number of committed rows.
     #[inline]
     pub fn len(&self) -> usize {
@@ -465,6 +496,23 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c.row(0), &[1]);
         assert_eq!(c.total_elems(), 1);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let mut c = CsrTuples::new();
+        c.push_row(&[1, 2]);
+        c.push_row(&[3]);
+        let (data, offsets) = c.clone().into_raw_parts();
+        assert_eq!(offsets, c.offsets());
+        let back = CsrTuples::from_raw_parts(data, offsets);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn raw_parts_rejects_mismatched_lengths() {
+        let _ = CsrTuples::from_raw_parts(vec![1u32, 2], vec![0, 1]);
     }
 
     #[test]

@@ -79,6 +79,19 @@ impl PositionalGenerator {
 
     /// Generates the database.
     pub fn generate(&self) -> TransactionDb {
+        let mut db = TransactionDb::new();
+        self.for_each_transaction(|row| {
+            db.push(Transaction::from_ids(row.iter().copied()));
+        });
+        db
+    }
+
+    /// Streams every tuple through `f` without materializing the
+    /// database. Rows arrive sorted ascending and deduplicated (one item
+    /// per position, ids strictly increasing by position), in the exact
+    /// order and RNG sequence [`Self::generate`] uses — `generate`
+    /// delegates here, so the two are identical by construction.
+    pub fn for_each_transaction(&self, mut f: impl FnMut(&[u32])) {
         assert!(self.positions > 0 && self.values_per_position > 0);
         assert!(self.dominated_positions <= self.positions);
         assert!((0.0..=1.0).contains(&self.dominant_prob));
@@ -106,7 +119,6 @@ impl PositionalGenerator {
             }
             perms.push(perm);
         }
-        let mut db = TransactionDb::new();
         let mut buf: Vec<u32> = Vec::with_capacity(self.positions);
         for _ in 0..self.num_transactions {
             buf.clear();
@@ -123,9 +135,8 @@ impl PositionalGenerator {
                 };
                 buf.push(self.item_id(pos, perms[pos][value]));
             }
-            db.push(Transaction::from_ids(buf.iter().copied()));
+            f(&buf);
         }
-        db
     }
 }
 

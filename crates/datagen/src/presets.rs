@@ -161,11 +161,30 @@ impl DatasetPreset {
 
     /// Generates the database (deterministic for a given kind and scale).
     pub fn generate(&self) -> TransactionDb {
+        match self.configured() {
+            PresetGenerator::Regime(g) => g.generate(),
+            PresetGenerator::Positional(g) => g.generate(),
+        }
+    }
+
+    /// Streams every tuple through `f` without materializing the
+    /// database — same rows, order, and RNG sequence as
+    /// [`Self::generate`]. This is how datasets larger than memory are
+    /// written straight into bounded on-disk segment stores.
+    pub fn for_each_transaction(&self, f: impl FnMut(&[u32])) {
+        match self.configured() {
+            PresetGenerator::Regime(g) => g.for_each_transaction(f),
+            PresetGenerator::Positional(g) => g.for_each_transaction(f),
+        }
+    }
+
+    /// The fully-configured underlying generator for this preset.
+    fn configured(&self) -> PresetGenerator {
         let n = self.num_tuples();
         match self.kind {
             // Weather: 15 attribute positions × ~530 values ≈ 7,959
             // items; seasonal/climatic regimes give maxlen ≈ 9 at 5%.
-            PresetKind::Weather => RegimeGenerator {
+            PresetKind::Weather => PresetGenerator::Regime(RegimeGenerator {
                 num_transactions: n,
                 positions: 15,
                 values_per_position: 530,
@@ -176,11 +195,10 @@ impl DatasetPreset {
                 adherence_gamma: 1.0,
                 noise_skew: 0.8,
                 seed: 0x7765_6174,
-            }
-            .generate(),
+            }),
             // Forest (Covertype): 13 positions × ~1,228 values ≈ 15,970
             // items; cover-type regimes adhere weakly → maxlen ≈ 4 at 1%.
-            PresetKind::Forest => RegimeGenerator {
+            PresetKind::Forest => PresetGenerator::Regime(RegimeGenerator {
                 num_transactions: n,
                 positions: 13,
                 values_per_position: 1_228,
@@ -191,9 +209,8 @@ impl DatasetPreset {
                 adherence_gamma: 1.2,
                 noise_skew: 1.0,
                 seed: 0x666f_7265,
-            }
-            .generate(),
-            PresetKind::Connect4 => PositionalGenerator {
+            }),
+            PresetKind::Connect4 => PresetGenerator::Positional(PositionalGenerator {
                 num_transactions: n,
                 positions: 43,
                 values_per_position: 3,
@@ -203,9 +220,8 @@ impl DatasetPreset {
                 dominant_prob_lo: 0.80,
                 dominant_gamma: 3.0,
                 seed: 0x636f_6e34,
-            }
-            .generate(),
-            PresetKind::Pumsb => PositionalGenerator {
+            }),
+            PresetKind::Pumsb => PresetGenerator::Positional(PositionalGenerator {
                 num_transactions: n,
                 positions: 74,
                 values_per_position: 96,
@@ -215,10 +231,15 @@ impl DatasetPreset {
                 dominant_prob_lo: 0.72,
                 dominant_gamma: 3.0,
                 seed: 0x7075_6d73,
-            }
-            .generate(),
+            }),
         }
     }
+}
+
+/// A preset's concrete generator — the two families presets draw from.
+enum PresetGenerator {
+    Regime(RegimeGenerator),
+    Positional(PositionalGenerator),
 }
 
 #[cfg(test)]
@@ -281,5 +302,22 @@ mod tests {
     fn generation_is_deterministic() {
         let p = DatasetPreset::new(PresetKind::Forest, 0.004);
         assert_eq!(p.generate(), p.generate());
+    }
+
+    #[test]
+    fn streaming_matches_generate_row_for_row() {
+        for p in DatasetPreset::all(0.0001) {
+            let db = p.generate();
+            let mut rows: Vec<Vec<u32>> = Vec::new();
+            p.for_each_transaction(|r| rows.push(r.to_vec()));
+            assert_eq!(rows.len(), db.len(), "{}", p.name());
+            for (row, t) in rows.iter().zip(db.iter()) {
+                assert!(
+                    row.iter().copied().eq(t.iter().map(|i| i.id())),
+                    "{}: streamed row diverges from generate()",
+                    p.name()
+                );
+            }
+        }
     }
 }

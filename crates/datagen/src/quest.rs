@@ -57,6 +57,18 @@ impl Default for QuestGenerator {
 impl QuestGenerator {
     /// Generates the database.
     pub fn generate(&self) -> TransactionDb {
+        let mut db = TransactionDb::new();
+        self.for_each_transaction(|row| {
+            db.push(Transaction::from_ids(row.iter().copied()));
+        });
+        db
+    }
+
+    /// Streams every transaction through `f` without materializing the
+    /// database. Rows arrive sorted ascending and deduplicated, in the
+    /// exact order and RNG sequence [`Self::generate`] uses — `generate`
+    /// delegates here, so the two are identical by construction.
+    pub fn for_each_transaction(&self, mut f: impl FnMut(&[u32])) {
         assert!(self.num_items > 0 && self.num_patterns > 0);
         let mut rng = SmallRng::seed_from_u64(self.seed);
 
@@ -90,7 +102,6 @@ impl QuestGenerator {
         }
         let popularity = Zipf::new(self.num_patterns, 1.0);
 
-        let mut db = TransactionDb::new();
         let mut buf: Vec<u32> = Vec::new();
         for _ in 0..self.num_transactions {
             let target = poisson_at_least_one(&mut rng, self.avg_transaction_len);
@@ -111,9 +122,12 @@ impl QuestGenerator {
             while buf.len() < target {
                 buf.push(rng.gen_below(self.num_items as u64) as u32);
             }
-            db.push(Transaction::from_ids(buf.iter().copied()));
+            // Normalize after all sampling so the RNG sequence is
+            // untouched; `Transaction::from_ids` would do the same.
+            buf.sort_unstable();
+            buf.dedup();
+            f(&buf);
         }
-        db
     }
 }
 
@@ -154,6 +168,19 @@ mod tests {
         let a = small().generate();
         let b = small().generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_matches_generate_row_for_row() {
+        let g = small();
+        let db = g.generate();
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        g.for_each_transaction(|r| rows.push(r.to_vec()));
+        assert_eq!(rows.len(), db.len());
+        for (row, t) in rows.iter().zip(db.iter()) {
+            assert!(row.iter().copied().eq(t.iter().map(|i| i.id())));
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "rows must arrive sorted unique");
+        }
     }
 
     #[test]

@@ -80,6 +80,19 @@ impl RegimeGenerator {
 
     /// Generates the database.
     pub fn generate(&self) -> TransactionDb {
+        let mut db = TransactionDb::new();
+        self.for_each_transaction(|row| {
+            db.push(Transaction::from_ids(row.iter().copied()));
+        });
+        db
+    }
+
+    /// Streams every tuple through `f` without materializing the
+    /// database. Rows arrive sorted ascending and deduplicated (one item
+    /// per position, ids strictly increasing by position), in the exact
+    /// order and RNG sequence [`Self::generate`] uses — `generate`
+    /// delegates here, so the two are identical by construction.
+    pub fn for_each_transaction(&self, mut f: impl FnMut(&[u32])) {
         assert!(self.positions > 0 && self.values_per_position > 0 && self.num_regimes > 0);
         assert!((0.0..=1.0).contains(&self.adherence));
         assert!((0.0..=self.adherence).contains(&self.adherence_lo));
@@ -111,7 +124,6 @@ impl RegimeGenerator {
             }
             perms.push(perm);
         }
-        let mut db = TransactionDb::new();
         let mut buf = Vec::with_capacity(self.positions);
         for _ in 0..self.num_transactions {
             let z = regime_dist.sample(&mut rng);
@@ -125,9 +137,8 @@ impl RegimeGenerator {
                 };
                 buf.push(self.item_id(pos, value));
             }
-            db.push(Transaction::from_ids(buf.iter().copied()));
+            f(&buf);
         }
-        db
     }
 }
 

@@ -11,15 +11,19 @@
 //!   saving across the spill: the pattern is stored once.
 //!
 //! Encoding is little-endian `u32`s with `u32` length prefixes — dense,
-//! alignment-free, and trivially seekable record by record. Buffers are
+//! alignment-free, and trivially seekable record by record. Every record
+//! ends with the CRC-32 of its own body, so a flipped bit anywhere in a
+//! spill file is caught at the record that carries it. Buffers are
 //! plain `Vec<u8>`; [`ByteReader`] is the matching decode cursor.
-//! Decoding is fallible: truncation and unknown tags surface as
-//! [`DecodeError`] rather than tearing down the process.
+//! Decoding is fallible: truncation, unknown tags and checksum
+//! mismatches surface as [`DecodeError`] rather than tearing down the
+//! process.
 //!
 //! In memory a group's outlier lists live in one [`CsrTuples`] slab —
 //! decode writes straight into it (no per-member `Vec`), and encode
 //! walks its rows. The wire format is unchanged.
 
+use crate::crc::crc32;
 use gogreen_data::CsrTuples;
 
 /// Why an encoded spill buffer failed to decode.
@@ -45,6 +49,17 @@ pub enum DecodeError {
         /// The tag found (valid tags are 0 and 1).
         tag: u8,
     },
+    /// The record starting at `offset` decoded structurally but its
+    /// trailing CRC-32 disagreed with the recomputed body checksum —
+    /// some bit inside the record flipped on disk.
+    BadChecksum {
+        /// Byte offset of the record whose checksum failed.
+        offset: usize,
+        /// The checksum stored after the record body.
+        stored: u32,
+        /// The checksum recomputed over the decoded body bytes.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -56,6 +71,13 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag { offset, tag } => {
                 write!(f, "corrupt spill record tag {tag} at byte {offset}")
             }
+            DecodeError::BadChecksum { offset, stored, computed } => {
+                write!(
+                    f,
+                    "spill record at byte {offset} failed its checksum \
+                     (stored {stored:#010x}, computed {computed:#010x})"
+                )
+            }
         }
     }
 }
@@ -65,8 +87,8 @@ impl std::error::Error for DecodeError {}
 /// A forward-only cursor over an encoded byte buffer.
 #[derive(Debug, Clone)]
 pub struct ByteReader<'a> {
-    data: &'a [u8],
-    pos: usize,
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> ByteReader<'a> {
@@ -80,7 +102,7 @@ impl<'a> ByteReader<'a> {
         self.pos < self.data.len()
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.data.len() - self.pos < n {
             return Err(DecodeError::Truncated { offset: self.pos, needed: n });
         }
@@ -89,15 +111,15 @@ impl<'a> ByteReader<'a> {
         Ok(raw)
     }
 
-    fn get_u8(&mut self) -> Result<u8, DecodeError> {
+    pub(crate) fn get_u8(&mut self) -> Result<u8, DecodeError> {
         Ok(self.take(1)?[0])
     }
 
-    fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
+    pub(crate) fn get_u32_le(&mut self) -> Result<u32, DecodeError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
+    pub(crate) fn get_u64_le(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
@@ -147,8 +169,10 @@ impl SpillRecord {
         }
     }
 
-    /// Serializes into `buf`.
+    /// Serializes into `buf`: the record body followed by the CRC-32 of
+    /// the body bytes.
     pub fn encode(&self, buf: &mut Vec<u8>) {
+        let body_start = buf.len();
         match self {
             SpillRecord::Plain(items) => {
                 buf.push(0);
@@ -164,6 +188,8 @@ impl SpillRecord {
                 }
             }
         }
+        let crc = crc32(&buf[body_start..]);
+        buf.extend_from_slice(&crc.to_le_bytes());
     }
 
     /// Deserializes one record from the front of `buf`; `Ok(None)` when
@@ -174,8 +200,8 @@ impl SpillRecord {
             return Ok(None);
         }
         let tag_offset = buf.pos;
-        match buf.get_u8()? {
-            0 => Ok(Some(SpillRecord::Plain(get_list(buf)?))),
+        let record = match buf.get_u8()? {
+            0 => SpillRecord::Plain(get_list(buf)?),
             1 => {
                 let pattern = get_list(buf)?;
                 let bare = buf.get_u64_le()?;
@@ -188,21 +214,28 @@ impl SpillRecord {
                     }
                     outliers.commit_row();
                 }
-                Ok(Some(SpillRecord::Group { pattern, bare, outliers }))
+                SpillRecord::Group { pattern, bare, outliers }
             }
-            tag => Err(DecodeError::BadTag { offset: tag_offset, tag }),
+            tag => return Err(DecodeError::BadTag { offset: tag_offset, tag }),
+        };
+        let body_end = buf.pos;
+        let stored = buf.get_u32_le()?;
+        let computed = crc32(&buf.data[tag_offset..body_end]);
+        if stored != computed {
+            return Err(DecodeError::BadChecksum { offset: tag_offset, stored, computed });
         }
+        Ok(Some(record))
     }
 }
 
-fn put_list(buf: &mut Vec<u8>, items: &[u32]) {
+pub(crate) fn put_list(buf: &mut Vec<u8>, items: &[u32]) {
     buf.extend_from_slice(&(items.len() as u32).to_le_bytes());
     for &x in items {
         buf.extend_from_slice(&x.to_le_bytes());
     }
 }
 
-fn get_list(buf: &mut ByteReader<'_>) -> Result<Vec<u32>, DecodeError> {
+pub(crate) fn get_list(buf: &mut ByteReader<'_>) -> Result<Vec<u32>, DecodeError> {
     let n = buf.get_u32_le()? as usize;
     (0..n).map(|_| buf.get_u32_le()).collect()
 }
@@ -299,11 +332,67 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_anywhere_is_detected() {
+        // Flipping any single bit of an encoded stream must surface a
+        // DecodeError — usually BadChecksum, but flips inside a length
+        // prefix or tag may fail structurally first. What must never
+        // happen is a silent wrong decode.
+        let records = [
+            SpillRecord::Plain(vec![1, 5, 9]),
+            SpillRecord::Group { pattern: vec![2, 3], bare: 7, outliers: csr(&[&[4], &[5, 6]]) },
+        ];
+        let mut buf = Vec::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupt = buf.clone();
+                corrupt[byte] ^= 1 << bit;
+                let mut reader = ByteReader::new(&corrupt);
+                let mut outcome = Ok(());
+                loop {
+                    match SpillRecord::decode(&mut reader) {
+                        Ok(Some(_)) => continue,
+                        Ok(None) => break,
+                        Err(e) => {
+                            outcome = Err(e);
+                            break;
+                        }
+                    }
+                }
+                assert!(outcome.is_err(), "byte {byte} bit {bit} decoded cleanly");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_reports_record_offset() {
+        let mut buf = Vec::new();
+        SpillRecord::Plain(vec![1]).encode(&mut buf);
+        let second_start = buf.len();
+        SpillRecord::Plain(vec![2, 3]).encode(&mut buf);
+        // Flip a payload bit inside the second record's item data.
+        buf[second_start + 5] ^= 0x10;
+        let mut reader = ByteReader::new(&buf);
+        assert!(SpillRecord::decode(&mut reader).unwrap().is_some());
+        match SpillRecord::decode(&mut reader) {
+            Err(DecodeError::BadChecksum { offset, stored, computed }) => {
+                assert_eq!(offset, second_start);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn decode_errors_render_offsets() {
         let msg = DecodeError::BadTag { offset: 9, tag: 7 }.to_string();
         assert!(msg.contains("tag 7") && msg.contains("byte 9"), "{msg}");
         let msg = DecodeError::Truncated { offset: 3, needed: 4 }.to_string();
         assert!(msg.contains("byte 3"), "{msg}");
+        let msg = DecodeError::BadChecksum { offset: 4, stored: 1, computed: 2 }.to_string();
+        assert!(msg.contains("byte 4") && msg.contains("checksum"), "{msg}");
     }
 
     #[test]

@@ -19,13 +19,27 @@
 //!   (the paper's §5.3 compares exactly H-Mine vs HM-MCP because
 //!   H-Mine-style structures are the ones whose memory is reliably
 //!   estimable).
+//! * [`crc`] — the CRC-32 every on-disk record and file carries.
+//! * [`segment`] — immutable on-disk CSR segments with item-support
+//!   sidecars: the out-of-core database substrate.
+//! * [`version`] — delta-encoded persistence of compressed-database
+//!   versions across incremental rounds.
+//! * [`ooc`] — out-of-core mining drivers: raw engines and the
+//!   segmented incremental miner over the two layers above.
 
 pub mod budget;
 pub mod codec;
+pub mod crc;
 pub mod limited;
+pub mod ooc;
+pub mod segment;
 pub mod spill;
+pub mod version;
 
 pub use budget::MemoryBudget;
 pub use codec::SpillRecord;
 pub use limited::{LimitedHMine, LimitedRecycleHm, LimitedReport};
+pub use ooc::{OocEngine, OocMiner, SegmentedIncrementalMiner};
+pub use segment::{compact, CompactReport, SegmentWriter, SegmentedDb};
 pub use spill::SpillManager;
+pub use version::VersionStore;

@@ -1,0 +1,75 @@
+//! Metric-level contract of the out-of-core datapath, checked in its
+//! own process so the global metrics registry sees only this test's
+//! activity: mining a segmented store makes exactly one full payload
+//! pass per segment per round, the resident peak is bounded by the
+//! largest segment, and writes/deltas land in their declared counters.
+
+use gogreen_core::Strategy;
+use gogreen_data::MinSupport;
+use gogreen_obs::{histogram, metrics};
+use gogreen_storage::{MemoryBudget, OocMiner, SegmentWriter, SegmentedDb, VersionStore};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gogreen-oocmet-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn one_pass_per_segment_bounded_residency_and_declared_counters() {
+    metrics::reset();
+    histogram::reset();
+    metrics::set_enabled(true);
+
+    let dir = temp_dir("passes");
+    let rows: Vec<Vec<u32>> =
+        (0..600u32).map(|k| vec![k % 4, 4 + k % 6, 10 + k % 3, 20 + k % 17]).collect();
+    let mut w = SegmentWriter::create(&dir, 1024).unwrap();
+    for r in &rows {
+        w.push_row(r).unwrap();
+    }
+    let sealed = w.finish().unwrap();
+    assert!(sealed > 4, "want many segments, got {sealed}");
+    assert_eq!(metrics::get("storage.segments_written"), Some(sealed as u64));
+    let h = histogram::get("storage.segment_bytes").expect("segment size histogram recorded");
+    assert_eq!(h.count, sealed as u64);
+
+    let db = SegmentedDb::open(&dir).unwrap();
+    let budget = db.total_payload_bytes() as usize / 4;
+    assert!(
+        db.max_segment_bytes() <= budget,
+        "dataset must be >= 4x the resident budget for this test to mean anything"
+    );
+    let db = db.with_budget(MemoryBudget::bytes(budget));
+
+    // Round 1: raw out-of-core mining — one encode pass per segment.
+    let fp = OocMiner::new(&db).mine(MinSupport::Absolute(40)).unwrap();
+    assert!(!fp.is_empty());
+    assert_eq!(metrics::get("storage.segments_read"), Some(db.num_segments() as u64));
+
+    // Round 2: cover/compress pass — again one pass per segment.
+    let (cdb, _) = OocMiner::new(&db).compress(&fp, Strategy::Mcp).unwrap();
+    assert_eq!(metrics::get("storage.segments_read"), Some(2 * db.num_segments() as u64));
+
+    // Residency stayed bounded by the largest single segment.
+    let peak = metrics::get("storage.resident_peak").unwrap();
+    assert!(peak <= db.max_segment_bytes() as u64);
+    assert!(peak as usize <= budget);
+
+    // Version persistence: the second push of a near-identical CDB is a
+    // delta and accounts its bytes.
+    let vdir = temp_dir("versions");
+    let mut versions = VersionStore::open(&vdir).unwrap();
+    versions.push(&cdb).unwrap();
+    assert_eq!(metrics::get("storage.delta_bytes"), None, "first version is a full write");
+    versions.push(&cdb).unwrap();
+    let delta = metrics::get("storage.delta_bytes").unwrap();
+    assert!(delta > 0);
+
+    metrics::set_enabled(false);
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&vdir).unwrap();
+}
