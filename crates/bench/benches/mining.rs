@@ -9,7 +9,7 @@
 //! speedup — see EXPERIMENTS.md E6.
 
 use gogreen_bench::algo::AlgoFamily;
-use gogreen_bench::BenchGroup;
+use gogreen_bench::{batchwork, BenchGroup};
 use gogreen_core::{Compressor, Strategy};
 use gogreen_datagen::{DatasetPreset, PresetKind};
 use gogreen_miners::mine_hmine;
@@ -28,6 +28,9 @@ fn main() {
         let fp = mine_hmine(&db, preset.xi_old());
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         let xi_new = *preset.sweep().last().expect("non-empty sweep");
+        // A k=8 Zipf-skewed multi-query fleet over the preset's sweep:
+        // one shared pass at the sweep floor answers all eight.
+        let ladder = batchwork::zipf_ladder(&preset.sweep(), 8);
         for threads in [1usize, 2, 4, 8] {
             let par = Parallelism::threads(threads);
             let param = format!("{}/t{}", preset.name(), threads);
@@ -37,6 +40,9 @@ fn main() {
                 });
                 group.bench(&format!("{}-MCP", family.tag()), &param, || {
                     family.run_recycled_par(&cdb, xi_new, par).patterns
+                });
+                group.bench(&format!("{}-Batch8", family.tag()), &param, || {
+                    batchwork::run_batched(&db, family, &ladder, par)
                 });
             }
         }

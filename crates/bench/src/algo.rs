@@ -74,15 +74,22 @@ impl AlgoFamily {
         self.run_baseline_par(db, ms, Parallelism::serial())
     }
 
-    /// The engine-registry entry backing this family.
-    fn engine(self) -> &'static dyn MiningEngine {
-        let key = match self {
+    /// The engine-registry key ("hmine" | "fp" | "tp" | "vt") — what
+    /// front ends that dispatch by name (the CLI, [`QueryBatch`]) take.
+    ///
+    /// [`QueryBatch`]: gogreen_core::batch::QueryBatch
+    pub fn key(self) -> &'static str {
+        match self {
             AlgoFamily::HMine => "hmine",
             AlgoFamily::FpTree => "fp",
             AlgoFamily::TreeProjection => "tp",
             AlgoFamily::Eclat => "vt",
-        };
-        engine_named(key).expect("bench families are registered")
+        }
+    }
+
+    /// The engine-registry entry backing this family.
+    fn engine(self) -> &'static dyn MiningEngine {
+        engine_named(self.key()).expect("bench families are registered")
     }
 
     /// Times the baseline miner with its first-level projections fanned

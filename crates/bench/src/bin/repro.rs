@@ -24,6 +24,12 @@
 //!                fresh and MCP-recycled, serial and 4 threads
 //!   ext-obs-hist histogram study: the projected-DB size distribution,
 //!                raw vs MCP-recycled, per engine family (E9)
+//!   ext-batch    batched multi-query mining (E12): a k=8 Zipf-skewed ξ
+//!                fleet on the weather and connect4 analogs answered by
+//!                one shared pass at ξ_min; requires the shared pass to
+//!                touch ≤ 1.5× the tuples of a single solo run at ξ_min
+//!                and per-query streams byte-identical at 1 and 8
+//!                threads
 //!   ext-ooc      out-of-core datapath (E11): stream the connect4 analog
 //!                into on-disk segments, mine it under a resident budget
 //!                of 1/4 the dataset, and require one pass per segment
@@ -148,6 +154,7 @@ fn main() {
         "ext-mine-par" => cmd_mine_par(scale, &reporter),
         "ext-mine-vertical" => cmd_mine_vertical(scale, &reporter),
         "ext-obs-hist" => cmd_obs_hist(scale, &reporter),
+        "ext-batch" => cmd_ext_batch(scale, &reporter),
         "ext-ooc" => cmd_ext_ooc(scale, &reporter),
         "quick" | "--quick" => cmd_quick(scale),
         "check-metrics" => {
@@ -192,7 +199,7 @@ fn print_usage() {
     println!(
         "repro [--scale S] [--results DIR] [--metrics-out F] [--profile-out F] [--quiet-metrics] \
          <all|table3|figs|memfigs|fig N|ablation|ext-compress-par|ext-mine-par|ext-mine-vertical|\n\
-         ext-obs-hist|ext-ooc|quick|check-metrics F|check-perf [F F]>\n\
+         ext-obs-hist|ext-batch|ext-ooc|quick|check-metrics F|check-perf [F F]>\n\
          Regenerates the paper's Table 3 and Figures 9-24, plus ablations and\n\
          extension experiments (scale {DEFAULT_SCALE} by default)."
     );
@@ -225,6 +232,142 @@ fn cmd_quick(scale: f64) {
         stats.ratio,
         patterns.len(),
         fmt_secs(stats.duration.as_secs_f64()),
+    );
+}
+
+/// E12: batched multi-query mining. A k=8 Zipf-skewed ξ fleet over the
+/// preset's sweep, answered by one shared pass at ξ_min (the sweep
+/// floor) and demultiplexed per query. **Gates** (CI's batch-smoke job
+/// and the issue's acceptance criteria): the batched run's
+/// `mine.tuple_touches` must be at most 1.5× a *single* solo run at
+/// ξ_min, and every per-query stream must be byte-identical at 1 and 8
+/// threads.
+fn cmd_ext_batch(scale: f64, reporter: &Reporter) {
+    use gogreen_bench::batchwork;
+    use gogreen_util::pool::Parallelism;
+    use std::time::Instant;
+
+    println!(
+        "\n== Extension: batched multi-query mining — one shared pass answers a \
+         k=8 Zipf fleet (weather + connect4, scale {scale}) ==\n"
+    );
+    let was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    let touches = || metrics::get("mine.tuple_touches").unwrap_or(0);
+    let pattern_bytes = |tag: &str, set: &gogreen_data::PatternSet| -> Vec<u8> {
+        let p =
+            std::env::temp_dir().join(format!("gogreen-ext-batch-{tag}-{}", std::process::id()));
+        gogreen_data::pattern_io::write_patterns_file(set, p.display().to_string())
+            .unwrap_or_else(|e| die(&format!("writing {p:?}: {e}")));
+        let bytes = std::fs::read(&p).unwrap_or_else(|e| die(&format!("reading {p:?}: {e}")));
+        let _ = std::fs::remove_file(&p);
+        bytes
+    };
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for kind in [PresetKind::Weather, PresetKind::Connect4] {
+        let preset = DatasetPreset::new(kind, scale);
+        let db = preset.generate();
+        let ladder = batchwork::zipf_ladder(&preset.sweep(), 8);
+        let xi_min =
+            ladder.iter().map(|xi| xi.to_absolute(db.len())).min().expect("non-empty ladder");
+
+        // The batched run at 1 thread: one shared pass at ξ_min.
+        let before = touches();
+        let t0 = Instant::now();
+        let out1 = batchwork::fleet(&ladder)
+            .run(&db, "hmine")
+            .unwrap_or_else(|e| die(&format!("batched run: {e}")));
+        let secs_batched = t0.elapsed().as_secs_f64();
+        let touches_batched = touches() - before;
+        if !out1.report.plan.rejected.is_empty() {
+            die("pure-support fleet unexpectedly rejected a query");
+        }
+
+        // The same fleet at 8 threads must produce byte-identical
+        // per-query streams.
+        let out8 = batchwork::fleet(&ladder)
+            .with_parallelism(Parallelism::threads(8))
+            .run(&db, "hmine")
+            .unwrap_or_else(|e| die(&format!("batched run (t8): {e}")));
+        for (i, (a, b)) in out1.results.iter().zip(&out8.results).enumerate() {
+            if pattern_bytes(&format!("t1-q{i}"), a) != pattern_bytes(&format!("t8-q{i}"), b) {
+                die(&format!("query #{i}: stream diverges between 1 and 8 threads"));
+            }
+        }
+
+        // Reference costs: the 8 solo runs the batch replaces, and the
+        // single ξ_min run that lower-bounds the shared pass.
+        let before = touches();
+        let t0 = Instant::now();
+        for &xi in &ladder {
+            AlgoFamily::HMine.run_baseline(&db, xi);
+        }
+        let secs_solo = t0.elapsed().as_secs_f64();
+        let touches_solo = touches() - before;
+        let before = touches();
+        AlgoFamily::HMine.run_baseline(&db, MinSupport::Absolute(xi_min));
+        let touches_floor = touches() - before;
+
+        let vs_floor = touches_batched as f64 / touches_floor.max(1) as f64;
+        let vs_solo = touches_batched as f64 / touches_solo.max(1) as f64;
+        if vs_floor > 1.5 {
+            die(&format!(
+                "{}: batched pass touches {:.2}× the single ξ_min run (> 1.5× gate)",
+                preset.name(),
+                vs_floor
+            ));
+        }
+        table.push(vec![
+            preset.name().to_owned(),
+            format!("{xi_min}"),
+            touches_batched.to_string(),
+            touches_solo.to_string(),
+            touches_floor.to_string(),
+            format!("{vs_solo:.3}"),
+            format!("{vs_floor:.3}"),
+            fmt_secs(secs_batched),
+            fmt_secs(secs_solo),
+        ]);
+        reporter
+            .save_json(
+                "ext_batch",
+                &gogreen_util::Json::obj([
+                    ("dataset", gogreen_util::Json::from(preset.name())),
+                    ("k", gogreen_util::Json::from(ladder.len())),
+                    ("xi_min", gogreen_util::Json::from(xi_min)),
+                    ("touches_batched", gogreen_util::Json::from(touches_batched)),
+                    ("touches_solo_total", gogreen_util::Json::from(touches_solo)),
+                    ("touches_floor", gogreen_util::Json::from(touches_floor)),
+                    ("ratio_vs_solo", gogreen_util::Json::from(vs_solo)),
+                    ("ratio_vs_floor", gogreen_util::Json::from(vs_floor)),
+                    ("secs_batched", gogreen_util::Json::from(secs_batched)),
+                    ("secs_solo_total", gogreen_util::Json::from(secs_solo)),
+                    ("identical", gogreen_util::Json::from(true)),
+                ]),
+            )
+            .expect("save extension");
+    }
+    metrics::set_enabled(was_enabled);
+    print!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "ξ_min",
+                "touches batched",
+                "touches 8×solo",
+                "touches ξ_min solo",
+                "vs solo",
+                "vs floor",
+                "time batched",
+                "time 8×solo",
+            ],
+            &table
+        )
+    );
+    println!(
+        "\next-batch: ok — shared pass ≤ 1.5× a single ξ_min run on both analogs, \
+         per-query streams byte-identical at 1 and 8 threads"
     );
 }
 
@@ -464,12 +607,23 @@ fn check_perf_mining(path: &str, drifts: &mut Vec<String>, compared: &mut usize)
         let fp = mine_hmine(&db, preset.xi_old());
         let cdb = Compressor::new(Strategy::Mcp).compress(&db, &fp);
         let xi_new = *preset.sweep().last().expect("non-empty sweep");
+        let ladder = gogreen_bench::batchwork::zipf_ladder(&preset.sweep(), 8);
         for family in AlgoFamily::with_vertical() {
             perfgate::reset_registries();
             let raw = perfgate::measure(|| family.run_baseline(&db, xi_new).patterns);
             perfgate::reset_registries();
             let rec = perfgate::measure(|| family.run_recycled(&cdb, xi_new).patterns);
+            perfgate::reset_registries();
+            let batched = perfgate::measure(|| {
+                gogreen_bench::batchwork::run_batched(
+                    &db,
+                    family,
+                    &ladder,
+                    gogreen_util::pool::Parallelism::serial(),
+                )
+            });
             let recycled_id = format!("{}-MCP", family.tag());
+            let batch_id = format!("{}-Batch8", family.tag());
             for (i, row) in rows.iter().enumerate() {
                 if !row.param.starts_with(&prefix) {
                     continue;
@@ -478,6 +632,8 @@ fn check_perf_mining(path: &str, drifts: &mut Vec<String>, compared: &mut usize)
                     &raw
                 } else if row.id == recycled_id {
                     &rec
+                } else if row.id == batch_id {
+                    &batched
                 } else {
                     continue;
                 };

@@ -21,6 +21,7 @@
 
 pub mod ablation;
 pub mod algo;
+pub mod batchwork;
 pub mod figures;
 pub mod harness;
 pub mod perfgate;

@@ -7,10 +7,12 @@ use crate::commands::{
     setup_obs, show_bytes, show_support,
 };
 use gogreen_constraints::{Constraint, ConstraintSet, ItemAttributes, Pushdown};
+use gogreen_core::batch::{BatchQuery, QueryBatch};
 use gogreen_core::engine::{engine_keys, engine_named, EngineOpts};
 use gogreen_data::{CollectSink, Item, MinSupport, PatternSet, TransactionDb};
 use gogreen_storage::{MemoryBudget, OocEngine, OocMiner, SegmentedDb};
 use gogreen_util::pool::Parallelism;
+use gogreen_util::Json;
 use std::time::Instant;
 
 pub fn run(argv: Vec<String>) -> Result<(), String> {
@@ -21,6 +23,13 @@ pub fn run(argv: Vec<String>) -> Result<(), String> {
         Some(dir) => dir.clone(),
         None => args.positional(0, "database path (or --db-dir)")?.to_owned(),
     };
+    if let Some(spec) = args.opt("batch") {
+        if db_dir.is_some() {
+            return Err("--batch does not combine with --db-dir".into());
+        }
+        run_batch(&args, &path, spec)?;
+        return obs.finish();
+    }
     let support = parse_support(args.required("support")?)?;
     let algo = args.opt("algo").unwrap_or("hmine");
     let par = parse_threads(args.opt("threads"))?;
@@ -149,4 +158,105 @@ fn mine(
         .raw_with(opts)
         .mine_par(db, support, par)
         .filter(|p| pushdown.prefix_ok(p.items(), attrs)))
+}
+
+/// `gogreen mine <db.txt> --batch <spec.json>` — one shared pass answers
+/// a fleet of (ξ, constraint) queries. The spec is a JSON array of query
+/// objects (or `{"queries": [...]}`), each with a `support` ("3%" or an
+/// absolute count), an optional `label` (defaults to `q<i>`), an
+/// optional `max-length`, and an optional `items` allow-list. Every
+/// query's output is byte-identical to a solo `mine` run with the same
+/// constraints.
+fn run_batch(args: &Args, path: &str, spec_path: &str) -> Result<(), String> {
+    let algo = args.opt("algo").unwrap_or("hmine");
+    let par = parse_threads(args.opt("threads"))?;
+    let opts = parse_engine_opts(args)?;
+    for flag in ["support", "max-length", "items", "filter"] {
+        if args.opt(flag).is_some() {
+            return Err(format!("--{flag} belongs inside the --batch spec, not the command line"));
+        }
+    }
+
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parsing {spec_path}: {e}"))?;
+    let entries = json
+        .get("queries")
+        .and_then(Json::as_arr)
+        .or_else(|| json.as_arr())
+        .ok_or_else(|| format!("{spec_path}: expected a JSON array of queries"))?;
+    if entries.is_empty() {
+        return Err(format!("{spec_path}: batch has no queries"));
+    }
+
+    let mut batch = QueryBatch::new().with_parallelism(par).with_engine_opts(opts);
+    let mut labels = Vec::with_capacity(entries.len());
+    for (i, entry) in entries.iter().enumerate() {
+        let label = match entry.get("label") {
+            Some(l) => l
+                .as_str()
+                .ok_or_else(|| format!("{spec_path}: query #{i}: label must be a string"))?
+                .to_owned(),
+            None => format!("q{i}"),
+        };
+        if labels.contains(&label) {
+            return Err(format!("{spec_path}: duplicate label {label:?}"));
+        }
+        let support = entry
+            .get("support")
+            .ok_or_else(|| format!("{spec_path}: query {label:?} lacks a support"))?;
+        let support = match (support.as_str(), support.as_u64()) {
+            (Some(s), _) => parse_support(s)?,
+            (None, Some(n)) => MinSupport::Absolute(n),
+            _ => return Err(format!("{spec_path}: query {label:?}: bad support")),
+        };
+        let mut cs = ConstraintSet::support_only(support);
+        if let Some(k) = entry.get("max-length") {
+            let k = k
+                .as_u64()
+                .ok_or_else(|| format!("{spec_path}: query {label:?}: bad max-length"))?;
+            cs = cs.with(Constraint::MaxLength(k as usize));
+        }
+        if let Some(list) = entry.get("items") {
+            let ids = list
+                .as_arr()
+                .and_then(|a| a.iter().map(Json::as_u64).collect::<Option<Vec<u64>>>())
+                .ok_or_else(|| format!("{spec_path}: query {label:?}: bad items list"))?;
+            cs = cs.with(Constraint::SubsetOf(ids.into_iter().map(|v| Item(v as u32)).collect()));
+        }
+        batch.push(BatchQuery::new(label.clone(), cs));
+        labels.push(label);
+    }
+
+    let db = load_db(path)?;
+    let start = Instant::now();
+    let out = batch.run(&db, algo)?;
+    let elapsed = start.elapsed();
+    let plan = &out.report.plan;
+    println!(
+        "{path}: {} queries in one pass at xi_min={} ({} admitted, {} solo) in {elapsed:.2?} \
+         [{algo}, {} shared patterns]",
+        labels.len(),
+        plan.xi_min,
+        plan.admitted.len(),
+        plan.rejected.len(),
+        out.report.shared_patterns,
+    );
+    for (i, label) in labels.iter().enumerate() {
+        let how = if plan.rejected.contains(&i) { "solo" } else { "shared" };
+        println!(
+            "  {label}: {} patterns at {} ({how})",
+            out.results[i].len(),
+            show_support(batch.queries()[i].constraints().min_support(), db.len()),
+        );
+    }
+    if let Some(prefix) = args.opt("o") {
+        for (i, label) in labels.iter().enumerate() {
+            let out_path = format!("{prefix}.{label}.txt");
+            gogreen_data::pattern_io::write_patterns_file(&out.results[i], &out_path)
+                .map_err(|e| format!("writing {out_path}: {e}"))?;
+            println!("wrote {out_path}");
+        }
+    }
+    Ok(())
 }

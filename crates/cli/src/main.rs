@@ -5,6 +5,7 @@
 //! gogreen generate <weather|forest|connect4|pumsb> [--scale S] -o <db.txt>
 //! gogreen mine     <db.txt> --support <ξ> [--algo A] [--max-length K]
 //!                  [--items 1,2,3] [--threads N] [-o patterns.txt]
+//! gogreen mine     <db.txt> --batch <spec.json> [--algo A] [--threads N]
 //! gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
 //!                  [--threads N]
 //! gogreen recycle  <db.txt> --patterns <fp.txt> --support <ξ>
@@ -78,6 +79,8 @@ USAGE
   gogreen mine     <db.txt> --support <ξ> [--algo hmine|fp|tp|vt|apriori|naive]
                    [--max-length K] [--items 1,2,3] [--filter closed|maximal]
                    [--threads N] [-o patterns.txt]
+  gogreen mine     <db.txt> --batch <spec.json> [--algo A] [--threads N]
+                   [-o prefix]   # one pass answers every query in the spec
   gogreen compress <db.txt> --patterns <fp.txt> [--strategy mcp|mlp]
                    [--threads N]
   gogreen compact  <db-dir> [--segment-bytes B]
@@ -94,6 +97,15 @@ OUT-OF-CORE (mine | compress)
   --budget <B>     cap resident segment bytes (e.g. 8MiB); errors if any
                    single segment exceeds it
   byte counts accept 4096, 64k, 8MiB, 1g
+
+BATCH (mine)
+  --batch <spec.json>  coalesce k (ξ, constraint) queries into ONE mining
+                   pass at ξ_min, demultiplexed so each query's stream is
+                   byte-identical to running it alone. The spec is a JSON
+                   array (or {{\"queries\": [...]}}) of objects with
+                   \"support\" (\"3%\" or absolute), optional \"label\",
+                   \"max-length\", and \"items\" [1,2,3]. With -o PREFIX
+                   each query writes PREFIX.<label>.txt
 
 FORMATS
   databases: one transaction per line, whitespace-separated item ids

@@ -42,6 +42,7 @@
 //! set a from-scratch miner produces. The test suite enforces this
 //! against the Apriori oracle.
 
+pub mod batch;
 pub mod cdb;
 pub mod compress;
 pub mod cover;
@@ -61,6 +62,7 @@ pub mod utility;
 use gogreen_data::{CollectSink, MinSupport, PatternSet, PatternSink};
 use gogreen_util::pool::Parallelism;
 
+pub use batch::{BatchOutcome, BatchPlan, BatchQuery, BatchReport, QueryBatch};
 pub use cdb::CompressedDb;
 pub use compress::{CompressionStats, Compressor};
 pub use cover::{CoverIndex, CoverScratch};

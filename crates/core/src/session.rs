@@ -2,22 +2,33 @@
 //! motivates.
 //!
 //! A user iterates: run, inspect, refine constraints, run again. The
-//! session keeps the previous round's full frequent set and dispatches
-//! each new round on the cheapest sound path (paper §2):
+//! session publishes every round's full frequent set into an internal
+//! [`PatternStore`] and dispatches each new round on the cheapest sound
+//! path (paper §2):
 //!
 //! * **same constraints** → cached result, no work;
-//! * **tightened constraints** → filter the previous set (the new
-//!   solution space is a subset);
-//! * **relaxed / mixed / incomparable** → the previous set cannot contain
-//!   the answer; *recycle* it: compress the database with it and mine the
-//!   compressed database with the configured recycling miner.
+//! * **a published threshold ≤ ξ exists** → filter the *closest* such
+//!   superset ([`PatternStore::best_at_most`] — support-only full sets
+//!   are exact supersets of any round at a higher threshold, whatever
+//!   the other constraints do);
+//! * **otherwise** → no stored set can contain the answer; *recycle* the
+//!   richest one ([`PatternStore::best_for`], the paper's §5 rule):
+//!   compress the database with it and mine the compressed database with
+//!   the configured recycling miner.
+//!
+//! Fleets of simultaneous queries go through [`MiningSession::run_batch`]
+//! (one shared coalesced pass, see [`crate::batch`]); the shared ξ_min
+//! result lands in the same store, so follow-up rounds filter instead of
+//! mining.
 //!
 //! Non-support constraints are applied as post-filters on the full
 //! frequent set (with anti-monotone parts available for pushdown through
 //! [`gogreen_constraints::Pushdown`] in callers that mine manually).
 
+use crate::batch::{BatchOutcome, BatchQuery, QueryBatch};
 use crate::compress::{CompressionStats, Compressor};
 use crate::engine::engine_named;
+use crate::store::PatternStore;
 use crate::utility::Strategy;
 use crate::RecyclingMiner;
 use gogreen_constraints::{ConstraintSet, ItemAttributes, Relation};
@@ -26,6 +37,10 @@ use gogreen_miners::Miner;
 use gogreen_obs::{metrics, snapshot, span};
 use gogreen_util::pool::Parallelism;
 use std::time::Duration;
+
+/// The session's internal [`PatternStore`] key: one session, one
+/// database, one dataset entry.
+const SESSION_DATASET: &str = "session";
 
 /// Which algorithm family the session uses for fresh and recycled mining.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,10 +103,10 @@ pub enum RunMode {
     Fresh,
     /// Identical constraints: cached result returned.
     Cached,
-    /// Tightened constraints: previous set filtered.
+    /// A published threshold ≤ ξ exists: its closest superset filtered.
     Filtered,
-    /// Relaxed (or incomparable) constraints: previous patterns recycled
-    /// through compression.
+    /// No stored superset: the richest published set recycled through
+    /// compression.
     Recycled,
 }
 
@@ -154,10 +169,10 @@ pub struct RoundReport {
     pub compression: Option<CompressionStats>,
     /// Patterns returned after all constraints.
     pub num_patterns: usize,
-    /// Size of the recycled pattern set when `mode == Recycled` — drawn
-    /// from the *richest* round seen so far, not necessarily the last
-    /// one (a user who tightened and then relaxed again recycles the
-    /// early, lower-threshold set).
+    /// Size of the source set the round was answered from: the filtered
+    /// superset (`Filtered`, the *closest* published threshold ≤ ξ) or
+    /// the recycled fodder (`Recycled`, the *richest* published set —
+    /// paper §5: lower `ξ_old` recycles better).
     pub fodder_patterns: Option<usize>,
 }
 
@@ -187,10 +202,10 @@ pub struct MiningSession {
     /// Previous round: constraints, the *full* frequent set at that
     /// round's support, and the constraint-filtered answer.
     last: Option<(ConstraintSet, PatternSet, PatternSet)>,
-    /// The richest full frequent set any round produced (lowest absolute
-    /// threshold) — the best recycling fodder (paper §5: lower `ξ_old`
-    /// recycles better).
-    richest: Option<(u64, PatternSet)>,
+    /// Every round's full frequent set, keyed by absolute threshold:
+    /// [`PatternStore::best_at_most`] serves filter rounds, and
+    /// [`PatternStore::best_for`] the recycling fodder.
+    store: PatternStore,
     /// Rounds run by *this* session — labels the per-round metric
     /// snapshots (the global `session.rounds` counter spans sessions).
     rounds_run: u64,
@@ -207,7 +222,7 @@ impl MiningSession {
             strategy: Strategy::default(),
             parallelism: Parallelism::serial(),
             last: None,
-            richest: None,
+            store: PatternStore::new(),
             rounds_run: 0,
         }
     }
@@ -264,53 +279,48 @@ impl MiningSession {
         let _snap_scope = RoundScope::open(self.rounds_run);
         let mut sp = span("session.round");
         let started = std::time::Instant::now();
-        let (mode, full, compression, fodder_patterns) = match &self.last {
-            Some((prev_cs, prev_full, prev_answer)) => {
-                match constraints.relation_to(prev_cs, db_len) {
-                    Relation::Equal => {
-                        metrics::add("session.rounds", 1);
-                        metrics::add(RunMode::Cached.counter(), 1);
-                        sp.field("mode", RunMode::Cached.label())
-                            .field("xi", xi)
-                            .field("patterns", prev_answer.len());
-                        let report = RoundReport {
-                            mode: RunMode::Cached,
-                            mining_time: started.elapsed(),
-                            compression: None,
-                            num_patterns: prev_answer.len(),
-                            fodder_patterns: None,
-                        };
-                        return (prev_answer.clone(), report);
-                    }
-                    Relation::Tightened => {
-                        let full = prev_full.filter(|p| p.support() >= xi);
-                        (RunMode::Filtered, full, None, None)
-                    }
-                    _ => {
-                        // Relaxed, mixed, or incomparable: recycle the
-                        // richest set any round produced.
-                        let fodder = self.richest.as_ref().map(|(_, set)| set).unwrap_or(prev_full);
-                        let (cdb, stats) = Compressor::new(self.strategy)
-                            .with_parallelism(self.parallelism)
-                            .compress_with_stats(&self.db, fodder);
-                        let n = fodder.len();
-                        let full = self.engine.recycling(self.parallelism).mine_par(
-                            &cdb,
-                            constraints.min_support(),
-                            self.parallelism,
-                        );
-                        (RunMode::Recycled, full, Some(stats), Some(n))
-                    }
-                }
+        if let Some((prev_cs, _, prev_answer)) = &self.last {
+            if constraints.relation_to(prev_cs, db_len) == Relation::Equal {
+                metrics::add("session.rounds", 1);
+                metrics::add(RunMode::Cached.counter(), 1);
+                sp.field("mode", RunMode::Cached.label())
+                    .field("xi", xi)
+                    .field("patterns", prev_answer.len());
+                let report = RoundReport {
+                    mode: RunMode::Cached,
+                    mining_time: started.elapsed(),
+                    compression: None,
+                    num_patterns: prev_answer.len(),
+                    fodder_patterns: None,
+                };
+                return (prev_answer.clone(), report);
             }
-            None => {
-                let full = self.engine.fresh().mine_par(
-                    &self.db,
-                    constraints.min_support(),
-                    self.parallelism,
-                );
-                (RunMode::Fresh, full, None, None)
-            }
+        }
+        let (mode, full, compression, fodder_patterns) = if let Some((_, superset)) =
+            self.store.best_at_most(SESSION_DATASET, xi)
+        {
+            // The closest published threshold ≤ ξ: its (support-only,
+            // complete) set contains the whole answer, so the round
+            // is a support filter regardless of the other
+            // constraints' relation.
+            let full = superset.filter(|p| p.support() >= xi);
+            (RunMode::Filtered, full, None, Some(superset.len()))
+        } else if let Some((_, fodder)) = self.store.best_for(SESSION_DATASET) {
+            // ξ undercuts everything published: recycle the richest
+            // set (paper §5 — lower ξ_old recycles better).
+            let (cdb, stats) = Compressor::new(self.strategy)
+                .with_parallelism(self.parallelism)
+                .compress_with_stats(&self.db, &fodder);
+            let full = self.engine.recycling(self.parallelism).mine_par(
+                &cdb,
+                constraints.min_support(),
+                self.parallelism,
+            );
+            (RunMode::Recycled, full, Some(stats), Some(fodder.len()))
+        } else {
+            let full =
+                self.engine.fresh().mine_par(&self.db, constraints.min_support(), self.parallelism);
+            (RunMode::Fresh, full, None, None)
         };
         let answer = if constraints.others().is_empty() {
             full.clone()
@@ -333,24 +343,33 @@ impl MiningSession {
         if let Some(n) = fodder_patterns {
             sp.field("fodder_patterns", n);
         }
-        // Track the richest full set for future recycling.
-        let abs = xi;
-        let richer = match &self.richest {
-            None => true,
-            Some((best_abs, best)) => abs < *best_abs || full.len() > best.len(),
-        };
-        if richer && mode != RunMode::Filtered {
-            // Filtered sets are subsets of an already-tracked run.
-            self.richest = Some((abs, full.clone()));
-        }
+        // Publish the full set so later rounds can filter from (or
+        // recycle) it — Filtered rounds included: their result is the
+        // complete set at ξ, a closer superset for future lookups.
+        self.store.publish(SESSION_DATASET, xi, full.clone());
         self.last = Some((constraints, full, answer.clone()));
         (answer, report)
+    }
+
+    /// Runs a fleet of queries as one batched round: a single coalesced
+    /// pass at the fleet's ξ_min answers every admitted query (see
+    /// [`crate::batch`]), and the shared result is published into the
+    /// session's store, so follow-up [`Self::run_with_report`] rounds at
+    /// ξ ≥ ξ_min dispatch as `Filtered`.
+    pub fn run_batch(&mut self, queries: Vec<BatchQuery>) -> Result<BatchOutcome, String> {
+        let mut batch = QueryBatch::new()
+            .with_attributes(self.attrs.clone())
+            .with_parallelism(self.parallelism);
+        for q in queries {
+            batch.push(q);
+        }
+        batch.run_with_store(&self.db, self.engine.key(), &self.store, SESSION_DATASET)
     }
 
     /// Forgets all previous rounds (the next run mines fresh).
     pub fn reset(&mut self) {
         self.last = None;
-        self.richest = None;
+        self.store = PatternStore::new();
     }
 }
 
@@ -436,17 +455,56 @@ mod tests {
     }
 
     #[test]
-    fn relaxation_recycles_the_richest_round() {
+    fn relaxation_filters_from_a_stored_superset() {
         // 2 → 4 → 3: the third round relaxes relative to ξ=4, but the
-        // best fodder is the round-1 set mined at ξ=2.
+        // round-1 set mined at ξ=2 is a stored exact superset — the
+        // round is a filter, no mining at all.
         let db = TransactionDb::paper_example();
         let mut s = MiningSession::new(db.clone());
         let (r1, _) = s.run_with_report(cs(2));
         s.run(cs(4));
         let (r3, rep3) = s.run_with_report(cs(3));
-        assert_eq!(rep3.mode, RunMode::Recycled);
+        assert_eq!(rep3.mode, RunMode::Filtered);
         assert_eq!(rep3.fodder_patterns, Some(r1.len()));
         assert!(r3.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(3))));
+    }
+
+    #[test]
+    fn filtering_uses_the_closest_superset_not_the_richest() {
+        // 2 → 3 → 4: both earlier sets contain the ξ=4 answer; the
+        // session filters the *smaller* ξ=3 set.
+        let db = TransactionDb::paper_example();
+        let mut s = MiningSession::new(db.clone());
+        s.run(cs(2));
+        let (r2, _) = s.run_with_report(cs(3));
+        let (r4, rep4) = s.run_with_report(cs(4));
+        assert_eq!(rep4.mode, RunMode::Filtered);
+        assert_eq!(rep4.fodder_patterns, Some(r2.len()));
+        assert!(r4.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(4))));
+    }
+
+    #[test]
+    fn batched_round_seeds_the_store_for_filtering() {
+        use crate::batch::BatchQuery;
+        let db = TransactionDb::paper_example();
+        let mut s = MiningSession::new(db.clone());
+        let out = s
+            .run_batch(vec![
+                BatchQuery::new("a", cs(4)),
+                BatchQuery::new("b", cs(2)),
+                BatchQuery::new("c", cs(3)),
+            ])
+            .unwrap();
+        assert_eq!(out.report.published_at, Some(2));
+        for (i, xi) in [4u64, 2, 3].into_iter().enumerate() {
+            let oracle = mine_apriori(&db, MinSupport::Absolute(xi));
+            assert!(out.results[i].same_patterns_as(&oracle), "query {i}");
+        }
+        // The shared ξ_min = 2 result is in the store: a follow-up round
+        // at ξ=3 filters instead of mining.
+        let (r, rep) = s.run_with_report(cs(3));
+        assert_eq!(rep.mode, RunMode::Filtered);
+        assert!(r.same_patterns_as(&mine_apriori(&db, MinSupport::Absolute(3))));
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! by dataset, and later sessions (of any user/thread) fetch the most
 //! useful prior set to compress with.
 //!
-//! "Most useful" follows the paper's §5 observation that a lower initial
-//! support yields better recycling — more resources were spent, so more
-//! can be reclaimed: [`PatternStore::best_for`] returns the stored set
-//! with the lowest threshold.
+//! Two lookup policies serve two different dispatch paths:
+//!
+//! * [`PatternStore::best_at_most`] — the *cheapest exact superset*: the
+//!   highest published threshold ≤ the new round's ξ. Any such set
+//!   contains the complete answer, so the new round is a filter, and the
+//!   closest (highest-threshold, smallest) superset filters cheapest.
+//! * [`PatternStore::best_for`] — the best *recycling fodder* when no
+//!   superset exists (the new ξ undercuts everything published). This
+//!   follows the paper's §5 observation that a lower initial support
+//!   yields better recycling — more resources were spent, so more can be
+//!   reclaimed: it returns the stored set with the lowest threshold.
 
 use gogreen_data::PatternSet;
 use gogreen_util::FxHashMap;
@@ -74,6 +81,25 @@ impl PatternStore {
             .map(|e| (e.abs_support, Arc::clone(&e.patterns)))
     }
 
+    /// The cheapest *exact superset* for a new round at absolute
+    /// threshold `xi`: the entry with the **highest** published threshold
+    /// ≤ `xi`. Every pattern frequent at `xi` is frequent at any lower
+    /// threshold, so such an entry contains the complete answer and the
+    /// round reduces to a support filter — and the closest superset is
+    /// the smallest one to filter. `None` when every published threshold
+    /// is above `xi` (the answer may contain patterns no entry holds;
+    /// fall back to [`Self::best_for`] fodder and re-mine).
+    pub fn best_at_most(&self, dataset: &str, xi: u64) -> Option<(u64, Arc<PatternSet>)> {
+        self.inner
+            .read()
+            .expect("store lock poisoned")
+            .get(dataset)?
+            .iter()
+            .rev()
+            .find(|e| e.abs_support <= xi)
+            .map(|e| (e.abs_support, Arc::clone(&e.patterns)))
+    }
+
     /// Thresholds published for `dataset`, ascending.
     pub fn thresholds(&self, dataset: &str) -> Vec<u64> {
         self.inner
@@ -120,6 +146,25 @@ mod tests {
         assert_eq!(sup, 2);
         assert_eq!(set.len(), fp(2).len());
         assert_eq!(store.thresholds("paper"), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn best_at_most_prefers_closest_superset() {
+        let store = PatternStore::new();
+        store.publish("paper", 4, fp(4));
+        store.publish("paper", 2, fp(2));
+        store.publish("paper", 3, fp(3));
+        // Exact hit: the published 3-entry, not the richer 2-entry.
+        let (sup, set) = store.best_at_most("paper", 3).unwrap();
+        assert_eq!(sup, 3);
+        assert_eq!(set.len(), fp(3).len());
+        // Between entries: highest threshold not exceeding ξ.
+        assert_eq!(store.best_at_most("paper", 5).unwrap().0, 4);
+        // Below every entry: no superset exists.
+        assert!(store.best_at_most("paper", 1).is_none());
+        assert!(store.best_at_most("missing", 3).is_none());
+        // The two policies disagree on purpose: fodder is the richest.
+        assert_eq!(store.best_for("paper").unwrap().0, 2);
     }
 
     #[test]

@@ -65,6 +65,22 @@ pub const ALL: &[MetricDef] = defs![
         true,
         "bytes *used* (never capacity) across all projection-arena generations"
     ),
+    ("batch", Span, false, "one batched multi-query run (plan + shared pass + demux)"),
+    (
+        "batch.demux_patterns",
+        Counter,
+        true,
+        "patterns in a batch's shared stream processed by the demultiplexer"
+    ),
+    ("batch.fanout", Hist, true, "member queries accepting each shared-pass pattern at demux time"),
+    ("batch.queries", Counter, true, "queries submitted across all batch runs"),
+    (
+        "batch.rejected",
+        Counter,
+        true,
+        "queries the admission bound kept out of a shared pass (answered solo)"
+    ),
+    ("batch.shared_passes", Counter, true, "coalesced mining passes executed for batches"),
     ("compress", Span, false, "one compression pass (cover build + sweep + emit)"),
     (
         "compress.group_size",

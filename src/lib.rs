@@ -55,6 +55,7 @@ pub use gogreen_util as util;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use gogreen_core::batch::{BatchOutcome, BatchPlan, BatchQuery, BatchReport, QueryBatch};
     pub use gogreen_core::cdb::CompressedDb;
     pub use gogreen_core::compress::Compressor;
     pub use gogreen_core::recycle_fp::RecycleFp;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use gogreen_core::recycle_vt::RecycleVt;
     pub use gogreen_core::rpmine::RpMine;
     pub use gogreen_core::session::MiningSession;
+    pub use gogreen_core::store::PatternStore;
     pub use gogreen_core::utility::Strategy;
     pub use gogreen_core::RecyclingMiner;
     pub use gogreen_data::{

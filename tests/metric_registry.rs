@@ -21,7 +21,8 @@ use std::path::{Path, PathBuf};
 /// The reserved metric namespaces. A quoted literal `"<prefix><word>"`
 /// anywhere in the sources is treated as a metric name; other literals
 /// (error messages, test fixtures, `obs.*` probes) are ignored.
-const PREFIXES: &[&str] = &["mine.", "compress.", "cover.", "session.", "storage.", "alloc."];
+const PREFIXES: &[&str] =
+    &["mine.", "compress.", "cover.", "session.", "storage.", "alloc.", "batch."];
 
 fn looks_like_metric(s: &str) -> bool {
     PREFIXES.iter().any(|p| {
